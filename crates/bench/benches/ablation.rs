@@ -1,0 +1,90 @@
+//! Ablation study (DESIGN.md experiment A1): how much each propagation rule
+//! contributes. Paper §3.3/§4.4 claim the rules trigger "cascades" of fixed
+//! edges; disabling a rule never changes answers, only the tree size.
+//!
+//! The workload is the pure search (bounds and heuristics off) proving the
+//! two interesting DE infeasibilities: 17x17 @ T=12 (needs precedence
+//! reasoning) and 31x31 @ T=6 (needs C2 cliques). Prints node counts per
+//! configuration, then times each.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use recopack_core::{Opp, SolverConfig, SolveOutcome};
+use recopack_model::{benchmarks, Chip, Instance};
+
+fn search_only() -> SolverConfig {
+    SolverConfig {
+        node_limit: Some(2_000_000),
+        ..recopack_bench::search_only()
+    }
+}
+
+fn variants() -> Vec<(&'static str, SolverConfig)> {
+    let full = search_only();
+    vec![
+        ("full", full.clone()),
+        ("no_clique_rule", SolverConfig { clique_rule: false, ..full.clone() }),
+        ("no_c4_rule", SolverConfig { c4_rule: false, ..full.clone() }),
+        ("no_orientation", SolverConfig { orientation_rules: false, ..full.clone() }),
+        ("no_must_overlap", SolverConfig { must_overlap_rule: false, ..full }),
+    ]
+}
+
+fn workloads() -> Vec<(&'static str, Instance)> {
+    vec![
+        (
+            "de_17x17_T12_infeasible",
+            benchmarks::de(Chip::square(17), 12).with_transitive_closure(),
+        ),
+        (
+            "de_31x31_T6_infeasible",
+            benchmarks::de(Chip::square(31), 6).with_transitive_closure(),
+        ),
+    ]
+}
+
+fn print_node_counts() {
+    println!("\nAblation (search nodes to prove infeasibility; limit 2M):");
+    println!("{:<26} {:>24} {:>24}", "config", "de_17x17_T12", "de_31x31_T6");
+    for (name, config) in variants() {
+        let mut cells = Vec::new();
+        for (_, instance) in workloads() {
+            let (outcome, stats) = Opp::new(&instance).with_config(config.clone()).solve_with_stats();
+            let cell = match outcome {
+                SolveOutcome::Infeasible(_) => format!("{} nodes", stats.nodes),
+                SolveOutcome::ResourceLimit => "limit".to_string(),
+                SolveOutcome::Feasible(_) => "BUG: feasible".to_string(),
+            };
+            cells.push(cell);
+        }
+        println!("{:<26} {:>24} {:>24}", name, cells[0], cells[1]);
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_node_counts();
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for (wname, instance) in workloads() {
+        for (vname, config) in variants() {
+            // Ablated configurations can be orders of magnitude slower (that
+            // is the experiment's point); cap them so the timing loop stays
+            // bounded — the printed census above carries the node counts.
+            let capped = SolverConfig {
+                node_limit: Some(50_000),
+                ..config
+            };
+            group.bench_function(format!("{wname}/{vname}"), |b| {
+                b.iter_batched(
+                    || (instance.clone(), capped.clone()),
+                    |(i, cfg)| Opp::new(&i).with_config(cfg).solve(),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

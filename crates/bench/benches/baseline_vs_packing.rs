@@ -1,0 +1,93 @@
+//! Baseline contrast (DESIGN.md experiment A2): packing-class search vs the
+//! geometric normal-pattern branch-and-bound the paper dismisses in §1
+//! ("solving a three-dimensional problem ... is hopeless if these standard
+//! solution techniques are used").
+//!
+//! Workloads: the DE infeasibility proof at 17x17 @ T=12 (where geometry
+//! must enumerate positions) and a feasible random 6-task instance.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recopack_baseline::{BaselineOutcome, GeometricSolver};
+use recopack_core::{Opp, SolverConfig};
+use recopack_model::generate::{random_instance, GeneratorConfig};
+use recopack_model::{benchmarks, Chip, Instance};
+
+use recopack_bench::search_only;
+
+fn random_6(seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_instance(
+        &GeneratorConfig {
+            task_count: 6,
+            max_side: 3,
+            max_duration: 3,
+            arc_percent: 30,
+        },
+        &mut rng,
+    )
+}
+
+fn print_node_comparison() {
+    println!("\nBaseline vs packing classes (nodes to decide):");
+    let de = benchmarks::de(Chip::square(17), 12).with_transitive_closure();
+    let (_, stats) = Opp::new(&de).with_config(search_only()).solve_with_stats();
+    let mut base = GeometricSolver::new(&de).with_node_limit(2_000_000);
+    let outcome = base.solve();
+    println!(
+        "  de_17x17_T12: packing classes {} nodes; geometric {} nodes ({})",
+        stats.nodes,
+        base.nodes(),
+        match outcome {
+            BaselineOutcome::Infeasible => "exhausted",
+            BaselineOutcome::NodeLimit => "LIMIT HIT",
+            BaselineOutcome::Feasible(_) => "BUG: feasible",
+        }
+    );
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_node_comparison();
+    let mut group = c.benchmark_group("baseline_vs_packing");
+    group.sample_size(10);
+
+    let de = benchmarks::de(Chip::square(17), 12).with_transitive_closure();
+    group.bench_function("packing_class/de_17x17_T12", |b| {
+        b.iter_batched(
+            || de.clone(),
+            |i| Opp::new(&i).with_config(search_only()).solve(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("geometric/de_17x17_T12", |b| {
+        b.iter_batched(
+            || de.clone(),
+            |i| GeometricSolver::new(&i).with_node_limit(2_000_000).solve(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    for seed in [7u64, 21] {
+        let instance = random_6(seed);
+        group.bench_function(format!("packing_class/random6_seed{seed}"), |b| {
+            b.iter_batched(
+                || instance.clone(),
+                |i| Opp::new(&i).with_config(search_only()).solve(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("geometric/random6_seed{seed}"), |b| {
+            b.iter_batched(
+                || instance.clone(),
+                |i| GeometricSolver::new(&i).solve(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

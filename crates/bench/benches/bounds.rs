@@ -1,0 +1,63 @@
+//! Lower-bound study (DESIGN.md experiment A4): how often stage 1 of the
+//! pipeline (paper §3.1) refutes infeasible subproblems outright, and what
+//! the bound battery costs.
+//!
+//! Prints the refutation census over every OPP decision the Table 1 / Fig. 7
+//! sweeps generate, then times the battery on representative instances.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use recopack_bounds::refute;
+use recopack_core::Opp;
+use recopack_model::{benchmarks, Chip};
+
+fn census() {
+    println!("\nLower-bound census over the Fig. 7 decision space:");
+    let mut refuted = 0u32;
+    let mut feasible = 0u32;
+    let mut needs_search = 0u32;
+    for h in 16..=48u64 {
+        for t in 2..=14u64 {
+            let instance = benchmarks::de(Chip::square(h), t).with_transitive_closure();
+            if refute(&instance).is_some() {
+                refuted += 1;
+            } else if Opp::new(&instance).solve().is_feasible() {
+                feasible += 1;
+            } else {
+                needs_search += 1;
+            }
+        }
+    }
+    let total = refuted + feasible + needs_search;
+    println!("  decisions: {total}");
+    println!("  refuted by bounds alone: {refuted}");
+    println!("  feasible: {feasible}");
+    println!("  infeasible but needing search: {needs_search}");
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    census();
+    let mut group = c.benchmark_group("bounds");
+    for (name, h, t) in [
+        ("de_infeasible_16x16_T6", 16u64, 6u64),
+        ("de_feasible_32x32_T6", 32, 6),
+        ("de_tight_17x17_T13", 17, 13),
+    ] {
+        let instance = benchmarks::de(Chip::square(h), t).with_transitive_closure();
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || instance.clone(),
+                |i| refute(&i),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    let codec = benchmarks::video_codec(Chip::square(64), 58).with_transitive_closure();
+    group.bench_function("codec_infeasible_t58", |b| {
+        b.iter_batched(|| codec.clone(), |i| refute(&i), BatchSize::SmallInput)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure 7 — Pareto-optimal chip-area / processing-time points of the DE
+//! benchmark, (a) with the partial order (solid) and (b) without (dashed).
+//!
+//! Prints both reproduced series, then times each full front computation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use recopack_core::{pareto_front, SolverConfig};
+use recopack_model::{benchmarks, Chip};
+
+fn print_reproduced_figure() {
+    let config = SolverConfig::default();
+    let with = benchmarks::de(Chip::square(1), 1).with_transitive_closure();
+    let without = with.clone().without_precedence();
+    let solid = pareto_front(&with, &config).expect("no limits");
+    let dashed = pareto_front(&without, &config).expect("no limits");
+    println!("\nFig. 7 (DE benchmark Pareto fronts):");
+    println!("  (a) solid, with partial order:");
+    for p in &solid {
+        println!("      h = {:>2}  t = {:>2}", p.side, p.makespan);
+    }
+    println!("  (b) dashed, without partial order:");
+    for p in &dashed {
+        println!("      h = {:>2}  t = {:>2}", p.side, p.makespan);
+    }
+    let pairs = |f: &[recopack_core::ParetoPoint]| {
+        f.iter().map(|p| (p.side, p.makespan)).collect::<Vec<_>>()
+    };
+    assert_eq!(pairs(&solid), vec![(16, 14), (17, 13), (32, 6)]);
+    assert_eq!(pairs(&dashed), vec![(16, 13), (17, 12), (32, 4), (48, 2)]);
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduced_figure();
+    let mut group = c.benchmark_group("fig7_pareto");
+    group.sample_size(10);
+    let with = benchmarks::de(Chip::square(1), 1).with_transitive_closure();
+    group.bench_function("solid_with_precedence", |b| {
+        b.iter_batched(
+            || with.clone(),
+            |i| pareto_front(&i, &SolverConfig::default()).expect("no limits"),
+            BatchSize::SmallInput,
+        )
+    });
+    let without = with.clone().without_precedence();
+    group.bench_function("dashed_without_precedence", |b| {
+        b.iter_batched(
+            || without.clone(),
+            |i| pareto_front(&i, &SolverConfig::default()).expect("no limits"),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! FixedS (2D) benchmark — the paper's §4 observation that a given schedule
+//! collapses the problem "from three-dimensional to purely two-dimensional
+//! ones" (the regime of the precursor papers [22, 23]).
+//!
+//! Workloads: packing the DE benchmark spatially under (a) the heuristic's
+//! schedule on the 17×17 chip and (b) a serial schedule on the minimal chip,
+//! plus the corresponding MinA&FixedS chip minimizations.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use recopack_core::FixedSchedule;
+use recopack_heur::{find_feasible, HeuristicConfig};
+use recopack_model::{benchmarks, Chip, Instance, Schedule};
+
+fn strip_schedule() -> (Instance, Schedule) {
+    let instance = benchmarks::de(Chip::square(17), 13).with_transitive_closure();
+    let placement = find_feasible(&instance, &HeuristicConfig::default())
+        .expect("Table 1 row 17x17 @ 13 is feasible");
+    let schedule = placement.schedule();
+    (instance, schedule)
+}
+
+fn serial_schedule() -> (Instance, Schedule) {
+    let instance = benchmarks::de(Chip::square(16), 17).with_transitive_closure();
+    let order = instance
+        .precedence()
+        .topological_order()
+        .expect("acyclic");
+    let mut starts = vec![0u64; instance.task_count()];
+    let mut clock = 0;
+    for v in order {
+        starts[v] = clock;
+        clock += instance.task(v).duration();
+    }
+    (instance, Schedule::new(starts))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fixeds_2d");
+    group.sample_size(20);
+    for (name, (instance, schedule)) in [
+        ("strip_17x17", strip_schedule()),
+        ("serial_16x16", serial_schedule()),
+    ] {
+        let (i2, s2) = (instance.clone(), schedule.clone());
+        group.bench_function(format!("feasible/{name}"), |b| {
+            b.iter_batched(
+                || (i2.clone(), s2.clone()),
+                |(i, s)| {
+                    let outcome = FixedSchedule::new(&i, &s).feasible();
+                    assert!(outcome.is_feasible());
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("min_chip/{name}"), |b| {
+            b.iter_batched(
+                || (instance.clone(), schedule.clone()),
+                |(i, s)| {
+                    FixedSchedule::new(&i, &s)
+                        .min_square_chip()
+                        .expect("valid schedule")
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

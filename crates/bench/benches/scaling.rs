@@ -1,0 +1,56 @@
+//! Scaling study (DESIGN.md experiment A3): solver cost on random instances
+//! as the task count grows, with and without precedence constraints.
+//! Supports the paper's positioning that precedence constraints *help* the
+//! packing-class search (they seed the time dimension) while they hurt
+//! geometric methods.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recopack_core::Opp;
+use recopack_model::generate::{random_instance, GeneratorConfig};
+use recopack_model::Instance;
+
+use recopack_bench::search_only;
+
+fn workload(n: usize, arcs: bool) -> Vec<Instance> {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE + n as u64);
+    (0..4)
+        .map(|_| {
+            random_instance(
+                &GeneratorConfig {
+                    task_count: n,
+                    max_side: 4,
+                    max_duration: 4,
+                    arc_percent: if arcs { 30 } else { 0 },
+                },
+                &mut rng,
+            )
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    for n in [4usize, 6, 8] {
+        for (label, arcs) in [("with_precedence", true), ("without_precedence", false)] {
+            let instances = workload(n, arcs);
+            group.bench_function(format!("n{n}/{label}"), |b| {
+                b.iter_batched(
+                    || instances.clone(),
+                    |batch| {
+                        for i in &batch {
+                            let _ = Opp::new(i).with_config(search_only()).solve();
+                        }
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Table 1 — DE benchmark: minimal square chip (BMP / MinA&FindS) for
+//! deadlines T = 6, 13, 14.
+//!
+//! Prints the reproduced table (paper chip sizes 32x32, 17x17, 16x16;
+//! paper CPU times 55.76 s / 0.04 s / 0.03 s on a SUN Ultra 30), then
+//! times each row's full BMP solve.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use recopack_core::Bmp;
+use recopack_model::{benchmarks, Chip};
+
+const ROWS: [(u64, u64); 3] = [(6, 32), (13, 17), (14, 16)];
+
+fn print_reproduced_table() {
+    println!("\nTable 1 (DE benchmark, BMP):");
+    println!("{:>4} | {:>10} | {:>10}", "T", "paper chip", "our chip");
+    for (horizon, paper) in ROWS {
+        let instance = benchmarks::de(Chip::square(1), horizon).with_transitive_closure();
+        let result = Bmp::new(&instance).solve().expect("feasible row");
+        println!(
+            "{horizon:>4} | {:>7}x{:<2} | {:>7}x{:<2}",
+            paper, paper, result.side, result.side
+        );
+        assert_eq!(result.side, paper, "row T={horizon} must match the paper");
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduced_table();
+    let mut group = c.benchmark_group("table1_de_bmp");
+    group.sample_size(20);
+    for (horizon, _) in ROWS {
+        let instance = benchmarks::de(Chip::square(1), horizon).with_transitive_closure();
+        group.bench_function(format!("T={horizon}"), |b| {
+            b.iter_batched(
+                || instance.clone(),
+                |i| Bmp::new(&i).solve().expect("feasible"),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Table 2 — video codec (H.261): the single Pareto point 64x64 @ t = 59
+//! (paper CPU time 24.87 s on a SUN Ultra 30).
+//!
+//! Prints the reproduced table, then times the full Pareto enumeration and
+//! the two boundary decision problems (63x63 infeasible, latency 58
+//! infeasible).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use recopack_core::{pareto_front, Opp, SolverConfig};
+use recopack_model::{benchmarks, Chip};
+
+fn print_reproduced_table() {
+    let instance = benchmarks::video_codec(Chip::square(1), 1).with_transitive_closure();
+    let front = pareto_front(&instance, &SolverConfig::default()).expect("no limits");
+    println!("\nTable 2 (video codec, BMP/SPP):");
+    println!("{:>2} | {:>3} | container", "#", "t");
+    for (k, p) in front.iter().enumerate() {
+        println!("{:>2} | {:>3} | {}x{}", k + 1, p.makespan, p.side, p.side);
+    }
+    let pairs: Vec<(u64, u64)> = front.iter().map(|p| (p.side, p.makespan)).collect();
+    assert_eq!(pairs, vec![(64, 59)], "Table 2 must match the paper");
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduced_table();
+    let mut group = c.benchmark_group("table2_video_codec");
+    group.sample_size(20);
+    let instance = benchmarks::video_codec(Chip::square(1), 1).with_transitive_closure();
+    group.bench_function("pareto_front", |b| {
+        b.iter_batched(
+            || instance.clone(),
+            |i| pareto_front(&i, &SolverConfig::default()).expect("no limits"),
+            BatchSize::SmallInput,
+        )
+    });
+    let too_small = benchmarks::video_codec(Chip::square(63), 1000).with_transitive_closure();
+    group.bench_function("refute_63x63", |b| {
+        b.iter_batched(
+            || too_small.clone(),
+            |i| {
+                assert!(!Opp::new(&i).solve().is_feasible());
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let too_fast = benchmarks::video_codec(Chip::square(64), 58).with_transitive_closure();
+    group.bench_function("refute_t58", |b| {
+        b.iter_batched(
+            || too_fast.clone(),
+            |i| {
+                assert!(!Opp::new(&i).solve().is_feasible());
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

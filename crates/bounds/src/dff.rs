@@ -1,0 +1,295 @@
+//! Dual feasible functions, implemented in exact integer arithmetic.
+//!
+//! A *dual feasible function* (DFF) is `f : [0, 1] → [0, 1]` such that for
+//! any finite multiset with `Σ xᵢ ≤ 1` also `Σ f(xᵢ) ≤ 1`. Fekete & Schepers
+//! (IPCO'98) showed that applying DFFs `f₁, f₂, f₃` to the three normalized
+//! side lengths of every box preserves packability — so if the *rescaled*
+//! volumes exceed the container, the original instance is infeasible. With
+//! well-chosen step functions this dominates the plain volume bound.
+//!
+//! To keep refutations exact we never touch floating point: a DFF is
+//! represented by an integer map `v : {0..W} → {0..D}` with denominator `D`,
+//! meaning `f(w / W) = v(w) / D`.
+//!
+//! Implemented families (paper's references [8, 10]):
+//!
+//! * identity — `f(x) = x`, giving the plain volume bound;
+//! * `u^(ε)` — the threshold function: sizes above `1 − ε` count as the
+//!   whole container, sizes below `ε` count as nothing;
+//! * `f^(k)` — the staircase rounding of Fekete–Schepers.
+
+use recopack_model::{Dim, Instance};
+
+use crate::Refutation;
+
+/// An integer-exact dual feasible function for one dimension of capacity `W`:
+/// size `w` maps to `values[w] / denominator` of the container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntegerDff {
+    name: String,
+    values: Vec<u64>,
+    denominator: u64,
+}
+
+impl IntegerDff {
+    /// The identity DFF on capacity `capacity`.
+    pub fn identity(capacity: u64) -> Self {
+        Self {
+            name: "id".to_string(),
+            values: (0..=capacity).collect(),
+            denominator: capacity,
+        }
+    }
+
+    /// The threshold DFF `u^(ε)` with `ε = eps_num / capacity`:
+    /// `f(x) = 1` for `x > 1 − ε`, `x` for `ε ≤ x ≤ 1 − ε`, `0` for `x < ε`.
+    ///
+    /// Requires `0 < eps_num` and `2 * eps_num <= capacity` (otherwise the
+    /// function is not dual feasible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps_num == 0` or `2 * eps_num > capacity`.
+    pub fn threshold(capacity: u64, eps_num: u64) -> Self {
+        assert!(eps_num > 0, "epsilon must be positive");
+        assert!(2 * eps_num <= capacity, "epsilon must be at most 1/2");
+        let values = (0..=capacity)
+            .map(|w| {
+                if w > capacity - eps_num {
+                    capacity
+                } else if w >= eps_num {
+                    w
+                } else {
+                    0
+                }
+            })
+            .collect();
+        Self {
+            name: format!("u^({eps_num}/{capacity})"),
+            values,
+            denominator: capacity,
+        }
+    }
+
+    /// The staircase DFF `f^(k)` of Fekete–Schepers:
+    /// `f(x) = x` when `(k+1)·x` is integral, else `⌊(k+1)·x⌋ / k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn staircase(capacity: u64, k: u64) -> Self {
+        assert!(k > 0, "k must be positive");
+        // Common denominator k * capacity:
+        //   integral case: value = k * w
+        //   else:          value = capacity * floor((k+1) w / capacity)
+        let values = (0..=capacity)
+            .map(|w| {
+                if ((k + 1) * w) % capacity == 0 {
+                    k * w
+                } else {
+                    capacity * (((k + 1) * w) / capacity)
+                }
+            })
+            .collect();
+        Self {
+            name: format!("f^({k})"),
+            values,
+            denominator: k * capacity,
+        }
+    }
+
+    /// Name identifying the family and parameter.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The transformed size of `w`, in units of `1 / denominator()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` exceeds the capacity the DFF was built for.
+    pub fn value(&self, w: u64) -> u64 {
+        self.values[w as usize]
+    }
+
+    /// The denominator of the representation.
+    pub fn denominator(&self) -> u64 {
+        self.denominator
+    }
+
+    /// Verifies dual feasibility exhaustively for all integer multisets that
+    /// fit — used by tests and available for debugging custom DFFs. Checks
+    /// the equivalent, finite condition: for every multiset of sizes summing
+    /// to ≤ capacity, transformed sizes sum to ≤ denominator. By convexity
+    /// it suffices to check greedy worst cases; we do full DFS over
+    /// nonincreasing size sequences (small capacities only).
+    pub fn is_dual_feasible(&self) -> bool {
+        let cap = (self.values.len() - 1) as u64;
+        // DFS over multisets with nonincreasing sizes.
+        fn dfs(dff: &IntegerDff, max_size: u64, left: u64, acc: u64) -> bool {
+            if acc > dff.denominator {
+                return false;
+            }
+            for s in (1..=max_size.min(left)).rev() {
+                if !dfs(dff, s, left - s, acc + dff.value(s)) {
+                    return false;
+                }
+            }
+            true
+        }
+        dfs(self, cap, cap, 0)
+    }
+}
+
+/// All stock DFFs for a dimension of capacity `capacity`, given the distinct
+/// task sizes occurring in that dimension (thresholds are only useful at
+/// occurring sizes).
+pub fn stock_dffs(capacity: u64, sizes: &[u64]) -> Vec<IntegerDff> {
+    let mut dffs = vec![IntegerDff::identity(capacity)];
+    let mut eps: Vec<u64> = sizes
+        .iter()
+        .copied()
+        .filter(|&s| s > 0 && 2 * s <= capacity)
+        .collect();
+    eps.sort_unstable();
+    eps.dedup();
+    for e in eps {
+        dffs.push(IntegerDff::threshold(capacity, e));
+    }
+    for k in 1..=3 {
+        dffs.push(IntegerDff::staircase(capacity, k));
+    }
+    dffs
+}
+
+/// Tries combinations of stock DFFs over the three dimensions; returns a
+/// refutation if any combination pushes the rescaled volume over capacity.
+///
+/// The combination space is capped (identity in at least one dimension is
+/// always included) to keep this a fast filter; the search behind it is
+/// exact regardless.
+pub fn refute_dff(instance: &Instance) -> Option<Refutation> {
+    let container = instance.container();
+    if container.iter().any(|&c| c == 0) {
+        return None; // degenerate containers are handled by the fit bound
+    }
+    let per_dim: Vec<Vec<IntegerDff>> = Dim::ALL
+        .iter()
+        .map(|&d| stock_dffs(container[d.index()], &instance.sizes(d)))
+        .collect();
+    for fx in &per_dim[0] {
+        for fy in &per_dim[1] {
+            for ft in &per_dim[2] {
+                let capacity = u128::from(fx.denominator())
+                    * u128::from(fy.denominator())
+                    * u128::from(ft.denominator());
+                let total: u128 = instance
+                    .tasks()
+                    .iter()
+                    .map(|t| {
+                        u128::from(fx.value(t.width()))
+                            * u128::from(fy.value(t.height()))
+                            * u128::from(ft.value(t.duration()))
+                    })
+                    .sum();
+                if total > capacity {
+                    return Some(Refutation::Dff {
+                        description: format!(
+                            "({}, {}, {}): rescaled volume {total} > {capacity}",
+                            fx.name(),
+                            fy.name(),
+                            ft.name()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use recopack_model::{Chip, Task};
+
+    #[test]
+    fn identity_is_dual_feasible() {
+        assert!(IntegerDff::identity(12).is_dual_feasible());
+    }
+
+    #[test]
+    fn thresholds_are_dual_feasible() {
+        for cap in [7u64, 10, 12] {
+            for e in 1..=cap / 2 {
+                assert!(
+                    IntegerDff::threshold(cap, e).is_dual_feasible(),
+                    "u^({e}/{cap})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn staircases_are_dual_feasible() {
+        for cap in [6u64, 9, 11] {
+            for k in 1..=4 {
+                assert!(IntegerDff::staircase(cap, k).is_dual_feasible(), "f^({k}) cap {cap}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 1/2")]
+    fn oversized_epsilon_rejected() {
+        IntegerDff::threshold(10, 6);
+    }
+
+    #[test]
+    fn threshold_beats_plain_volume() {
+        // Two 6x6 blocks cannot coexist on a 10x10 chip (6+6 > 10 in both
+        // spatial dimensions), yet total volume 88 <= 100 passes the plain
+        // volume bound. The staircase f^(1) maps 6 -> 10 and 4 -> 0 per
+        // spatial dimension, giving rescaled volume 200 > 100.
+        let i = Instance::builder()
+            .chip(Chip::square(10))
+            .horizon(1)
+            .task(Task::new("a", 6, 6, 1))
+            .task(Task::new("b", 6, 6, 1))
+            .task(Task::new("c", 4, 4, 1))
+            .build()
+            .expect("valid");
+        assert_eq!(crate::volume::refute_volume(&i), None);
+        let refutation = refute_dff(&i);
+        assert!(matches!(refutation, Some(Refutation::Dff { .. })), "{refutation:?}");
+    }
+
+    #[test]
+    fn feasible_paper_row_not_refuted() {
+        use recopack_model::benchmarks::de;
+        let i = de(Chip::square(16), 14);
+        assert_eq!(refute_dff(&i), None);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn stock_dffs_are_dual_feasible(cap in 2u64..11) {
+            let sizes: Vec<u64> = (1..=cap).collect();
+            for dff in stock_dffs(cap, &sizes) {
+                prop_assert!(dff.is_dual_feasible(), "{} cap {}", dff.name(), cap);
+            }
+        }
+
+        #[test]
+        fn dff_never_refutes_a_packable_witness(seed in 0u64..60) {
+            use rand::{rngs::StdRng, SeedableRng};
+            use recopack_model::generate::{random_feasible_instance, GeneratorConfig};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (i, _) = random_feasible_instance(&GeneratorConfig::default(), &mut rng);
+            prop_assert_eq!(refute_dff(&i), None);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Lower bounds for 3D orthogonal packing with precedence constraints.
+//!
+//! Stage 1 of the paper's solver pipeline (§3.1): *"try to disprove the
+//! existence of a packing by fast and good classes of lower bounds on the
+//! necessary size."* The bounds here are the ones the paper builds on
+//! (Fekete–Schepers, "New classes of lower bounds for bin packing problems",
+//! IPCO'98) plus precedence-aware bounds enabled by the dependency DAG:
+//!
+//! * [`volume`] — elementary fit and volume arguments;
+//! * [`dff`] — **dual feasible functions**: rescalings of box sizes that
+//!   preserve feasibility, so a volume violation after rescaling refutes the
+//!   original instance. Implemented exactly, in integer arithmetic;
+//! * [`precedence`] — critical-path and time-window "energy" arguments.
+//!
+//! Every refutation is returned with a machine-checkable reason
+//! ([`Refutation`]); "no refutation" never implies feasibility.
+//!
+//! # Example
+//!
+//! ```
+//! use recopack_bounds::{refute, Refutation};
+//! use recopack_model::{Chip, Instance, Task};
+//!
+//! // Two full-chip tasks cannot share 3 cycles: volume 2*16 > 16*1... use
+//! // durations: 2 tasks x (4x4x2) = 64 cells-cycles > 4*4*3 = 48.
+//! let instance = Instance::builder()
+//!     .chip(Chip::square(4))
+//!     .horizon(3)
+//!     .task(Task::new("a", 4, 4, 2))
+//!     .task(Task::new("b", 4, 4, 2))
+//!     .build()?;
+//! assert!(matches!(refute(&instance), Some(Refutation::Volume { .. })));
+//! # Ok::<(), recopack_model::BuildError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dff;
+pub mod precedence;
+pub mod volume;
+
+use recopack_model::{Dim, Instance};
+
+/// A reason an instance provably has no feasible packing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Refutation {
+    /// A single task exceeds the container in some dimension.
+    TaskTooLarge {
+        /// Task id.
+        task: usize,
+        /// Violated dimension.
+        dim: Dim,
+    },
+    /// Total task volume exceeds container volume.
+    Volume {
+        /// Total task volume.
+        total: u64,
+        /// Container volume.
+        capacity: u64,
+    },
+    /// A dual-feasible-function rescaling pushes the volume over capacity.
+    Dff {
+        /// Human-readable description of the DFF combination.
+        description: String,
+    },
+    /// The duration-weighted critical path exceeds the horizon.
+    CriticalPath {
+        /// Critical path length.
+        length: u64,
+        /// Horizon.
+        horizon: u64,
+    },
+    /// Some task's ASAP start exceeds its ALAP start under the horizon.
+    EmptyWindow {
+        /// Task id.
+        task: usize,
+    },
+    /// At some time point, tasks that must all be running need more cells
+    /// than the chip has.
+    Energy {
+        /// The time point.
+        time: u64,
+        /// Total area of tasks forced to run at `time`.
+        area: u64,
+        /// Chip area.
+        capacity: u64,
+    },
+}
+
+impl std::fmt::Display for Refutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::TaskTooLarge { task, dim } => {
+                write!(f, "task {task} does not fit the container in dimension {dim}")
+            }
+            Self::Volume { total, capacity } => {
+                write!(f, "total volume {total} exceeds container volume {capacity}")
+            }
+            Self::Dff { description } => write!(f, "DFF bound violated: {description}"),
+            Self::CriticalPath { length, horizon } => {
+                write!(f, "critical path {length} exceeds horizon {horizon}")
+            }
+            Self::EmptyWindow { task } => {
+                write!(f, "task {task} has no feasible start window under the horizon")
+            }
+            Self::Energy { time, area, capacity } => write!(
+                f,
+                "at time {time}, forced tasks need {area} cells but the chip has {capacity}"
+            ),
+        }
+    }
+}
+
+/// Tries all bounds in increasing cost order; returns the first refutation.
+///
+/// Order: single-task fit, critical path, empty windows, plain volume,
+/// energy at forced time points, DFF sweep.
+pub fn refute(instance: &Instance) -> Option<Refutation> {
+    volume::refute_fit(instance)
+        .or_else(|| precedence::refute_critical_path(instance))
+        .or_else(|| precedence::refute_windows(instance))
+        .or_else(|| volume::refute_volume(instance))
+        .or_else(|| precedence::refute_energy(instance))
+        .or_else(|| dff::refute_dff(instance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recopack_model::{Chip, Task};
+
+    #[test]
+    fn feasible_instance_is_not_refuted() {
+        let i = Instance::builder()
+            .chip(Chip::square(4))
+            .horizon(4)
+            .task(Task::new("a", 4, 4, 2))
+            .task(Task::new("b", 4, 4, 2))
+            .build()
+            .expect("valid");
+        assert_eq!(refute(&i), None);
+    }
+
+    #[test]
+    fn oversized_task_refuted_first() {
+        let i = Instance::builder()
+            .chip(Chip::square(4))
+            .horizon(4)
+            .task(Task::new("wide", 5, 1, 1))
+            .build()
+            .expect("valid");
+        assert_eq!(
+            refute(&i),
+            Some(Refutation::TaskTooLarge { task: 0, dim: Dim::X })
+        );
+    }
+
+    #[test]
+    fn critical_path_refutation() {
+        let i = Instance::builder()
+            .chip(Chip::square(8))
+            .horizon(3)
+            .task(Task::new("a", 1, 1, 2))
+            .task(Task::new("b", 1, 1, 2))
+            .precedence("a", "b")
+            .build()
+            .expect("valid");
+        assert_eq!(
+            refute(&i),
+            Some(Refutation::CriticalPath { length: 4, horizon: 3 })
+        );
+    }
+}

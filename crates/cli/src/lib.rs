@@ -1,0 +1,434 @@
+//! Implementation of the `recopack` command-line tool.
+//!
+//! Subcommands (instances use the text format of
+//! [`recopack_model::format`]):
+//!
+//! * `solve <file>` — decide feasibility, print the placement and timeline;
+//! * `bmp <file>` — minimize the square chip for the file's horizon;
+//! * `spp <file>` — minimize the execution time on the file's chip;
+//! * `pareto <file>` — enumerate Pareto-optimal (chip, time) points;
+//! * `check <file> <placement>` — verify a placement file geometrically;
+//! * `render <file> <placement>` — print a Gantt chart (or SVG with `--svg`);
+//! * `sample <de|codec|pair>` — print a ready-made instance file;
+//! * `help` — usage.
+//!
+//! All subcommands accept `--no-precedence` (drop the partial order, the
+//! paper's Figure 7(b) mode), `--floorplans` (print the chip occupancy
+//! between reconfiguration events), and `--emit-placement` (print solutions
+//! as `place` lines consumable by `check`/`render`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use recopack_core::{pareto_front, Bmp, Opp, SolveOutcome, SolverConfig, Spp};
+use recopack_model::{benchmarks, format, render, Chip, Instance, Placement};
+
+/// A CLI failure with a message and a suggested exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Suggested process exit code.
+    pub exit_code: i32,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            exit_code: 2,
+        }
+    }
+
+    fn runtime(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            exit_code: 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage text printed by `help` and on argument errors.
+pub const USAGE: &str = "\
+recopack — optimal FPGA module placement with temporal precedence constraints
+
+USAGE:
+    recopack <command> [options]
+
+COMMANDS:
+    solve  <file>            decide feasibility of the instance file
+    bmp    <file>            minimize the square chip for the file's horizon
+    spp    <file>            minimize the execution time on the file's chip
+    pareto <file>            enumerate Pareto-optimal (chip side, time) points
+    check  <file> <place>    verify a placement file against the instance
+    render <file> <place>    print a Gantt chart of a placement file
+    sample <de|codec|pair>   print a ready-made instance file
+    help                     show this message
+
+OPTIONS:
+    --no-precedence          drop all precedence arcs before solving
+    --floorplans             also print chip occupancy between events
+    --emit-placement         print solutions as `place` lines
+    --svg                    render as an SVG document instead of a Gantt
+";
+
+/// Parsed command-line options.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+struct Options {
+    no_precedence: bool,
+    floorplans: bool,
+    emit_placement: bool,
+    svg: bool,
+}
+
+fn split_args(args: &[String]) -> Result<(Vec<&str>, Options), CliError> {
+    let mut positional = Vec::new();
+    let mut options = Options::default();
+    for a in args {
+        match a.as_str() {
+            "--no-precedence" => options.no_precedence = true,
+            "--floorplans" => options.floorplans = true,
+            "--emit-placement" => options.emit_placement = true,
+            "--svg" => options.svg = true,
+            flag if flag.starts_with("--") => {
+                return Err(CliError::usage(format!("unknown option {flag:?}\n\n{USAGE}")));
+            }
+            other => positional.push(other),
+        }
+    }
+    Ok((positional, options))
+}
+
+fn load_instance(path: &str, options: &Options) -> Result<Instance, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+    let mut instance = format::parse_instance(&text)
+        .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+    instance = if options.no_precedence {
+        instance.without_precedence()
+    } else {
+        instance.with_transitive_closure()
+    };
+    Ok(instance)
+}
+
+fn describe_placement(
+    out: &mut String,
+    instance: &Instance,
+    placement: &Placement,
+    options: &Options,
+) {
+    let _ = writeln!(out, "makespan: {} cycles", placement.makespan());
+    let _ = writeln!(out, "\n{}", render::gantt(placement, instance));
+    if options.emit_placement {
+        let _ = writeln!(out, "{}", format::format_placement(placement, instance));
+    }
+    if options.floorplans {
+        let events = render::events(placement);
+        for w in events.windows(2) {
+            if let Some(plan) = render::floorplan(placement, instance, w[0], w[1]) {
+                let _ = writeln!(out, "cycles [{}, {}):\n{}", w[0], w[1], plan);
+            }
+        }
+    }
+}
+
+/// Runs the CLI on `args` (without the program name); returns the text to
+/// print on stdout.
+///
+/// # Errors
+///
+/// [`CliError`] with a message and exit code on bad usage, unreadable or
+/// malformed files, and infeasible optimization goals.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let (positional, options) = split_args(args)?;
+    let mut out = String::new();
+    match positional.as_slice() {
+        [] | ["help"] => out.push_str(USAGE),
+        ["solve", path] => {
+            let instance = load_instance(path, &options)?;
+            match Opp::new(&instance).solve() {
+                SolveOutcome::Feasible(p) => {
+                    p.verify(&instance)
+                        .map_err(|e| CliError::runtime(format!("certificate invalid: {e}")))?;
+                    let _ = writeln!(out, "feasible on {} within {} cycles", instance.chip(), instance.horizon());
+                    describe_placement(&mut out, &instance, &p, &options);
+                }
+                SolveOutcome::Infeasible(proof) => {
+                    let _ = writeln!(out, "infeasible: {proof}");
+                }
+                SolveOutcome::ResourceLimit => {
+                    return Err(CliError::runtime("resource limit reached"));
+                }
+            }
+        }
+        ["bmp", path] => {
+            let instance = load_instance(path, &options)?;
+            let result = Bmp::new(&instance).solve().ok_or_else(|| {
+                CliError::runtime("no chip admits the deadline (critical path too long)")
+            })?;
+            let _ = writeln!(
+                out,
+                "minimal square chip for horizon {}: {}x{} ({} exact decisions)",
+                instance.horizon(),
+                result.side,
+                result.side,
+                result.decisions
+            );
+            let target = instance.clone().with_chip(Chip::square(result.side));
+            describe_placement(&mut out, &target, &result.placement, &options);
+        }
+        ["spp", path] => {
+            let instance = load_instance(path, &options)?;
+            let result = Spp::new(&instance).solve().ok_or_else(|| {
+                CliError::runtime("some module does not fit the chip spatially")
+            })?;
+            let _ = writeln!(
+                out,
+                "minimal execution time on {}: {} cycles ({} exact decisions)",
+                instance.chip(),
+                result.makespan,
+                result.decisions
+            );
+            let target = instance.clone().with_horizon(result.makespan);
+            describe_placement(&mut out, &target, &result.placement, &options);
+        }
+        ["pareto", path] => {
+            let instance = load_instance(path, &options)?;
+            let front = pareto_front(&instance, &SolverConfig::default())
+                .ok_or_else(|| CliError::runtime("resource limit reached"))?;
+            let _ = writeln!(out, "{:>6} | {:>6}", "chip", "time");
+            for p in &front {
+                let _ = writeln!(out, "{:>3}x{:<3}| {:>6}", p.side, p.side, p.makespan);
+            }
+        }
+        ["check", path, placement_path] => {
+            let instance = load_instance(path, &options)?;
+            let text = std::fs::read_to_string(placement_path)
+                .map_err(|e| CliError::runtime(format!("cannot read {placement_path}: {e}")))?;
+            let placement = format::parse_placement(&text, &instance)
+                .map_err(|e| CliError::runtime(format!("{placement_path}: {e}")))?;
+            match placement.verify(&instance) {
+                Ok(()) => {
+                    let _ = writeln!(
+                        out,
+                        "valid: fits {} within {} cycles (makespan {})",
+                        instance.chip(),
+                        instance.horizon(),
+                        placement.makespan()
+                    );
+                }
+                Err(e) => return Err(CliError::runtime(format!("invalid placement: {e}"))),
+            }
+        }
+        ["render", path, placement_path] => {
+            let instance = load_instance(path, &options)?;
+            let text = std::fs::read_to_string(placement_path)
+                .map_err(|e| CliError::runtime(format!("cannot read {placement_path}: {e}")))?;
+            let placement = format::parse_placement(&text, &instance)
+                .map_err(|e| CliError::runtime(format!("{placement_path}: {e}")))?;
+            if options.svg {
+                out.push_str(&render::svg(&placement, &instance));
+            } else {
+                out.push_str(&render::gantt(&placement, &instance));
+            }
+        }
+        ["sample", which] => {
+            let instance = match *which {
+                "de" => benchmarks::de(Chip::square(32), 6),
+                "codec" => benchmarks::video_codec(Chip::square(64), 59),
+                "pair" => {
+                    use recopack_model::Task;
+                    Instance::builder()
+                        .chip(Chip::square(2))
+                        .horizon(4)
+                        .task(Task::new("a", 2, 2, 2))
+                        .task(Task::new("b", 2, 2, 2))
+                        .precedence("a", "b")
+                        .build()
+                        .expect("sample instance is valid")
+                }
+                other => {
+                    return Err(CliError::usage(format!(
+                        "unknown sample {other:?} (expected de, codec, or pair)"
+                    )));
+                }
+            };
+            out.push_str(&format::format_instance(&instance));
+        }
+        other => {
+            return Err(CliError::usage(format!(
+                "unrecognized command {:?}\n\n{USAGE}",
+                other.join(" ")
+            )));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn temp_file(name: &str, contents: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("recopack-cli-test-{name}"));
+        std::fs::write(&path, contents).expect("writable temp dir");
+        path
+    }
+
+    #[test]
+    fn help_and_empty_print_usage() {
+        assert_eq!(run(&args(&["help"])).expect("ok"), USAGE);
+        assert_eq!(run(&args(&[])).expect("ok"), USAGE);
+    }
+
+    #[test]
+    fn unknown_command_and_flag_are_usage_errors() {
+        let err = run(&args(&["frobnicate"])).expect_err("usage error");
+        assert_eq!(err.exit_code, 2);
+        let err = run(&args(&["solve", "x", "--wat"])).expect_err("usage error");
+        assert_eq!(err.exit_code, 2);
+    }
+
+    #[test]
+    fn sample_roundtrips_through_solve() {
+        let sample = run(&args(&["sample", "pair"])).expect("sample");
+        let path = temp_file("pair.rpk", &sample);
+        let output = run(&args(&["solve", path.to_str().expect("utf8 path")])).expect("solves");
+        assert!(output.contains("feasible"), "{output}");
+        assert!(output.contains('#'), "gantt expected: {output}");
+    }
+
+    #[test]
+    fn solve_reports_infeasibility() {
+        let path = temp_file(
+            "tight.rpk",
+            "chip 2 2\nhorizon 3\ntask a 2 2 2\ntask b 2 2 2\narc a b\n",
+        );
+        let output = run(&args(&["solve", path.to_str().expect("utf8 path")])).expect("runs");
+        assert!(output.contains("infeasible"), "{output}");
+    }
+
+    #[test]
+    fn bmp_and_spp_optimize_the_pair() {
+        let path = temp_file(
+            "pair2.rpk",
+            "chip 2 2\nhorizon 4\ntask a 2 2 2\ntask b 2 2 2\narc a b\n",
+        );
+        let p = path.to_str().expect("utf8 path");
+        let bmp = run(&args(&["bmp", p])).expect("bmp");
+        assert!(bmp.contains("2x2"), "{bmp}");
+        let spp = run(&args(&["spp", p])).expect("spp");
+        assert!(spp.contains("4 cycles"), "{spp}");
+        let pareto = run(&args(&["pareto", p])).expect("pareto");
+        assert!(pareto.contains('|'), "{pareto}");
+    }
+
+    #[test]
+    fn no_precedence_changes_answers() {
+        let path = temp_file(
+            "pair3.rpk",
+            "chip 4 2\nhorizon 2\ntask a 2 2 2\ntask b 2 2 2\narc a b\n",
+        );
+        let p = path.to_str().expect("utf8 path");
+        let with = run(&args(&["solve", p])).expect("runs");
+        assert!(with.contains("infeasible"), "{with}");
+        let without = run(&args(&["solve", p, "--no-precedence"])).expect("runs");
+        assert!(without.contains("feasible on"), "{without}");
+    }
+
+    #[test]
+    fn floorplans_render_between_events() {
+        let path = temp_file(
+            "pair4.rpk",
+            "chip 2 2\nhorizon 4\ntask a 2 2 2\ntask b 2 2 2\narc a b\n",
+        );
+        let p = path.to_str().expect("utf8 path");
+        let output = run(&args(&["solve", p, "--floorplans"])).expect("runs");
+        assert!(output.contains("cycles [0, 2):"), "{output}");
+        assert!(output.contains("aa"), "{output}");
+    }
+
+    #[test]
+    fn missing_file_is_a_runtime_error() {
+        let err = run(&args(&["solve", "/nonexistent/zzz.rpk"])).expect_err("io error");
+        assert_eq!(err.exit_code, 1);
+        assert!(err.message.contains("cannot read"));
+    }
+
+    #[test]
+    fn samples_match_benchmarks() {
+        let de = run(&args(&["sample", "de"])).expect("de");
+        assert!(de.contains("task v1 16 16 2"));
+        let codec = run(&args(&["sample", "codec"])).expect("codec");
+        assert!(codec.contains("motion_estimation 64 64 24"));
+        let err = run(&args(&["sample", "zzz"])).expect_err("unknown sample");
+        assert_eq!(err.exit_code, 2);
+    }
+}
+
+#[cfg(test)]
+mod roundtrip_tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn temp_file(name: &str, contents: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("recopack-cli-rt-{name}"));
+        std::fs::write(&path, contents).expect("writable temp dir");
+        path
+    }
+
+    #[test]
+    fn solve_emit_check_render_pipeline() {
+        let instance_text = "chip 2 2\nhorizon 4\ntask a 2 2 2\ntask b 2 2 2\narc a b\n";
+        let ipath = temp_file("pipe.rpk", instance_text);
+        let ip = ipath.to_str().expect("utf8 path");
+        let solved = run(&args(&["solve", ip, "--emit-placement"])).expect("solves");
+        // Extract the `place` lines and feed them back through check/render.
+        let placement_text: String = solved
+            .lines()
+            .filter(|l| l.starts_with("place "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(placement_text.lines().count(), 2);
+        let ppath = temp_file("pipe.place", &placement_text);
+        let pp = ppath.to_str().expect("utf8 path");
+        let checked = run(&args(&["check", ip, pp])).expect("valid placement");
+        assert!(checked.contains("valid:"), "{checked}");
+        let gantt = run(&args(&["render", ip, pp])).expect("renders");
+        assert!(gantt.contains('#'), "{gantt}");
+        let svg = run(&args(&["render", ip, pp, "--svg"])).expect("renders svg");
+        assert!(svg.starts_with("<svg"), "{svg}");
+    }
+
+    #[test]
+    fn check_rejects_bad_placements() {
+        let instance_text = "chip 2 2\nhorizon 4\ntask a 2 2 2\ntask b 2 2 2\narc a b\n";
+        let ipath = temp_file("bad.rpk", instance_text);
+        let ppath = temp_file("bad.place", "place a 0 0 0\nplace b 0 0 0\n");
+        let err = run(&args(&[
+            "check",
+            ipath.to_str().expect("utf8 path"),
+            ppath.to_str().expect("utf8 path"),
+        ]))
+        .expect_err("overlap");
+        assert!(err.message.contains("invalid placement"), "{err:?}");
+    }
+}

@@ -1,0 +1,12 @@
+//! The `recopack` binary: see [`recopack_cli::USAGE`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match recopack_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(e.exit_code);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! BMP: base minimization — the smallest square chip for a fixed deadline
+//! (paper: MinA&FindS, solved in Table 1 and Table 2).
+
+use recopack_model::{Chip, Instance, Placement};
+
+use crate::config::{SolverConfig, SolverStats};
+use crate::opp::{Opp, SolveOutcome};
+
+/// Result of a base minimization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BmpResult {
+    /// Minimal square chip side.
+    pub side: u64,
+    /// A verified placement on the minimal chip.
+    pub placement: Placement,
+    /// Accumulated statistics over all decision solves.
+    pub stats: SolverStats,
+    /// Number of OPP decision problems solved.
+    pub decisions: u32,
+}
+
+/// Minimizes the square chip side `h` such that all tasks fit `h × h × T`
+/// (binary search over the monotone feasibility predicate, paper §3.1).
+///
+/// The instance's own chip is ignored; only its horizon, tasks and
+/// precedence matter.
+///
+/// # Example
+///
+/// ```
+/// use recopack_core::Bmp;
+/// use recopack_model::{benchmarks, Chip};
+///
+/// // Table 1, row T = 13: minimal chip 17x17.
+/// let instance = benchmarks::de(Chip::square(1), 13).with_transitive_closure();
+/// let result = Bmp::new(&instance).solve().expect("feasible");
+/// assert_eq!(result.side, 17);
+/// ```
+#[derive(Debug)]
+pub struct Bmp<'a> {
+    instance: &'a Instance,
+    config: SolverConfig,
+}
+
+impl<'a> Bmp<'a> {
+    /// Creates a solver with the default configuration.
+    pub fn new(instance: &'a Instance) -> Self {
+        Self {
+            instance,
+            config: SolverConfig::default(),
+        }
+    }
+
+    /// Replaces the configuration.
+    pub fn with_config(mut self, config: SolverConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Finds the minimal square chip; `None` when no chip works (the
+    /// critical path exceeds the horizon) or the budget ran out.
+    pub fn solve(&self) -> Option<BmpResult> {
+        // No chip can beat the precedence structure.
+        if self.instance.critical_path_length() > self.instance.horizon() {
+            return None;
+        }
+        let mut stats = SolverStats::default();
+        let mut decisions = 0;
+        let mut check = |side: u64| -> Option<Option<Placement>> {
+            let candidate = self.instance.clone().with_chip(Chip::square(side));
+            let (outcome, s) = Opp::new(&candidate)
+                .with_config(self.config.clone())
+                .solve_with_stats();
+            decisions += 1;
+            accumulate(&mut stats, &s);
+            match outcome {
+                SolveOutcome::Feasible(p) => Some(Some(p)),
+                SolveOutcome::Infeasible(_) => Some(None),
+                SolveOutcome::ResourceLimit => None,
+            }
+        };
+
+        // Lower bound: every task must fit; upper bound by doubling.
+        let mut lo = self
+            .instance
+            .tasks()
+            .iter()
+            .map(|t| t.width().max(t.height()))
+            .max()
+            .unwrap_or(0);
+        if lo == 0 {
+            // No tasks: the 0x0 chip trivially works.
+            let empty = self.instance.clone().with_chip(Chip::square(0));
+            let placement = Placement::new(vec![], &empty);
+            return Some(BmpResult {
+                side: 0,
+                placement,
+                stats,
+                decisions,
+            });
+        }
+        let mut hi = lo;
+        let best: Option<(u64, Placement)>;
+        loop {
+            match check(hi)? {
+                Some(p) => {
+                    best = Some((hi, p));
+                    break;
+                }
+                None => {
+                    lo = hi + 1;
+                    hi = hi.saturating_mul(2);
+                }
+            }
+        }
+        // Invariant: feasible at `hi` (stored in best), infeasible below `lo`.
+        let (mut best_side, mut best_placement) = best.expect("loop breaks on success");
+        while lo < best_side {
+            let mid = lo + (best_side - lo) / 2;
+            match check(mid)? {
+                Some(p) => {
+                    best_side = mid;
+                    best_placement = p;
+                }
+                None => lo = mid + 1,
+            }
+        }
+        Some(BmpResult {
+            side: best_side,
+            placement: best_placement,
+            stats,
+            decisions,
+        })
+    }
+}
+
+pub(crate) fn accumulate(total: &mut SolverStats, part: &SolverStats) {
+    total.nodes += part.nodes;
+    total.leaves += part.leaves;
+    total.c2_conflicts += part.c2_conflicts;
+    total.c3_conflicts += part.c3_conflicts;
+    total.c4_conflicts += part.c4_conflicts;
+    total.orientation_conflicts += part.orientation_conflicts;
+    total.leaf_rejections += part.leaf_rejections;
+    total.propagated_fixes += part.propagated_fixes;
+    total.refuted_by_bounds |= part.refuted_by_bounds;
+    total.solved_by_heuristic |= part.solved_by_heuristic;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recopack_model::{benchmarks, Task};
+
+    #[test]
+    fn de_row_t14_minimal_chip_is_16() {
+        let i = benchmarks::de(Chip::square(1), 14).with_transitive_closure();
+        let r = Bmp::new(&i).solve().expect("feasible");
+        assert_eq!(r.side, 16);
+        assert!(r
+            .placement
+            .verify(&i.with_chip(Chip::square(16)))
+            .is_ok());
+        // The a-priori lower bound (largest module side) is already 16, so
+        // a single decision can suffice.
+        assert!(r.decisions >= 1);
+    }
+
+    #[test]
+    fn impossible_horizon_returns_none() {
+        let i = benchmarks::de(Chip::square(1), 5).with_transitive_closure();
+        assert_eq!(Bmp::new(&i).solve(), None);
+    }
+
+    #[test]
+    fn single_task_chip_matches_task() {
+        let i = Instance::builder()
+            .chip(Chip::square(1))
+            .horizon(3)
+            .task(Task::new("a", 3, 2, 3))
+            .build()
+            .expect("valid");
+        let r = Bmp::new(&i).solve().expect("feasible");
+        assert_eq!(r.side, 3);
+    }
+
+    #[test]
+    fn empty_instance_needs_no_chip() {
+        let i = Instance::builder()
+            .chip(Chip::square(5))
+            .horizon(1)
+            .build()
+            .expect("valid");
+        let r = Bmp::new(&i).solve().expect("trivially feasible");
+        assert_eq!(r.side, 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Solver configuration and search statistics.
+
+use std::time::Duration;
+
+/// Tunables of the packing-class search.
+///
+/// The per-rule toggles exist for the ablation experiments (DESIGN.md §4,
+/// experiment A1): disabling a propagation rule never changes answers, only
+/// the size of the search tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolverConfig {
+    /// Run the lower-bound battery before searching.
+    pub use_bounds: bool,
+    /// Run the list-scheduling heuristics before searching.
+    pub use_heuristics: bool,
+    /// Enable the C2 maximum-weight-clique rule during propagation.
+    pub clique_rule: bool,
+    /// Enable the induced-C4 rule during propagation.
+    pub c4_rule: bool,
+    /// Enable the D1/D2 orientation implications during propagation.
+    pub orientation_rules: bool,
+    /// Force pairs to overlap in dimensions where their sizes cannot be
+    /// placed side by side (preprocessing).
+    pub must_overlap_rule: bool,
+    /// Give up after this many search nodes (`None` = unlimited).
+    pub node_limit: Option<u64>,
+    /// Give up after this much wall time (`None` = unlimited).
+    pub time_limit: Option<Duration>,
+    /// Branch on the component ("overlap") choice first. The default tries
+    /// comparability (disjointness) first: feasible leaves are reached far
+    /// faster, while exhaustive infeasibility proofs are order-insensitive.
+    pub component_first: bool,
+    /// Symmetry breaking for *twin* tasks (identical shape, identical
+    /// precedence relations, no arc between them): when a twin pair is
+    /// time-separated, the lower-id task goes first. Sound because swapping
+    /// two twins maps feasible packings to feasible packings; automatically
+    /// ignored for fixed-schedule problems (where task identities are
+    /// pinned by the given start times).
+    pub twin_symmetry: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self {
+            use_bounds: true,
+            use_heuristics: true,
+            clique_rule: true,
+            c4_rule: true,
+            orientation_rules: true,
+            must_overlap_rule: true,
+            node_limit: None,
+            time_limit: None,
+            component_first: false,
+            twin_symmetry: true,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// A configuration with every acceleration disabled — pure DFS with only
+    /// the C3 rule and full leaf checks. Used as the ablation baseline.
+    pub fn bare() -> Self {
+        Self {
+            use_bounds: false,
+            use_heuristics: false,
+            clique_rule: false,
+            c4_rule: false,
+            orientation_rules: false,
+            must_overlap_rule: false,
+            node_limit: None,
+            time_limit: None,
+            component_first: false,
+            twin_symmetry: false,
+        }
+    }
+}
+
+/// Counters describing one solver run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Search-tree nodes expanded (branching decisions taken).
+    pub nodes: u64,
+    /// Leaves reaching the full realization check.
+    pub leaves: u64,
+    /// Conflicts raised by the C2 clique rule.
+    pub c2_conflicts: u64,
+    /// Conflicts raised by the C3 rule.
+    pub c3_conflicts: u64,
+    /// Conflicts raised by the induced-C4 rule.
+    pub c4_conflicts: u64,
+    /// Conflicts raised by orientation (D1/D2) implications.
+    pub orientation_conflicts: u64,
+    /// Leaves rejected by the realization / verification step.
+    pub leaf_rejections: u64,
+    /// Edge states fixed in total — by propagation cascades plus the one
+    /// branched slot per node (so `propagated_fixes - nodes` is the pure
+    /// propagation yield).
+    pub propagated_fixes: u64,
+    /// Whether the answer came from bounds (`true`) without any search.
+    pub refuted_by_bounds: bool,
+    /// Whether the answer came from the heuristic without any search.
+    pub solved_by_heuristic: bool,
+}
+
+impl SolverStats {
+    /// Total conflicts over all propagation rules.
+    pub fn conflicts(&self) -> u64 {
+        self.c2_conflicts + self.c3_conflicts + self.c4_conflicts + self.orientation_conflicts
+    }
+}
+
+impl std::fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "nodes={} leaves={} conflicts(c2={}, c3={}, c4={}, orient={}) leaf_rejections={} propagated={}",
+            self.nodes,
+            self.leaves,
+            self.c2_conflicts,
+            self.c3_conflicts,
+            self.c4_conflicts,
+            self.orientation_conflicts,
+            self.leaf_rejections,
+            self.propagated_fixes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_everything() {
+        let c = SolverConfig::default();
+        assert!(c.clique_rule && c.c4_rule && c.orientation_rules && c.must_overlap_rule);
+        assert!(c.use_bounds && c.use_heuristics);
+        assert_eq!(c.node_limit, None);
+    }
+
+    #[test]
+    fn bare_disables_accelerations() {
+        let c = SolverConfig::bare();
+        assert!(!c.clique_rule && !c.c4_rule && !c.orientation_rules);
+        assert!(!c.use_bounds && !c.use_heuristics);
+        assert!(!c.twin_symmetry);
+    }
+
+    #[test]
+    fn stats_aggregate_conflicts() {
+        let s = SolverStats {
+            c2_conflicts: 1,
+            c3_conflicts: 2,
+            c4_conflicts: 3,
+            orientation_conflicts: 4,
+            ..SolverStats::default()
+        };
+        assert_eq!(s.conflicts(), 10);
+        assert!(s.to_string().contains("c3=2"));
+    }
+}

@@ -1,0 +1,191 @@
+//! OPP: the orthogonal packing decision problem (paper: FeasAT&FindS).
+
+use recopack_bounds::Refutation;
+use recopack_heur::{find_feasible, HeuristicConfig};
+use recopack_model::{Instance, Placement};
+
+use crate::config::{SolverConfig, SolverStats};
+use crate::search::{SearchResult, Searcher};
+
+/// Why an instance is infeasible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InfeasibilityProof {
+    /// A lower bound refuted the instance without search.
+    Bound(Refutation),
+    /// The packing-class search exhausted every edge assignment.
+    SearchExhausted,
+}
+
+impl std::fmt::Display for InfeasibilityProof {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Bound(r) => write!(f, "refuted by lower bound: {r}"),
+            Self::SearchExhausted => write!(f, "packing-class search exhausted"),
+        }
+    }
+}
+
+/// Outcome of a decision solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// A feasible packing exists; the placement has passed geometric
+    /// verification.
+    Feasible(Placement),
+    /// No feasible packing exists.
+    Infeasible(InfeasibilityProof),
+    /// The node or time budget ran out before an answer was reached.
+    ResourceLimit,
+}
+
+impl SolveOutcome {
+    /// Whether this outcome is [`SolveOutcome::Feasible`].
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, Self::Feasible(_))
+    }
+
+    /// The placement, if feasible.
+    pub fn placement(&self) -> Option<&Placement> {
+        match self {
+            Self::Feasible(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// The exact feasibility solver: can the instance's tasks be packed into its
+/// container while honoring all precedence constraints?
+///
+/// Runs the three-stage pipeline of paper §3.1: lower bounds, heuristics,
+/// packing-class branch-and-bound.
+///
+/// # Example
+///
+/// ```
+/// use recopack_core::Opp;
+/// use recopack_model::{benchmarks, Chip};
+///
+/// let instance = benchmarks::de(Chip::square(32), 6).with_transitive_closure();
+/// assert!(Opp::new(&instance).solve().is_feasible());
+///
+/// let tight = instance.with_horizon(5); // below the critical path
+/// assert!(!Opp::new(&tight).solve().is_feasible());
+/// ```
+#[derive(Debug)]
+pub struct Opp<'a> {
+    instance: &'a Instance,
+    config: SolverConfig,
+}
+
+impl<'a> Opp<'a> {
+    /// Creates a solver with the default configuration.
+    pub fn new(instance: &'a Instance) -> Self {
+        Self {
+            instance,
+            config: SolverConfig::default(),
+        }
+    }
+
+    /// Replaces the configuration.
+    pub fn with_config(mut self, config: SolverConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Solves the decision problem.
+    pub fn solve(&self) -> SolveOutcome {
+        self.solve_with_stats().0
+    }
+
+    /// Solves and reports search statistics.
+    pub fn solve_with_stats(&self) -> (SolveOutcome, SolverStats) {
+        let mut stats = SolverStats::default();
+        if self.config.use_bounds {
+            if let Some(refutation) = recopack_bounds::refute(self.instance) {
+                stats.refuted_by_bounds = true;
+                return (
+                    SolveOutcome::Infeasible(InfeasibilityProof::Bound(refutation)),
+                    stats,
+                );
+            }
+        }
+        if self.config.use_heuristics {
+            if let Some(placement) = find_feasible(self.instance, &HeuristicConfig::default()) {
+                stats.solved_by_heuristic = true;
+                return (SolveOutcome::Feasible(placement), stats);
+            }
+        }
+        let mut searcher = Searcher::new(self.instance, &self.config);
+        let outcome = match searcher.run() {
+            SearchResult::Feasible(p) => SolveOutcome::Feasible(p),
+            SearchResult::Infeasible => {
+                SolveOutcome::Infeasible(InfeasibilityProof::SearchExhausted)
+            }
+            SearchResult::Limit => SolveOutcome::ResourceLimit,
+        };
+        (outcome, searcher.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recopack_model::{benchmarks, Chip, Task};
+
+    #[test]
+    fn feasible_outcome_carries_verified_placement() {
+        let i = benchmarks::de(Chip::square(16), 14).with_transitive_closure();
+        match Opp::new(&i).solve() {
+            SolveOutcome::Feasible(p) => assert_eq!(p.verify(&i), Ok(())),
+            other => panic!("expected feasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bounds_produce_named_proofs() {
+        let i = benchmarks::de(Chip::square(32), 5).with_transitive_closure();
+        let (outcome, stats) = Opp::new(&i).solve_with_stats();
+        match outcome {
+            SolveOutcome::Infeasible(InfeasibilityProof::Bound(r)) => {
+                assert!(r.to_string().contains("critical path"));
+            }
+            other => panic!("expected bound refutation, got {other:?}"),
+        }
+        assert!(stats.refuted_by_bounds);
+        assert_eq!(stats.nodes, 0);
+    }
+
+    #[test]
+    fn search_proves_infeasibility_without_bounds() {
+        let i = Instance::builder()
+            .chip(Chip::square(2))
+            .horizon(3)
+            .task(Task::new("a", 2, 2, 2))
+            .task(Task::new("b", 2, 2, 2))
+            .build()
+            .expect("valid");
+        let config = SolverConfig {
+            use_bounds: false,
+            use_heuristics: false,
+            ..SolverConfig::default()
+        };
+        let (outcome, stats) = Opp::new(&i).with_config(config).solve_with_stats();
+        assert_eq!(
+            outcome,
+            SolveOutcome::Infeasible(InfeasibilityProof::SearchExhausted)
+        );
+        assert!(!stats.refuted_by_bounds);
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        let i = Instance::builder()
+            .chip(Chip::square(1))
+            .horizon(1)
+            .task(Task::new("a", 1, 1, 1))
+            .build()
+            .expect("valid");
+        let outcome = Opp::new(&i).solve();
+        assert!(outcome.is_feasible());
+        assert!(outcome.placement().is_some());
+    }
+}

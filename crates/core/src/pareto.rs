@@ -1,0 +1,170 @@
+//! Pareto-optimal chip-size / execution-time tradeoffs (paper Fig. 7).
+
+use recopack_model::{Chip, Dim, Instance, Placement};
+
+use crate::config::SolverConfig;
+use crate::spp::Spp;
+
+/// One Pareto-optimal (square chip side, makespan) point with its witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParetoPoint {
+    /// Square chip side `h` (chip is `h × h`).
+    pub side: u64,
+    /// Minimal execution time on that chip.
+    pub makespan: u64,
+    /// A verified placement achieving the point.
+    pub placement: Placement,
+}
+
+/// Computes all Pareto-optimal (side, makespan) pairs by sweeping square
+/// chips from the smallest usable side upward and solving SPP at each, until
+/// the global time lower bound is reached.
+///
+/// The instance's own chip and horizon are ignored. Apply
+/// [`Instance::without_precedence`] first to get the paper's dashed curve.
+///
+/// Returns an empty vector for instances without tasks and `None` if any
+/// SPP solve hits the configured resource limits.
+///
+/// # Example
+///
+/// ```
+/// use recopack_core::{pareto_front, SolverConfig};
+/// use recopack_model::{Chip, Instance, Task};
+///
+/// let instance = Instance::builder()
+///     .chip(Chip::square(1))
+///     .horizon(1)
+///     .task(Task::new("a", 2, 2, 2))
+///     .task(Task::new("b", 2, 2, 2))
+///     .build()?;
+/// let front = pareto_front(&instance, &SolverConfig::default()).expect("no limits set");
+/// // 2x2 chip -> serialize (T = 4); 4x4 chip -> run in parallel (T = 2).
+/// let pairs: Vec<(u64, u64)> = front.iter().map(|p| (p.side, p.makespan)).collect();
+/// assert_eq!(pairs, vec![(2, 4), (4, 2)]);
+/// # Ok::<(), recopack_model::BuildError>(())
+/// ```
+pub fn pareto_front(instance: &Instance, config: &SolverConfig) -> Option<Vec<ParetoPoint>> {
+    if instance.task_count() == 0 {
+        return Some(Vec::new());
+    }
+    let h_min = instance
+        .tasks()
+        .iter()
+        .map(|t| t.width().max(t.height()))
+        .max()
+        .expect("nonempty");
+    // No chip can beat the critical path or the longest task.
+    let t_floor = instance
+        .critical_path_length()
+        .max(instance.sizes(Dim::Time).into_iter().max().unwrap_or(0));
+
+    let mut front = Vec::new();
+    let mut prev_t: Option<u64> = None;
+    let mut side = h_min;
+    loop {
+        let candidate = instance.clone().with_chip(Chip::square(side));
+        let result = Spp::new(&candidate).with_config(config.clone()).solve()?;
+        let improved = prev_t.map_or(true, |p| result.makespan < p);
+        if improved {
+            front.push(ParetoPoint {
+                side,
+                makespan: result.makespan,
+                placement: result.placement,
+            });
+            prev_t = Some(result.makespan);
+        }
+        if prev_t == Some(t_floor) {
+            break;
+        }
+        side += 1;
+    }
+    Some(front)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recopack_model::Task;
+
+    #[test]
+    fn front_is_strictly_decreasing_in_time() {
+        let i = Instance::builder()
+            .chip(Chip::square(1))
+            .horizon(1)
+            .task(Task::new("a", 2, 2, 2))
+            .task(Task::new("b", 2, 2, 2))
+            .task(Task::new("c", 2, 2, 2))
+            .build()
+            .expect("valid");
+        let front = pareto_front(&i, &SolverConfig::default()).expect("no limits");
+        for w in front.windows(2) {
+            assert!(w[0].side < w[1].side);
+            assert!(w[0].makespan > w[1].makespan);
+        }
+        // 3 independent 2x2x2 tasks: (2,6) serial; a 4x4 chip already holds
+        // three 2x2 footprints at once, so (4,2) is the parallel point.
+        let pairs: Vec<(u64, u64)> = front.iter().map(|p| (p.side, p.makespan)).collect();
+        assert_eq!(pairs, vec![(2, 6), (4, 2)]);
+    }
+
+    #[test]
+    fn precedence_changes_the_front() {
+        let free = Instance::builder()
+            .chip(Chip::square(1))
+            .horizon(1)
+            .task(Task::new("a", 2, 2, 2))
+            .task(Task::new("b", 2, 2, 2))
+            .build()
+            .expect("valid");
+        let chained = Instance::builder()
+            .chip(Chip::square(1))
+            .horizon(1)
+            .task(Task::new("a", 2, 2, 2))
+            .task(Task::new("b", 2, 2, 2))
+            .precedence("a", "b")
+            .build()
+            .expect("valid");
+        let f_free = pareto_front(&free, &SolverConfig::default()).expect("no limits");
+        let f_chained = pareto_front(&chained, &SolverConfig::default()).expect("no limits");
+        // Chained: serialization is forced, so one point (2, 4).
+        assert_eq!(f_chained.len(), 1);
+        assert_eq!((f_chained[0].side, f_chained[0].makespan), (2, 4));
+        // Free: bigger chips buy time.
+        assert_eq!(f_free.len(), 2);
+        assert_eq!((f_free[1].side, f_free[1].makespan), (4, 2));
+    }
+
+    #[test]
+    fn empty_instance_has_empty_front() {
+        let i = Instance::builder()
+            .chip(Chip::square(1))
+            .horizon(1)
+            .build()
+            .expect("valid");
+        assert_eq!(
+            pareto_front(&i, &SolverConfig::default()),
+            Some(Vec::new())
+        );
+    }
+
+    #[test]
+    fn placements_verify_on_their_points() {
+        let i = Instance::builder()
+            .chip(Chip::square(1))
+            .horizon(1)
+            .task(Task::new("a", 1, 2, 3))
+            .task(Task::new("b", 2, 1, 1))
+            .precedence("a", "b")
+            .build()
+            .expect("valid");
+        let front = pareto_front(&i, &SolverConfig::default()).expect("no limits");
+        for p in &front {
+            let target = i
+                .clone()
+                .with_chip(Chip::square(p.side))
+                .with_horizon(p.makespan);
+            assert_eq!(p.placement.verify(&target), Ok(()));
+        }
+    }
+}

@@ -1,0 +1,949 @@
+//! The packing-class branch-and-bound search (paper §3.3 and §4.4).
+//!
+//! Branching fixes one (pair, dimension) slot to *component* or
+//! *comparability*; propagation closes every decision under the C2/C3/C4
+//! rules and the D1/D2 orientation implications; leaves are accepted only
+//! after a successful coordinate realization and geometric verification.
+
+use std::time::Instant;
+
+use recopack_graph::cliques;
+use recopack_model::{Dim, Instance, Placement};
+use recopack_order::interval::realize_from_order;
+use recopack_order::orientation::transitively_orient_extending;
+
+use crate::config::{SolverConfig, SolverStats};
+use crate::state::{EdgeState, Orient, PackingState};
+
+const TIME: usize = Dim::Time.index() as usize;
+
+/// Why a branch was abandoned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Conflict {
+    C2,
+    C3,
+    C4,
+    Orientation,
+}
+
+/// Propagation events.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A (dim, pair) slot was fixed.
+    Fixed(usize, usize),
+    /// The arc `u → v` was oriented in dim.
+    Arc(usize, usize, usize),
+}
+
+/// Marks the unordered pairs of *twins*: tasks with identical shapes whose
+/// precedence relations coincide and which are not themselves ordered. Only
+/// computed when the rule is enabled and there is no fixed schedule.
+fn twin_pair_table(instance: &Instance, config: &SolverConfig, fixed: bool) -> Vec<bool> {
+    let n = instance.task_count();
+    let idx = recopack_graph::PairIndex::new(n);
+    let mut table = vec![false; idx.pair_count()];
+    if !config.twin_symmetry || fixed {
+        return table;
+    }
+    let closure = instance
+        .precedence()
+        .transitive_closure()
+        .expect("instances are acyclic");
+    for (p, u, v) in idx.iter() {
+        if instance.task(u).width() != instance.task(v).width()
+            || instance.task(u).height() != instance.task(v).height()
+            || instance.task(u).duration() != instance.task(v).duration()
+            || closure.has_arc(u, v)
+            || closure.has_arc(v, u)
+        {
+            continue;
+        }
+        let same_relations = (0..n).all(|w| {
+            w == u
+                || w == v
+                || (closure.has_arc(w, u) == closure.has_arc(w, v)
+                    && closure.has_arc(u, w) == closure.has_arc(v, w))
+        });
+        table[p] = same_relations;
+    }
+    table
+}
+
+/// Result of a completed search.
+pub(crate) enum SearchResult {
+    Feasible(Placement),
+    Infeasible,
+    Limit,
+}
+
+pub(crate) struct Searcher<'a> {
+    instance: &'a Instance,
+    config: &'a SolverConfig,
+    sizes: [Vec<u64>; 3],
+    caps: [u64; 3],
+    state: PackingState,
+    stats: SolverStats,
+    /// Fixed start times (FixedS problems); `None` for free schedules.
+    fixed_starts: Option<Vec<u64>>,
+    branch_order: Vec<(usize, usize)>,
+    /// Pair indices of twin tasks (see `SolverConfig::twin_symmetry`).
+    twin_pairs: Vec<bool>,
+    started: Instant,
+}
+
+impl<'a> Searcher<'a> {
+    pub(crate) fn new(instance: &'a Instance, config: &'a SolverConfig) -> Self {
+        Self::with_fixed_starts(instance, config, None)
+    }
+
+    pub(crate) fn with_fixed_starts(
+        instance: &'a Instance,
+        config: &'a SolverConfig,
+        fixed_starts: Option<Vec<u64>>,
+    ) -> Self {
+        let n = instance.task_count();
+        let sizes = std::array::from_fn(|d| instance.sizes(Dim::from_index(d)));
+        let caps = instance.container();
+        let state = PackingState::new(n);
+        // Branch on the most constrained slots first: largest combined size
+        // relative to capacity; ties prefer the time dimension (where the
+        // orientation machinery bites), then stable order.
+        let idx = state.pair_index();
+        let mut branch_order: Vec<(usize, usize)> = Vec::new();
+        for d in 0..3 {
+            for (p, _, _) in idx.iter() {
+                branch_order.push((d, p));
+            }
+        }
+        let score = |&(d, p): &(usize, usize)| {
+            let (u, v) = idx.pair(p);
+            let sum = sizes[d][u] + sizes[d][v];
+            let cap = caps[d].max(1);
+            let frac = (sum * 1000) / cap;
+            // Time dimension first: precedence orientations and chain bounds
+            // propagate hardest there; then most-constrained pairs.
+            (if d == TIME { 0 } else { 1 }, std::cmp::Reverse(frac), d, p)
+        };
+        branch_order.sort_by_key(score);
+        let twin_pairs = twin_pair_table(instance, config, fixed_starts.is_some());
+        Self {
+            instance,
+            config,
+            sizes,
+            caps,
+            state,
+            stats: SolverStats::default(),
+            fixed_starts,
+            branch_order,
+            twin_pairs,
+            started: Instant::now(),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Runs the complete search.
+    pub(crate) fn run(&mut self) -> SearchResult {
+        // Tasks that cannot fit the container at all.
+        for d in 0..3 {
+            if self.sizes[d].iter().any(|&s| s > self.caps[d]) {
+                return SearchResult::Infeasible;
+            }
+        }
+        let mut queue = Vec::new();
+        if self.seed(&mut queue).is_err() || self.propagate(&mut queue).is_err() {
+            return SearchResult::Infeasible;
+        }
+        match self.dfs() {
+            Ok(Some(p)) => SearchResult::Feasible(p),
+            Ok(None) => SearchResult::Infeasible,
+            Err(()) => SearchResult::Limit,
+        }
+    }
+
+    /// Initial forcings: precedence arcs (time dimension), the must-overlap
+    /// rule, and — for FixedS problems — the full time dimension.
+    fn seed(&mut self, queue: &mut Vec<Event>) -> Result<(), Conflict> {
+        let idx = self.state.pair_index();
+        // Fixed schedule: decide every time slot from the given starts.
+        if let Some(starts) = self.fixed_starts.clone() {
+            for (p, u, v) in idx.iter() {
+                let (su, eu) = (starts[u], starts[u] + self.sizes[TIME][u]);
+                let (sv, ev) = (starts[v], starts[v] + self.sizes[TIME][v]);
+                if su < ev && sv < eu {
+                    self.force_state(TIME, p, EdgeState::Component, Conflict::C3, queue)?;
+                } else {
+                    self.force_state(TIME, p, EdgeState::Comparability, Conflict::C3, queue)?;
+                    if eu <= sv {
+                        self.force_arc(TIME, u, v, queue)?;
+                    } else {
+                        self.force_arc(TIME, v, u, queue)?;
+                    }
+                }
+            }
+        }
+        // Precedence arcs become oriented comparability edges of time.
+        for (u, v) in self.instance.precedence().arcs() {
+            self.force_state(TIME, idx.index(u, v), EdgeState::Comparability, Conflict::Orientation, queue)?;
+            self.force_arc(TIME, u, v, queue)?;
+        }
+        // Must-overlap: pairs too big to sit side by side in a dimension.
+        if self.config.must_overlap_rule {
+            for d in 0..3 {
+                for (p, u, v) in idx.iter() {
+                    if self.sizes[d][u] + self.sizes[d][v] > self.caps[d] {
+                        self.force_state(d, p, EdgeState::Component, Conflict::C2, queue)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sets a slot, enqueueing the event; `on_conflict` is reported when the
+    /// slot is already fixed to the opposite value (the rule that forced the
+    /// assignment knows why the clash matters).
+    fn force_state(
+        &mut self,
+        dim: usize,
+        pair: usize,
+        want: EdgeState,
+        on_conflict: Conflict,
+        queue: &mut Vec<Event>,
+    ) -> Result<(), Conflict> {
+        match self.state.state(dim, pair) {
+            EdgeState::Unassigned => {
+                self.state.assign(dim, pair, want);
+                self.stats.propagated_fixes += 1;
+                queue.push(Event::Fixed(dim, pair));
+                Ok(())
+            }
+            s if s == want => Ok(()),
+            _ => Err(on_conflict),
+        }
+    }
+
+    /// Ensures the arc `u → v` in `dim` (comparability + orientation).
+    fn force_arc(
+        &mut self,
+        dim: usize,
+        u: usize,
+        v: usize,
+        queue: &mut Vec<Event>,
+    ) -> Result<(), Conflict> {
+        let pair = self.state.pair_index().index(u, v);
+        match self.state.state(dim, pair) {
+            EdgeState::Component => return Err(Conflict::Orientation),
+            EdgeState::Unassigned => {
+                self.force_state(dim, pair, EdgeState::Comparability, Conflict::Orientation, queue)?;
+            }
+            EdgeState::Comparability => {}
+        }
+        match self.state.orient(dim, pair) {
+            Orient::None => {
+                self.state.orient_arc(dim, u, v);
+                queue.push(Event::Arc(dim, u, v));
+                Ok(())
+            }
+            _ if self.state.has_arc(dim, u, v) => Ok(()),
+            _ => Err(Conflict::Orientation),
+        }
+    }
+
+    fn propagate(&mut self, queue: &mut Vec<Event>) -> Result<(), Conflict> {
+        let result = self.propagate_inner(queue);
+        if let Err(kind) = result {
+            match kind {
+                Conflict::C2 => self.stats.c2_conflicts += 1,
+                Conflict::C3 => self.stats.c3_conflicts += 1,
+                Conflict::C4 => self.stats.c4_conflicts += 1,
+                Conflict::Orientation => self.stats.orientation_conflicts += 1,
+            }
+            queue.clear();
+        }
+        result
+    }
+
+    fn propagate_inner(&mut self, queue: &mut Vec<Event>) -> Result<(), Conflict> {
+        while let Some(event) = queue.pop() {
+            match event {
+                Event::Fixed(d, p) => {
+                    let (u, v) = self.state.pair_index().pair(p);
+                    match self.state.state(d, p) {
+                        EdgeState::Component => self.on_component(d, p, u, v, queue)?,
+                        EdgeState::Comparability => self.on_comparability(d, p, u, v, queue)?,
+                        EdgeState::Unassigned => unreachable!("events follow assignments"),
+                    }
+                }
+                Event::Arc(d, a, b) => self.on_arc(d, a, b, queue)?,
+            }
+        }
+        Ok(())
+    }
+
+    fn on_component(
+        &mut self,
+        d: usize,
+        p: usize,
+        u: usize,
+        v: usize,
+        queue: &mut Vec<Event>,
+    ) -> Result<(), Conflict> {
+        // C3: a pair must be separated in at least one dimension.
+        let others: Vec<usize> = (0..3).filter(|&x| x != d).collect();
+        let s0 = self.state.state(others[0], p);
+        let s1 = self.state.state(others[1], p);
+        match (s0, s1) {
+            (EdgeState::Component, EdgeState::Component) => return Err(Conflict::C3),
+            (EdgeState::Component, EdgeState::Unassigned) => {
+                self.force_state(others[1], p, EdgeState::Comparability, Conflict::C3, queue)?;
+            }
+            (EdgeState::Unassigned, EdgeState::Component) => {
+                self.force_state(others[0], p, EdgeState::Comparability, Conflict::C3, queue)?;
+            }
+            _ => {}
+        }
+        if self.config.c4_rule {
+            self.c4_scan(d, u, v, true, queue)?;
+        }
+        if self.config.orientation_rules {
+            // A new component edge (u, v) links comparability edges at any
+            // common comparability-neighbor w: w→u ⇔ w→v.
+            let n = self.state.task_count();
+            for w in 0..n {
+                if w == u || w == v {
+                    continue;
+                }
+                let cg = self.state.comparability_graph(d);
+                if !(cg.has_edge(u, w) && cg.has_edge(v, w)) {
+                    continue;
+                }
+                if self.state.has_arc(d, w, u) {
+                    self.force_arc(d, w, v, queue)?;
+                }
+                if self.state.has_arc(d, u, w) {
+                    self.force_arc(d, v, w, queue)?;
+                }
+                if self.state.has_arc(d, w, v) {
+                    self.force_arc(d, w, u, queue)?;
+                }
+                if self.state.has_arc(d, v, w) {
+                    self.force_arc(d, u, w, queue)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn on_comparability(
+        &mut self,
+        d: usize,
+        p: usize,
+        u: usize,
+        v: usize,
+        queue: &mut Vec<Event>,
+    ) -> Result<(), Conflict> {
+        // C2, cheapest form: the pair itself is a chain.
+        if self.sizes[d][u] + self.sizes[d][v] > self.caps[d] {
+            return Err(Conflict::C2);
+        }
+        // C2, clique form: only cliques through the new edge can newly
+        // violate the bound.
+        if self.config.clique_rule {
+            let mut seed = recopack_graph::BitSet::new(self.state.task_count());
+            seed.insert(u);
+            seed.insert(v);
+            let best = cliques::max_weight_clique_containing(
+                self.state.comparability_graph(d),
+                &self.sizes[d],
+                &seed,
+            )
+            .expect("a fixed comparability edge is a clique");
+            if best.weight > self.caps[d] {
+                return Err(Conflict::C2);
+            }
+        }
+        if self.config.c4_rule {
+            self.c4_scan(d, u, v, false, queue)?;
+        }
+        // Twin symmetry: interchangeable tasks separated in time go in id
+        // order. Swapping two twins is an automorphism of the instance, so
+        // restricting to the sorted representative loses no packings.
+        if d == TIME && self.twin_pairs[p] {
+            self.force_arc(d, u.min(v), u.max(v), queue)?;
+        }
+        if self.config.orientation_rules {
+            // D1 with the new comparability edge as one of the pair-sharing
+            // edges: (u,v) & (u,w) comparability with (v,w) component means
+            // u→v ⇔ u→w (and symmetrically at v).
+            let n = self.state.task_count();
+            for w in 0..n {
+                if w == u || w == v {
+                    continue;
+                }
+                let vw_component = self.state.component_graph(d).has_edge(v, w);
+                let uw_component = self.state.component_graph(d).has_edge(u, w);
+                let uw_comparability = self.state.comparability_graph(d).has_edge(u, w);
+                let vw_comparability = self.state.comparability_graph(d).has_edge(v, w);
+                if vw_component && uw_comparability {
+                    if self.state.has_arc(d, u, w) {
+                        self.force_arc(d, u, v, queue)?;
+                    }
+                    if self.state.has_arc(d, w, u) {
+                        self.force_arc(d, v, u, queue)?;
+                    }
+                }
+                if uw_component && vw_comparability {
+                    if self.state.has_arc(d, v, w) {
+                        self.force_arc(d, v, u, queue)?;
+                    }
+                    if self.state.has_arc(d, w, v) {
+                        self.force_arc(d, u, v, queue)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// D1/D2 consequences of a newly oriented arc `a → b` in `dim`.
+    fn on_arc(
+        &mut self,
+        d: usize,
+        a: usize,
+        b: usize,
+        queue: &mut Vec<Event>,
+    ) -> Result<(), Conflict> {
+        let n = self.state.task_count();
+        let idx = self.state.pair_index();
+        for w in 0..n {
+            if w == a || w == b {
+                continue;
+            }
+            let aw = self.state.state(d, idx.index(a, w));
+            let bw = self.state.state(d, idx.index(b, w));
+            // D1: {a,b},{a,w} comparability + {b,w} component: a→b ⇒ a→w.
+            if aw == EdgeState::Comparability && bw == EdgeState::Component {
+                self.force_arc(d, a, w, queue)?;
+            }
+            // D1 at b: {b,a},{b,w} comparability + {a,w} component:
+            // a→b (= not b→a) ⇒ not b→w ⇒ w→b.
+            if bw == EdgeState::Comparability && aw == EdgeState::Component {
+                self.force_arc(d, w, b, queue)?;
+            }
+            // D2: a→b, b→w ⇒ a→w (forcing {a,w} comparability if open).
+            if bw == EdgeState::Comparability && self.state.has_arc(d, b, w) {
+                self.force_arc(d, a, w, queue)?;
+            }
+            // D2: w→a, a→b ⇒ w→b.
+            if aw == EdgeState::Comparability && self.state.has_arc(d, w, a) {
+                self.force_arc(d, w, b, queue)?;
+            }
+        }
+        // Oriented-chain bound: every fixed arc survives to the leaf
+        // realization, so a weighted chain over fixed arcs longer than the
+        // container refutes the whole subtree. This is where a tight C2
+        // clique plus precedence structure (e.g. "the last multiplier always
+        // has an ALU successor") becomes visible mid-search.
+        if self.oriented_chain_exceeds(d) {
+            return Err(Conflict::C2);
+        }
+        Ok(())
+    }
+
+    /// Longest vertex-weighted path over the fixed arcs of `dim` exceeds
+    /// the container (cycles count as exceeded; D2 closure normally rules
+    /// them out earlier).
+    fn oriented_chain_exceeds(&self, d: usize) -> bool {
+        let n = self.state.task_count();
+        let arcs = self.state.arcs(d);
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut indeg = vec![0usize; n];
+        for &(u, v) in &arcs {
+            succ[u].push(v);
+            indeg[v] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut dist: Vec<u64> = (0..n).map(|v| self.sizes[d][v]).collect();
+        let mut seen = 0usize;
+        let mut best = 0u64;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            best = best.max(dist[u]);
+            for &v in &succ[u] {
+                dist[v] = dist[v].max(dist[u] + self.sizes[d][v]);
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        seen < n || best > self.caps[d]
+    }
+
+    /// Induced-C4 avoidance around a newly fixed slot (paper §3.3, forbidden
+    /// configuration 1). `as_cycle_edge` selects the role of `(u, v)`.
+    ///
+    /// The forbidden pattern on an ordered 4-cycle `a-b-c-d` is: all four
+    /// cycle edges component, both chords `{a,c}`, `{b,d}` comparability.
+    /// Complete pattern = conflict; pattern missing exactly one open slot =
+    /// force that slot to the opposite value.
+    fn c4_scan(
+        &mut self,
+        d: usize,
+        u: usize,
+        v: usize,
+        as_cycle_edge: bool,
+        queue: &mut Vec<Event>,
+    ) -> Result<(), Conflict> {
+        let n = self.state.task_count();
+        let idx = self.state.pair_index();
+        for w in 0..n {
+            if w == u || w == v {
+                continue;
+            }
+            for x in 0..n {
+                if x == u || x == v || x == w {
+                    continue;
+                }
+                // Role 1: (u,v) is the cycle edge a-b; cycle u-v-w-x.
+                // Role 2: (u,v) is the chord a-c; cycle u-w-v-x.
+                let (cyc, chords) = if as_cycle_edge {
+                    (
+                        [idx.index(u, v), idx.index(v, w), idx.index(w, x), idx.index(x, u)],
+                        [idx.index(u, w), idx.index(v, x)],
+                    )
+                } else {
+                    (
+                        [idx.index(u, w), idx.index(w, v), idx.index(v, x), idx.index(x, u)],
+                        [idx.index(u, v), idx.index(w, x)],
+                    )
+                };
+                let mut open: Option<(usize, EdgeState)> = None;
+                let mut dead = false;
+                for &p in &cyc {
+                    match self.state.state(d, p) {
+                        EdgeState::Component => {}
+                        EdgeState::Unassigned => {
+                            if open.replace((p, EdgeState::Comparability)).is_some() {
+                                dead = true;
+                                break;
+                            }
+                        }
+                        EdgeState::Comparability => {
+                            dead = true;
+                            break;
+                        }
+                    }
+                }
+                if !dead {
+                    for &p in &chords {
+                        match self.state.state(d, p) {
+                            EdgeState::Comparability => {}
+                            EdgeState::Unassigned => {
+                                if open.replace((p, EdgeState::Component)).is_some() {
+                                    dead = true;
+                                    break;
+                                }
+                            }
+                            EdgeState::Component => {
+                                dead = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if dead {
+                    continue;
+                }
+                match open {
+                    None => return Err(Conflict::C4),
+                    Some((p, forced)) => self.force_state(d, p, forced, Conflict::C4, queue)?,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn next_unassigned(&self) -> Option<(usize, usize)> {
+        self.branch_order
+            .iter()
+            .copied()
+            .find(|&(d, p)| self.state.state(d, p) == EdgeState::Unassigned)
+    }
+
+    fn out_of_budget(&self) -> bool {
+        if let Some(limit) = self.config.node_limit {
+            if self.stats.nodes >= limit {
+                return true;
+            }
+        }
+        if let Some(limit) = self.config.time_limit {
+            if self.stats.nodes % 256 == 0 && self.started.elapsed() >= limit {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// DFS over the remaining slots. `Ok(Some)` = feasible with certificate;
+    /// `Ok(None)` = subtree exhausted; `Err(())` = resource limit.
+    fn dfs(&mut self) -> Result<Option<Placement>, ()> {
+        let Some((d, p)) = self.next_unassigned() else {
+            return Ok(self.check_leaf());
+        };
+        self.stats.nodes += 1;
+        if self.out_of_budget() {
+            return Err(());
+        }
+        let choices = if self.config.component_first {
+            [EdgeState::Component, EdgeState::Comparability]
+        } else {
+            [EdgeState::Comparability, EdgeState::Component]
+        };
+        for choice in choices {
+            let mark = self.state.mark();
+            let mut queue = Vec::new();
+            let ok = self
+                .force_state(d, p, choice, Conflict::C3, &mut queue)
+                .and_then(|()| self.propagate_inner(&mut queue));
+            match ok {
+                Ok(()) => {
+                    if let Some(placement) = self.dfs()? {
+                        return Ok(Some(placement));
+                    }
+                }
+                Err(kind) => match kind {
+                    Conflict::C2 => self.stats.c2_conflicts += 1,
+                    Conflict::C3 => self.stats.c3_conflicts += 1,
+                    Conflict::C4 => self.stats.c4_conflicts += 1,
+                    Conflict::Orientation => self.stats.orientation_conflicts += 1,
+                },
+            }
+            self.state.rollback(mark);
+        }
+        Ok(None)
+    }
+
+    /// Full leaf acceptance: realize every dimension, verify geometrically.
+    fn check_leaf(&mut self) -> Option<Placement> {
+        debug_assert_eq!(self.state.unassigned_count(), 0, "leaves are fully assigned");
+        self.stats.leaves += 1;
+        let n = self.state.task_count();
+        let mut origins = vec![[0u64; 3]; n];
+        for d in 0..3 {
+            if d == TIME {
+                if let Some(starts) = &self.fixed_starts {
+                    for (i, &s) in starts.iter().enumerate() {
+                        origins[i][d] = s;
+                    }
+                    continue;
+                }
+            }
+            let comp = self.state.comparability_graph(d);
+            let seeds = self.state.arcs(d);
+            let Ok(order) = transitively_orient_extending(comp, seeds) else {
+                self.stats.leaf_rejections += 1;
+                return None;
+            };
+            let realization = realize_from_order(&order, &self.sizes[d]);
+            if realization.extent > self.caps[d] {
+                self.stats.leaf_rejections += 1;
+                return None;
+            }
+            for i in 0..n {
+                origins[i][d] = realization.starts[i];
+            }
+        }
+        let placement = Placement::new(origins, self.instance);
+        if placement.verify(self.instance).is_ok() {
+            Some(placement)
+        } else {
+            self.stats.leaf_rejections += 1;
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recopack_model::{Chip, Task};
+
+    fn solve(instance: &Instance, config: &SolverConfig) -> SearchResult {
+        Searcher::new(instance, config).run()
+    }
+
+    fn tiny(horizon: u64, with_arc: bool) -> Instance {
+        let mut b = Instance::builder()
+            .chip(Chip::square(2))
+            .horizon(horizon)
+            .task(Task::new("a", 2, 2, 2))
+            .task(Task::new("b", 2, 2, 2));
+        if with_arc {
+            b = b.precedence("a", "b");
+        }
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn serial_pair_found() {
+        let i = tiny(4, true);
+        match solve(&i, &SolverConfig::default()) {
+            SearchResult::Feasible(p) => {
+                assert_eq!(p.verify(&i), Ok(()));
+                // precedence forces a before b
+                assert!(p.task_box(0).end(Dim::Time) <= p.task_box(1).start(Dim::Time));
+            }
+            _ => panic!("expected feasible"),
+        }
+    }
+
+    #[test]
+    fn too_tight_horizon_is_infeasible() {
+        let i = tiny(3, true);
+        assert!(matches!(
+            solve(&i, &SolverConfig::default()),
+            SearchResult::Infeasible
+        ));
+        // Also with every acceleration off — pure search must agree.
+        assert!(matches!(
+            solve(&i, &SolverConfig::bare()),
+            SearchResult::Infeasible
+        ));
+    }
+
+    #[test]
+    fn no_precedence_still_packs() {
+        let i = tiny(4, false);
+        assert!(matches!(
+            solve(&i, &SolverConfig::default()),
+            SearchResult::Feasible(_)
+        ));
+    }
+
+    #[test]
+    fn oversized_task_infeasible_immediately() {
+        let i = Instance::builder()
+            .chip(Chip::square(2))
+            .horizon(2)
+            .task(Task::new("big", 3, 1, 1))
+            .build()
+            .expect("valid");
+        assert!(matches!(
+            solve(&i, &SolverConfig::default()),
+            SearchResult::Infeasible
+        ));
+    }
+
+    #[test]
+    fn empty_instance_is_feasible() {
+        let i = Instance::builder()
+            .chip(Chip::square(1))
+            .horizon(1)
+            .build()
+            .expect("valid");
+        assert!(matches!(
+            solve(&i, &SolverConfig::default()),
+            SearchResult::Feasible(_)
+        ));
+    }
+
+    #[test]
+    fn node_limit_reports_limit() {
+        // A nontrivial instance with node_limit 0 must stop, not answer.
+        let i = Instance::builder()
+            .chip(Chip::square(4))
+            .horizon(8)
+            .tasks((0..5).map(|k| Task::new(format!("t{k}"), 2, 2, 2)))
+            .build()
+            .expect("valid");
+        let config = SolverConfig {
+            node_limit: Some(0),
+            ..SolverConfig::default()
+        };
+        assert!(matches!(solve(&i, &config), SearchResult::Limit));
+    }
+
+    #[test]
+    fn fixed_starts_solves_spatial_subproblem() {
+        // Two 2x2 tasks overlapping in time on a 4x2 chip: must separate in x.
+        let i = Instance::builder()
+            .chip(Chip::new(4, 2))
+            .horizon(2)
+            .task(Task::new("a", 2, 2, 2))
+            .task(Task::new("b", 2, 2, 2))
+            .build()
+            .expect("valid");
+        let config = SolverConfig::default();
+        let mut s = Searcher::with_fixed_starts(&i, &config, Some(vec![0, 0]));
+        match s.run() {
+            SearchResult::Feasible(p) => {
+                assert_eq!(p.verify(&i), Ok(()));
+                assert_eq!(p.task_box(0).start(Dim::Time), 0);
+                assert_eq!(p.task_box(1).start(Dim::Time), 0);
+            }
+            _ => panic!("expected feasible"),
+        }
+        // Same but on a 2x2 chip: spatially impossible.
+        let cramped = i.with_chip(Chip::square(2));
+        let mut s = Searcher::with_fixed_starts(&cramped, &config, Some(vec![0, 0]));
+        assert!(matches!(s.run(), SearchResult::Infeasible));
+    }
+}
+
+#[cfg(test)]
+mod propagation_tests {
+    use super::*;
+    use recopack_model::{Chip, Task};
+
+    /// Precedence through a shared time window: D1/D2 must orient the third
+    /// task relative to the chain even though no arc names it.
+    ///
+    /// Setup: full-chip tasks a -> c (arcs), plus b forced to overlap
+    /// neither (full chip, horizon exactly fits all three). The chain bound
+    /// and orientation rules must still find the serialization.
+    #[test]
+    fn three_full_chip_tasks_serialize() {
+        let i = Instance::builder()
+            .chip(Chip::square(2))
+            .horizon(6)
+            .task(Task::new("a", 2, 2, 2))
+            .task(Task::new("b", 2, 2, 2))
+            .task(Task::new("c", 2, 2, 2))
+            .precedence("a", "c")
+            .build()
+            .expect("valid");
+        let config = SolverConfig::default();
+        let mut s = Searcher::new(&i, &config);
+        match s.run() {
+            SearchResult::Feasible(p) => {
+                assert_eq!(p.verify(&i), Ok(()));
+                assert_eq!(p.makespan(), 6);
+            }
+            _ => panic!("exact fit must be found"),
+        }
+        // One cycle less is impossible; the oriented chain bound must see it
+        // without a large tree.
+        let tight = i.with_horizon(5);
+        let mut s = Searcher::new(&tight, &config);
+        assert!(matches!(s.run(), SearchResult::Infeasible));
+        assert!(s.stats().nodes <= 8, "expected tiny tree, got {}", s.stats().nodes);
+    }
+
+    /// The must-overlap rule plus C3: two tasks too wide and too tall to
+    /// separate spatially are forced apart in time at the root.
+    #[test]
+    fn must_overlap_forces_time_separation_at_root() {
+        let i = Instance::builder()
+            .chip(Chip::square(3))
+            .horizon(4)
+            .task(Task::new("a", 2, 2, 2))
+            .task(Task::new("b", 2, 2, 2))
+            .build()
+            .expect("valid");
+        let config = SolverConfig::default();
+        let mut s = Searcher::new(&i, &config);
+        match s.run() {
+            SearchResult::Feasible(p) => {
+                let (a, b) = (p.task_box(0), p.task_box(1));
+                assert!(
+                    a.end(Dim::Time) <= b.start(Dim::Time)
+                        || b.end(Dim::Time) <= a.start(Dim::Time),
+                    "2+2 > 3 in both spatial dimensions forces time separation"
+                );
+                // Nothing was left to branch on.
+                assert_eq!(s.stats().nodes, 0);
+            }
+            _ => panic!("serialization fits the horizon"),
+        }
+    }
+
+    /// The C2 clique rule: three tasks pairwise disjoint in time must chain,
+    /// and the chain exceeds the horizon -> refuted without leaves.
+    #[test]
+    fn clique_rule_refutes_over_long_chains() {
+        let i = Instance::builder()
+            .chip(Chip::square(2))
+            .horizon(5)
+            .task(Task::new("a", 2, 2, 2))
+            .task(Task::new("b", 2, 2, 2))
+            .task(Task::new("c", 2, 2, 2))
+            .build()
+            .expect("valid");
+        let config = SolverConfig {
+            use_bounds: false,
+            use_heuristics: false,
+            ..SolverConfig::default()
+        };
+        let mut s = Searcher::new(&i, &config);
+        assert!(matches!(s.run(), SearchResult::Infeasible));
+        assert!(s.stats().c2_conflicts > 0, "C2 must fire: {}", s.stats());
+        assert_eq!(s.stats().leaves, 0, "no leaf should be reached: {}", s.stats());
+    }
+
+    /// Orientation conflict: a precedence arc against a forced time order.
+    /// a -> b by arc, but b must finish before a can even start because a
+    /// depends on c and c depends on b... i.e. a cycle through closure would
+    /// be caught at build; instead force the conflict geometrically: a -> b
+    /// with horizon = both durations, and b also -> a via a middle task is
+    /// impossible to build. Use instead: a -> b, horizon exactly a+b, chip
+    /// fits one at a time; check the *feasible* order honors the arc.
+    #[test]
+    fn precedence_orientation_survives_to_the_leaf() {
+        let i = Instance::builder()
+            .chip(Chip::square(2))
+            .horizon(4)
+            .task(Task::new("late", 2, 2, 2))
+            .task(Task::new("early", 2, 2, 2))
+            .precedence("early", "late")
+            .build()
+            .expect("valid");
+        let config = SolverConfig {
+            use_heuristics: false,
+            ..SolverConfig::default()
+        };
+        let mut s = Searcher::new(&i, &config);
+        match s.run() {
+            SearchResult::Feasible(p) => {
+                // "early" (id 1) strictly precedes "late" (id 0).
+                assert!(p.task_box(1).end(Dim::Time) <= p.task_box(0).start(Dim::Time));
+            }
+            _ => panic!("chain fits exactly"),
+        }
+    }
+
+    /// The C4 rule must not change answers (spot check mirroring the
+    /// proptest in tests/pipeline_invariants.rs with a crafted shape that
+    /// actually contains potential induced 4-cycles).
+    #[test]
+    fn c4_rule_preserves_answers_on_a_grid_of_dominoes() {
+        // Four 1x2 dominoes on a 2x2 chip, horizon 2: exactly two fit at a
+        // time lying flat; answer must be identical with the rule on or off.
+        let build = |horizon| {
+            Instance::builder()
+                .chip(Chip::square(2))
+                .horizon(horizon)
+                .tasks((0..4).map(|k| Task::new(format!("d{k}"), 2, 1, 1)))
+                .build()
+                .expect("valid")
+        };
+        for horizon in [1u64, 2, 3] {
+            let i = build(horizon);
+            let on = SolverConfig {
+                use_bounds: false,
+                use_heuristics: false,
+                ..SolverConfig::default()
+            };
+            let off = SolverConfig { c4_rule: false, ..on.clone() };
+            let mut s_on = Searcher::new(&i, &on);
+            let mut s_off = Searcher::new(&i, &off);
+            let a = matches!(s_on.run(), SearchResult::Feasible(_));
+            let b = matches!(s_off.run(), SearchResult::Feasible(_));
+            assert_eq!(a, b, "horizon {horizon}");
+            assert_eq!(a, horizon >= 2, "two dominoes per cycle");
+        }
+    }
+}

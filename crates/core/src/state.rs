@@ -1,0 +1,331 @@
+//! The searched object: three-valued edge states plus orientations, with a
+//! trail for O(1) backtracking.
+
+use recopack_graph::{DenseGraph, PairIndex};
+
+/// State of one (task pair, dimension) slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeState {
+    /// Not yet decided.
+    Unassigned,
+    /// Component edge: the projections overlap in this dimension.
+    Component,
+    /// Comparability edge: the projections are disjoint in this dimension.
+    Comparability,
+}
+
+/// Orientation of a comparability edge, relative to the pair's `(lo, hi)`
+/// vertex order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orient {
+    /// Not yet oriented.
+    None,
+    /// `lo` comes entirely before `hi`.
+    Forward,
+    /// `hi` comes entirely before `lo`.
+    Backward,
+}
+
+enum TrailEntry {
+    State { dim: usize, pair: usize },
+    Orient { dim: usize, pair: usize },
+}
+
+/// The packing-class search state over `n` tasks.
+///
+/// Keeps, per dimension, the tri-state of every pair, the orientation of
+/// comparability edges (only the time dimension orients in this paper, but
+/// the structure is dimension-uniform as §4 notes), and materialized
+/// [`DenseGraph`]s of the *fixed* component and comparability edges so that
+/// propagation rules can run graph queries directly. A trail records every
+/// mutation for exact rollback.
+pub struct PackingState {
+    n: usize,
+    idx: PairIndex,
+    states: [Vec<EdgeState>; 3],
+    orients: [Vec<Orient>; 3],
+    component: [DenseGraph; 3],
+    comparability: [DenseGraph; 3],
+    unassigned: usize,
+    trail: Vec<TrailEntry>,
+}
+
+impl PackingState {
+    /// Creates the all-unassigned state for `n` tasks.
+    pub fn new(n: usize) -> Self {
+        let idx = PairIndex::new(n);
+        let m = idx.pair_count();
+        Self {
+            n,
+            idx,
+            states: std::array::from_fn(|_| vec![EdgeState::Unassigned; m]),
+            orients: std::array::from_fn(|_| vec![Orient::None; m]),
+            component: std::array::from_fn(|_| DenseGraph::new(n)),
+            comparability: std::array::from_fn(|_| DenseGraph::new(n)),
+            unassigned: 3 * m,
+            trail: Vec::new(),
+        }
+    }
+
+    /// Number of tasks.
+    pub fn task_count(&self) -> usize {
+        self.n
+    }
+
+    /// The pair indexing shared with callers.
+    pub fn pair_index(&self) -> PairIndex {
+        self.idx
+    }
+
+    /// Number of still-unassigned (pair, dimension) slots.
+    pub fn unassigned_count(&self) -> usize {
+        self.unassigned
+    }
+
+    /// State of a pair in a dimension.
+    pub fn state(&self, dim: usize, pair: usize) -> EdgeState {
+        self.states[dim][pair]
+    }
+
+    /// Orientation of a pair in a dimension.
+    pub fn orient(&self, dim: usize, pair: usize) -> Orient {
+        self.orients[dim][pair]
+    }
+
+    /// Whether the arc `u → v` ("u before v") is fixed in `dim`.
+    pub fn has_arc(&self, dim: usize, u: usize, v: usize) -> bool {
+        let o = self.orients[dim][self.idx.index(u, v)];
+        (u < v && o == Orient::Forward) || (u > v && o == Orient::Backward)
+    }
+
+    /// The graph of fixed component edges in `dim`.
+    pub fn component_graph(&self, dim: usize) -> &DenseGraph {
+        &self.component[dim]
+    }
+
+    /// The graph of fixed comparability edges in `dim`.
+    pub fn comparability_graph(&self, dim: usize) -> &DenseGraph {
+        &self.comparability[dim]
+    }
+
+    /// Sets an unassigned slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already assigned or `state` is `Unassigned` —
+    /// propagation must check before overwriting.
+    pub fn assign(&mut self, dim: usize, pair: usize, state: EdgeState) {
+        assert_eq!(
+            self.states[dim][pair],
+            EdgeState::Unassigned,
+            "slot (dim {dim}, pair {pair}) already assigned"
+        );
+        assert_ne!(state, EdgeState::Unassigned, "cannot assign Unassigned");
+        self.states[dim][pair] = state;
+        self.unassigned -= 1;
+        let (u, v) = self.idx.pair(pair);
+        match state {
+            EdgeState::Component => {
+                self.component[dim].add_edge(u, v);
+            }
+            EdgeState::Comparability => {
+                self.comparability[dim].add_edge(u, v);
+            }
+            EdgeState::Unassigned => unreachable!(),
+        }
+        self.trail.push(TrailEntry::State { dim, pair });
+    }
+
+    /// Orients an unoriented slot (`u → v`); the slot must be a fixed
+    /// comparability edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not a comparability edge or already oriented.
+    pub fn orient_arc(&mut self, dim: usize, u: usize, v: usize) {
+        let pair = self.idx.index(u, v);
+        assert_eq!(
+            self.states[dim][pair],
+            EdgeState::Comparability,
+            "only comparability edges carry orientations"
+        );
+        assert_eq!(self.orients[dim][pair], Orient::None, "already oriented");
+        self.orients[dim][pair] = if u < v { Orient::Forward } else { Orient::Backward };
+        self.trail.push(TrailEntry::Orient { dim, pair });
+    }
+
+    /// A rollback point capturing the current trail length.
+    pub fn mark(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// Undoes every mutation after `mark`.
+    pub fn rollback(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            match self.trail.pop().expect("trail length checked") {
+                TrailEntry::State { dim, pair } => {
+                    let (u, v) = self.idx.pair(pair);
+                    match self.states[dim][pair] {
+                        EdgeState::Component => {
+                            self.component[dim].remove_edge(u, v);
+                        }
+                        EdgeState::Comparability => {
+                            self.comparability[dim].remove_edge(u, v);
+                        }
+                        EdgeState::Unassigned => unreachable!("trail records assignments"),
+                    }
+                    self.states[dim][pair] = EdgeState::Unassigned;
+                    self.unassigned += 1;
+                }
+                TrailEntry::Orient { dim, pair } => {
+                    self.orients[dim][pair] = Orient::None;
+                }
+            }
+        }
+    }
+
+    /// All arcs fixed in `dim`, as `(u, v)` = "u before v".
+    pub fn arcs(&self, dim: usize) -> Vec<(usize, usize)> {
+        let mut arcs = Vec::new();
+        for (pair, u, v) in self.idx.iter() {
+            match self.orients[dim][pair] {
+                Orient::Forward => arcs.push((u, v)),
+                Orient::Backward => arcs.push((v, u)),
+                Orient::None => {}
+            }
+        }
+        arcs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_updates_graphs_and_counts() {
+        let mut s = PackingState::new(3);
+        assert_eq!(s.unassigned_count(), 9);
+        let p = s.pair_index().index(0, 1);
+        s.assign(2, p, EdgeState::Comparability);
+        assert_eq!(s.state(2, p), EdgeState::Comparability);
+        assert!(s.comparability_graph(2).has_edge(0, 1));
+        assert!(!s.component_graph(2).has_edge(0, 1));
+        assert_eq!(s.unassigned_count(), 8);
+    }
+
+    #[test]
+    fn rollback_restores_everything() {
+        let mut s = PackingState::new(3);
+        let p01 = s.pair_index().index(0, 1);
+        let p02 = s.pair_index().index(0, 2);
+        s.assign(0, p01, EdgeState::Component);
+        let mark = s.mark();
+        s.assign(2, p02, EdgeState::Comparability);
+        s.orient_arc(2, 2, 0);
+        assert!(s.has_arc(2, 2, 0));
+        s.rollback(mark);
+        assert_eq!(s.state(2, p02), EdgeState::Unassigned);
+        assert_eq!(s.orient(2, p02), Orient::None);
+        assert!(!s.comparability_graph(2).has_edge(0, 2));
+        // the earlier assignment survives
+        assert_eq!(s.state(0, p01), EdgeState::Component);
+        assert_eq!(s.unassigned_count(), 8);
+    }
+
+    #[test]
+    fn arcs_reports_directions() {
+        let mut s = PackingState::new(3);
+        let p01 = s.pair_index().index(0, 1);
+        let p12 = s.pair_index().index(1, 2);
+        s.assign(2, p01, EdgeState::Comparability);
+        s.orient_arc(2, 1, 0);
+        s.assign(2, p12, EdgeState::Comparability);
+        s.orient_arc(2, 1, 2);
+        let mut arcs = s.arcs(2);
+        arcs.sort_unstable();
+        assert_eq!(arcs, vec![(1, 0), (1, 2)]);
+        assert!(s.has_arc(2, 1, 0));
+        assert!(!s.has_arc(2, 0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already assigned")]
+    fn double_assign_panics() {
+        let mut s = PackingState::new(2);
+        s.assign(0, 0, EdgeState::Component);
+        s.assign(0, 0, EdgeState::Component);
+    }
+
+    #[test]
+    #[should_panic(expected = "only comparability edges")]
+    fn orienting_component_edge_panics() {
+        let mut s = PackingState::new(2);
+        s.assign(2, 0, EdgeState::Component);
+        s.orient_arc(2, 0, 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random interleavings of assignments, orientations, and rollbacks must
+    /// keep the materialized graphs consistent with the state table.
+    fn consistent(s: &PackingState) -> bool {
+        let idx = s.pair_index();
+        for d in 0..3 {
+            for (p, u, v) in idx.iter() {
+                let in_component = s.component_graph(d).has_edge(u, v);
+                let in_comparability = s.comparability_graph(d).has_edge(u, v);
+                let expected = match s.state(d, p) {
+                    EdgeState::Unassigned => !in_component && !in_comparability,
+                    EdgeState::Component => in_component && !in_comparability,
+                    EdgeState::Comparability => !in_component && in_comparability,
+                };
+                if !expected {
+                    return false;
+                }
+                if s.orient(d, p) != Orient::None && s.state(d, p) != EdgeState::Comparability {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn random_trail_replay_is_consistent(ops in proptest::collection::vec((0usize..3, 0usize..6, 0usize..4), 1..40)) {
+            let n = 4;
+            let mut s = PackingState::new(n);
+            let mut marks: Vec<usize> = Vec::new();
+            for (d, p, action) in ops {
+                let p = p % s.pair_index().pair_count();
+                match action {
+                    0 if s.state(d, p) == EdgeState::Unassigned => {
+                        s.assign(d, p, EdgeState::Component);
+                    }
+                    1 if s.state(d, p) == EdgeState::Unassigned => {
+                        s.assign(d, p, EdgeState::Comparability);
+                    }
+                    2 => marks.push(s.mark()),
+                    3 => {
+                        if let Some(m) = marks.pop() {
+                            s.rollback(m);
+                        }
+                    }
+                    _ => {}
+                }
+                prop_assert!(consistent(&s), "inconsistent after op ({d}, {p}, {action})");
+            }
+            // Rolling everything back restores the pristine state.
+            s.rollback(0);
+            prop_assert!(consistent(&s));
+            prop_assert_eq!(s.unassigned_count(), 3 * s.pair_index().pair_count());
+        }
+    }
+}

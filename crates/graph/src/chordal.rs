@@ -1,0 +1,241 @@
+//! Chordality: perfect elimination orderings and maximal cliques.
+//!
+//! Interval graphs — the class condition **C1** of packing classes — are
+//! exactly the chordal graphs whose complement is a comparability graph
+//! (Gilmore–Hoffman). This module provides the chordal half; the
+//! comparability half lives in `recopack-order`.
+
+use crate::{lex_bfs, BitSet, DenseGraph};
+
+/// Whether `order` (visiting order; its reverse is the elimination order) is
+/// such that `order` reversed is a perfect elimination ordering of `g`.
+///
+/// A perfect elimination ordering eliminates vertices so that the *later*
+/// neighbors of each vertex form a clique. Following Rose–Tarjan–Lueker we
+/// verify the standard "parent" condition: for each vertex `v`, the earlier
+/// neighbors of `v` minus the latest one must be neighbors of that latest one.
+pub fn is_perfect_elimination(g: &DenseGraph, order: &[usize]) -> bool {
+    let n = g.vertex_count();
+    debug_assert_eq!(order.len(), n);
+    let mut pos = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v] = i;
+    }
+    // Interpreting `order` as a Lex-BFS visiting order, the reverse is the
+    // elimination order; "earlier neighbors" (in visiting order) of v are the
+    // ones eliminated after v.
+    for (i, &v) in order.iter().enumerate() {
+        // Earlier neighbors of v in visiting order.
+        let earlier: Vec<usize> = g.neighbors(v).iter().filter(|&u| pos[u] < i).collect();
+        let Some(&parent) = earlier.iter().max_by_key(|&&u| pos[u]) else {
+            continue;
+        };
+        for &u in &earlier {
+            if u != parent && !g.has_edge(u, parent) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Tests whether `g` is chordal (every cycle of length ≥ 4 has a chord).
+///
+/// Runs Lex-BFS and verifies the perfect-elimination property of the
+/// resulting order, which succeeds iff the graph is chordal.
+///
+/// # Example
+///
+/// ```
+/// use recopack_graph::{chordal::is_chordal, DenseGraph};
+///
+/// let c4 = DenseGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+/// assert!(!is_chordal(&c4));
+/// ```
+pub fn is_chordal(g: &DenseGraph) -> bool {
+    let order = lex_bfs(g);
+    is_perfect_elimination(g, &order)
+}
+
+/// The maximal cliques of a **chordal** graph, one per elimination step that
+/// is not dominated by a later one.
+///
+/// Returns `None` if the graph is not chordal. A chordal graph on `n`
+/// vertices has at most `n` maximal cliques; this enumerates them via the
+/// Lex-BFS order.
+pub fn maximal_cliques_chordal(g: &DenseGraph) -> Option<Vec<BitSet>> {
+    let n = g.vertex_count();
+    let order = lex_bfs(g);
+    if !is_perfect_elimination(g, &order) {
+        return None;
+    }
+    let mut pos = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v] = i;
+    }
+    // Candidate clique per vertex: v plus its earlier neighbors (a clique by
+    // the perfect-elimination property). Keep the non-dominated ones.
+    let mut cand: Vec<BitSet> = Vec::with_capacity(n);
+    for (i, &v) in order.iter().enumerate() {
+        let mut c = BitSet::new(n);
+        c.insert(v);
+        for u in g.neighbors(v).iter() {
+            if pos[u] < i {
+                c.insert(u);
+            }
+        }
+        cand.push(c);
+    }
+    let mut maximal = Vec::new();
+    'outer: for (i, c) in cand.iter().enumerate() {
+        for (j, d) in cand.iter().enumerate() {
+            if i != j && c.is_subset(d) && (c != d || j < i) {
+                continue 'outer;
+            }
+        }
+        maximal.push(c.clone());
+    }
+    Some(maximal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cycle(n: usize) -> DenseGraph {
+        DenseGraph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
+    }
+
+    fn complete(n: usize) -> DenseGraph {
+        let mut g = DenseGraph::new(n);
+        for v in 1..n {
+            for u in 0..v {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    /// Brute-force chordality: check every subset cycle of length >= 4 has a chord
+    /// by verifying no induced cycle C_k (k >= 4) exists.
+    fn is_chordal_brute(g: &DenseGraph) -> bool {
+        let n = g.vertex_count();
+        // Enumerate all vertex subsets of size >= 4, check if the induced
+        // subgraph is a cycle (2-regular connected).
+        for mask in 0u32..(1 << n) {
+            let verts: Vec<usize> = (0..n).filter(|&v| mask & (1 << v) != 0).collect();
+            if verts.len() < 4 {
+                continue;
+            }
+            let set: BitSet = {
+                let mut s = BitSet::new(n);
+                s.extend(verts.iter().copied());
+                s
+            };
+            let (sub, _) = g.induced_subgraph(&set);
+            let k = sub.vertex_count();
+            let two_regular = (0..k).all(|v| sub.degree(v) == 2);
+            if two_regular && sub.connected_components().len() == 1 {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn random_graph(n: usize, density: f64, seed: u64) -> DenseGraph {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let mut g = DenseGraph::new(n);
+        for v in 1..n {
+            for u in 0..v {
+                if next() < density {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn cycles_are_not_chordal_above_three() {
+        assert!(is_chordal(&cycle(3)));
+        assert!(!is_chordal(&cycle(4)));
+        assert!(!is_chordal(&cycle(5)));
+        assert!(!is_chordal(&cycle(6)));
+    }
+
+    #[test]
+    fn trees_and_complete_graphs_are_chordal() {
+        let tree = DenseGraph::from_edges(6, [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5)]);
+        assert!(is_chordal(&tree));
+        assert!(is_chordal(&complete(5)));
+        assert!(is_chordal(&DenseGraph::new(0)));
+        assert!(is_chordal(&DenseGraph::new(3)));
+    }
+
+    #[test]
+    fn interval_like_graph_is_chordal() {
+        // Intervals [0,2], [1,3], [2,4], [5,6]: overlap graph.
+        let g = DenseGraph::from_edges(4, [(0, 1), (1, 2), (0, 2)]);
+        assert!(is_chordal(&g));
+    }
+
+    #[test]
+    fn maximal_cliques_of_path() {
+        let g = DenseGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let cliques = maximal_cliques_chordal(&g).expect("path is chordal");
+        assert_eq!(cliques.len(), 3);
+        for c in &cliques {
+            assert_eq!(c.len(), 2);
+            assert!(g.is_clique(c));
+        }
+    }
+
+    #[test]
+    fn maximal_cliques_of_complete_graph() {
+        let g = complete(4);
+        let cliques = maximal_cliques_chordal(&g).expect("complete graph is chordal");
+        assert_eq!(cliques.len(), 1);
+        assert_eq!(cliques[0].len(), 4);
+    }
+
+    #[test]
+    fn cliques_none_for_non_chordal() {
+        assert!(maximal_cliques_chordal(&cycle(4)).is_none());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn matches_brute_force(n in 1usize..9, seed in 0u64..200, d in 0.2f64..0.9) {
+            let g = random_graph(n, d, seed);
+            prop_assert_eq!(is_chordal(&g), is_chordal_brute(&g));
+        }
+
+        #[test]
+        fn enumerated_cliques_are_maximal_cliques(n in 1usize..9, seed in 0u64..100) {
+            let g = random_graph(n, 0.5, seed);
+            if let Some(cliques) = maximal_cliques_chordal(&g) {
+                for c in &cliques {
+                    prop_assert!(g.is_clique(c));
+                    // maximality: no vertex outside c is adjacent to all of c
+                    for v in 0..n {
+                        if !c.contains(v) {
+                            let dominates = c.iter().all(|u| g.has_edge(u, v));
+                            prop_assert!(!dominates, "clique {:?} not maximal, {} extends it", c, v);
+                        }
+                    }
+                }
+                // every edge is covered by some clique
+                for (u, v) in g.edges() {
+                    prop_assert!(cliques.iter().any(|c| c.contains(u) && c.contains(v)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Exact maximum-weight clique and independent-set search.
+//!
+//! The packing-class condition **C2** bounds the total width of every stable
+//! set of a component graph — equivalently, of every clique of its
+//! complement. The solver checks it by maximum-weight clique queries on the
+//! (small) graphs of fixed comparability edges, so an exact weighted clique
+//! routine is a core substrate.
+
+use crate::{BitSet, DenseGraph};
+
+/// Result of a maximum-weight clique search: the clique and its total weight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedClique {
+    /// Vertices of the clique.
+    pub vertices: BitSet,
+    /// Sum of the vertex weights.
+    pub weight: u64,
+}
+
+/// Finds a maximum-weight clique of `g` under vertex `weights`.
+///
+/// Branch-and-bound in the Bron–Kerbosch style: candidates are pruned when
+/// even taking *all* remaining candidate weight cannot beat the incumbent.
+/// Exact; intended for the small graphs of the packing-class method
+/// (exponential worst case, as the problem is NP-hard in general).
+///
+/// # Panics
+///
+/// Panics if `weights.len() != g.vertex_count()`.
+///
+/// # Example
+///
+/// ```
+/// use recopack_graph::{cliques::max_weight_clique, DenseGraph};
+///
+/// let g = DenseGraph::from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)]);
+/// let best = max_weight_clique(&g, &[1, 1, 1, 10]);
+/// assert_eq!(best.weight, 11); // {2, 3} beats the triangle {0, 1, 2}
+/// ```
+pub fn max_weight_clique(g: &DenseGraph, weights: &[u64]) -> WeightedClique {
+    assert_eq!(
+        weights.len(),
+        g.vertex_count(),
+        "one weight per vertex required"
+    );
+    max_weight_clique_containing(g, weights, &BitSet::new(g.vertex_count()))
+        .expect("the empty seed is always a clique")
+}
+
+/// Finds a maximum-weight clique of `g` that contains all vertices of `seed`.
+///
+/// Returns `None` if `seed` itself is not a clique. Used by the solver for
+/// incremental C2 checks: after fixing a comparability edge `{u, v}`, only
+/// cliques through that edge can newly violate the width bound.
+pub fn max_weight_clique_containing(
+    g: &DenseGraph,
+    weights: &[u64],
+    seed: &BitSet,
+) -> Option<WeightedClique> {
+    let n = g.vertex_count();
+    if !g.is_clique(seed) {
+        return None;
+    }
+    // Candidates: common neighbors of the whole seed.
+    let mut cand = BitSet::full(n);
+    for v in seed.iter() {
+        cand.intersect_with(g.neighbors(v));
+    }
+    cand.difference_with(seed);
+
+    let seed_weight: u64 = seed.iter().map(|v| weights[v]).sum();
+    let mut best = WeightedClique {
+        vertices: seed.clone(),
+        weight: seed_weight,
+    };
+    let mut current = seed.clone();
+    expand(g, weights, &mut current, seed_weight, cand, &mut best);
+    Some(best)
+}
+
+fn expand(
+    g: &DenseGraph,
+    weights: &[u64],
+    current: &mut BitSet,
+    current_weight: u64,
+    mut cand: BitSet,
+    best: &mut WeightedClique,
+) {
+    if current_weight > best.weight {
+        best.weight = current_weight;
+        best.vertices = current.clone();
+    }
+    // Upper bound: everything remaining joins the clique.
+    let remaining: u64 = cand.iter().map(|v| weights[v]).sum();
+    if current_weight + remaining <= best.weight {
+        return;
+    }
+    // Branch on candidates in decreasing weight order: good incumbents early.
+    let mut verts: Vec<usize> = cand.iter().collect();
+    verts.sort_unstable_by_key(|&v| std::cmp::Reverse(weights[v]));
+    for v in verts {
+        if !cand.contains(v) {
+            continue;
+        }
+        let remaining_now: u64 = cand.iter().map(|u| weights[u]).sum();
+        if current_weight + remaining_now <= best.weight {
+            return;
+        }
+        cand.remove(v);
+        let next_cand = cand.intersection(g.neighbors(v));
+        current.insert(v);
+        expand(g, weights, current, current_weight + weights[v], next_cand, best);
+        current.remove(v);
+    }
+}
+
+/// Finds a maximum-weight independent set (stable set) of `g`.
+///
+/// Equivalent to [`max_weight_clique`] on the complement graph; exposed
+/// directly because packing-class condition C2 is phrased over stable sets.
+pub fn max_weight_independent_set(g: &DenseGraph, weights: &[u64]) -> WeightedClique {
+    max_weight_clique(&g.complement(), weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn brute_force_max_clique(g: &DenseGraph, weights: &[u64]) -> u64 {
+        let n = g.vertex_count();
+        assert!(n <= 20);
+        let mut best = 0;
+        for mask in 0u32..(1 << n) {
+            let set: BitSet = {
+                let mut s = BitSet::new(n);
+                s.extend((0..n).filter(|&v| mask & (1 << v) != 0));
+                s
+            };
+            if g.is_clique(&set) {
+                best = best.max(set.iter().map(|v| weights[v]).sum());
+            }
+        }
+        best
+    }
+
+    fn random_graph(n: usize, density: f64, seed: u64) -> DenseGraph {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let mut g = DenseGraph::new(n);
+        for v in 1..n {
+            for u in 0..v {
+                if next() < density {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn triangle_with_heavy_pendant() {
+        let g = DenseGraph::from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let best = max_weight_clique(&g, &[1, 1, 1, 10]);
+        assert_eq!(best.weight, 11);
+        assert!(best.vertices.contains(2) && best.vertices.contains(3));
+    }
+
+    #[test]
+    fn empty_graph_max_clique_is_heaviest_vertex() {
+        let g = DenseGraph::new(3);
+        let best = max_weight_clique(&g, &[4, 9, 2]);
+        assert_eq!(best.weight, 9);
+        assert_eq!(best.vertices.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn zero_vertices() {
+        let g = DenseGraph::new(0);
+        let best = max_weight_clique(&g, &[]);
+        assert_eq!(best.weight, 0);
+    }
+
+    #[test]
+    fn seeded_search_restricts_to_supersets() {
+        let g = DenseGraph::from_edges(5, [(0, 1), (1, 2), (0, 2), (3, 4)]);
+        let mut seed = BitSet::new(5);
+        seed.extend([3, 4]);
+        let best = max_weight_clique_containing(&g, &[5, 5, 5, 1, 1], &seed)
+            .expect("{3,4} is an edge");
+        assert_eq!(best.weight, 2);
+    }
+
+    #[test]
+    fn seeded_search_rejects_non_clique_seed() {
+        let g = DenseGraph::new(3);
+        let mut seed = BitSet::new(3);
+        seed.extend([0, 1]);
+        assert!(max_weight_clique_containing(&g, &[1, 1, 1], &seed).is_none());
+    }
+
+    #[test]
+    fn independent_set_on_path() {
+        let g = DenseGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let best = max_weight_independent_set(&g, &[2, 3, 3, 2]);
+        // Either {1, 3} = 5 or {0, 2} = 5 or {0, 3} = 4; best is 5.
+        assert_eq!(best.weight, 5);
+        assert!(g.is_independent_set(&best.vertices));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn matches_brute_force(n in 1usize..10, seed in 0u64..200, d in 0.2f64..0.9) {
+            let g = random_graph(n, d, seed);
+            let weights: Vec<u64> = (0..n as u64).map(|v| 1 + (v * 7 + seed) % 13).collect();
+            let best = max_weight_clique(&g, &weights);
+            prop_assert!(g.is_clique(&best.vertices));
+            prop_assert_eq!(
+                best.weight,
+                brute_force_max_clique(&g, &weights)
+            );
+            prop_assert_eq!(best.weight, best.vertices.iter().map(|v| weights[v]).sum::<u64>());
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Dense undirected graphs with bitset adjacency rows.
+
+use crate::BitSet;
+
+/// An undirected graph on vertices `0..n` with bitset adjacency rows.
+///
+/// Optimized for the small dense graphs of the packing-class method
+/// (component graphs over task sets). No self-loops, no multi-edges.
+///
+/// # Example
+///
+/// ```
+/// use recopack_graph::DenseGraph;
+///
+/// let mut g = DenseGraph::new(3);
+/// g.add_edge(0, 1);
+/// assert!(g.has_edge(1, 0));
+/// assert_eq!(g.degree(0), 1);
+/// let c = g.complement();
+/// assert!(!c.has_edge(0, 1));
+/// assert!(c.has_edge(0, 2));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct DenseGraph {
+    n: usize,
+    adj: Vec<BitSet>,
+    edge_count: usize,
+}
+
+impl DenseGraph {
+    /// Creates an edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            adj: (0..n).map(|_| BitSet::new(n)).collect(),
+            edge_count: 0,
+        }
+    }
+
+    /// Builds a graph from an edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= n` or an edge is a self-loop.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut g = Self::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds the edge `{u, v}`, returning whether it was newly added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` or either endpoint is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        assert!(u != v, "self-loop at {u}");
+        assert!(u < self.n && v < self.n, "vertex out of range");
+        let added = self.adj[u].insert(v);
+        self.adj[v].insert(u);
+        if added {
+            self.edge_count += 1;
+        }
+        added
+    }
+
+    /// Removes the edge `{u, v}`, returning whether it was present.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
+        let removed = self.adj[u].remove(v);
+        self.adj[v].remove(u);
+        if removed {
+            self.edge_count -= 1;
+        }
+        removed
+    }
+
+    /// Whether the edge `{u, v}` is present.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u < self.n && self.adj[u].contains(v)
+    }
+
+    /// The neighborhood of `u` as a bitset.
+    pub fn neighbors(&self, u: usize) -> &BitSet {
+        &self.adj[u]
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Iterates over all edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |u| {
+            self.adj[u]
+                .iter()
+                .filter(move |&v| v > u)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// The complement graph (edges and non-edges exchanged).
+    pub fn complement(&self) -> DenseGraph {
+        let mut g = DenseGraph::new(self.n);
+        for v in 1..self.n {
+            for u in 0..v {
+                if !self.has_edge(u, v) {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// The subgraph induced by `verts`, with vertices relabeled by their
+    /// rank in `verts`; returns the graph and the old-vertex-per-new-vertex map.
+    pub fn induced_subgraph(&self, verts: &BitSet) -> (DenseGraph, Vec<usize>) {
+        let map: Vec<usize> = verts.iter().collect();
+        let mut g = DenseGraph::new(map.len());
+        for (i, &u) in map.iter().enumerate() {
+            for (j, &v) in map.iter().enumerate().take(i) {
+                if self.has_edge(u, v) {
+                    g.add_edge(j, i);
+                }
+            }
+        }
+        (g, map)
+    }
+
+    /// Whether `set` is a clique (pairwise adjacent).
+    pub fn is_clique(&self, set: &BitSet) -> bool {
+        let verts: Vec<usize> = set.iter().collect();
+        verts
+            .iter()
+            .enumerate()
+            .all(|(i, &u)| verts[..i].iter().all(|&v| self.has_edge(u, v)))
+    }
+
+    /// Whether `set` is an independent set (pairwise non-adjacent).
+    pub fn is_independent_set(&self, set: &BitSet) -> bool {
+        let verts: Vec<usize> = set.iter().collect();
+        verts
+            .iter()
+            .enumerate()
+            .all(|(i, &u)| verts[..i].iter().all(|&v| !self.has_edge(u, v)))
+    }
+
+    /// Connected components, each as a sorted vertex list.
+    pub fn connected_components(&self) -> Vec<Vec<usize>> {
+        let mut seen = BitSet::new(self.n);
+        let mut comps = Vec::new();
+        for s in 0..self.n {
+            if seen.contains(s) {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut stack = vec![s];
+            seen.insert(s);
+            while let Some(u) = stack.pop() {
+                comp.push(u);
+                for v in self.adj[u].iter() {
+                    if seen.insert(v) {
+                        stack.push(v);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            comps.push(comp);
+        }
+        comps
+    }
+}
+
+impl std::fmt::Debug for DenseGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DenseGraph(n={}, edges=", self.n)?;
+        f.debug_list().entries(self.edges()).finish()?;
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn random_graph(n: usize, density: f64, seed: u64) -> DenseGraph {
+        // Simple LCG so the test has no dependency on rand.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let mut g = DenseGraph::new(n);
+        for v in 1..n {
+            for u in 0..v {
+                if next() < density {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn add_remove_edges() {
+        let mut g = DenseGraph::new(4);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0));
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn complement_of_triangle_plus_isolated() {
+        let g = DenseGraph::from_edges(4, [(0, 1), (1, 2), (0, 2)]);
+        let c = g.complement();
+        assert_eq!(c.edge_count(), 3);
+        assert!(c.has_edge(0, 3) && c.has_edge(1, 3) && c.has_edge(2, 3));
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        let g = DenseGraph::from_edges(5, [(0, 2), (2, 4), (1, 3)]);
+        let verts: BitSet = {
+            let mut s = BitSet::new(5);
+            s.extend([0, 2, 4]);
+            s
+        };
+        let (sub, map) = g.induced_subgraph(&verts);
+        assert_eq!(map, vec![0, 2, 4]);
+        assert!(sub.has_edge(0, 1) && sub.has_edge(1, 2) && !sub.has_edge(0, 2));
+    }
+
+    #[test]
+    fn clique_and_independent_set_checks() {
+        let g = DenseGraph::from_edges(4, [(0, 1), (1, 2), (0, 2)]);
+        let mut tri = BitSet::new(4);
+        tri.extend([0, 1, 2]);
+        assert!(g.is_clique(&tri));
+        assert!(!g.is_independent_set(&tri));
+        let mut pair = BitSet::new(4);
+        pair.extend([0, 3]);
+        assert!(g.is_independent_set(&pair));
+    }
+
+    #[test]
+    fn components_of_two_paths() {
+        let g = DenseGraph::from_edges(6, [(0, 1), (1, 2), (3, 4)]);
+        let comps = g.connected_components();
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![3, 4], vec![5]]);
+    }
+
+    proptest! {
+        #[test]
+        fn complement_is_involution(n in 1usize..20, seed in 0u64..50) {
+            let g = random_graph(n, 0.4, seed);
+            prop_assert_eq!(g.complement().complement(), g);
+        }
+
+        #[test]
+        fn edge_counts_partition_pairs(n in 1usize..20, seed in 0u64..50) {
+            let g = random_graph(n, 0.5, seed);
+            let c = g.complement();
+            prop_assert_eq!(g.edge_count() + c.edge_count(), n * (n - 1) / 2);
+        }
+    }
+}

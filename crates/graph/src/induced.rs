@@ -1,0 +1,176 @@
+//! Induced-subgraph detection used by the C1 pruning rules.
+//!
+//! Interval graphs contain no induced chordless 4-cycle; the packing-class
+//! search (paper §3.3) prunes nodes as soon as the fixed component edges form
+//! one whose chords are fixed as comparability edges. This module provides
+//! the detection primitives on plain [`DenseGraph`]s; the solver applies them
+//! to its three-valued edge states through a thin adapter.
+
+use crate::DenseGraph;
+
+/// An induced chordless 4-cycle `a–b–c–d–a` (with `a–c`, `b–d` non-edges).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InducedC4 {
+    /// The four cycle vertices in cycle order.
+    pub cycle: [usize; 4],
+}
+
+/// Finds one induced `C4` in `g`, if any exists.
+///
+/// An induced `C4` certifies non-chordality (hence non-interval-ness). The
+/// search is `O(n^2 · m)` over the dense representation, fine for solver-size
+/// graphs.
+///
+/// # Example
+///
+/// ```
+/// use recopack_graph::{induced::find_induced_c4, DenseGraph};
+///
+/// let c4 = DenseGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+/// assert!(find_induced_c4(&c4).is_some());
+/// let diamond = DenseGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+/// assert!(find_induced_c4(&diamond).is_none());
+/// ```
+pub fn find_induced_c4(g: &DenseGraph) -> Option<InducedC4> {
+    let n = g.vertex_count();
+    // For each non-adjacent pair (a, c): two common neighbors b, d that are
+    // themselves non-adjacent close an induced C4 a-b-c-d.
+    for a in 0..n {
+        for c in (a + 1)..n {
+            if g.has_edge(a, c) {
+                continue;
+            }
+            let common = g.neighbors(a).intersection(g.neighbors(c));
+            let cands: Vec<usize> = common.iter().collect();
+            for (i, &b) in cands.iter().enumerate() {
+                for &d in &cands[..i] {
+                    if !g.has_edge(b, d) {
+                        return Some(InducedC4 { cycle: [a, b, c, d] });
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Whether `g` contains any induced chordless 4-cycle.
+pub fn has_induced_c4(g: &DenseGraph) -> bool {
+    find_induced_c4(g).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_cycle_is_found_and_valid() {
+        let g = DenseGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let c4 = find_induced_c4(&g).expect("C4 exists");
+        let [a, b, c, d] = c4.cycle;
+        assert!(g.has_edge(a, b) && g.has_edge(b, c) && g.has_edge(c, d) && g.has_edge(d, a));
+        assert!(!g.has_edge(a, c) && !g.has_edge(b, d));
+    }
+
+    #[test]
+    fn chorded_cycle_is_clean() {
+        let g = DenseGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)]);
+        assert!(!has_induced_c4(&g));
+    }
+
+    #[test]
+    fn c4_inside_larger_graph() {
+        // C4 on {2, 3, 4, 5} embedded in a 7-vertex graph.
+        let g = DenseGraph::from_edges(
+            7,
+            [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 2), (0, 6)],
+        );
+        assert!(has_induced_c4(&g));
+    }
+
+    #[test]
+    fn c5_has_no_induced_c4() {
+        let g = DenseGraph::from_edges(5, (0..5).map(|i| (i, (i + 1) % 5)));
+        assert!(!has_induced_c4(&g));
+    }
+
+    #[test]
+    fn empty_and_complete() {
+        assert!(!has_induced_c4(&DenseGraph::new(6)));
+        let mut k5 = DenseGraph::new(5);
+        for v in 1..5 {
+            for u in 0..v {
+                k5.add_edge(u, v);
+            }
+        }
+        assert!(!has_induced_c4(&k5));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn random_graph(n: usize, density: f64, seed: u64) -> DenseGraph {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(23);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let mut g = DenseGraph::new(n);
+        for v in 1..n {
+            for u in 0..v {
+                if next() < density {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    fn has_induced_c4_brute(g: &DenseGraph) -> bool {
+        let n = g.vertex_count();
+        for a in 0..n {
+            for b in 0..n {
+                for c in 0..n {
+                    for d in 0..n {
+                        let distinct = a < c && b < d && a != b && a != d && b != c && c != d;
+                        if distinct
+                            && g.has_edge(a, b)
+                            && g.has_edge(b, c)
+                            && g.has_edge(c, d)
+                            && g.has_edge(d, a)
+                            && !g.has_edge(a, c)
+                            && !g.has_edge(b, d)
+                        {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn matches_brute_force(n in 1usize..9, seed in 0u64..200, d in 0.2f64..0.9) {
+            let g = random_graph(n, d, seed);
+            prop_assert_eq!(has_induced_c4(&g), has_induced_c4_brute(&g));
+        }
+
+        #[test]
+        fn witness_is_always_valid(n in 4usize..10, seed in 0u64..100) {
+            let g = random_graph(n, 0.5, seed);
+            if let Some(c4) = find_induced_c4(&g) {
+                let [a, b, c, d] = c4.cycle;
+                prop_assert!(g.has_edge(a, b) && g.has_edge(b, c));
+                prop_assert!(g.has_edge(c, d) && g.has_edge(d, a));
+                prop_assert!(!g.has_edge(a, c) && !g.has_edge(b, d));
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Dense small-graph algorithms used by the packing-class solver.
+//!
+//! The packing-class method of Fekete–Schepers–Köhler–Teich works on
+//! *component graphs* over the set of tasks — one vertex per task, at most a
+//! few dozen vertices in any realistic FPGA reconfiguration instance. This
+//! crate therefore optimizes for **small, dense** graphs: adjacency is a
+//! bitset matrix, vertex sets are single-word-per-64-vertices bitsets, and
+//! all algorithms are exact.
+//!
+//! Provided machinery:
+//!
+//! * [`BitSet`] — fixed-capacity bitset for vertex sets;
+//! * [`DenseGraph`] — undirected graph with bitset adjacency rows;
+//! * [`PairIndex`] — triangular indexing of unordered vertex pairs, the
+//!   address space of the solver's edge-state tables;
+//! * [`lex_bfs`] — lexicographic breadth-first search;
+//! * [`chordal`] — perfect-elimination orderings, chordality,
+//!   maximal cliques of chordal graphs;
+//! * [`cliques`] — exact maximum-weight clique /
+//!   independent-set search (Bron–Kerbosch style with weight pruning);
+//! * [`induced`] — induced-`C4` detection used by the C1
+//!   pruning rule of the packing-class search.
+//!
+//! # Example
+//!
+//! ```
+//! use recopack_graph::DenseGraph;
+//!
+//! // A 4-cycle is not chordal; adding a chord makes it chordal.
+//! let mut g = DenseGraph::new(4);
+//! for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+//!     g.add_edge(u, v);
+//! }
+//! assert!(!recopack_graph::chordal::is_chordal(&g));
+//! g.add_edge(0, 2);
+//! assert!(recopack_graph::chordal::is_chordal(&g));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitset;
+pub mod chordal;
+pub mod cliques;
+mod dense;
+pub mod induced;
+mod lexbfs;
+mod pairs;
+pub mod pqtree;
+
+pub use bitset::BitSet;
+pub use dense::DenseGraph;
+pub use lexbfs::lex_bfs;
+pub use pairs::PairIndex;

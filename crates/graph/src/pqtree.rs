@@ -1,0 +1,636 @@
+//! PQ-trees: the consecutive-ones property (Booth–Lueker).
+//!
+//! A PQ-tree over a universe `0..n` represents a set of permutations closed
+//! under the children-reordering rules: a **P** node's children may be
+//! permuted arbitrarily, a **Q** node's children may only be reversed.
+//! [`PqTree::reduce`] restricts the represented set to permutations where a
+//! given subset appears consecutively — the primitive behind
+//! consecutive-ones testing, planarity, and interval-graph recognition.
+//! Korte & Möhring's algorithm for transitive orientations extending a
+//! partial order (paper §4.2) runs on *modified* PQ-trees; this module
+//! provides the classic data structure and the consecutive-ones driver
+//! behind the Fulkerson–Gross interval-graph recognizer
+//! (`recopack_order::interval::interval_representation`).
+//!
+//! The implementation follows the Booth–Lueker templates (P1–P6, Q1–Q3) in
+//! their plain `O(n)`-per-node form (no amortized bookkeeping); each
+//! [`reduce`](PqTree::reduce) is `O(tree)` which is plenty for solver-sized
+//! universes.
+//!
+//! # Example
+//!
+//! ```
+//! use recopack_graph::pqtree::consecutive_ones;
+//!
+//! // Rows {0,1}, {1,2}: orderable as 0,1,2.
+//! let order = consecutive_ones(3, &[vec![0, 1], vec![1, 2]]).expect("C1P holds");
+//! assert_eq!(order.len(), 3);
+//!
+//! // Rows {0,1}, {1,2}, {0,2} on three elements cannot all be consecutive
+//! // ... actually any pair is consecutive in a 3-permutation; add a 4th
+//! // element to break it: {0,1}, {1,2}, {0,2} with element 3 inside.
+//! assert!(consecutive_ones(4, &[vec![0, 1], vec![1, 2], vec![0, 3, 2]]).is_none());
+//! ```
+
+use crate::BitSet;
+
+/// Node label during a reduction pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Label {
+    Empty,
+    Full,
+    /// A Q node whose frontier is empty-then-full (after normalization).
+    Partial,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Kind {
+    Leaf(usize),
+    P,
+    Q,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    kind: Kind,
+    children: Vec<usize>,
+    label: Label,
+}
+
+/// A PQ-tree over the universe `0..n`.
+///
+/// Created universal (all permutations); each [`reduce`](Self::reduce)
+/// constrains one subset to be consecutive. [`frontier`](Self::frontier)
+/// reads off one represented permutation.
+#[derive(Debug, Clone)]
+pub struct PqTree {
+    nodes: Vec<Node>,
+    root: usize,
+    n: usize,
+}
+
+impl PqTree {
+    /// The universal tree over `0..n`: a single P node over all leaves
+    /// (or a lone leaf / empty tree for tiny universes).
+    pub fn new(n: usize) -> Self {
+        let mut nodes = Vec::with_capacity(n + 1);
+        for e in 0..n {
+            nodes.push(Node {
+                kind: Kind::Leaf(e),
+                children: Vec::new(),
+                label: Label::Empty,
+            });
+        }
+        let root = if n == 1 {
+            0
+        } else {
+            nodes.push(Node {
+                kind: Kind::P,
+                children: (0..n).collect(),
+                label: Label::Empty,
+            });
+            nodes.len() - 1
+        };
+        Self { nodes, root, n }
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// One permutation represented by the tree (left-to-right leaf order).
+    pub fn frontier(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.n);
+        if self.n == 0 {
+            return out;
+        }
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            match &self.nodes[id].kind {
+                Kind::Leaf(e) => out.push(*e),
+                _ => {
+                    for &c in self.nodes[id].children.iter().rev() {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn alloc(&mut self, kind: Kind, children: Vec<usize>, label: Label) -> usize {
+        self.nodes.push(Node {
+            kind,
+            children,
+            label,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Collapses pathological shapes: P/Q nodes with a single child are
+    /// replaced by the child; a Q node with two children becomes a P node.
+    fn normalize_node(&mut self, id: usize) -> usize {
+        if matches!(self.nodes[id].kind, Kind::Leaf(_)) {
+            return id;
+        }
+        if self.nodes[id].children.len() == 1 {
+            return self.nodes[id].children[0];
+        }
+        if self.nodes[id].children.len() == 2 && self.nodes[id].kind == Kind::Q {
+            self.nodes[id].kind = Kind::P;
+        }
+        id
+    }
+
+    /// Restricts the tree so the elements of `s` are consecutive in every
+    /// represented permutation. Returns `false` (leaving the tree in an
+    /// unspecified but internally consistent state) when impossible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` contains an element `>= universe()`.
+    pub fn reduce(&mut self, s: &BitSet) -> bool {
+        let size = s.len();
+        if size <= 1 || size == self.n {
+            return true; // trivially consecutive
+        }
+        // The root of the pertinent subtree is the LCA of the full leaves;
+        // recursion below finds it implicitly: process children first, and
+        // the unique node whose subtree contains all of S applies the
+        // "root" templates.
+        match self.reduce_node(self.root, s, true) {
+            Some(new_root) => {
+                self.root = new_root;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Recursive labeling + restructuring. `is_root_path` is true while the
+    /// node's subtree contains *all* full leaves (so the node may still be
+    /// the pertinent root). Returns the (possibly replaced) node id, or
+    /// `None` on failure. Afterwards the node's `label` is set.
+    fn reduce_node(&mut self, id: usize, s: &BitSet, is_root_path: bool) -> Option<usize> {
+        // Count full leaves under each child to locate the pertinent root.
+        let full_under = self.count_full(id, s);
+        let total_full = s.len();
+        if full_under == 0 {
+            self.nodes[id].label = Label::Empty;
+            return Some(id);
+        }
+        if let Kind::Leaf(_) = self.nodes[id].kind {
+            self.nodes[id].label = Label::Full;
+            return Some(id);
+        }
+        if full_under == self.subtree_size(id).min(total_full) && full_under == total_full {
+            // This subtree contains all full leaves; if some child also
+            // contains them all, recurse into it as the root path.
+            let children = self.nodes[id].children.clone();
+            for &c in &children {
+                if self.count_full(c, s) == total_full {
+                    // c is on the root path; this node only forwards.
+                    let new_c = self.reduce_node(c, s, is_root_path)?;
+                    let pos = self.nodes[id]
+                        .children
+                        .iter()
+                        .position(|&x| x == c)
+                        .expect("child present");
+                    self.nodes[id].children[pos] = new_c;
+                    self.nodes[id].label = Label::Empty; // unconstrained above
+                    return Some(id);
+                }
+            }
+            // This node IS the pertinent root.
+            return self.apply_templates(id, s, true);
+        }
+        // Node strictly below the pertinent root (or a partial subtree).
+        self.apply_templates(id, s, false)
+    }
+
+    fn subtree_size(&self, id: usize) -> usize {
+        match &self.nodes[id].kind {
+            Kind::Leaf(_) => 1,
+            _ => self.nodes[id]
+                .children
+                .iter()
+                .map(|&c| self.subtree_size(c))
+                .sum(),
+        }
+    }
+
+    fn count_full(&self, id: usize, s: &BitSet) -> usize {
+        match &self.nodes[id].kind {
+            Kind::Leaf(e) => usize::from(s.contains(*e)),
+            _ => self.nodes[id]
+                .children
+                .iter()
+                .map(|&c| self.count_full(c, s))
+                .sum(),
+        }
+    }
+
+    /// Booth–Lueker templates at `id`. `root` marks the pertinent root.
+    /// Children are reduced recursively first.
+    fn apply_templates(&mut self, id: usize, s: &BitSet, root: bool) -> Option<usize> {
+        // Reduce children bottom-up.
+        let children = self.nodes[id].children.clone();
+        let mut new_children = Vec::with_capacity(children.len());
+        for c in children {
+            let nc = self.reduce_node(c, s, false)?;
+            new_children.push(nc);
+        }
+        self.nodes[id].children = new_children;
+
+        match self.nodes[id].kind.clone() {
+            Kind::Leaf(e) => {
+                self.nodes[id].label = if s.contains(e) { Label::Full } else { Label::Empty };
+                Some(id)
+            }
+            Kind::P => self.reduce_p(id, root),
+            Kind::Q => self.reduce_q(id, root),
+        }
+    }
+
+    fn reduce_p(&mut self, id: usize, root: bool) -> Option<usize> {
+        let children = self.nodes[id].children.clone();
+        let empty: Vec<usize> = children
+            .iter()
+            .copied()
+            .filter(|&c| self.nodes[c].label == Label::Empty)
+            .collect();
+        let full: Vec<usize> = children
+            .iter()
+            .copied()
+            .filter(|&c| self.nodes[c].label == Label::Full)
+            .collect();
+        let partial: Vec<usize> = children
+            .iter()
+            .copied()
+            .filter(|&c| self.nodes[c].label == Label::Partial)
+            .collect();
+
+        // P1: uniform children.
+        if full.len() == children.len() {
+            self.nodes[id].label = Label::Full;
+            return Some(id);
+        }
+        if empty.len() == children.len() {
+            self.nodes[id].label = Label::Empty;
+            return Some(id);
+        }
+
+        // Group full children under one P node (used by several templates).
+        let group_p = |tree: &mut Self, ids: &[usize], label: Label| -> Option<usize> {
+            match ids.len() {
+                0 => None,
+                1 => Some(ids[0]),
+                _ => Some(tree.alloc(Kind::P, ids.to_vec(), label)),
+            }
+        };
+
+        match (partial.len(), root) {
+            (0, true) => {
+                // P2: root, no partial: group fulls under a new P child.
+                let full_node = group_p(self, &full, Label::Full).expect("nonuniform");
+                let mut kids = empty;
+                kids.push(full_node);
+                self.nodes[id].children = kids;
+                self.nodes[id].label = Label::Empty; // done at root
+                Some(self.normalize_node(id))
+            }
+            (0, false) => {
+                // P3: non-root, no partial: become a partial Q
+                // [empty-group, full-group].
+                let empty_node = group_p(self, &empty, Label::Empty).expect("nonuniform");
+                let full_node = group_p(self, &full, Label::Full).expect("nonuniform");
+                let q = self.alloc(Kind::Q, vec![empty_node, full_node], Label::Partial);
+                Some(q)
+            }
+            (1, true) => {
+                // P4: root, one partial: fulls attach to the full end of the
+                // partial Q; empties stay under this P node.
+                let pq = partial[0];
+                if let Some(full_node) = group_p(self, &full, Label::Full) {
+                    self.nodes[pq].children.push(full_node); // full end = right
+                }
+                let mut kids = empty;
+                kids.push(pq);
+                self.nodes[id].children = kids;
+                self.nodes[id].label = Label::Empty;
+                Some(self.normalize_node(id))
+            }
+            (1, false) => {
+                // P5: non-root, one partial: everything merges into the Q.
+                let pq = partial[0];
+                if let Some(full_node) = group_p(self, &full, Label::Full) {
+                    self.nodes[pq].children.push(full_node);
+                }
+                if let Some(empty_node) = group_p(self, &empty, Label::Empty) {
+                    self.nodes[pq].children.insert(0, empty_node);
+                }
+                self.nodes[pq].label = Label::Partial;
+                Some(pq)
+            }
+            (2, true) => {
+                // P6: root, two partials: merge as
+                // [q1: empty..full] [fulls] [reversed q2: full..empty].
+                let (q1, q2) = (partial[0], partial[1]);
+                let mut merged = self.nodes[q1].children.clone();
+                if let Some(full_node) = group_p(self, &full, Label::Full) {
+                    merged.push(full_node);
+                }
+                let mut right = self.nodes[q2].children.clone();
+                right.reverse();
+                merged.extend(right);
+                let q = self.alloc(Kind::Q, merged, Label::Empty);
+                let mut kids = empty;
+                kids.push(q);
+                self.nodes[id].children = kids;
+                self.nodes[id].label = Label::Empty;
+                Some(self.normalize_node(id))
+            }
+            _ => None, // too many partial children
+        }
+    }
+
+    fn reduce_q(&mut self, id: usize, root: bool) -> Option<usize> {
+        // Normalize each partial child so its children run empty -> full,
+        // then check the frontier pattern of labels.
+        let children = self.nodes[id].children.clone();
+        let labels: Vec<Label> = children.iter().map(|&c| self.nodes[c].label).collect();
+
+        if labels.iter().all(|&l| l == Label::Full) {
+            self.nodes[id].label = Label::Full;
+            return Some(id);
+        }
+        if labels.iter().all(|&l| l == Label::Empty) {
+            self.nodes[id].label = Label::Empty;
+            return Some(id);
+        }
+
+        // Build the flattened child list, orienting partial children, and
+        // verify the full block is consecutive (with partials only at its
+        // boundaries).
+        // Try both orientations of this Q node's child order.
+        'orient: for flip in [false, true] {
+            let mut order: Vec<usize> = children.clone();
+            if flip {
+                order.reverse();
+            }
+            let lab = |tree: &Self, c: usize| tree.nodes[c].label;
+            // Pattern: empty* [partial] full* [partial] empty*  (root)
+            //          empty* [partial] full*                   (non-root)
+            let mut i = 0;
+            let k = order.len();
+            while i < k && lab(self, order[i]) == Label::Empty {
+                i += 1;
+            }
+            let left_partial = if i < k && lab(self, order[i]) == Label::Partial {
+                i += 1;
+                Some(order[i - 1])
+            } else {
+                None
+            };
+            let full_start = i;
+            while i < k && lab(self, order[i]) == Label::Full {
+                i += 1;
+            }
+            let full_end = i;
+            let right_partial = if i < k && lab(self, order[i]) == Label::Partial {
+                i += 1;
+                Some(order[i - 1])
+            } else {
+                None
+            };
+            let trailing_empty_start = i;
+            while i < k && lab(self, order[i]) == Label::Empty {
+                i += 1;
+            }
+            if i != k {
+                continue 'orient;
+            }
+            let has_trailing = trailing_empty_start != k;
+            let fully_trailing_empty = right_partial.is_some() || has_trailing;
+            if !root && fully_trailing_empty {
+                // Non-root must end with the full block (possibly via a
+                // single left partial): pattern empty* partial? full*.
+                if right_partial.is_some() || trailing_empty_start != k {
+                    continue 'orient;
+                }
+            }
+            let _ = full_start;
+            let _ = full_end;
+
+            // Splice partial children inline: left partial contributes
+            // empty...full toward the full block; right partial reversed.
+            let mut flat: Vec<usize> = Vec::with_capacity(k + 4);
+            for &c in &order {
+                if Some(c) == left_partial {
+                    flat.extend(self.nodes[c].children.iter().copied());
+                } else if Some(c) == right_partial {
+                    let mut rev = self.nodes[c].children.clone();
+                    rev.reverse();
+                    flat.extend(rev);
+                } else {
+                    flat.push(c);
+                }
+            }
+            self.nodes[id].children = flat;
+            self.nodes[id].label = if root {
+                Label::Empty
+            } else if labels.iter().all(|&l| l != Label::Empty)
+                && left_partial.is_none()
+                && right_partial.is_none()
+            {
+                Label::Full
+            } else {
+                Label::Partial
+            };
+            // A non-root partial Q must present children empty -> full; the
+            // chosen orientation already guarantees it.
+            return Some(id);
+        }
+        None
+    }
+}
+
+/// Tests the consecutive-ones property: is there an ordering of `0..n` in
+/// which every given set is consecutive? Returns such an ordering, verified,
+/// or `None`.
+///
+/// The returned ordering is checked against all sets before being returned,
+/// so a `Some` is always correct; exhaustive tests back the `None` side.
+pub fn consecutive_ones(n: usize, sets: &[Vec<usize>]) -> Option<Vec<usize>> {
+    let mut tree = PqTree::new(n);
+    for set in sets {
+        let mut bits = BitSet::new(n);
+        bits.extend(set.iter().copied());
+        if !tree.reduce(&bits) {
+            return None;
+        }
+    }
+    let order = tree.frontier();
+    debug_assert_eq!(order.len(), n);
+    // Verify every set is consecutive in the frontier.
+    let mut pos = vec![0usize; n];
+    for (i, &e) in order.iter().enumerate() {
+        pos[e] = i;
+    }
+    for set in sets {
+        if set.is_empty() {
+            continue;
+        }
+        let lo = set.iter().map(|&e| pos[e]).min().expect("nonempty");
+        let hi = set.iter().map(|&e| pos[e]).max().expect("nonempty");
+        if hi - lo + 1 != set.len() {
+            return None;
+        }
+    }
+    Some(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute force: try all permutations of 0..n.
+    fn consecutive_ones_brute(n: usize, sets: &[Vec<usize>]) -> bool {
+        fn permutations(n: usize) -> Vec<Vec<usize>> {
+            if n == 0 {
+                return vec![vec![]];
+            }
+            let mut out = Vec::new();
+            for p in permutations(n - 1) {
+                for i in 0..=p.len() {
+                    let mut q = p.clone();
+                    q.insert(i, n - 1);
+                    out.push(q);
+                }
+            }
+            out
+        }
+        'perm: for perm in permutations(n) {
+            let mut pos = vec![0usize; n];
+            for (i, &e) in perm.iter().enumerate() {
+                pos[e] = i;
+            }
+            for set in sets {
+                if set.is_empty() {
+                    continue;
+                }
+                let lo = set.iter().map(|&e| pos[e]).min().expect("nonempty");
+                let hi = set.iter().map(|&e| pos[e]).max().expect("nonempty");
+                if hi - lo + 1 != set.len() {
+                    continue 'perm;
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    #[test]
+    fn trivial_cases() {
+        assert!(consecutive_ones(0, &[]).is_some());
+        assert!(consecutive_ones(1, &[vec![0]]).is_some());
+        assert!(consecutive_ones(3, &[]).is_some());
+        assert!(consecutive_ones(3, &[vec![0, 1, 2]]).is_some());
+    }
+
+    #[test]
+    fn simple_chain() {
+        let order = consecutive_ones(4, &[vec![0, 1], vec![1, 2], vec![2, 3]])
+            .expect("path structure");
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn known_negative() {
+        // {0,1}, {1,2}, {0,2,3}: 0 and 2 must flank 1, but then {0,2,3}
+        // cannot be consecutive without 1.
+        assert!(consecutive_ones(4, &[vec![0, 1], vec![1, 2], vec![0, 2, 3]]).is_none());
+    }
+
+    #[test]
+    fn overlapping_triples() {
+        let sets = vec![vec![0, 1, 2], vec![1, 2, 3], vec![2, 3, 4]];
+        let order = consecutive_ones(5, &sets).expect("staircase");
+        // spot-verify
+        let mut pos = vec![0usize; 5];
+        for (i, &e) in order.iter().enumerate() {
+            pos[e] = i;
+        }
+        for set in &sets {
+            let lo = set.iter().map(|&e| pos[e]).min().expect("nonempty");
+            let hi = set.iter().map(|&e| pos[e]).max().expect("nonempty");
+            assert_eq!(hi - lo + 1, set.len());
+        }
+    }
+
+    #[test]
+    fn exhaustive_small_universes() {
+        // All set families over n in {3, 4} with up to 3 nontrivial sets:
+        // compare against brute force. Sets encoded as bitmasks 0..2^n.
+        let mut checked = 0u32;
+        for n in 3usize..=4 {
+            let masks: Vec<u32> = (0..(1u32 << n))
+                .filter(|m| m.count_ones() >= 2 && (m.count_ones() as usize) < n)
+                .collect();
+            let decode = |m: u32| -> Vec<usize> {
+                (0..n).filter(|&b| m & (1 << b) != 0).collect()
+            };
+            for (i, &a) in masks.iter().enumerate() {
+                for (j, &b) in masks.iter().enumerate().take(i + 1) {
+                    for &c in masks.iter().take(j + 1) {
+                        let sets = vec![decode(a), decode(b), decode(c)];
+                        let ours = consecutive_ones(n, &sets).is_some();
+                        let brute = consecutive_ones_brute(n, &sets);
+                        assert_eq!(
+                            ours, brute,
+                            "disagreement on n={n}, sets={sets:?}"
+                        );
+                        checked += 1;
+                    }
+                }
+            }
+        }
+        assert!(checked > 50);
+    }
+
+    #[test]
+    fn random_medium_universes_against_brute_force() {
+        let mut state = 0x12345678u64;
+        let mut next = |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        for _ in 0..400 {
+            let n = 5 + (next(3) as usize); // 5..7
+            let set_count = 2 + next(4) as usize;
+            let sets: Vec<Vec<usize>> = (0..set_count)
+                .map(|_| {
+                    let size = 2 + next((n - 1) as u64) as usize;
+                    let mut s: Vec<usize> =
+                        (0..n).map(|_| next(n as u64) as usize).take(size).collect();
+                    s.sort_unstable();
+                    s.dedup();
+                    s
+                })
+                .collect();
+            let ours = consecutive_ones(n, &sets).is_some();
+            let brute = consecutive_ones_brute(n, &sets);
+            assert_eq!(ours, brute, "disagreement on n={n}, sets={sets:?}");
+        }
+    }
+
+    #[test]
+    fn frontier_is_a_permutation_after_many_reduces() {
+        let sets = vec![vec![0, 1], vec![2, 3], vec![1, 2], vec![4, 5], vec![3, 4]];
+        let order = consecutive_ones(6, &sets).expect("caterpillar");
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..6).collect::<Vec<_>>());
+    }
+}

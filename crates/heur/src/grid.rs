@@ -1,0 +1,187 @@
+//! 2D occupancy grid: the chip's free-space manager.
+
+/// Cell-level occupancy of a `width × height` chip, with bottom-left
+/// placement queries.
+///
+/// Chips in this domain are small (the paper's largest is 64×64), so a flat
+/// boolean grid with a per-row skip optimization is both simple and fast.
+///
+/// # Example
+///
+/// ```
+/// use recopack_heur::grid::SpatialGrid;
+///
+/// let mut g = SpatialGrid::new(4, 4);
+/// let at = g.find_position(2, 2).expect("empty grid fits");
+/// assert_eq!(at, (0, 0));
+/// g.occupy(0, 0, 2, 2);
+/// assert_eq!(g.find_position(2, 2), Some((2, 0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpatialGrid {
+    width: u64,
+    height: u64,
+    cells: Vec<bool>,
+}
+
+impl SpatialGrid {
+    /// Creates an empty grid.
+    pub fn new(width: u64, height: u64) -> Self {
+        Self {
+            width,
+            height,
+            cells: vec![false; (width * height) as usize],
+        }
+    }
+
+    /// Grid width in cells.
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Grid height in cells.
+    pub fn height(&self) -> u64 {
+        self.height
+    }
+
+    fn idx(&self, x: u64, y: u64) -> usize {
+        (y * self.width + x) as usize
+    }
+
+    /// Whether the rectangle at `(x, y)` of size `w × h` lies inside the
+    /// grid and is fully free.
+    pub fn fits(&self, x: u64, y: u64, w: u64, h: u64) -> bool {
+        if x + w > self.width || y + h > self.height {
+            return false;
+        }
+        for yy in y..y + h {
+            for xx in x..x + w {
+                if self.cells[self.idx(xx, yy)] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Bottom-left position for a `w × h` rectangle: smallest `y`, then
+    /// smallest `x`, at which it fits. `None` when nothing fits.
+    pub fn find_position(&self, w: u64, h: u64) -> Option<(u64, u64)> {
+        if w == 0 || h == 0 || w > self.width || h > self.height {
+            return None;
+        }
+        for y in 0..=self.height - h {
+            let mut x = 0;
+            while x + w <= self.width {
+                // Find the first occupied cell in the candidate rectangle,
+                // scanning the rows; skip past it on failure.
+                match self.first_blocker(x, y, w, h) {
+                    None => return Some((x, y)),
+                    Some(bx) => x = bx + 1,
+                }
+            }
+        }
+        None
+    }
+
+    fn first_blocker(&self, x: u64, y: u64, w: u64, h: u64) -> Option<u64> {
+        let mut rightmost: Option<u64> = None;
+        for yy in y..y + h {
+            for xx in x..x + w {
+                if self.cells[self.idx(xx, yy)] {
+                    rightmost = Some(rightmost.map_or(xx, |r: u64| r.max(xx)));
+                    break;
+                }
+            }
+        }
+        rightmost
+    }
+
+    /// Marks the rectangle as occupied.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if any cell is already occupied or out of
+    /// range — double-booking is a caller bug.
+    pub fn occupy(&mut self, x: u64, y: u64, w: u64, h: u64) {
+        for yy in y..y + h {
+            for xx in x..x + w {
+                let i = self.idx(xx, yy);
+                debug_assert!(!self.cells[i], "cell ({xx},{yy}) double-booked");
+                self.cells[i] = true;
+            }
+        }
+    }
+
+    /// Frees the rectangle.
+    pub fn release(&mut self, x: u64, y: u64, w: u64, h: u64) {
+        for yy in y..y + h {
+            for xx in x..x + w {
+                let i = self.idx(xx, yy);
+                self.cells[i] = false;
+            }
+        }
+    }
+
+    /// Number of occupied cells.
+    pub fn occupied_cells(&self) -> u64 {
+        self.cells.iter().filter(|&&c| c).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bottom_left_prefers_low_y_then_low_x() {
+        let mut g = SpatialGrid::new(6, 4);
+        g.occupy(0, 0, 3, 1);
+        assert_eq!(g.find_position(3, 1), Some((3, 0)));
+        g.occupy(3, 0, 3, 1);
+        assert_eq!(g.find_position(3, 1), Some((0, 1)));
+    }
+
+    #[test]
+    fn oversized_requests_fail() {
+        let g = SpatialGrid::new(4, 4);
+        assert_eq!(g.find_position(5, 1), None);
+        assert_eq!(g.find_position(1, 5), None);
+        assert_eq!(g.find_position(0, 1), None);
+    }
+
+    #[test]
+    fn release_restores_space() {
+        let mut g = SpatialGrid::new(4, 4);
+        g.occupy(0, 0, 4, 4);
+        assert_eq!(g.find_position(1, 1), None);
+        g.release(0, 0, 4, 4);
+        assert_eq!(g.find_position(4, 4), Some((0, 0)));
+        assert_eq!(g.occupied_cells(), 0);
+    }
+
+    #[test]
+    fn fits_respects_partial_occupancy() {
+        let mut g = SpatialGrid::new(4, 4);
+        g.occupy(1, 1, 2, 2);
+        assert!(g.fits(0, 0, 1, 4));
+        assert!(!g.fits(0, 0, 2, 2));
+        assert!(g.fits(3, 0, 1, 4));
+        assert!(!g.fits(3, 3, 2, 1));
+    }
+
+    #[test]
+    fn skip_optimization_matches_naive_scan() {
+        // Irregular occupancy; compare find_position with a naive scan.
+        let mut g = SpatialGrid::new(8, 8);
+        for (x, y, w, h) in [(0, 0, 3, 2), (5, 0, 3, 3), (2, 4, 4, 2)] {
+            g.occupy(x, y, w, h);
+        }
+        for (w, h) in [(1, 1), (2, 2), (3, 3), (5, 2), (8, 1), (2, 6)] {
+            let naive = (0..=8 - h)
+                .flat_map(|y| (0..=8 - w).map(move |x| (x, y)))
+                .find(|&(x, y)| g.fits(x, y, w, h));
+            assert_eq!(g.find_position(w, h), naive, "size {w}x{h}");
+        }
+    }
+}

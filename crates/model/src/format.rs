@@ -1,0 +1,468 @@
+//! A plain-text instance format for files and tooling.
+//!
+//! Line-oriented, whitespace-separated, `#` starts a comment:
+//!
+//! ```text
+//! # DE benchmark fragment
+//! chip 32 32
+//! horizon 6
+//! task v1 16 16 2
+//! task v3 16 16 2
+//! arc v1 v3
+//! ```
+//!
+//! Directives may appear in any order; `chip` and `horizon` must each occur
+//! exactly once. Task names may not contain whitespace.
+
+use crate::{BuildError, Chip, Instance, Task};
+
+/// Errors of [`parse_instance`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseInstanceError {
+    /// A line could not be parsed; carries the 1-based line number and a
+    /// description.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A directive appeared twice or was missing.
+    Structure(String),
+    /// The parsed pieces do not form a valid instance.
+    Invalid(BuildError),
+}
+
+impl std::fmt::Display for ParseInstanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            Self::Structure(m) => write!(f, "{m}"),
+            Self::Invalid(e) => write!(f, "invalid instance: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseInstanceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildError> for ParseInstanceError {
+    fn from(e: BuildError) -> Self {
+        Self::Invalid(e)
+    }
+}
+
+/// Parses an instance from the text format.
+///
+/// # Errors
+///
+/// [`ParseInstanceError`] on malformed lines, duplicate/missing `chip` or
+/// `horizon`, or semantic problems (unknown task names in arcs, cycles…).
+///
+/// # Example
+///
+/// ```
+/// use recopack_model::format::parse_instance;
+///
+/// let instance = parse_instance(
+///     "chip 4 4\nhorizon 8\ntask a 2 2 2\ntask b 2 2 3\narc a b\n",
+/// )?;
+/// assert_eq!(instance.task_count(), 2);
+/// assert!(instance.precedence().has_arc(0, 1));
+/// # Ok::<(), recopack_model::format::ParseInstanceError>(())
+/// ```
+pub fn parse_instance(text: &str) -> Result<Instance, ParseInstanceError> {
+    let mut chip: Option<Chip> = None;
+    let mut horizon: Option<u64> = None;
+    let mut builder = Instance::builder();
+    let syntax = |line: usize, message: &str| ParseInstanceError::Syntax {
+        line,
+        message: message.to_string(),
+    };
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields[0] {
+            "chip" => {
+                let [w, h] = fields[1..] else {
+                    return Err(syntax(line_no, "expected: chip <width> <height>"));
+                };
+                let (w, h) = (
+                    w.parse().map_err(|_| syntax(line_no, "bad chip width"))?,
+                    h.parse().map_err(|_| syntax(line_no, "bad chip height"))?,
+                );
+                if chip.replace(Chip::new(w, h)).is_some() {
+                    return Err(ParseInstanceError::Structure(
+                        "duplicate `chip` directive".into(),
+                    ));
+                }
+            }
+            "horizon" => {
+                let [t] = fields[1..] else {
+                    return Err(syntax(line_no, "expected: horizon <cycles>"));
+                };
+                let t = t.parse().map_err(|_| syntax(line_no, "bad horizon"))?;
+                if horizon.replace(t).is_some() {
+                    return Err(ParseInstanceError::Structure(
+                        "duplicate `horizon` directive".into(),
+                    ));
+                }
+            }
+            "task" => {
+                let (name, w, h, d, reconfig) = match fields[1..] {
+                    [name, w, h, d] => (name, w, h, d, None),
+                    [name, w, h, d, r] => (name, w, h, d, Some(r)),
+                    _ => {
+                        return Err(syntax(
+                            line_no,
+                            "expected: task <name> <width> <height> <duration> [reconfiguration]",
+                        ))
+                    }
+                };
+                let parse = |s: &str, what: &str| -> Result<u64, ParseInstanceError> {
+                    s.parse().map_err(|_| syntax(line_no, &format!("bad task {what}")))
+                };
+                let mut task = Task::new(
+                    name,
+                    parse(w, "width")?,
+                    parse(h, "height")?,
+                    parse(d, "duration")?,
+                );
+                if let Some(r) = reconfig {
+                    task = task.with_reconfiguration(parse(r, "reconfiguration")?);
+                }
+                builder = builder.task(task);
+            }
+            "arc" => {
+                let [from, to] = fields[1..] else {
+                    return Err(syntax(line_no, "expected: arc <before> <after>"));
+                };
+                builder = builder.precedence(from, to);
+            }
+            other => {
+                return Err(syntax(line_no, &format!("unknown directive {other:?}")));
+            }
+        }
+    }
+    let chip =
+        chip.ok_or_else(|| ParseInstanceError::Structure("missing `chip` directive".into()))?;
+    let horizon = horizon
+        .ok_or_else(|| ParseInstanceError::Structure("missing `horizon` directive".into()))?;
+    Ok(builder.chip(chip).horizon(horizon).build()?)
+}
+
+/// Renders an instance in the text format; [`parse_instance`] of the result
+/// reproduces the instance (task names must be whitespace-free, which the
+/// writer checks).
+///
+/// # Panics
+///
+/// Panics if a task name contains whitespace or `#`.
+pub fn format_instance(instance: &Instance) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "chip {} {}\n",
+        instance.chip().width(),
+        instance.chip().height()
+    ));
+    out.push_str(&format!("horizon {}\n", instance.horizon()));
+    for t in instance.tasks() {
+        assert!(
+            !t.name().contains(char::is_whitespace) && !t.name().contains('#'),
+            "task name {:?} cannot be serialized",
+            t.name()
+        );
+        if t.reconfiguration() == 0 {
+            out.push_str(&format!(
+                "task {} {} {} {}\n",
+                t.name(),
+                t.width(),
+                t.height(),
+                t.compute_duration()
+            ));
+        } else {
+            out.push_str(&format!(
+                "task {} {} {} {} {}\n",
+                t.name(),
+                t.width(),
+                t.height(),
+                t.compute_duration(),
+                t.reconfiguration()
+            ));
+        }
+    }
+    for (u, v) in instance.precedence().arcs() {
+        out.push_str(&format!(
+            "arc {} {}\n",
+            instance.task(u).name(),
+            instance.task(v).name()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    #[test]
+    fn parse_well_formed() {
+        let i = parse_instance(
+            "# header\nchip 4 4 # trailing comment\nhorizon 8\n\ntask a 2 2 2\ntask b 2 2 3\narc a b\n",
+        )
+        .expect("valid");
+        assert_eq!(i.chip(), Chip::new(4, 4));
+        assert_eq!(i.horizon(), 8);
+        assert_eq!(i.task_count(), 2);
+        assert_eq!(i.precedence().arc_count(), 1);
+    }
+
+    #[test]
+    fn roundtrips_benchmarks() {
+        for instance in [
+            benchmarks::de(Chip::square(32), 6),
+            benchmarks::video_codec(Chip::square(64), 59),
+        ] {
+            let text = format_instance(&instance);
+            let parsed = parse_instance(&text).expect("roundtrip parses");
+            assert_eq!(parsed, instance);
+        }
+    }
+
+    #[test]
+    fn reconfiguration_roundtrips() {
+        let i = parse_instance("chip 4 4\nhorizon 9\ntask a 2 2 2 3\n").expect("valid");
+        assert_eq!(i.task(0).duration(), 5);
+        assert_eq!(i.task(0).reconfiguration(), 3);
+        let text = format_instance(&i);
+        assert!(text.contains("task a 2 2 2 3"));
+        assert_eq!(parse_instance(&text).expect("roundtrip"), i);
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = parse_instance("chip 4 4\nhorizon 2\ntask a 1 1\n").expect_err("bad task");
+        assert_eq!(
+            err,
+            ParseInstanceError::Syntax {
+                line: 3,
+                message: "expected: task <name> <width> <height> <duration> [reconfiguration]"
+                    .into()
+            }
+        );
+        let err = parse_instance("chip 4\n").expect_err("bad chip");
+        assert!(matches!(err, ParseInstanceError::Syntax { line: 1, .. }));
+        let err = parse_instance("chip 4 4\nhorizon 2\nfrob x\n").expect_err("unknown");
+        assert!(err.to_string().contains("unknown directive"));
+    }
+
+    #[test]
+    fn structural_errors() {
+        assert!(matches!(
+            parse_instance("horizon 2\n"),
+            Err(ParseInstanceError::Structure(_))
+        ));
+        assert!(matches!(
+            parse_instance("chip 2 2\nchip 2 2\nhorizon 1\n"),
+            Err(ParseInstanceError::Structure(_))
+        ));
+        assert!(matches!(
+            parse_instance("chip 2 2\nhorizon 1\nhorizon 2\n"),
+            Err(ParseInstanceError::Structure(_))
+        ));
+    }
+
+    #[test]
+    fn semantic_errors_are_forwarded() {
+        let err = parse_instance("chip 2 2\nhorizon 4\ntask a 1 1 1\narc a b\n")
+            .expect_err("unknown task");
+        assert_eq!(
+            err,
+            ParseInstanceError::Invalid(BuildError::UnknownTask("b".into()))
+        );
+        let err = parse_instance(
+            "chip 2 2\nhorizon 4\ntask a 1 1 1\ntask b 1 1 1\narc a b\narc b a\n",
+        )
+        .expect_err("cycle");
+        assert!(matches!(
+            err,
+            ParseInstanceError::Invalid(BuildError::CyclicPrecedence(_))
+        ));
+    }
+}
+
+/// Errors of [`parse_placement`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsePlacementError {
+    /// A line could not be parsed (1-based line number and description).
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A task name is unknown or placed twice, or a task is missing.
+    Structure(String),
+}
+
+impl std::fmt::Display for ParsePlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            Self::Structure(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for ParsePlacementError {}
+
+/// Renders a placement in the text format: one `place <task> <x> <y> <t>`
+/// line per task, in task-id order.
+pub fn format_placement(placement: &crate::Placement, instance: &Instance) -> String {
+    let mut out = String::new();
+    for (id, b) in placement.boxes().iter().enumerate() {
+        out.push_str(&format!(
+            "place {} {} {} {}\n",
+            instance.task(id).name(),
+            b.origin[0],
+            b.origin[1],
+            b.origin[2]
+        ));
+    }
+    out
+}
+
+/// Parses a placement for `instance` from `place` lines (comments and blank
+/// lines allowed). Every task must be placed exactly once. The result is
+/// *not* verified — callers decide whether to
+/// [`verify`](crate::Placement::verify).
+///
+/// # Errors
+///
+/// [`ParsePlacementError`] on malformed lines, unknown or duplicate task
+/// names, or missing tasks.
+pub fn parse_placement(
+    text: &str,
+    instance: &Instance,
+) -> Result<crate::Placement, ParsePlacementError> {
+    let n = instance.task_count();
+    let mut origins: Vec<Option<[u64; 3]>> = vec![None; n];
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let syntax = |message: &str| ParsePlacementError::Syntax {
+            line: line_no,
+            message: message.to_string(),
+        };
+        let ["place", name, x, y, t] = fields.as_slice() else {
+            return Err(syntax("expected: place <task> <x> <y> <t>"));
+        };
+        let id = instance
+            .task_id(name)
+            .ok_or_else(|| ParsePlacementError::Structure(format!("unknown task {name:?}")))?;
+        if origins[id].is_some() {
+            return Err(ParsePlacementError::Structure(format!(
+                "task {name:?} placed twice"
+            )));
+        }
+        let parse = |s: &str, what: &str| -> Result<u64, ParsePlacementError> {
+            s.parse().map_err(|_| syntax(&format!("bad {what}")))
+        };
+        origins[id] = Some([parse(x, "x")?, parse(y, "y")?, parse(t, "t")?]);
+    }
+    let origins: Vec<[u64; 3]> = origins
+        .into_iter()
+        .enumerate()
+        .map(|(id, o)| {
+            o.ok_or_else(|| {
+                ParsePlacementError::Structure(format!(
+                    "task {:?} not placed",
+                    instance.task(id).name()
+                ))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(crate::Placement::new(origins, instance))
+}
+
+#[cfg(test)]
+mod placement_tests {
+    use super::*;
+    use crate::{Chip, Placement, Task};
+
+    fn setup() -> (Instance, Placement) {
+        let i = Instance::builder()
+            .chip(Chip::square(4))
+            .horizon(4)
+            .task(Task::new("a", 2, 2, 2))
+            .task(Task::new("b", 2, 2, 2))
+            .precedence("a", "b")
+            .build()
+            .expect("valid");
+        let p = Placement::new(vec![[0, 0, 0], [2, 2, 2]], &i);
+        (i, p)
+    }
+
+    #[test]
+    fn placement_roundtrips() {
+        let (i, p) = setup();
+        let text = format_placement(&p, &i);
+        assert!(text.contains("place a 0 0 0"));
+        assert!(text.contains("place b 2 2 2"));
+        let parsed = parse_placement(&text, &i).expect("roundtrip");
+        assert_eq!(parsed, p);
+        assert_eq!(parsed.verify(&i), Ok(()));
+    }
+
+    #[test]
+    fn unknown_task_rejected() {
+        let (i, _) = setup();
+        let err = parse_placement("place z 0 0 0\n", &i).expect_err("unknown");
+        assert!(err.to_string().contains("unknown task"));
+    }
+
+    #[test]
+    fn duplicate_and_missing_tasks_rejected() {
+        let (i, _) = setup();
+        let err = parse_placement("place a 0 0 0\nplace a 1 1 1\n", &i).expect_err("dup");
+        assert!(err.to_string().contains("placed twice"));
+        let err = parse_placement("place a 0 0 0\n", &i).expect_err("missing");
+        assert!(err.to_string().contains("not placed"));
+    }
+
+    #[test]
+    fn syntax_errors_have_line_numbers() {
+        let (i, _) = setup();
+        let err = parse_placement("# ok\nplace a 0 0\n", &i).expect_err("short line");
+        assert_eq!(
+            err,
+            ParsePlacementError::Syntax {
+                line: 2,
+                message: "expected: place <task> <x> <y> <t>".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parsed_placement_may_fail_verification() {
+        let (i, _) = setup();
+        // Overlapping placement parses fine but does not verify.
+        let p = parse_placement("place a 0 0 0\nplace b 0 0 0\n", &i).expect("parses");
+        assert!(p.verify(&i).is_err());
+    }
+}

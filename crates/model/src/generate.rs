@@ -1,0 +1,341 @@
+//! Random instance generators for tests and benchmarks.
+//!
+//! Two families:
+//!
+//! * [`random_instance`] — tasks with random shapes, a random layered
+//!   precedence DAG, and a container that may or may not admit a packing
+//!   (exercises both solver answers);
+//! * [`layered_instance`] — pipeline-shaped layered DAGs, the structure of
+//!   real dataflow graphs like the paper's benchmarks;
+//! * [`random_feasible_instance`] — built *from* a random non-overlapping
+//!   placement, so the instance is feasible by construction and the sampled
+//!   placement doubles as a witness. Precedence arcs are sampled only
+//!   between tasks whose sampled intervals are actually ordered, keeping the
+//!   witness valid.
+
+use rand::Rng;
+
+use crate::{Chip, Instance, Placement, Task};
+
+/// Parameters for the random generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeneratorConfig {
+    /// Number of tasks.
+    pub task_count: usize,
+    /// Maximum task extent per spatial dimension (inclusive).
+    pub max_side: u64,
+    /// Maximum task duration (inclusive).
+    pub max_duration: u64,
+    /// Precedence arc probability, in percent (0–100).
+    pub arc_percent: u32,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            task_count: 6,
+            max_side: 4,
+            max_duration: 4,
+            arc_percent: 25,
+        }
+    }
+}
+
+/// Generates an instance with random task shapes and a random precedence
+/// DAG on a container sized near the volume bound — roughly half of the
+/// instances drawn this way are feasible, which is what decision-procedure
+/// tests want.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use recopack_model::generate::{random_instance, GeneratorConfig};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let instance = random_instance(&GeneratorConfig::default(), &mut rng);
+/// assert_eq!(instance.task_count(), 6);
+/// ```
+pub fn random_instance<R: Rng>(config: &GeneratorConfig, rng: &mut R) -> Instance {
+    let tasks: Vec<Task> = (0..config.task_count)
+        .map(|i| {
+            Task::new(
+                format!("t{i}"),
+                rng.gen_range(1..=config.max_side),
+                rng.gen_range(1..=config.max_side),
+                rng.gen_range(1..=config.max_duration),
+            )
+        })
+        .collect();
+    let max_w = tasks.iter().map(Task::width).max().unwrap_or(1);
+    let max_h = tasks.iter().map(Task::height).max().unwrap_or(1);
+    let volume: u64 = tasks.iter().map(Task::volume).sum();
+
+    let mut builder = Instance::builder();
+    for t in &tasks {
+        builder = builder.task(t.clone());
+    }
+    // Layered DAG: arcs only low id -> high id keeps it acyclic.
+    let mut total_serial = 0u64;
+    for v in 1..config.task_count {
+        for u in 0..v {
+            if rng.gen_range(0..100) < config.arc_percent {
+                builder = builder.precedence(format!("t{u}"), format!("t{v}"));
+            }
+        }
+    }
+    for t in &tasks {
+        total_serial += t.duration();
+    }
+
+    // Container: spatial sides at least the largest task, sized so the
+    // volume bound is in play; horizon between critical-path-ish and serial.
+    let side_w = rng.gen_range(max_w..=max_w + config.max_side);
+    let side_h = rng.gen_range(max_h..=max_h + config.max_side);
+    let min_t = tasks.iter().map(Task::duration).max().unwrap_or(1);
+    let vol_t = volume.div_ceil(side_w * side_h).max(min_t);
+    let horizon = rng.gen_range(vol_t..=vol_t.max(total_serial));
+    builder
+        .chip(Chip::new(side_w, side_h))
+        .horizon(horizon)
+        .build()
+        .expect("generated instances are structurally valid")
+}
+
+/// Generates a feasible instance together with a witness placement.
+///
+/// Boxes are placed one by one at uniformly random positions inside the
+/// container, rejecting collisions; precedence arcs are then sampled only
+/// between pairs whose placed time intervals are disjoint and ordered, so
+/// the returned placement verifies by construction.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use recopack_model::generate::{random_feasible_instance, GeneratorConfig};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let (instance, witness) = random_feasible_instance(&GeneratorConfig::default(), &mut rng);
+/// assert!(witness.verify(&instance).is_ok());
+/// ```
+pub fn random_feasible_instance<R: Rng>(
+    config: &GeneratorConfig,
+    rng: &mut R,
+) -> (Instance, Placement) {
+    let n = config.task_count;
+    let tasks: Vec<Task> = (0..n)
+        .map(|i| {
+            Task::new(
+                format!("t{i}"),
+                rng.gen_range(1..=config.max_side),
+                rng.gen_range(1..=config.max_side),
+                rng.gen_range(1..=config.max_duration),
+            )
+        })
+        .collect();
+    // Container generous enough that rejection sampling terminates fast.
+    let side = 2 * config.max_side + config.max_side * (n as u64) / 2;
+    let horizon = 2 * config.max_duration + config.max_duration * (n as u64) / 2;
+
+    let mut origins: Vec<[u64; 3]> = Vec::with_capacity(n);
+    for t in &tasks {
+        let origin = loop {
+            let candidate = [
+                rng.gen_range(0..=side - t.width()),
+                rng.gen_range(0..=side - t.height()),
+                rng.gen_range(0..=horizon - t.duration()),
+            ];
+            let collides = origins.iter().zip(&tasks).any(|(o, placed)| {
+                (0..3).all(|d| {
+                    let size = [placed.width(), placed.height(), placed.duration()];
+                    let tsize = [t.width(), t.height(), t.duration()];
+                    candidate[d] < o[d] + size[d] && o[d] < candidate[d] + tsize[d]
+                })
+            });
+            if !collides {
+                break candidate;
+            }
+        };
+        origins.push(origin);
+    }
+
+    let mut builder = Instance::builder().chip(Chip::new(side, side)).horizon(horizon);
+    for t in &tasks {
+        builder = builder.task(t.clone());
+    }
+    // Only arcs consistent with the witness: u's interval ends before v's starts.
+    for v in 0..n {
+        for u in 0..n {
+            if u == v {
+                continue;
+            }
+            let u_end = origins[u][2] + tasks[u].duration();
+            if u_end <= origins[v][2] && rng.gen_range(0..100) < config.arc_percent {
+                builder = builder.precedence(format!("t{u}"), format!("t{v}"));
+            }
+        }
+    }
+    let instance = builder
+        .build()
+        .expect("witness-ordered arcs cannot form cycles");
+    let placement = Placement::new(origins, &instance);
+    debug_assert_eq!(placement.verify(&instance), Ok(()));
+    (instance, placement)
+}
+
+/// Parameters for [`layered_instance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayeredConfig {
+    /// Number of precedence layers.
+    pub layers: usize,
+    /// Tasks per layer.
+    pub width: usize,
+    /// Maximum task extent per spatial dimension (inclusive).
+    pub max_side: u64,
+    /// Maximum task duration (inclusive).
+    pub max_duration: u64,
+    /// Probability (percent) of an arc between consecutive-layer tasks.
+    pub arc_percent: u32,
+}
+
+impl Default for LayeredConfig {
+    fn default() -> Self {
+        Self {
+            layers: 3,
+            width: 3,
+            max_side: 4,
+            max_duration: 3,
+            arc_percent: 50,
+        }
+    }
+}
+
+/// Generates a layered ("pipeline-shaped") instance: `layers × width` tasks
+/// where precedence arcs only connect consecutive layers — the structure of
+/// dataflow graphs like the paper's DE and video-codec benchmarks.
+///
+/// Every task is guaranteed at least one predecessor in the previous layer
+/// (except layer 0), so the critical path spans all layers. The container is
+/// sized so instances are usually feasible but tight.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use recopack_model::generate::{layered_instance, LayeredConfig};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+/// let instance = layered_instance(&LayeredConfig::default(), &mut rng);
+/// assert_eq!(instance.task_count(), 9);
+/// assert!(instance.critical_path_length() >= 3);
+/// ```
+pub fn layered_instance<R: Rng>(config: &LayeredConfig, rng: &mut R) -> Instance {
+    let name = |layer: usize, k: usize| format!("l{layer}t{k}");
+    let mut builder = Instance::builder();
+    let mut max_w = 1;
+    let mut max_h = 1;
+    let mut volume = 0u64;
+    let mut layer_durations = vec![0u64; config.layers];
+    for layer in 0..config.layers {
+        for k in 0..config.width {
+            let t = Task::new(
+                name(layer, k),
+                rng.gen_range(1..=config.max_side),
+                rng.gen_range(1..=config.max_side),
+                rng.gen_range(1..=config.max_duration),
+            );
+            max_w = max_w.max(t.width());
+            max_h = max_h.max(t.height());
+            volume += t.volume();
+            layer_durations[layer] = layer_durations[layer].max(t.duration());
+            builder = builder.task(t);
+        }
+    }
+    for layer in 1..config.layers {
+        for k in 0..config.width {
+            let mut has_pred = false;
+            for j in 0..config.width {
+                if rng.gen_range(0..100) < config.arc_percent {
+                    builder = builder.precedence(name(layer - 1, j), name(layer, k));
+                    has_pred = true;
+                }
+            }
+            if !has_pred {
+                let j = rng.gen_range(0..config.width);
+                builder = builder.precedence(name(layer - 1, j), name(layer, k));
+            }
+        }
+    }
+    // Chip: room for about half a layer side by side; horizon: the layered
+    // makespan with some slack.
+    let side_w = max_w + (config.width as u64 / 2) * config.max_side / 2 + 1;
+    let side_h = max_h + (config.width as u64 / 2) * config.max_side / 2 + 1;
+    let horizon_floor: u64 = layer_durations.iter().sum();
+    let horizon = horizon_floor.max(volume.div_ceil(side_w * side_h)) + config.max_duration;
+    builder
+        .chip(Chip::new(side_w, side_h))
+        .horizon(horizon)
+        .build()
+        .expect("layered instances are structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_instances_are_structurally_valid() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let i = random_instance(&GeneratorConfig::default(), &mut rng);
+            assert_eq!(i.task_count(), 6);
+            assert!(i.precedence().is_acyclic());
+            // Every task fits the chip spatially.
+            for t in i.tasks() {
+                assert!(t.width() <= i.chip().width());
+                assert!(t.height() <= i.chip().height());
+            }
+        }
+    }
+
+    #[test]
+    fn feasible_instances_come_with_valid_witnesses() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for seed in 0..20 {
+            let config = GeneratorConfig {
+                task_count: 3 + (seed % 5),
+                ..GeneratorConfig::default()
+            };
+            let (i, p) = random_feasible_instance(&config, &mut rng);
+            assert_eq!(p.verify(&i), Ok(()), "witness must verify (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn layered_instances_have_spanning_critical_paths() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..10 {
+            let config = LayeredConfig::default();
+            let i = layered_instance(&config, &mut rng);
+            assert_eq!(i.task_count(), config.layers * config.width);
+            assert!(i.precedence().is_acyclic());
+            // Every non-source task has a predecessor, so the critical path
+            // has at least one task per layer.
+            assert!(i.critical_path_length() >= config.layers as u64);
+            for t in i.tasks() {
+                assert!(t.width() <= i.chip().width());
+                assert!(t.height() <= i.chip().height());
+            }
+        }
+    }
+
+    #[test]
+    fn config_default_is_modest() {
+        let c = GeneratorConfig::default();
+        assert!(c.task_count <= 8);
+        assert!(c.arc_percent <= 100);
+    }
+}

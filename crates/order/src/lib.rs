@@ -1,0 +1,49 @@
+//! Partial orders, comparability graphs, and transitive orientations.
+//!
+//! The packing-class method reduces geometric packing to graph structure: in
+//! every dimension the *complement* of the component graph is a comparability
+//! graph, and a transitive orientation of it is an **interval order** — the
+//! "comes before" relation of the box projections. Precedence constraints
+//! (paper §4) are arcs that a transitive orientation of the time dimension
+//! must extend, and the paper's D1 (path) / D2 (transitivity) implications
+//! are exactly Gallai's forcing rules.
+//!
+//! This crate provides:
+//!
+//! * [`Dag`] — directed acyclic graphs with topological sort, transitive
+//!   closure/reduction and weighted critical paths (the dependency-graph
+//!   substrate);
+//! * [`orientation`] — the forcing engine: orient a comparability graph
+//!   transitively, optionally extending a given partial order
+//!   (Korte–Möhring's problem, solved by D1/D2 closure plus backtracking);
+//! * [`implication`] — Gallai path-implication classes of a comparability
+//!   graph (the paper's §4.3 partition);
+//! * [`interval`] — interval-graph recognition (chordal + co-comparability,
+//!   Gilmore–Hoffman) and coordinate realization of interval orders by
+//!   longest weighted chains.
+//!
+//! # Example: orienting a complement into coordinates
+//!
+//! ```
+//! use recopack_graph::DenseGraph;
+//! use recopack_order::{interval, orientation};
+//!
+//! // Three unit intervals where 0 overlaps 1 and 1 overlaps 2, but 0 and 2
+//! // are disjoint: component graph is the path 0-1-2.
+//! let g = DenseGraph::from_edges(3, [(0, 1), (1, 2)]);
+//! assert!(interval::is_interval_graph(&g));
+//!
+//! let comp = g.complement(); // single comparability edge {0, 2}
+//! let order = orientation::transitively_orient(&comp).expect("path complement orients");
+//! assert_eq!(order.arc_count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dag;
+pub mod implication;
+pub mod interval;
+pub mod orientation;
+
+pub use dag::{CriticalPath, CycleError, Dag};

@@ -1,0 +1,34 @@
+//! The DE (differential equation) benchmark — reproduces Table 1 of the
+//! paper: minimal square chips for deadlines T = 6, 13, 14, with solver
+//! statistics in place of the paper's SUN Ultra 30 CPU times.
+//!
+//! Run with: `cargo run --release --example de_benchmark`
+
+use std::time::Instant;
+
+use recopack::model::{benchmarks, Chip};
+use recopack::solver::Bmp;
+
+fn main() {
+    println!("DE benchmark (paper §5.1, Table 1)");
+    println!("module library: MUL 16x16x2, ALU 16x1x1; 11 tasks, 8 arcs\n");
+    println!("{:>4} | {:>10} | {:>10} | {:>9} | {:>9}", "T", "paper chip", "our chip", "decisions", "time");
+    println!("-----+------------+------------+-----------+----------");
+    for (horizon, paper) in [(6u64, 32u64), (13, 17), (14, 16)] {
+        let instance = benchmarks::de(Chip::square(1), horizon).with_transitive_closure();
+        let started = Instant::now();
+        let result = Bmp::new(&instance)
+            .solve()
+            .expect("all Table 1 rows are feasible");
+        let elapsed = started.elapsed();
+        println!(
+            "{horizon:>4} | {:>7}x{:<2} | {:>7}x{:<2} | {:>9} | {:>7.1?}",
+            paper, paper, result.side, result.side, result.decisions, elapsed
+        );
+        assert_eq!(
+            result.side, paper,
+            "optimal chip for T={horizon} must match the paper"
+        );
+    }
+    println!("\nall rows match Table 1.");
+}

@@ -1,0 +1,68 @@
+//! A domain-specific scenario beyond the paper's benchmarks: a streaming
+//! DSP front-end (windowing → FIR bank → FFT → feature extraction) mapped
+//! onto a partially reconfigurable FPGA. Demonstrates the full workflow:
+//! model, explore the area/time tradeoff, inspect the best schedule, and
+//! export the instance in the text format for the `recopack` CLI.
+//!
+//! Run with: `cargo run --release --example filter_bank`
+
+use recopack::model::{format, render, Chip, Instance, Task};
+use recopack::solver::{pareto_front, SolverConfig};
+
+fn build_instance() -> Instance {
+    // Module library: a window unit (needs loading its coefficient ROM:
+    // 2 cycles of reconfiguration), four FIR lanes, one shared FFT core,
+    // and a small feature extractor.
+    let window = Task::new("window", 8, 4, 2).with_reconfiguration(2);
+    let fir = |k: usize| Task::new(format!("fir{k}"), 6, 6, 4);
+    let fft = Task::new("fft", 12, 12, 6).with_reconfiguration(2);
+    let features = Task::new("features", 8, 2, 2);
+
+    let mut builder = Instance::builder()
+        .chip(Chip::square(1)) // re-targeted by the Pareto sweep
+        .horizon(1)
+        .task(window)
+        .task(fft)
+        .task(features);
+    for k in 0..4 {
+        builder = builder
+            .task(fir(k))
+            .precedence("window", format!("fir{k}"))
+            .precedence(format!("fir{k}"), "fft");
+    }
+    builder
+        .precedence("fft", "features")
+        .build()
+        .expect("the filter bank is a valid instance")
+}
+
+fn main() {
+    let instance = build_instance().with_transitive_closure();
+    println!(
+        "filter bank: {} tasks, {} dependency arcs, critical path {} cycles\n",
+        instance.task_count(),
+        instance.precedence().arc_count(),
+        instance.critical_path_length()
+    );
+
+    let front = pareto_front(&instance, &SolverConfig::default())
+        .expect("no resource limits configured");
+    println!("Pareto-optimal implementations:");
+    for p in &front {
+        println!("  chip {:>2}x{:<2}  =>  {:>2} cycles", p.side, p.side, p.makespan);
+    }
+
+    let best = front.last().expect("nonempty front");
+    println!("\nschedule at the fastest point ({}x{}):", best.side, best.side);
+    let target = instance
+        .clone()
+        .with_chip(Chip::square(best.side))
+        .with_horizon(best.makespan);
+    best.placement
+        .verify(&target)
+        .expect("Pareto witnesses always verify");
+    println!("{}", render::gantt(&best.placement, &target));
+
+    println!("instance file (feed to `recopack spp -`):\n");
+    print!("{}", format::format_instance(&target));
+}

@@ -1,0 +1,54 @@
+//! FixedS problems (paper §4, FeasA&FixedS / MinA&FixedS): the start times
+//! are already decided — say, by an upstream scheduler — and only the
+//! spatial placement question remains. The packing-class machinery then
+//! degenerates from three dimensions to two.
+//!
+//! Run with: `cargo run --release --example fixed_schedule`
+
+use recopack::model::{benchmarks, render, Chip, Schedule};
+use recopack::solver::FixedSchedule;
+
+fn main() {
+    // Take the DE benchmark on the Table 1 chip for T = 13 ...
+    let instance = benchmarks::de(Chip::square(17), 13).with_transitive_closure();
+
+    // ... and impose a hand-written schedule: multipliers back to back,
+    // ALU operations tucked into the strip alongside them.
+    let mut starts = vec![0u64; instance.task_count()];
+    let at = |name: &str| instance.task_id(name).expect("task exists");
+    for (name, start) in [
+        ("v1", 0u64),
+        ("v2", 2),
+        ("v3", 4),
+        ("v6", 6),
+        ("v8", 8),
+        ("v7", 10),
+        ("v4", 6),   // after v3
+        ("v5", 12),  // after v4 and v7
+        ("v9", 10),  // after v8
+        ("v10", 0),
+        ("v11", 1),
+    ] {
+        starts[at(name)] = start;
+    }
+    let schedule = Schedule::new(starts);
+    assert!(schedule.respects_precedence(&instance));
+
+    // 1. FeasA&FixedS: does this schedule admit a spatial placement on 17x17?
+    let outcome = FixedSchedule::new(&instance, &schedule).feasible();
+    let placement = outcome
+        .placement()
+        .expect("the hand-written schedule fits the 17x17 chip");
+    placement
+        .verify(&instance)
+        .expect("certificates always verify");
+    println!("FeasA&FixedS on {}: feasible\n", instance.chip());
+    println!("{}", render::gantt(placement, &instance));
+
+    // 2. MinA&FixedS: the smallest square chip for the same schedule.
+    let (side, _, stats) = FixedSchedule::new(&instance, &schedule)
+        .min_square_chip()
+        .expect("schedule is valid");
+    println!("MinA&FixedS: minimal square chip {side}x{side} ({} search nodes)", stats.nodes);
+    assert_eq!(side, 17, "the strip layout needs exactly one extra row");
+}

@@ -1,0 +1,53 @@
+//! Quickstart: model a tiny reconfigurable design and solve it exactly.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use recopack::model::{Chip, Instance, Task};
+use recopack::solver::{Opp, SolveOutcome, Spp};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 8x8-cell FPGA runs four modules; the filter depends on both
+    // multipliers, and the output stage depends on the filter.
+    let instance = Instance::builder()
+        .chip(Chip::square(8))
+        .horizon(10)
+        .task(Task::new("mul_a", 4, 4, 3))
+        .task(Task::new("mul_b", 4, 4, 3))
+        .task(Task::new("filter", 8, 4, 2))
+        .task(Task::new("output", 8, 2, 1))
+        .precedence("mul_a", "filter")
+        .precedence("mul_b", "filter")
+        .precedence("filter", "output")
+        .build()?
+        .with_transitive_closure();
+
+    // 1. Decision: does everything fit in 10 cycles?
+    match Opp::new(&instance).solve() {
+        SolveOutcome::Feasible(placement) => {
+            placement.verify(&instance)?;
+            println!("feasible within {} cycles:", instance.horizon());
+            for (id, b) in placement.boxes().iter().enumerate() {
+                println!(
+                    "  {:<8} at (x={}, y={}) cycles [{}, {})",
+                    instance.task(id).name(),
+                    b.origin[0],
+                    b.origin[1],
+                    b.origin[2],
+                    b.origin[2] + instance.task(id).duration(),
+                );
+            }
+        }
+        SolveOutcome::Infeasible(proof) => println!("infeasible: {proof}"),
+        SolveOutcome::ResourceLimit => println!("gave up (budget)"),
+    }
+
+    // 2. Optimization: the minimal execution time on this chip.
+    let best = Spp::new(&instance).solve().expect("tasks fit the chip");
+    println!(
+        "minimal execution time on {}: {} cycles ({} exact decisions)",
+        instance.chip(),
+        best.makespan,
+        best.decisions
+    );
+    Ok(())
+}

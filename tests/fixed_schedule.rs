@@ -1,0 +1,80 @@
+//! Integration tests for the FixedS problem family: prescribed start times,
+//! residual 2D placement (paper §4, referencing [22, 23]).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use recopack::heur::{find_feasible, HeuristicConfig};
+use recopack::model::generate::{random_feasible_instance, GeneratorConfig};
+use recopack::model::{benchmarks, Chip, Schedule};
+use recopack::solver::FixedSchedule;
+
+/// Any schedule extracted from a feasible placement must be spatially
+/// packable again.
+#[test]
+fn schedules_of_witnesses_are_packable() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    for _ in 0..25 {
+        let (instance, witness) = random_feasible_instance(&GeneratorConfig::default(), &mut rng);
+        let schedule = witness.schedule();
+        let outcome = FixedSchedule::new(&instance, &schedule).feasible();
+        let placement = outcome
+            .placement()
+            .unwrap_or_else(|| panic!("witnessed schedule must pack: {instance:?}"));
+        assert_eq!(placement.verify(&instance), Ok(()));
+        assert_eq!(placement.schedule().starts(), schedule.starts());
+    }
+}
+
+/// The DE benchmark under the heuristic's own schedule on the Table 1 chip.
+#[test]
+fn de_heuristic_schedule_round_trips() {
+    let instance = benchmarks::de(Chip::square(17), 13).with_transitive_closure();
+    let heuristic = find_feasible(&instance, &HeuristicConfig::default())
+        .expect("Table 1 row is feasible");
+    let schedule = heuristic.schedule();
+    let packed = FixedSchedule::new(&instance, &schedule).feasible();
+    assert!(packed.is_feasible());
+}
+
+/// MinA&FixedS: for the DE benchmark serialized greedily, the minimal chip
+/// is 16 (one multiplier at a time uses the full chip).
+#[test]
+fn min_chip_for_a_serial_de_schedule() {
+    let instance = benchmarks::de(Chip::square(16), 17).with_transitive_closure();
+    // Serial schedule in topological order: v1..v11 back to back.
+    let order = instance
+        .precedence()
+        .topological_order()
+        .expect("acyclic");
+    let mut starts = vec![0u64; instance.task_count()];
+    let mut clock = 0;
+    for v in order {
+        starts[v] = clock;
+        clock += instance.task(v).duration();
+    }
+    let schedule = Schedule::new(starts);
+    assert!(schedule.respects_precedence(&instance));
+    let (side, placement, _) = FixedSchedule::new(&instance, &schedule)
+        .min_square_chip()
+        .expect("serial schedules always pack");
+    assert_eq!(side, 16);
+    assert!(placement
+        .verify(&instance.clone().with_chip(Chip::square(16)))
+        .is_ok());
+}
+
+/// An invalid schedule (precedence broken) is rejected outright.
+#[test]
+fn invalid_schedules_are_rejected() {
+    let instance = benchmarks::de(Chip::square(32), 20).with_transitive_closure();
+    let schedule = Schedule::new(vec![0; instance.task_count()]);
+    assert!(!schedule.respects_precedence(&instance));
+    assert!(!FixedSchedule::new(&instance, &schedule)
+        .feasible()
+        .is_feasible());
+    assert_eq!(
+        FixedSchedule::new(&instance, &schedule).min_square_chip(),
+        None
+    );
+}

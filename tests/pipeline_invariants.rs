@@ -1,0 +1,202 @@
+//! Cross-crate invariants of the solver pipeline: bounds never refute
+//! feasible instances, heuristics never fabricate packings, ablated
+//! configurations never change answers, and optimizers return true optima.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use recopack::baseline::GeometricSolver;
+use recopack::bounds::refute;
+use recopack::heur::{find_feasible, HeuristicConfig};
+use recopack::model::generate::{random_feasible_instance, random_instance, GeneratorConfig};
+use recopack::model::Chip;
+use recopack::solver::{Bmp, Opp, SolverConfig, Spp};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Soundness of stage 1: a refutation on a witnessed instance would be
+    /// a catastrophic bug.
+    #[test]
+    fn bounds_never_refute_witnessed_instances(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (instance, _) = random_feasible_instance(&GeneratorConfig::default(), &mut rng);
+        prop_assert_eq!(refute(&instance), None);
+    }
+
+    /// Soundness of stage 2: every heuristic success verifies geometrically.
+    #[test]
+    fn heuristics_only_return_verified_packings(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(31));
+        let instance = random_instance(&GeneratorConfig::default(), &mut rng);
+        if let Some(p) = find_feasible(&instance, &HeuristicConfig::default()) {
+            prop_assert_eq!(p.verify(&instance), Ok(()));
+        }
+    }
+
+    /// Each single pruning rule can be disabled without changing answers.
+    #[test]
+    fn single_rule_ablations_preserve_answers(seed in 0u64..1_500, rule in 0usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(3));
+        let config = GeneratorConfig {
+            task_count: 3 + (seed as usize % 3),
+            max_side: 3,
+            max_duration: 3,
+            arc_percent: 30,
+        };
+        let instance = random_instance(&config, &mut rng);
+        let mut ablated = SolverConfig {
+            use_bounds: false,
+            use_heuristics: false,
+            ..SolverConfig::default()
+        };
+        match rule {
+            0 => ablated.clique_rule = false,
+            1 => ablated.c4_rule = false,
+            2 => ablated.orientation_rules = false,
+            _ => ablated.must_overlap_rule = false,
+        }
+        let reference = SolverConfig {
+            use_bounds: false,
+            use_heuristics: false,
+            ..SolverConfig::default()
+        };
+        let a = Opp::new(&instance).with_config(ablated).solve().is_feasible();
+        let b = Opp::new(&instance).with_config(reference).solve().is_feasible();
+        prop_assert_eq!(a, b, "rule {} changed the answer on {:?}", rule, instance);
+    }
+}
+
+/// BMP optimality against brute force: the returned side is feasible and
+/// side - 1 is infeasible per the independent baseline.
+#[test]
+fn bmp_returns_true_minimum() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut checked = 0;
+    for _ in 0..40 {
+        let config = GeneratorConfig {
+            task_count: 4,
+            max_side: 3,
+            max_duration: 3,
+            arc_percent: 30,
+        };
+        let instance = random_instance(&config, &mut rng);
+        let Some(result) = Bmp::new(&instance).solve() else {
+            continue;
+        };
+        let at = instance.clone().with_chip(Chip::square(result.side));
+        assert!(GeometricSolver::new(&at).solve().is_feasible());
+        if result.side > 0 {
+            let below = instance.clone().with_chip(Chip::square(result.side - 1));
+            assert!(
+                !GeometricSolver::new(&below).solve().is_feasible(),
+                "side {} was not minimal for {instance:?}",
+                result.side
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 10, "too few feasible draws ({checked})");
+}
+
+/// SPP optimality against brute force, same scheme over the horizon.
+#[test]
+fn spp_returns_true_minimum() {
+    let mut rng = StdRng::seed_from_u64(123);
+    let mut checked = 0;
+    for _ in 0..40 {
+        let config = GeneratorConfig {
+            task_count: 4,
+            max_side: 3,
+            max_duration: 3,
+            arc_percent: 30,
+        };
+        let instance = random_instance(&config, &mut rng);
+        let Some(result) = Spp::new(&instance).solve() else {
+            continue;
+        };
+        let at = instance.clone().with_horizon(result.makespan);
+        assert!(GeometricSolver::new(&at).solve().is_feasible());
+        if result.makespan > 0 {
+            let below = instance.clone().with_horizon(result.makespan - 1);
+            assert!(
+                !GeometricSolver::new(&below).solve().is_feasible(),
+                "makespan {} was not minimal for {instance:?}",
+                result.makespan
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 10, "too few feasible draws ({checked})");
+}
+
+/// The time budget is honored: an effectively zero limit turns a nontrivial
+/// bare search into `ResourceLimit` instead of an answer.
+#[test]
+fn time_limit_yields_resource_limit() {
+    use recopack::model::Task;
+    use recopack::solver::SolveOutcome;
+    let instance = recopack::model::Instance::builder()
+        .chip(Chip::square(6))
+        .horizon(10)
+        .tasks((0..8).map(|k| Task::new(format!("t{k}"), 3, 3, 3)))
+        .build()
+        .expect("valid");
+    let config = SolverConfig {
+        time_limit: Some(std::time::Duration::ZERO),
+        ..SolverConfig::bare()
+    };
+    // The bare tree for 8 tasks dwarfs the 256-node check interval, so the
+    // zero deadline must fire (whatever the answer would have been).
+    let outcome = Opp::new(&instance).with_config(config).solve();
+    assert_eq!(outcome, SolveOutcome::ResourceLimit);
+}
+
+/// Twin symmetry breaking must never change decisions — it only discards
+/// mirror-image packings.
+#[test]
+fn twin_symmetry_preserves_answers() {
+    let mut rng = StdRng::seed_from_u64(777);
+    for k in 0..40 {
+        // Force duplicate shapes so twins actually occur.
+        let config = GeneratorConfig {
+            task_count: 5,
+            max_side: 2,
+            max_duration: 2,
+            arc_percent: 20,
+        };
+        let instance = random_instance(&config, &mut rng);
+        let on = SolverConfig {
+            use_bounds: false,
+            use_heuristics: false,
+            twin_symmetry: true,
+            ..SolverConfig::default()
+        };
+        let off = SolverConfig { twin_symmetry: false, ..on.clone() };
+        let a = Opp::new(&instance).with_config(on).solve().is_feasible();
+        let b = Opp::new(&instance).with_config(off).solve().is_feasible();
+        assert_eq!(a, b, "iteration {k}: twin rule changed answer on {instance:?}");
+    }
+}
+
+/// Twin symmetry must also hold when the twins end up ordered the "wrong"
+/// way in a fixed schedule — the rule is disabled there.
+#[test]
+fn twin_symmetry_is_ignored_for_fixed_schedules() {
+    use recopack::model::{Instance, Schedule, Task};
+    use recopack::solver::FixedSchedule;
+    let instance = Instance::builder()
+        .chip(Chip::square(2))
+        .horizon(4)
+        .task(Task::new("a", 2, 2, 2))
+        .task(Task::new("b", 2, 2, 2))
+        .build()
+        .expect("valid");
+    // b (higher id... id 1) scheduled BEFORE a: the twin rule would force
+    // the opposite orientation if it were active.
+    let schedule = Schedule::new(vec![2, 0]);
+    let outcome = FixedSchedule::new(&instance, &schedule).feasible();
+    let p = outcome.placement().expect("schedule is packable");
+    assert_eq!(p.schedule().starts(), schedule.starts());
+}

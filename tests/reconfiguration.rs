@@ -1,0 +1,55 @@
+//! Reconfiguration overhead (paper §2.1): a per-task constant charged while
+//! the cells are already claimed. The whole pipeline must treat the overhead
+//! as part of the box.
+
+use recopack::model::{Chip, Instance, Task};
+use recopack::solver::{Opp, Spp};
+
+fn chain(reconfig: u64, horizon: u64) -> Instance {
+    Instance::builder()
+        .chip(Chip::square(2))
+        .horizon(horizon)
+        .task(Task::new("a", 2, 2, 2).with_reconfiguration(reconfig))
+        .task(Task::new("b", 2, 2, 2).with_reconfiguration(reconfig))
+        .precedence("a", "b")
+        .build()
+        .expect("valid")
+}
+
+#[test]
+fn overhead_tightens_feasibility() {
+    // Without overhead the chain needs 4 cycles; with 1 cycle of
+    // reconfiguration per task it needs 6.
+    assert!(Opp::new(&chain(0, 4)).solve().is_feasible());
+    assert!(!Opp::new(&chain(1, 5)).solve().is_feasible());
+    assert!(Opp::new(&chain(1, 6)).solve().is_feasible());
+}
+
+#[test]
+fn spp_reports_overhead_inclusive_makespans() {
+    let r = Spp::new(&chain(1, 1)).solve().expect("fits the chip");
+    assert_eq!(r.makespan, 6);
+    let r = Spp::new(&chain(3, 1)).solve().expect("fits the chip");
+    assert_eq!(r.makespan, 10);
+}
+
+#[test]
+fn critical_path_sees_overhead() {
+    assert_eq!(chain(0, 1).critical_path_length(), 4);
+    assert_eq!(chain(2, 1).critical_path_length(), 8);
+}
+
+#[test]
+fn mixed_overheads_pack_tightly() {
+    // Two independent tasks with different overheads share a 4x2 chip:
+    // makespan is the slower task's occupancy.
+    let i = Instance::builder()
+        .chip(Chip::new(4, 2))
+        .horizon(1)
+        .task(Task::new("fast", 2, 2, 2))
+        .task(Task::new("slow", 2, 2, 2).with_reconfiguration(4))
+        .build()
+        .expect("valid");
+    let r = Spp::new(&i).solve().expect("fits");
+    assert_eq!(r.makespan, 6);
+}

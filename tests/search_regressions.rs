@@ -1,0 +1,65 @@
+//! Performance regression net: the propagation rules must keep the search
+//! trees of the paper workloads tiny. These are the exact workloads that
+//! once blew up during development (DESIGN.md experiment A1), pinned with
+//! generous headroom.
+
+use recopack::model::{benchmarks, Chip};
+use recopack::solver::{Opp, SolveOutcome, SolverConfig};
+
+fn search_only() -> SolverConfig {
+    SolverConfig {
+        use_bounds: false,
+        use_heuristics: false,
+        node_limit: Some(100_000),
+        ..SolverConfig::default()
+    }
+}
+
+#[test]
+fn de_17x17_t12_infeasibility_stays_cheap() {
+    let instance = benchmarks::de(Chip::square(17), 12).with_transitive_closure();
+    let (outcome, stats) = Opp::new(&instance)
+        .with_config(search_only())
+        .solve_with_stats();
+    assert!(matches!(outcome, SolveOutcome::Infeasible(_)));
+    assert!(stats.nodes < 1_000, "tree regressed to {} nodes", stats.nodes);
+}
+
+#[test]
+fn de_31x31_t6_infeasibility_stays_cheap() {
+    let instance = benchmarks::de(Chip::square(31), 6).with_transitive_closure();
+    let (outcome, stats) = Opp::new(&instance)
+        .with_config(search_only())
+        .solve_with_stats();
+    assert!(matches!(outcome, SolveOutcome::Infeasible(_)));
+    assert!(stats.nodes < 1_000, "tree regressed to {} nodes", stats.nodes);
+}
+
+#[test]
+fn codec_63x63_infeasibility_stays_cheap() {
+    let instance = benchmarks::video_codec(Chip::square(63), 200).with_transitive_closure();
+    let (outcome, stats) = Opp::new(&instance)
+        .with_config(search_only())
+        .solve_with_stats();
+    assert!(matches!(outcome, SolveOutcome::Infeasible(_)));
+    assert!(stats.nodes < 10_000, "tree regressed to {} nodes", stats.nodes);
+}
+
+#[test]
+fn de_feasible_rows_find_leaves_quickly() {
+    for (h, t) in [(16u64, 14u64), (17, 13), (32, 6)] {
+        let instance = benchmarks::de(Chip::square(h), t).with_transitive_closure();
+        let (outcome, stats) = Opp::new(&instance)
+            .with_config(search_only())
+            .solve_with_stats();
+        match outcome {
+            SolveOutcome::Feasible(p) => assert_eq!(p.verify(&instance), Ok(())),
+            other => panic!("{h}x{h}@T={t} should be feasible, got {other:?}"),
+        }
+        assert!(
+            stats.nodes < 100_000,
+            "{h}x{h}@T={t} took {} nodes",
+            stats.nodes
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Cross-validation of the packing-class solver against the independent
+//! geometric baseline: two exact algorithms with disjoint designs must agree
+//! on every instance.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use recopack::baseline::{BaselineOutcome, GeometricSolver};
+use recopack::model::generate::{random_feasible_instance, random_instance, GeneratorConfig};
+use recopack::solver::{Opp, SolveOutcome, SolverConfig};
+
+fn decide_packing_class(instance: &recopack::model::Instance, config: SolverConfig) -> bool {
+    match Opp::new(instance).with_config(config).solve() {
+        SolveOutcome::Feasible(p) => {
+            assert_eq!(p.verify(instance), Ok(()), "certificates must verify");
+            true
+        }
+        SolveOutcome::Infeasible(_) => false,
+        SolveOutcome::ResourceLimit => panic!("no limits configured"),
+    }
+}
+
+fn decide_baseline(instance: &recopack::model::Instance) -> bool {
+    match GeometricSolver::new(instance).solve() {
+        BaselineOutcome::Feasible(p) => {
+            assert_eq!(p.verify(instance), Ok(()));
+            true
+        }
+        BaselineOutcome::Infeasible => false,
+        BaselineOutcome::NodeLimit => panic!("no limit configured"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// The headline property: on random instances with precedence, the
+    /// packing-class decision equals the geometric baseline's.
+    #[test]
+    fn packing_class_agrees_with_geometric_baseline(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = GeneratorConfig {
+            task_count: 2 + (seed as usize % 4),
+            max_side: 3,
+            max_duration: 3,
+            arc_percent: 30,
+        };
+        let instance = random_instance(&config, &mut rng);
+        let ours = decide_packing_class(&instance, SolverConfig::default());
+        let baseline = decide_baseline(&instance);
+        prop_assert_eq!(ours, baseline, "disagreement on {:?}", instance);
+    }
+
+    /// Same agreement with every acceleration disabled — the bare search
+    /// must still be exact.
+    #[test]
+    fn bare_search_is_still_exact(seed in 0u64..2_000) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(77));
+        let config = GeneratorConfig {
+            task_count: 2 + (seed as usize % 3),
+            max_side: 3,
+            max_duration: 3,
+            arc_percent: 30,
+        };
+        let instance = random_instance(&config, &mut rng);
+        let bare = decide_packing_class(&instance, SolverConfig::bare());
+        let full = decide_packing_class(&instance, SolverConfig::default());
+        prop_assert_eq!(bare, full, "config changed the answer on {:?}", instance);
+    }
+
+    /// Witnessed-feasible instances are always accepted.
+    #[test]
+    fn witnessed_instances_are_accepted(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(13));
+        let config = GeneratorConfig {
+            task_count: 3 + (seed as usize % 5),
+            ..GeneratorConfig::default()
+        };
+        let (instance, witness) = random_feasible_instance(&config, &mut rng);
+        prop_assert_eq!(witness.verify(&instance), Ok(()));
+        prop_assert!(decide_packing_class(&instance, SolverConfig::default()));
+    }
+}
+
+/// A deterministic sweep over a fixed seed set, heavier than the proptest
+/// cases (5-6 tasks), as a regression net.
+#[test]
+fn deterministic_agreement_sweep() {
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let config = GeneratorConfig {
+            task_count: 5 + (seed as usize % 2),
+            max_side: 3,
+            max_duration: 3,
+            arc_percent: 25,
+        };
+        let instance = random_instance(&config, &mut rng);
+        let ours = decide_packing_class(&instance, SolverConfig::default());
+        let baseline = decide_baseline(&instance);
+        assert_eq!(ours, baseline, "seed {seed}: disagreement on {instance:?}");
+    }
+}

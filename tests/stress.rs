@@ -1,0 +1,88 @@
+//! Heavier randomized sweeps, ignored by default — run explicitly with
+//! `cargo test --release --test stress -- --ignored` when you want extended
+//! oracle cross-validation (the geometric brute force dominates; release
+//! mode matters).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use recopack::baseline::{BaselineOutcome, GeometricSolver};
+use recopack::model::generate::{layered_instance, random_instance, GeneratorConfig, LayeredConfig};
+use recopack::solver::{Opp, SolveOutcome, SolverConfig};
+
+fn agree(instance: &recopack::model::Instance) {
+    let ours = match Opp::new(instance).solve() {
+        SolveOutcome::Feasible(p) => {
+            assert_eq!(p.verify(instance), Ok(()));
+            true
+        }
+        SolveOutcome::Infeasible(_) => false,
+        SolveOutcome::ResourceLimit => panic!("no limits configured"),
+    };
+    // The geometric oracle occasionally blows up (that asymmetry is the
+    // paper's point); skip draws it cannot decide within a generous budget.
+    let baseline = match GeometricSolver::new(instance).with_node_limit(30_000_000).solve() {
+        BaselineOutcome::Feasible(p) => {
+            assert_eq!(p.verify(instance), Ok(()));
+            true
+        }
+        BaselineOutcome::Infeasible => false,
+        BaselineOutcome::NodeLimit => return,
+    };
+    assert_eq!(ours, baseline, "disagreement on {instance:?}");
+}
+
+#[test]
+#[ignore = "long-running stress sweep"]
+fn oracle_agreement_six_tasks() {
+    let mut rng = StdRng::seed_from_u64(0xDEAD);
+    for k in 0..60 {
+        let config = GeneratorConfig {
+            task_count: 6,
+            max_side: 3,
+            max_duration: 3,
+            arc_percent: 25,
+        };
+        let instance = random_instance(&config, &mut rng);
+        agree(&instance);
+        let _ = k;
+    }
+}
+
+#[test]
+#[ignore = "long-running stress sweep"]
+fn oracle_agreement_layered_instances() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for _ in 0..40 {
+        let config = LayeredConfig {
+            layers: 3,
+            width: 2,
+            max_side: 3,
+            max_duration: 3,
+            arc_percent: 60,
+        };
+        let instance = layered_instance(&config, &mut rng);
+        agree(&instance);
+    }
+}
+
+#[test]
+#[ignore = "long-running stress sweep"]
+fn bare_config_agreement_six_tasks() {
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    for _ in 0..50 {
+        let config = GeneratorConfig {
+            task_count: 5,
+            max_side: 3,
+            max_duration: 3,
+            arc_percent: 30,
+        };
+        let instance = random_instance(&config, &mut rng);
+        let bare = Opp::new(&instance)
+            .with_config(SolverConfig::bare())
+            .solve()
+            .is_feasible();
+        let full = Opp::new(&instance).solve().is_feasible();
+        assert_eq!(bare, full, "bare/full disagreement on {instance:?}");
+    }
+}
