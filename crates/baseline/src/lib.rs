@@ -116,14 +116,61 @@ impl<'a> GeometricSolver<'a> {
                 }
             }
         }
-        // Place big tasks first.
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by_key(|&i| std::cmp::Reverse(self.instance.task(i).volume()));
+        // Static time windows from the precedence structure: a task can
+        // never start before its heaviest predecessor chain nor so late that
+        // its heaviest successor chain overruns the horizon. Both bounds are
+        // properties of the instance, so filtering candidate start times
+        // against them loses no packings.
+        let durations = self.instance.sizes(Dim::Time);
+        let pre = self.instance.precedence();
+        let earliest_starts = pre
+            .earliest_starts(&durations)
+            .expect("instances are acyclic");
+        let latest_starts = pre
+            .latest_starts(&durations, container[2])
+            .expect("instances are acyclic");
+        let mut windows = Vec::with_capacity(n);
+        for i in 0..n {
+            match latest_starts[i] {
+                // The tail of successors alone overruns the horizon.
+                None => return BaselineOutcome::Infeasible,
+                Some(l) if earliest_starts[i] > l => return BaselineOutcome::Infeasible,
+                Some(l) => windows.push((earliest_starts[i], l)),
+            }
+        }
+        // Place big tasks first, but never a task before its predecessors:
+        // with predecessors already placed, the earliest-start pruning in
+        // `place` bites instead of discovering the violation levels deeper.
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        let mut placed_mask = vec![false; n];
+        while order.len() < n {
+            let next = (0..n)
+                .filter(|&i| !placed_mask[i])
+                .filter(|&i| pre.predecessors(i).iter().all(|p| placed_mask[p]))
+                .max_by_key(|&i| self.instance.task(i).volume())
+                .expect("acyclic instances always have a source");
+            placed_mask[next] = true;
+            order.push(next);
+        }
+        // Normal patterns depend only on the task, not on the partial
+        // placement — computing them per node turned every placement attempt
+        // into a fresh subset-sum DP and dominated the runtime on infeasible
+        // instances.
+        let patterns: Vec<[Vec<u64>; 3]> = (0..n)
+            .map(|task| {
+                let t = self.instance.task(task);
+                let tsize = [t.width(), t.height(), t.duration()];
+                std::array::from_fn(|d| self.normal_patterns(task, d, container[d], tsize[d]))
+            })
+            .collect();
         let mut origins: Vec<Option<[u64; 3]>> = vec![None; n];
-        match self.place(&order, 0, &mut origins) {
+        match self.place(&order, &patterns, &windows, 0, &mut origins) {
             Some(true) => {
                 let placement = Placement::new(
-                    origins.into_iter().map(|o| o.expect("all placed")).collect(),
+                    origins
+                        .into_iter()
+                        .map(|o| o.expect("all placed"))
+                        .collect(),
                     self.instance,
                 );
                 debug_assert_eq!(placement.verify(self.instance), Ok(()));
@@ -169,20 +216,51 @@ impl<'a> GeometricSolver<'a> {
     fn place(
         &mut self,
         order: &[usize],
+        patterns: &[[Vec<u64>; 3]],
+        windows: &[(u64, u64)],
         k: usize,
         origins: &mut Vec<Option<[u64; 3]>>,
     ) -> Option<bool> {
         let Some(&task) = order.get(k) else {
             return Some(true);
         };
-        let container = self.instance.container();
         let t = self.instance.task(task);
         let tsize = [t.width(), t.height(), t.duration()];
-        let coords: [Vec<u64>; 3] =
-            std::array::from_fn(|d| self.normal_patterns(task, d, container[d], tsize[d]));
-        for &x in &coords[0] {
-            for &y in &coords[1] {
-                'time: for &ts in &coords[2] {
+        let coords = &patterns[task];
+        let pre = self.instance.precedence();
+        // Sound time pruning: any completion starts `task` inside its static
+        // precedence window, no earlier than the latest end of its
+        // already-placed predecessors, and with room before its
+        // already-placed successors.
+        let mut earliest = windows[task].0;
+        let mut latest_end = u64::MAX;
+        for (i, o) in origins.iter().enumerate() {
+            let Some(o) = o else { continue };
+            if pre.has_arc(i, task) {
+                earliest = earliest.max(o[2] + self.instance.task(i).duration());
+            }
+            if pre.has_arc(task, i) {
+                latest_end = latest_end.min(o[2]);
+            }
+        }
+        // Placed tasks that could block `task` spatially, precomputed once
+        // per (x, y) column instead of per time slot.
+        let placed: Vec<(usize, [u64; 3], [u64; 3])> = origins
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| {
+                o.map(|o| {
+                    let other = self.instance.task(i);
+                    (i, o, [other.width(), other.height(), other.duration()])
+                })
+            })
+            .collect();
+        for &ts in &coords[2] {
+            if ts < earliest || ts > windows[task].1 || ts + tsize[2] > latest_end {
+                continue;
+            }
+            for &x in &coords[0] {
+                'column: for &y in &coords[1] {
                     self.nodes += 1;
                     if let Some(limit) = self.node_limit {
                         if self.nodes > limit {
@@ -190,36 +268,17 @@ impl<'a> GeometricSolver<'a> {
                         }
                     }
                     let candidate = [x, y, ts];
-                    if (0..3).any(|d| candidate[d] + tsize[d] > container[d]) {
-                        continue;
-                    }
                     // Overlap with placed tasks.
-                    for (i, o) in origins.iter().enumerate() {
-                        let Some(o) = o else { continue };
-                        let other = self.instance.task(i);
-                        let osize = [other.width(), other.height(), other.duration()];
+                    for &(_, o, osize) in &placed {
                         let collides = (0..3).all(|d| {
                             candidate[d] < o[d] + osize[d] && o[d] < candidate[d] + tsize[d]
                         });
                         if collides {
-                            continue 'time;
-                        }
-                    }
-                    // Precedence against placed tasks.
-                    for (i, o) in origins.iter().enumerate() {
-                        let Some(o) = o else { continue };
-                        let pre = self.instance.precedence();
-                        if pre.has_arc(i, task)
-                            && o[2] + self.instance.task(i).duration() > candidate[2]
-                        {
-                            continue 'time;
-                        }
-                        if pre.has_arc(task, i) && candidate[2] + tsize[2] > o[2] {
-                            continue 'time;
+                            continue 'column;
                         }
                     }
                     origins[task] = Some(candidate);
-                    match self.place(order, k + 1, origins) {
+                    match self.place(order, patterns, windows, k + 1, origins) {
                         Some(true) => return Some(true),
                         Some(false) => {}
                         None => return None,
@@ -268,7 +327,7 @@ pub fn bottom_left_decreasing(instance: &Instance) -> Option<Placement> {
                         continue;
                     }
                     let ok_overlap = origins.iter().enumerate().all(|(i, o)| {
-                        o.map_or(true, |o| {
+                        o.is_none_or(|o| {
                             let other = instance.task(i);
                             let osize = [other.width(), other.height(), other.duration()];
                             !(0..3).all(|d| {
@@ -277,12 +336,11 @@ pub fn bottom_left_decreasing(instance: &Instance) -> Option<Placement> {
                         })
                     });
                     let ok_precedence = origins.iter().enumerate().all(|(i, o)| {
-                        o.map_or(true, |o| {
+                        o.is_none_or(|o| {
                             let pre = instance.precedence();
                             let before_ok = !pre.has_arc(i, task)
                                 || o[2] + instance.task(i).duration() <= candidate[2];
-                            let after_ok =
-                                !pre.has_arc(task, i) || candidate[2] + tsize[2] <= o[2];
+                            let after_ok = !pre.has_arc(task, i) || candidate[2] + tsize[2] <= o[2];
                             before_ok && after_ok
                         })
                     });
@@ -296,7 +354,10 @@ pub fn bottom_left_decreasing(instance: &Instance) -> Option<Placement> {
         return None;
     }
     let placement = Placement::new(
-        origins.into_iter().map(|o| o.expect("all placed")).collect(),
+        origins
+            .into_iter()
+            .map(|o| o.expect("all placed"))
+            .collect(),
         instance,
     );
     placement.verify(instance).is_ok().then_some(placement)
@@ -371,6 +432,57 @@ mod tests {
             GeometricSolver::new(&i).solve(),
             BaselineOutcome::Infeasible
         );
+    }
+
+    /// Regression: this infeasible instance (random sweep, seed 1025) took
+    /// ~9M placement attempts before normal patterns were hoisted and
+    /// precedence time windows added; the critical path t1→t4→t5 (length 8 >
+    /// horizon 6) now refutes it before any placement attempt.
+    #[test]
+    fn infeasible_chain_refuted_without_enumeration() {
+        let i = Instance::builder()
+            .chip(Chip::new(4, 6))
+            .horizon(6)
+            .task(Task::new("t0", 1, 3, 2))
+            .task(Task::new("t1", 3, 1, 2))
+            .task(Task::new("t2", 2, 3, 1))
+            .task(Task::new("t3", 2, 2, 3))
+            .task(Task::new("t4", 2, 1, 3))
+            .task(Task::new("t5", 2, 1, 3))
+            .precedence("t0", "t2")
+            .precedence("t1", "t3")
+            .precedence("t1", "t4")
+            .precedence("t4", "t5")
+            .build()
+            .expect("valid");
+        let mut solver = GeometricSolver::new(&i).with_node_limit(10_000);
+        assert_eq!(solver.solve(), BaselineOutcome::Infeasible);
+    }
+
+    /// Regression: this feasible instance (random sweep, seed 1039) took
+    /// ~94M placement attempts when the volume-descending order placed
+    /// successors before their predecessors, defeating the earliest-start
+    /// pruning; the precedence-respecting order decides it in a handful.
+    #[test]
+    fn feasible_sweep_instance_found_within_budget() {
+        let i = Instance::builder()
+            .chip(Chip::new(6, 3))
+            .horizon(13)
+            .task(Task::new("t0", 2, 1, 3))
+            .task(Task::new("t1", 2, 1, 1))
+            .task(Task::new("t2", 3, 2, 3))
+            .task(Task::new("t3", 1, 3, 3))
+            .task(Task::new("t4", 2, 1, 3))
+            .task(Task::new("t5", 2, 2, 3))
+            .precedence("t0", "t1")
+            .precedence("t0", "t5")
+            .precedence("t1", "t2")
+            .precedence("t1", "t3")
+            .precedence("t4", "t5")
+            .build()
+            .expect("valid");
+        let mut solver = GeometricSolver::new(&i).with_node_limit(10_000);
+        assert!(solver.solve().is_feasible());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! configuration, then times each.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use recopack_core::{Opp, SolverConfig, SolveOutcome};
+use recopack_core::{Opp, SolveOutcome, SolverConfig};
 use recopack_model::{benchmarks, Chip, Instance};
 
 fn search_only() -> SolverConfig {
@@ -22,10 +22,34 @@ fn variants() -> Vec<(&'static str, SolverConfig)> {
     let full = search_only();
     vec![
         ("full", full.clone()),
-        ("no_clique_rule", SolverConfig { clique_rule: false, ..full.clone() }),
-        ("no_c4_rule", SolverConfig { c4_rule: false, ..full.clone() }),
-        ("no_orientation", SolverConfig { orientation_rules: false, ..full.clone() }),
-        ("no_must_overlap", SolverConfig { must_overlap_rule: false, ..full }),
+        (
+            "no_clique_rule",
+            SolverConfig {
+                clique_rule: false,
+                ..full.clone()
+            },
+        ),
+        (
+            "no_c4_rule",
+            SolverConfig {
+                c4_rule: false,
+                ..full.clone()
+            },
+        ),
+        (
+            "no_orientation",
+            SolverConfig {
+                orientation_rules: false,
+                ..full.clone()
+            },
+        ),
+        (
+            "no_must_overlap",
+            SolverConfig {
+                must_overlap_rule: false,
+                ..full
+            },
+        ),
     ]
 }
 
@@ -44,14 +68,19 @@ fn workloads() -> Vec<(&'static str, Instance)> {
 
 fn print_node_counts() {
     println!("\nAblation (search nodes to prove infeasibility; limit 2M):");
-    println!("{:<26} {:>24} {:>24}", "config", "de_17x17_T12", "de_31x31_T6");
+    println!(
+        "{:<26} {:>24} {:>24}",
+        "config", "de_17x17_T12", "de_31x31_T6"
+    );
     for (name, config) in variants() {
         let mut cells = Vec::new();
         for (_, instance) in workloads() {
-            let (outcome, stats) = Opp::new(&instance).with_config(config.clone()).solve_with_stats();
+            let (outcome, stats) = Opp::new(&instance)
+                .with_config(config.clone())
+                .solve_with_stats();
             let cell = match outcome {
                 SolveOutcome::Infeasible(_) => format!("{} nodes", stats.nodes),
-                SolveOutcome::ResourceLimit => "limit".to_string(),
+                SolveOutcome::ResourceLimit(_) => "limit".to_string(),
                 SolveOutcome::Feasible(_) => "BUG: feasible".to_string(),
             };
             cells.push(cell);

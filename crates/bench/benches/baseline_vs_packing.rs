@@ -10,7 +10,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use recopack_baseline::{BaselineOutcome, GeometricSolver};
-use recopack_core::{Opp, SolverConfig};
+use recopack_core::Opp;
 use recopack_model::generate::{random_instance, GeneratorConfig};
 use recopack_model::{benchmarks, Chip, Instance};
 

@@ -45,11 +45,7 @@ fn bench(c: &mut Criterion) {
     ] {
         let instance = benchmarks::de(Chip::square(h), t).with_transitive_closure();
         group.bench_function(name, |b| {
-            b.iter_batched(
-                || instance.clone(),
-                |i| refute(&i),
-                BatchSize::SmallInput,
-            )
+            b.iter_batched(|| instance.clone(), |i| refute(&i), BatchSize::SmallInput)
         });
     }
     let codec = benchmarks::video_codec(Chip::square(64), 58).with_transitive_closure();

@@ -21,10 +21,7 @@ fn strip_schedule() -> (Instance, Schedule) {
 
 fn serial_schedule() -> (Instance, Schedule) {
     let instance = benchmarks::de(Chip::square(16), 17).with_transitive_closure();
-    let order = instance
-        .precedence()
-        .topological_order()
-        .expect("acyclic");
+    let order = instance.precedence().topological_order().expect("acyclic");
     let mut starts = vec![0u64; instance.task_count()];
     let mut clock = 0;
     for v in order {

@@ -84,7 +84,7 @@ impl IntegerDff {
         //   else:          value = capacity * floor((k+1) w / capacity)
         let values = (0..=capacity)
             .map(|w| {
-                if ((k + 1) * w) % capacity == 0 {
+                if ((k + 1) * w).is_multiple_of(capacity) {
                     k * w
                 } else {
                     capacity * (((k + 1) * w) / capacity)
@@ -170,7 +170,7 @@ pub fn stock_dffs(capacity: u64, sizes: &[u64]) -> Vec<IntegerDff> {
 /// exact regardless.
 pub fn refute_dff(instance: &Instance) -> Option<Refutation> {
     let container = instance.container();
-    if container.iter().any(|&c| c == 0) {
+    if container.contains(&0) {
         return None; // degenerate containers are handled by the fit bound
     }
     let per_dim: Vec<Vec<IntegerDff>> = Dim::ALL
@@ -235,7 +235,10 @@ mod tests {
     fn staircases_are_dual_feasible() {
         for cap in [6u64, 9, 11] {
             for k in 1..=4 {
-                assert!(IntegerDff::staircase(cap, k).is_dual_feasible(), "f^({k}) cap {cap}");
+                assert!(
+                    IntegerDff::staircase(cap, k).is_dual_feasible(),
+                    "f^({k}) cap {cap}"
+                );
             }
         }
     }
@@ -262,7 +265,10 @@ mod tests {
             .expect("valid");
         assert_eq!(crate::volume::refute_volume(&i), None);
         let refutation = refute_dff(&i);
-        assert!(matches!(refutation, Some(Refutation::Dff { .. })), "{refutation:?}");
+        assert!(
+            matches!(refutation, Some(Refutation::Dff { .. })),
+            "{refutation:?}"
+        );
     }
 
     #[test]

@@ -92,19 +92,32 @@ impl std::fmt::Display for Refutation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::TaskTooLarge { task, dim } => {
-                write!(f, "task {task} does not fit the container in dimension {dim}")
+                write!(
+                    f,
+                    "task {task} does not fit the container in dimension {dim}"
+                )
             }
             Self::Volume { total, capacity } => {
-                write!(f, "total volume {total} exceeds container volume {capacity}")
+                write!(
+                    f,
+                    "total volume {total} exceeds container volume {capacity}"
+                )
             }
             Self::Dff { description } => write!(f, "DFF bound violated: {description}"),
             Self::CriticalPath { length, horizon } => {
                 write!(f, "critical path {length} exceeds horizon {horizon}")
             }
             Self::EmptyWindow { task } => {
-                write!(f, "task {task} has no feasible start window under the horizon")
+                write!(
+                    f,
+                    "task {task} has no feasible start window under the horizon"
+                )
             }
-            Self::Energy { time, area, capacity } => write!(
+            Self::Energy {
+                time,
+                area,
+                capacity,
+            } => write!(
                 f,
                 "at time {time}, forced tasks need {area} cells but the chip has {capacity}"
             ),
@@ -152,7 +165,10 @@ mod tests {
             .expect("valid");
         assert_eq!(
             refute(&i),
-            Some(Refutation::TaskTooLarge { task: 0, dim: Dim::X })
+            Some(Refutation::TaskTooLarge {
+                task: 0,
+                dim: Dim::X
+            })
         );
     }
 
@@ -168,7 +184,10 @@ mod tests {
             .expect("valid");
         assert_eq!(
             refute(&i),
-            Some(Refutation::CriticalPath { length: 4, horizon: 3 })
+            Some(Refutation::CriticalPath {
+                length: 4,
+                horizon: 3
+            })
         );
     }
 }

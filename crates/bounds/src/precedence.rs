@@ -106,7 +106,10 @@ mod tests {
         assert_eq!(refute_critical_path(&build(6)), None);
         assert_eq!(
             refute_critical_path(&build(5)),
-            Some(Refutation::CriticalPath { length: 6, horizon: 5 })
+            Some(Refutation::CriticalPath {
+                length: 6,
+                horizon: 5
+            })
         );
     }
 
@@ -145,7 +148,11 @@ mod tests {
         assert_eq!(crate::volume::refute_volume(&i), None);
         assert_eq!(
             refute_energy(&i),
-            Some(Refutation::Energy { time: 1, area: 18, capacity: 16 })
+            Some(Refutation::Energy {
+                time: 1,
+                area: 18,
+                capacity: 16
+            })
         );
     }
 

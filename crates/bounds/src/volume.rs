@@ -51,7 +51,10 @@ mod tests {
             refute_fit(&long),
             Some(Refutation::TaskTooLarge { dim: Dim::Time, .. })
         ));
-        let fits = base().task(Task::new("ok", 4, 3, 2)).build().expect("valid");
+        let fits = base()
+            .task(Task::new("ok", 4, 3, 2))
+            .build()
+            .expect("valid");
         assert_eq!(refute_fit(&fits), None);
     }
 
@@ -71,7 +74,10 @@ mod tests {
             .expect("valid");
         assert_eq!(
             refute_volume(&over),
-            Some(Refutation::Volume { total: 25, capacity: 24 })
+            Some(Refutation::Volume {
+                total: 25,
+                capacity: 24
+            })
         );
     }
 }

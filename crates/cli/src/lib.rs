@@ -80,28 +80,64 @@ OPTIONS:
     --floorplans             also print chip occupancy between events
     --emit-placement         print solutions as `place` lines
     --svg                    render as an SVG document instead of a Gantt
+    --threads <n>            worker threads for the branch-and-bound
+                             (default 1 = sequential, 0 = all hardware
+                             threads; the answer is thread-count invariant)
 ";
 
 /// Parsed command-line options.
-#[derive(Debug, Default, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct Options {
     no_precedence: bool,
     floorplans: bool,
     emit_placement: bool,
     svg: bool,
+    threads: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            no_precedence: false,
+            floorplans: false,
+            emit_placement: false,
+            svg: false,
+            threads: 1,
+        }
+    }
+}
+
+impl Options {
+    fn solver_config(&self) -> SolverConfig {
+        SolverConfig {
+            threads: self.threads,
+            ..SolverConfig::default()
+        }
+    }
 }
 
 fn split_args(args: &[String]) -> Result<(Vec<&str>, Options), CliError> {
     let mut positional = Vec::new();
     let mut options = Options::default();
-    for a in args {
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
         match a.as_str() {
             "--no-precedence" => options.no_precedence = true,
             "--floorplans" => options.floorplans = true,
             "--emit-placement" => options.emit_placement = true,
             "--svg" => options.svg = true,
+            "--threads" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError::usage("--threads requires a value"))?;
+                options.threads = value.parse().map_err(|_| {
+                    CliError::usage(format!("--threads expects a number, got {value:?}"))
+                })?;
+            }
             flag if flag.starts_with("--") => {
-                return Err(CliError::usage(format!("unknown option {flag:?}\n\n{USAGE}")));
+                return Err(CliError::usage(format!(
+                    "unknown option {flag:?}\n\n{USAGE}"
+                )));
             }
             other => positional.push(other),
         }
@@ -112,8 +148,8 @@ fn split_args(args: &[String]) -> Result<(Vec<&str>, Options), CliError> {
 fn load_instance(path: &str, options: &Options) -> Result<Instance, CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
-    let mut instance = format::parse_instance(&text)
-        .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+    let mut instance =
+        format::parse_instance(&text).map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
     instance = if options.no_precedence {
         instance.without_precedence()
     } else {
@@ -157,26 +193,37 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         [] | ["help"] => out.push_str(USAGE),
         ["solve", path] => {
             let instance = load_instance(path, &options)?;
-            match Opp::new(&instance).solve() {
+            match Opp::new(&instance)
+                .with_config(options.solver_config())
+                .solve()
+            {
                 SolveOutcome::Feasible(p) => {
                     p.verify(&instance)
                         .map_err(|e| CliError::runtime(format!("certificate invalid: {e}")))?;
-                    let _ = writeln!(out, "feasible on {} within {} cycles", instance.chip(), instance.horizon());
+                    let _ = writeln!(
+                        out,
+                        "feasible on {} within {} cycles",
+                        instance.chip(),
+                        instance.horizon()
+                    );
                     describe_placement(&mut out, &instance, &p, &options);
                 }
                 SolveOutcome::Infeasible(proof) => {
                     let _ = writeln!(out, "infeasible: {proof}");
                 }
-                SolveOutcome::ResourceLimit => {
-                    return Err(CliError::runtime("resource limit reached"));
+                SolveOutcome::ResourceLimit(limit) => {
+                    return Err(CliError::runtime(format!("{limit} reached")));
                 }
             }
         }
         ["bmp", path] => {
             let instance = load_instance(path, &options)?;
-            let result = Bmp::new(&instance).solve().ok_or_else(|| {
-                CliError::runtime("no chip admits the deadline (critical path too long)")
-            })?;
+            let result = Bmp::new(&instance)
+                .with_config(options.solver_config())
+                .solve()
+                .ok_or_else(|| {
+                    CliError::runtime("no chip admits the deadline (critical path too long)")
+                })?;
             let _ = writeln!(
                 out,
                 "minimal square chip for horizon {}: {}x{} ({} exact decisions)",
@@ -190,9 +237,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         ["spp", path] => {
             let instance = load_instance(path, &options)?;
-            let result = Spp::new(&instance).solve().ok_or_else(|| {
-                CliError::runtime("some module does not fit the chip spatially")
-            })?;
+            let result = Spp::new(&instance)
+                .with_config(options.solver_config())
+                .solve()
+                .ok_or_else(|| CliError::runtime("some module does not fit the chip spatially"))?;
             let _ = writeln!(
                 out,
                 "minimal execution time on {}: {} cycles ({} exact decisions)",
@@ -205,7 +253,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         ["pareto", path] => {
             let instance = load_instance(path, &options)?;
-            let front = pareto_front(&instance, &SolverConfig::default())
+            let front = pareto_front(&instance, &options.solver_config())
                 .ok_or_else(|| CliError::runtime("resource limit reached"))?;
             let _ = writeln!(out, "{:>6} | {:>6}", "chip", "time");
             for p in &front {
@@ -368,6 +416,24 @@ mod tests {
         let err = run(&args(&["solve", "/nonexistent/zzz.rpk"])).expect_err("io error");
         assert_eq!(err.exit_code, 1);
         assert!(err.message.contains("cannot read"));
+    }
+
+    #[test]
+    fn threads_flag_parses_and_preserves_answers() {
+        let path = temp_file(
+            "threads.rpk",
+            "chip 2 2\nhorizon 4\ntask a 2 2 2\ntask b 2 2 2\narc a b\n",
+        );
+        let p = path.to_str().expect("utf8 path");
+        let seq = run(&args(&["solve", p])).expect("runs");
+        for t in ["0", "1", "4"] {
+            let par = run(&args(&["solve", p, "--threads", t])).expect("runs");
+            assert_eq!(par, seq, "--threads {t} changed the output");
+        }
+        let err = run(&args(&["solve", p, "--threads"])).expect_err("missing value");
+        assert_eq!(err.exit_code, 2);
+        let err = run(&args(&["solve", p, "--threads", "many"])).expect_err("bad value");
+        assert!(err.message.contains("expects a number"), "{err:?}");
     }
 
     #[test]

@@ -72,11 +72,11 @@ impl<'a> Bmp<'a> {
                 .with_config(self.config.clone())
                 .solve_with_stats();
             decisions += 1;
-            accumulate(&mut stats, &s);
+            stats.accumulate(&s);
             match outcome {
                 SolveOutcome::Feasible(p) => Some(Some(p)),
                 SolveOutcome::Infeasible(_) => Some(None),
-                SolveOutcome::ResourceLimit => None,
+                SolveOutcome::ResourceLimit(_) => None,
             }
         };
 
@@ -134,19 +134,6 @@ impl<'a> Bmp<'a> {
     }
 }
 
-pub(crate) fn accumulate(total: &mut SolverStats, part: &SolverStats) {
-    total.nodes += part.nodes;
-    total.leaves += part.leaves;
-    total.c2_conflicts += part.c2_conflicts;
-    total.c3_conflicts += part.c3_conflicts;
-    total.c4_conflicts += part.c4_conflicts;
-    total.orientation_conflicts += part.orientation_conflicts;
-    total.leaf_rejections += part.leaf_rejections;
-    total.propagated_fixes += part.propagated_fixes;
-    total.refuted_by_bounds |= part.refuted_by_bounds;
-    total.solved_by_heuristic |= part.solved_by_heuristic;
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,10 +144,7 @@ mod tests {
         let i = benchmarks::de(Chip::square(1), 14).with_transitive_closure();
         let r = Bmp::new(&i).solve().expect("feasible");
         assert_eq!(r.side, 16);
-        assert!(r
-            .placement
-            .verify(&i.with_chip(Chip::square(16)))
-            .is_ok());
+        assert!(r.placement.verify(&i.with_chip(Chip::square(16))).is_ok());
         // The a-priori lower bound (largest module side) is already 16, so
         // a single decision can suffice.
         assert!(r.decisions >= 1);

@@ -37,6 +37,15 @@ pub struct SolverConfig {
     /// ignored for fixed-schedule problems (where task identities are
     /// pinned by the given start times).
     pub twin_symmetry: bool,
+    /// Worker threads for the branch-and-bound. `1` (the default) searches
+    /// sequentially; `0` uses the hardware parallelism; `>= 2` expands the
+    /// tree to a frontier and solves the frontier subtrees concurrently.
+    /// The verdict and the certificate are identical for every thread count
+    /// (see DESIGN.md, "Frontier-split parallel search").
+    pub threads: usize,
+    /// Depth of the sequential frontier expansion in parallel mode. `None`
+    /// picks the smallest depth whose frontier can keep every thread busy.
+    pub frontier_depth: Option<usize>,
 }
 
 impl Default for SolverConfig {
@@ -52,6 +61,8 @@ impl Default for SolverConfig {
             time_limit: None,
             component_first: false,
             twin_symmetry: true,
+            threads: 1,
+            frontier_depth: None,
         }
     }
 }
@@ -71,6 +82,37 @@ impl SolverConfig {
             time_limit: None,
             component_first: false,
             twin_symmetry: false,
+            threads: 1,
+            frontier_depth: None,
+        }
+    }
+
+    /// The number of worker threads this configuration asks for, with `0`
+    /// resolved to the hardware parallelism.
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+}
+
+/// Which resource budget ended a search early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitKind {
+    /// [`SolverConfig::node_limit`] was exhausted.
+    Nodes,
+    /// [`SolverConfig::time_limit`] elapsed.
+    Time,
+}
+
+impl std::fmt::Display for LimitKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Nodes => write!(f, "node limit"),
+            Self::Time => write!(f, "time limit"),
         }
     }
 }
@@ -106,6 +148,21 @@ impl SolverStats {
     /// Total conflicts over all propagation rules.
     pub fn conflicts(&self) -> u64 {
         self.c2_conflicts + self.c3_conflicts + self.c4_conflicts + self.orientation_conflicts
+    }
+
+    /// Adds the counters of `part` — used to merge per-thread statistics of
+    /// a parallel search and per-decision statistics of a binary search.
+    pub fn accumulate(&mut self, part: &SolverStats) {
+        self.nodes += part.nodes;
+        self.leaves += part.leaves;
+        self.c2_conflicts += part.c2_conflicts;
+        self.c3_conflicts += part.c3_conflicts;
+        self.c4_conflicts += part.c4_conflicts;
+        self.orientation_conflicts += part.orientation_conflicts;
+        self.leaf_rejections += part.leaf_rejections;
+        self.propagated_fixes += part.propagated_fixes;
+        self.refuted_by_bounds |= part.refuted_by_bounds;
+        self.solved_by_heuristic |= part.solved_by_heuristic;
     }
 }
 
@@ -144,6 +201,48 @@ mod tests {
         assert!(!c.clique_rule && !c.c4_rule && !c.orientation_rules);
         assert!(!c.use_bounds && !c.use_heuristics);
         assert!(!c.twin_symmetry);
+    }
+
+    #[test]
+    fn threads_default_to_sequential() {
+        assert_eq!(SolverConfig::default().threads, 1);
+        assert_eq!(SolverConfig::default().effective_threads(), 1);
+        let auto = SolverConfig {
+            threads: 0,
+            ..SolverConfig::default()
+        };
+        assert!(auto.effective_threads() >= 1);
+        let four = SolverConfig {
+            threads: 4,
+            ..SolverConfig::default()
+        };
+        assert_eq!(four.effective_threads(), 4);
+    }
+
+    #[test]
+    fn stats_accumulate_sums_counters() {
+        let mut total = SolverStats {
+            nodes: 10,
+            c2_conflicts: 1,
+            ..SolverStats::default()
+        };
+        let part = SolverStats {
+            nodes: 5,
+            leaves: 2,
+            solved_by_heuristic: true,
+            ..SolverStats::default()
+        };
+        total.accumulate(&part);
+        assert_eq!(total.nodes, 15);
+        assert_eq!(total.leaves, 2);
+        assert_eq!(total.c2_conflicts, 1);
+        assert!(total.solved_by_heuristic);
+    }
+
+    #[test]
+    fn limit_kinds_name_their_budget() {
+        assert_eq!(LimitKind::Nodes.to_string(), "node limit");
+        assert_eq!(LimitKind::Time.to_string(), "time limit");
     }
 
     #[test]

@@ -9,10 +9,9 @@
 
 use recopack_model::{Chip, Instance, Placement, Schedule};
 
-use crate::bmp::accumulate;
 use crate::config::{SolverConfig, SolverStats};
 use crate::opp::{InfeasibilityProof, SolveOutcome};
-use crate::search::{SearchResult, Searcher};
+use crate::search::{Search, SearchResult};
 
 /// Solver for problems with prescribed start times.
 ///
@@ -83,19 +82,20 @@ impl<'a> FixedSchedule<'a> {
                 );
             }
         }
-        let mut searcher = Searcher::with_fixed_starts(
+        let search = Search::with_fixed_starts(
             self.instance,
             &self.config,
             Some(self.schedule.starts().to_vec()),
         );
-        let outcome = match searcher.run() {
+        let (result, search_stats) = search.run();
+        let outcome = match result {
             SearchResult::Feasible(p) => SolveOutcome::Feasible(p),
             SearchResult::Infeasible => {
                 SolveOutcome::Infeasible(InfeasibilityProof::SearchExhausted)
             }
-            SearchResult::Limit => SolveOutcome::ResourceLimit,
+            SearchResult::Limit(kind) => SolveOutcome::ResourceLimit(kind),
         };
-        (outcome, searcher.stats())
+        (outcome, search_stats)
     }
 
     fn energy_refutation(&self) -> Option<recopack_bounds::Refutation> {
@@ -131,14 +131,14 @@ impl<'a> FixedSchedule<'a> {
         let mut stats = SolverStats::default();
         let mut check = |side: u64| -> Option<Option<Placement>> {
             let candidate = self.instance.clone().with_chip(Chip::square(side));
-            let solver = FixedSchedule::new(&candidate, self.schedule)
-                .with_config(self.config.clone());
+            let solver =
+                FixedSchedule::new(&candidate, self.schedule).with_config(self.config.clone());
             let (outcome, s) = solver.feasible_with_stats();
-            accumulate(&mut stats, &s);
+            stats.accumulate(&s);
             match outcome {
                 SolveOutcome::Feasible(p) => Some(Some(p)),
                 SolveOutcome::Infeasible(_) => Some(None),
-                SolveOutcome::ResourceLimit => None,
+                SolveOutcome::ResourceLimit(_) => None,
             }
         };
         let mut lo = self
@@ -225,9 +225,7 @@ mod tests {
             .min_square_chip()
             .expect("some chip works");
         assert_eq!(side, 4);
-        assert!(placement
-            .verify(&i.with_chip(Chip::square(4)))
-            .is_ok());
+        assert!(placement.verify(&i.with_chip(Chip::square(4))).is_ok());
     }
 
     #[test]

@@ -59,7 +59,7 @@ mod spp;
 mod state;
 
 pub use bmp::{Bmp, BmpResult};
-pub use config::{SolverConfig, SolverStats};
+pub use config::{LimitKind, SolverConfig, SolverStats};
 pub use fixeds::FixedSchedule;
 pub use opp::{InfeasibilityProof, Opp, SolveOutcome};
 pub use pareto::{pareto_front, ParetoPoint};

@@ -4,8 +4,8 @@ use recopack_bounds::Refutation;
 use recopack_heur::{find_feasible, HeuristicConfig};
 use recopack_model::{Instance, Placement};
 
-use crate::config::{SolverConfig, SolverStats};
-use crate::search::{SearchResult, Searcher};
+use crate::config::{LimitKind, SolverConfig, SolverStats};
+use crate::search::{Search, SearchResult};
 
 /// Why an instance is infeasible.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,8 +33,8 @@ pub enum SolveOutcome {
     Feasible(Placement),
     /// No feasible packing exists.
     Infeasible(InfeasibilityProof),
-    /// The node or time budget ran out before an answer was reached.
-    ResourceLimit,
+    /// The named budget ran out before an answer was reached.
+    ResourceLimit(LimitKind),
 }
 
 impl SolveOutcome {
@@ -114,15 +114,16 @@ impl<'a> Opp<'a> {
                 return (SolveOutcome::Feasible(placement), stats);
             }
         }
-        let mut searcher = Searcher::new(self.instance, &self.config);
-        let outcome = match searcher.run() {
+        let (result, search_stats) = Search::new(self.instance, &self.config).run();
+        stats.accumulate(&search_stats);
+        let outcome = match result {
             SearchResult::Feasible(p) => SolveOutcome::Feasible(p),
             SearchResult::Infeasible => {
                 SolveOutcome::Infeasible(InfeasibilityProof::SearchExhausted)
             }
-            SearchResult::Limit => SolveOutcome::ResourceLimit,
+            SearchResult::Limit(kind) => SolveOutcome::ResourceLimit(kind),
         };
-        (outcome, searcher.stats())
+        (outcome, stats)
     }
 }
 

@@ -65,7 +65,7 @@ pub fn pareto_front(instance: &Instance, config: &SolverConfig) -> Option<Vec<Pa
     loop {
         let candidate = instance.clone().with_chip(Chip::square(side));
         let result = Spp::new(&candidate).with_config(config.clone()).solve()?;
-        let improved = prev_t.map_or(true, |p| result.makespan < p);
+        let improved = prev_t.is_none_or(|p| result.makespan < p);
         if improved {
             front.push(ParetoPoint {
                 side,
@@ -142,10 +142,7 @@ mod tests {
             .horizon(1)
             .build()
             .expect("valid");
-        assert_eq!(
-            pareto_front(&i, &SolverConfig::default()),
-            Some(Vec::new())
-        );
+        assert_eq!(pareto_front(&i, &SolverConfig::default()), Some(Vec::new()));
     }
 
     #[test]

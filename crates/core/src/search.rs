@@ -4,7 +4,16 @@
 //! *comparability*; propagation closes every decision under the C2/C3/C4
 //! rules and the D1/D2 orientation implications; leaves are accepted only
 //! after a successful coordinate realization and geometric verification.
+//!
+//! The search runs sequentially or in parallel ([`SolverConfig::threads`]).
+//! Parallel mode expands the tree sequentially to a shallow *frontier*,
+//! hands each frontier subtree (a cloned [`PackingState`]) to a worker
+//! thread, and aggregates the subtree answers **in depth-first order**, so
+//! the verdict and the certificate are identical for every thread count
+//! (DESIGN.md, "Frontier-split parallel search").
 
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use recopack_graph::cliques;
@@ -12,10 +21,22 @@ use recopack_model::{Dim, Instance, Placement};
 use recopack_order::interval::realize_from_order;
 use recopack_order::orientation::transitively_orient_extending;
 
-use crate::config::{SolverConfig, SolverStats};
+use crate::config::{LimitKind, SolverConfig, SolverStats};
 use crate::state::{EdgeState, Orient, PackingState};
 
-const TIME: usize = Dim::Time.index() as usize;
+const TIME: usize = Dim::Time.index();
+
+/// Frontier subtrees generated per requested worker thread: enough that a
+/// thread finishing an easy subtree finds more work, few enough that the
+/// sequential expansion stays negligible.
+const SUBTREES_PER_THREAD: usize = 4;
+
+/// How many propagation events pass between budget checks inside
+/// [`Worker::propagate_inner`] — a single search node can cascade through
+/// thousands of events (clique searches, C4 scans), so the time limit and
+/// the cancellation flag must be polled *inside* the loop, not only at node
+/// entry.
+const PROPAGATION_CHECK_INTERVAL: u32 = 128;
 
 /// Why a branch was abandoned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,6 +45,9 @@ enum Conflict {
     C3,
     C4,
     Orientation,
+    /// Not a real conflict: the shared budget ran out or the subtree was
+    /// cancelled mid-propagation. Unwinds the search instead of pruning.
+    Stopped,
 }
 
 /// Propagation events.
@@ -73,25 +97,96 @@ fn twin_pair_table(instance: &Instance, config: &SolverConfig, fixed: bool) -> V
 pub(crate) enum SearchResult {
     Feasible(Placement),
     Infeasible,
-    Limit,
+    Limit(LimitKind),
 }
 
-pub(crate) struct Searcher<'a> {
+/// Everything a worker thread reads but never writes: the instance, the
+/// configuration, precomputed sizes, the branching order, and the twin
+/// table. Shared by reference across all threads of one search.
+struct SearchContext<'a> {
     instance: &'a Instance,
     config: &'a SolverConfig,
     sizes: [Vec<u64>; 3],
     caps: [u64; 3],
-    state: PackingState,
-    stats: SolverStats,
     /// Fixed start times (FixedS problems); `None` for free schedules.
     fixed_starts: Option<Vec<u64>>,
     branch_order: Vec<(usize, usize)>,
     /// Pair indices of twin tasks (see `SolverConfig::twin_symmetry`).
     twin_pairs: Vec<bool>,
+}
+
+/// Counters and flags shared by every thread of one search, so that
+/// `node_limit` and `time_limit` stay *global* budgets and a feasible find
+/// can cancel the subtrees that come after it in depth-first order.
+struct SharedBudget {
+    /// Search nodes expanded across all threads.
+    nodes: AtomicU64,
+    /// `0` = running, otherwise a `LimitKind` discriminant + 1; written
+    /// once by the first thread that exhausts a budget.
+    stop: AtomicU8,
+    /// Lowest frontier index known to hold a feasible leaf. Workers on
+    /// higher indices abandon their subtrees: in depth-first order those
+    /// subtrees are *after* the certificate, so the sequential search would
+    /// never have entered them.
+    lowest_feasible: AtomicUsize,
     started: Instant,
 }
 
-impl<'a> Searcher<'a> {
+const STOP_NODES: u8 = 1;
+const STOP_TIME: u8 = 2;
+
+impl SharedBudget {
+    fn new() -> Self {
+        Self {
+            nodes: AtomicU64::new(0),
+            stop: AtomicU8::new(0),
+            lowest_feasible: AtomicUsize::new(usize::MAX),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records the first budget violation; later calls keep the original
+    /// cause.
+    fn request_stop(&self, kind: LimitKind) {
+        let code = match kind {
+            LimitKind::Nodes => STOP_NODES,
+            LimitKind::Time => STOP_TIME,
+        };
+        let _ = self
+            .stop
+            .compare_exchange(0, code, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed) != 0
+    }
+
+    fn stop_kind(&self) -> Option<LimitKind> {
+        match self.stop.load(Ordering::Relaxed) {
+            STOP_NODES => Some(LimitKind::Nodes),
+            STOP_TIME => Some(LimitKind::Time),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of one frontier subtree, recorded at its frontier index.
+enum SubOutcome {
+    Feasible(Placement),
+    Infeasible,
+    Limit(LimitKind),
+    /// Abandoned because a lower frontier index turned out feasible.
+    Cancelled,
+}
+
+/// One complete search over an instance: builds the shared context and
+/// budget, then runs sequentially or fans out to worker threads.
+pub(crate) struct Search<'a> {
+    ctx: SearchContext<'a>,
+    budget: SharedBudget,
+}
+
+impl<'a> Search<'a> {
     pub(crate) fn new(instance: &'a Instance, config: &'a SolverConfig) -> Self {
         Self::with_fixed_starts(instance, config, None)
     }
@@ -101,14 +196,12 @@ impl<'a> Searcher<'a> {
         config: &'a SolverConfig,
         fixed_starts: Option<Vec<u64>>,
     ) -> Self {
-        let n = instance.task_count();
         let sizes = std::array::from_fn(|d| instance.sizes(Dim::from_index(d)));
         let caps = instance.container();
-        let state = PackingState::new(n);
         // Branch on the most constrained slots first: largest combined size
         // relative to capacity; ties prefer the time dimension (where the
         // orientation machinery bites), then stable order.
-        let idx = state.pair_index();
+        let idx = recopack_graph::PairIndex::new(instance.task_count());
         let mut branch_order: Vec<(usize, usize)> = Vec::new();
         for d in 0..3 {
             for (p, _, _) in idx.iter() {
@@ -127,39 +220,198 @@ impl<'a> Searcher<'a> {
         branch_order.sort_by_key(score);
         let twin_pairs = twin_pair_table(instance, config, fixed_starts.is_some());
         Self {
-            instance,
-            config,
-            sizes,
-            caps,
-            state,
-            stats: SolverStats::default(),
-            fixed_starts,
-            branch_order,
-            twin_pairs,
-            started: Instant::now(),
+            ctx: SearchContext {
+                instance,
+                config,
+                sizes,
+                caps,
+                fixed_starts,
+                branch_order,
+                twin_pairs,
+            },
+            budget: SharedBudget::new(),
         }
     }
 
-    pub(crate) fn stats(&self) -> SolverStats {
-        self.stats
-    }
-
-    /// Runs the complete search.
-    pub(crate) fn run(&mut self) -> SearchResult {
+    /// Runs the complete search once, returning the result and the
+    /// statistics aggregated over every thread.
+    pub(crate) fn run(&self) -> (SearchResult, SolverStats) {
         // Tasks that cannot fit the container at all.
         for d in 0..3 {
-            if self.sizes[d].iter().any(|&s| s > self.caps[d]) {
-                return SearchResult::Infeasible;
+            if self.ctx.sizes[d].iter().any(|&s| s > self.ctx.caps[d]) {
+                return (SearchResult::Infeasible, SolverStats::default());
             }
         }
+        let n = self.ctx.instance.task_count();
+        let mut root = Worker::new(&self.ctx, &self.budget, PackingState::new(n), 0);
         let mut queue = Vec::new();
-        if self.seed(&mut queue).is_err() || self.propagate(&mut queue).is_err() {
-            return SearchResult::Infeasible;
+        let rooted = root
+            .seed(&mut queue)
+            .and_then(|()| root.propagate(&mut queue));
+        if rooted.is_err() {
+            let result = match self.budget.stop_kind() {
+                Some(kind) => SearchResult::Limit(kind),
+                None => SearchResult::Infeasible,
+            };
+            return (result, root.stats);
         }
-        match self.dfs() {
-            Ok(Some(p)) => SearchResult::Feasible(p),
-            Ok(None) => SearchResult::Infeasible,
-            Err(()) => SearchResult::Limit,
+        let threads = self.ctx.config.effective_threads();
+        if threads <= 1 {
+            let result = match root.dfs() {
+                Ok(Some(p)) => SearchResult::Feasible(p),
+                Ok(None) => SearchResult::Infeasible,
+                Err(()) => self.limit_result(),
+            };
+            return (result, root.stats);
+        }
+        self.run_parallel(root, threads)
+    }
+
+    fn limit_result(&self) -> SearchResult {
+        SearchResult::Limit(self.budget.stop_kind().unwrap_or(LimitKind::Nodes))
+    }
+
+    /// Frontier-split parallel search. Soundness and determinism argument in
+    /// DESIGN.md ("Frontier-split parallel search"); in short: the frontier
+    /// lists the open subtrees in depth-first order, each subtree is solved
+    /// by the same deterministic search the sequential solver would run on
+    /// it, and the answers are combined in frontier order — so the first
+    /// feasible (or limit) outcome in that order is exactly the sequential
+    /// answer. Cancellation only ever skips subtrees *behind* a feasible
+    /// one, which the sequential search would not have entered either.
+    fn run_parallel(&self, mut root: Worker<'_>, threads: usize) -> (SearchResult, SolverStats) {
+        let target = threads.saturating_mul(SUBTREES_PER_THREAD);
+        // Smallest depth whose full binary frontier reaches the target;
+        // conflicts prune some branches, so the actual frontier may be
+        // smaller.
+        let depth = self
+            .ctx
+            .config
+            .frontier_depth
+            .unwrap_or_else(|| (usize::BITS - (target - 1).leading_zeros()) as usize)
+            .max(1);
+        let mut frontier: Vec<PackingState> = Vec::new();
+        let mut tail_leaf: Option<Placement> = None;
+        if root.expand(depth, &mut frontier, &mut tail_leaf).is_err() {
+            return (self.limit_result(), root.stats);
+        }
+        if frontier.is_empty() {
+            // The expansion decided the whole tree by itself.
+            let result = match tail_leaf {
+                Some(p) => SearchResult::Feasible(p),
+                None => SearchResult::Infeasible,
+            };
+            return (result, root.stats);
+        }
+        let next = AtomicUsize::new(0);
+        let outcomes: Vec<Mutex<Option<SubOutcome>>> =
+            (0..frontier.len()).map(|_| Mutex::new(None)).collect();
+        let total = Mutex::new(root.stats);
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(frontier.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= frontier.len() {
+                        break;
+                    }
+                    let outcome = self.solve_subtree(&frontier[i], i, &total);
+                    *outcomes[i].lock().expect("no poisoned locks") = Some(outcome);
+                });
+            }
+        });
+        let stats = total.into_inner().expect("no poisoned locks");
+        for slot in outcomes {
+            let outcome = slot
+                .into_inner()
+                .expect("no poisoned locks")
+                .expect("every frontier index is recorded");
+            match outcome {
+                SubOutcome::Infeasible => {}
+                SubOutcome::Feasible(p) => return (SearchResult::Feasible(p), stats),
+                SubOutcome::Limit(kind) => return (SearchResult::Limit(kind), stats),
+                SubOutcome::Cancelled => {
+                    // Reachable only past a feasible index, and the scan
+                    // returns there; keep scanning defensively.
+                    debug_assert!(false, "cancelled subtree before any feasible one");
+                }
+            }
+        }
+        // Every frontier subtree exhausted: the expansion's trailing leaf
+        // (which comes after all of them in depth-first order) decides.
+        let result = match tail_leaf {
+            Some(p) => SearchResult::Feasible(p),
+            None => SearchResult::Infeasible,
+        };
+        (result, stats)
+    }
+
+    /// Solves one frontier subtree on the calling thread and merges its
+    /// statistics.
+    fn solve_subtree(
+        &self,
+        state: &PackingState,
+        index: usize,
+        total: &Mutex<SolverStats>,
+    ) -> SubOutcome {
+        if self.budget.stopped() {
+            return SubOutcome::Limit(self.budget.stop_kind().unwrap_or(LimitKind::Nodes));
+        }
+        if self.budget.lowest_feasible.load(Ordering::Relaxed) < index {
+            return SubOutcome::Cancelled;
+        }
+        let mut worker = Worker::new(&self.ctx, &self.budget, state.clone(), index);
+        let outcome = match worker.dfs() {
+            Ok(Some(p)) => {
+                self.budget
+                    .lowest_feasible
+                    .fetch_min(index, Ordering::Relaxed);
+                SubOutcome::Feasible(p)
+            }
+            Ok(None) => SubOutcome::Infeasible,
+            Err(()) => {
+                if self.budget.lowest_feasible.load(Ordering::Relaxed) < index {
+                    SubOutcome::Cancelled
+                } else {
+                    SubOutcome::Limit(self.budget.stop_kind().unwrap_or(LimitKind::Nodes))
+                }
+            }
+        };
+        total
+            .lock()
+            .expect("no poisoned locks")
+            .accumulate(&worker.stats);
+        outcome
+    }
+}
+
+/// The per-thread search: owns a [`PackingState`] and local statistics,
+/// shares the context and budget with every other worker of the search.
+struct Worker<'c> {
+    ctx: &'c SearchContext<'c>,
+    budget: &'c SharedBudget,
+    state: PackingState,
+    stats: SolverStats,
+    /// Frontier index this worker searches under (0 for the sequential
+    /// search and the expansion): cancellation compares against it.
+    subtree: usize,
+    /// Events processed since the last in-propagation budget check.
+    propagation_ticks: u32,
+}
+
+impl<'c> Worker<'c> {
+    fn new(
+        ctx: &'c SearchContext<'c>,
+        budget: &'c SharedBudget,
+        state: PackingState,
+        subtree: usize,
+    ) -> Self {
+        Self {
+            ctx,
+            budget,
+            state,
+            stats: SolverStats::default(),
+            subtree,
+            propagation_ticks: 0,
         }
     }
 
@@ -168,10 +420,10 @@ impl<'a> Searcher<'a> {
     fn seed(&mut self, queue: &mut Vec<Event>) -> Result<(), Conflict> {
         let idx = self.state.pair_index();
         // Fixed schedule: decide every time slot from the given starts.
-        if let Some(starts) = self.fixed_starts.clone() {
+        if let Some(starts) = self.ctx.fixed_starts.clone() {
             for (p, u, v) in idx.iter() {
-                let (su, eu) = (starts[u], starts[u] + self.sizes[TIME][u]);
-                let (sv, ev) = (starts[v], starts[v] + self.sizes[TIME][v]);
+                let (su, eu) = (starts[u], starts[u] + self.ctx.sizes[TIME][u]);
+                let (sv, ev) = (starts[v], starts[v] + self.ctx.sizes[TIME][v]);
                 if su < ev && sv < eu {
                     self.force_state(TIME, p, EdgeState::Component, Conflict::C3, queue)?;
                 } else {
@@ -185,15 +437,21 @@ impl<'a> Searcher<'a> {
             }
         }
         // Precedence arcs become oriented comparability edges of time.
-        for (u, v) in self.instance.precedence().arcs() {
-            self.force_state(TIME, idx.index(u, v), EdgeState::Comparability, Conflict::Orientation, queue)?;
+        for (u, v) in self.ctx.instance.precedence().arcs() {
+            self.force_state(
+                TIME,
+                idx.index(u, v),
+                EdgeState::Comparability,
+                Conflict::Orientation,
+                queue,
+            )?;
             self.force_arc(TIME, u, v, queue)?;
         }
         // Must-overlap: pairs too big to sit side by side in a dimension.
-        if self.config.must_overlap_rule {
+        if self.ctx.config.must_overlap_rule {
             for d in 0..3 {
                 for (p, u, v) in idx.iter() {
-                    if self.sizes[d][u] + self.sizes[d][v] > self.caps[d] {
+                    if self.ctx.sizes[d][u] + self.ctx.sizes[d][v] > self.ctx.caps[d] {
                         self.force_state(d, p, EdgeState::Component, Conflict::C2, queue)?;
                     }
                 }
@@ -237,7 +495,13 @@ impl<'a> Searcher<'a> {
         match self.state.state(dim, pair) {
             EdgeState::Component => return Err(Conflict::Orientation),
             EdgeState::Unassigned => {
-                self.force_state(dim, pair, EdgeState::Comparability, Conflict::Orientation, queue)?;
+                self.force_state(
+                    dim,
+                    pair,
+                    EdgeState::Comparability,
+                    Conflict::Orientation,
+                    queue,
+                )?;
             }
             EdgeState::Comparability => {}
         }
@@ -255,19 +519,49 @@ impl<'a> Searcher<'a> {
     fn propagate(&mut self, queue: &mut Vec<Event>) -> Result<(), Conflict> {
         let result = self.propagate_inner(queue);
         if let Err(kind) = result {
-            match kind {
-                Conflict::C2 => self.stats.c2_conflicts += 1,
-                Conflict::C3 => self.stats.c3_conflicts += 1,
-                Conflict::C4 => self.stats.c4_conflicts += 1,
-                Conflict::Orientation => self.stats.orientation_conflicts += 1,
-            }
+            self.count_conflict(kind);
             queue.clear();
         }
         result
     }
 
+    fn count_conflict(&mut self, kind: Conflict) {
+        match kind {
+            Conflict::C2 => self.stats.c2_conflicts += 1,
+            Conflict::C3 => self.stats.c3_conflicts += 1,
+            Conflict::C4 => self.stats.c4_conflicts += 1,
+            Conflict::Orientation => self.stats.orientation_conflicts += 1,
+            Conflict::Stopped => {}
+        }
+    }
+
+    /// Budget poll from inside a propagation cascade: observes the global
+    /// stop flag, the cancellation of this subtree, and — crucially — the
+    /// wall-time limit, which otherwise would only be seen between nodes.
+    fn propagation_checkpoint(&mut self) -> Result<(), Conflict> {
+        if self.budget.stopped()
+            || self.budget.lowest_feasible.load(Ordering::Relaxed) < self.subtree
+        {
+            return Err(Conflict::Stopped);
+        }
+        if let Some(limit) = self.ctx.config.time_limit {
+            if self.budget.started.elapsed() >= limit {
+                self.budget.request_stop(LimitKind::Time);
+                return Err(Conflict::Stopped);
+            }
+        }
+        Ok(())
+    }
+
     fn propagate_inner(&mut self, queue: &mut Vec<Event>) -> Result<(), Conflict> {
         while let Some(event) = queue.pop() {
+            self.propagation_ticks = self.propagation_ticks.wrapping_add(1);
+            if self
+                .propagation_ticks
+                .is_multiple_of(PROPAGATION_CHECK_INTERVAL)
+            {
+                self.propagation_checkpoint()?;
+            }
             match event {
                 Event::Fixed(d, p) => {
                     let (u, v) = self.state.pair_index().pair(p);
@@ -305,10 +599,10 @@ impl<'a> Searcher<'a> {
             }
             _ => {}
         }
-        if self.config.c4_rule {
+        if self.ctx.config.c4_rule {
             self.c4_scan(d, u, v, true, queue)?;
         }
-        if self.config.orientation_rules {
+        if self.ctx.config.orientation_rules {
             // A new component edge (u, v) links comparability edges at any
             // common comparability-neighbor w: w→u ⇔ w→v.
             let n = self.state.task_count();
@@ -346,35 +640,35 @@ impl<'a> Searcher<'a> {
         queue: &mut Vec<Event>,
     ) -> Result<(), Conflict> {
         // C2, cheapest form: the pair itself is a chain.
-        if self.sizes[d][u] + self.sizes[d][v] > self.caps[d] {
+        if self.ctx.sizes[d][u] + self.ctx.sizes[d][v] > self.ctx.caps[d] {
             return Err(Conflict::C2);
         }
         // C2, clique form: only cliques through the new edge can newly
         // violate the bound.
-        if self.config.clique_rule {
+        if self.ctx.config.clique_rule {
             let mut seed = recopack_graph::BitSet::new(self.state.task_count());
             seed.insert(u);
             seed.insert(v);
             let best = cliques::max_weight_clique_containing(
                 self.state.comparability_graph(d),
-                &self.sizes[d],
+                &self.ctx.sizes[d],
                 &seed,
             )
             .expect("a fixed comparability edge is a clique");
-            if best.weight > self.caps[d] {
+            if best.weight > self.ctx.caps[d] {
                 return Err(Conflict::C2);
             }
         }
-        if self.config.c4_rule {
+        if self.ctx.config.c4_rule {
             self.c4_scan(d, u, v, false, queue)?;
         }
         // Twin symmetry: interchangeable tasks separated in time go in id
         // order. Swapping two twins is an automorphism of the instance, so
         // restricting to the sorted representative loses no packings.
-        if d == TIME && self.twin_pairs[p] {
+        if d == TIME && self.ctx.twin_pairs[p] {
             self.force_arc(d, u.min(v), u.max(v), queue)?;
         }
-        if self.config.orientation_rules {
+        if self.ctx.config.orientation_rules {
             // D1 with the new comparability edge as one of the pair-sharing
             // edges: (u,v) & (u,w) comparability with (v,w) component means
             // u→v ⇔ u→w (and symmetrically at v).
@@ -466,21 +760,21 @@ impl<'a> Searcher<'a> {
             indeg[v] += 1;
         }
         let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
-        let mut dist: Vec<u64> = (0..n).map(|v| self.sizes[d][v]).collect();
+        let mut dist: Vec<u64> = (0..n).map(|v| self.ctx.sizes[d][v]).collect();
         let mut seen = 0usize;
         let mut best = 0u64;
         while let Some(u) = queue.pop() {
             seen += 1;
             best = best.max(dist[u]);
             for &v in &succ[u] {
-                dist[v] = dist[v].max(dist[u] + self.sizes[d][v]);
+                dist[v] = dist[v].max(dist[u] + self.ctx.sizes[d][v]);
                 indeg[v] -= 1;
                 if indeg[v] == 0 {
                     queue.push(v);
                 }
             }
         }
-        seen < n || best > self.caps[d]
+        seen < n || best > self.ctx.caps[d]
     }
 
     /// Induced-C4 avoidance around a newly fixed slot (paper §3.3, forbidden
@@ -512,12 +806,22 @@ impl<'a> Searcher<'a> {
                 // Role 2: (u,v) is the chord a-c; cycle u-w-v-x.
                 let (cyc, chords) = if as_cycle_edge {
                     (
-                        [idx.index(u, v), idx.index(v, w), idx.index(w, x), idx.index(x, u)],
+                        [
+                            idx.index(u, v),
+                            idx.index(v, w),
+                            idx.index(w, x),
+                            idx.index(x, u),
+                        ],
                         [idx.index(u, w), idx.index(v, x)],
                     )
                 } else {
                     (
-                        [idx.index(u, w), idx.index(w, v), idx.index(v, x), idx.index(x, u)],
+                        [
+                            idx.index(u, w),
+                            idx.index(w, v),
+                            idx.index(v, x),
+                            idx.index(x, u),
+                        ],
                         [idx.index(u, v), idx.index(w, x)],
                     )
                 };
@@ -568,28 +872,37 @@ impl<'a> Searcher<'a> {
     }
 
     fn next_unassigned(&self) -> Option<(usize, usize)> {
-        self.branch_order
+        self.ctx
+            .branch_order
             .iter()
             .copied()
             .find(|&(d, p)| self.state.state(d, p) == EdgeState::Unassigned)
     }
 
-    fn out_of_budget(&self) -> bool {
-        if let Some(limit) = self.config.node_limit {
-            if self.stats.nodes >= limit {
+    /// Charges one node against the *global* budget; `true` means stop.
+    fn out_of_budget(&mut self) -> bool {
+        let total = self.budget.nodes.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(limit) = self.ctx.config.node_limit {
+            if total >= limit {
+                self.budget.request_stop(LimitKind::Nodes);
                 return true;
             }
         }
-        if let Some(limit) = self.config.time_limit {
-            if self.stats.nodes % 256 == 0 && self.started.elapsed() >= limit {
+        if let Some(limit) = self.ctx.config.time_limit {
+            if total.is_multiple_of(64) && self.budget.started.elapsed() >= limit {
+                self.budget.request_stop(LimitKind::Time);
                 return true;
             }
         }
-        false
+        if self.budget.stopped() {
+            return true;
+        }
+        self.budget.lowest_feasible.load(Ordering::Relaxed) < self.subtree
     }
 
     /// DFS over the remaining slots. `Ok(Some)` = feasible with certificate;
-    /// `Ok(None)` = subtree exhausted; `Err(())` = resource limit.
+    /// `Ok(None)` = subtree exhausted; `Err(())` = resource limit or
+    /// cancellation (the caller consults the shared budget for the cause).
     fn dfs(&mut self) -> Result<Option<Placement>, ()> {
         let Some((d, p)) = self.next_unassigned() else {
             return Ok(self.check_leaf());
@@ -598,7 +911,7 @@ impl<'a> Searcher<'a> {
         if self.out_of_budget() {
             return Err(());
         }
-        let choices = if self.config.component_first {
+        let choices = if self.ctx.config.component_first {
             [EdgeState::Component, EdgeState::Comparability]
         } else {
             [EdgeState::Comparability, EdgeState::Component]
@@ -615,29 +928,88 @@ impl<'a> Searcher<'a> {
                         return Ok(Some(placement));
                     }
                 }
-                Err(kind) => match kind {
-                    Conflict::C2 => self.stats.c2_conflicts += 1,
-                    Conflict::C3 => self.stats.c3_conflicts += 1,
-                    Conflict::C4 => self.stats.c4_conflicts += 1,
-                    Conflict::Orientation => self.stats.orientation_conflicts += 1,
-                },
+                Err(Conflict::Stopped) => {
+                    self.state.rollback(mark);
+                    return Err(());
+                }
+                Err(kind) => self.count_conflict(kind),
             }
             self.state.rollback(mark);
         }
         Ok(None)
     }
 
+    /// Sequential frontier expansion for the parallel search: depth-first to
+    /// `depth` branching levels, pushing a [`PackingState`] clone per open
+    /// subtree, in the exact order the sequential search would enter them.
+    /// A leaf accepted *during* expansion ends it (everything later in
+    /// depth-first order is behind the certificate) and is reported through
+    /// `tail_leaf`; a rejected leaf just backtracks.
+    fn expand(
+        &mut self,
+        depth: usize,
+        frontier: &mut Vec<PackingState>,
+        tail_leaf: &mut Option<Placement>,
+    ) -> Result<(), ()> {
+        let Some((d, p)) = self.next_unassigned() else {
+            *tail_leaf = self.check_leaf();
+            return Ok(());
+        };
+        if depth == 0 {
+            frontier.push(self.state.clone());
+            return Ok(());
+        }
+        self.stats.nodes += 1;
+        if self.out_of_budget() {
+            return Err(());
+        }
+        let choices = if self.ctx.config.component_first {
+            [EdgeState::Component, EdgeState::Comparability]
+        } else {
+            [EdgeState::Comparability, EdgeState::Component]
+        };
+        for choice in choices {
+            let mark = self.state.mark();
+            let mut queue = Vec::new();
+            let ok = self
+                .force_state(d, p, choice, Conflict::C3, &mut queue)
+                .and_then(|()| self.propagate_inner(&mut queue));
+            match ok {
+                Ok(()) => {
+                    let deeper = self.expand(depth - 1, frontier, tail_leaf);
+                    self.state.rollback(mark);
+                    deeper?;
+                    if tail_leaf.is_some() {
+                        return Ok(());
+                    }
+                    continue;
+                }
+                Err(Conflict::Stopped) => {
+                    self.state.rollback(mark);
+                    return Err(());
+                }
+                Err(kind) => self.count_conflict(kind),
+            }
+            self.state.rollback(mark);
+        }
+        Ok(())
+    }
+
     /// Full leaf acceptance: realize every dimension, verify geometrically.
     fn check_leaf(&mut self) -> Option<Placement> {
-        debug_assert_eq!(self.state.unassigned_count(), 0, "leaves are fully assigned");
+        debug_assert_eq!(
+            self.state.unassigned_count(),
+            0,
+            "leaves are fully assigned"
+        );
         self.stats.leaves += 1;
         let n = self.state.task_count();
         let mut origins = vec![[0u64; 3]; n];
         for d in 0..3 {
             if d == TIME {
-                if let Some(starts) = &self.fixed_starts {
-                    for (i, &s) in starts.iter().enumerate() {
-                        origins[i][d] = s;
+                if let Some(starts) = &self.ctx.fixed_starts {
+                    for (origin, &s) in origins.iter_mut().zip(starts.iter()) {
+                        origin[d] = s;
                     }
                     continue;
                 }
@@ -648,17 +1020,17 @@ impl<'a> Searcher<'a> {
                 self.stats.leaf_rejections += 1;
                 return None;
             };
-            let realization = realize_from_order(&order, &self.sizes[d]);
-            if realization.extent > self.caps[d] {
+            let realization = realize_from_order(&order, &self.ctx.sizes[d]);
+            if realization.extent > self.ctx.caps[d] {
                 self.stats.leaf_rejections += 1;
                 return None;
             }
-            for i in 0..n {
-                origins[i][d] = realization.starts[i];
+            for (origin, &s) in origins.iter_mut().zip(realization.starts.iter()) {
+                origin[d] = s;
             }
         }
-        let placement = Placement::new(origins, self.instance);
-        if placement.verify(self.instance).is_ok() {
+        let placement = Placement::new(origins, self.ctx.instance);
+        if placement.verify(self.ctx.instance).is_ok() {
             Some(placement)
         } else {
             self.stats.leaf_rejections += 1;
@@ -673,7 +1045,7 @@ mod tests {
     use recopack_model::{Chip, Task};
 
     fn solve(instance: &Instance, config: &SolverConfig) -> SearchResult {
-        Searcher::new(instance, config).run()
+        Search::new(instance, config).run().0
     }
 
     fn tiny(horizon: u64, with_arc: bool) -> Instance {
@@ -764,7 +1136,10 @@ mod tests {
             node_limit: Some(0),
             ..SolverConfig::default()
         };
-        assert!(matches!(solve(&i, &config), SearchResult::Limit));
+        assert!(matches!(
+            solve(&i, &config),
+            SearchResult::Limit(LimitKind::Nodes)
+        ));
     }
 
     #[test]
@@ -778,8 +1153,8 @@ mod tests {
             .build()
             .expect("valid");
         let config = SolverConfig::default();
-        let mut s = Searcher::with_fixed_starts(&i, &config, Some(vec![0, 0]));
-        match s.run() {
+        let s = Search::with_fixed_starts(&i, &config, Some(vec![0, 0]));
+        match s.run().0 {
             SearchResult::Feasible(p) => {
                 assert_eq!(p.verify(&i), Ok(()));
                 assert_eq!(p.task_box(0).start(Dim::Time), 0);
@@ -789,8 +1164,8 @@ mod tests {
         }
         // Same but on a 2x2 chip: spatially impossible.
         let cramped = i.with_chip(Chip::square(2));
-        let mut s = Searcher::with_fixed_starts(&cramped, &config, Some(vec![0, 0]));
-        assert!(matches!(s.run(), SearchResult::Infeasible));
+        let s = Search::with_fixed_starts(&cramped, &config, Some(vec![0, 0]));
+        assert!(matches!(s.run().0, SearchResult::Infeasible));
     }
 }
 
@@ -817,20 +1192,21 @@ mod propagation_tests {
             .build()
             .expect("valid");
         let config = SolverConfig::default();
-        let mut s = Searcher::new(&i, &config);
-        match s.run() {
+        let (result, stats) = Search::new(&i, &config).run();
+        match result {
             SearchResult::Feasible(p) => {
                 assert_eq!(p.verify(&i), Ok(()));
                 assert_eq!(p.makespan(), 6);
             }
             _ => panic!("exact fit must be found"),
         }
+        let _ = stats;
         // One cycle less is impossible; the oriented chain bound must see it
         // without a large tree.
         let tight = i.with_horizon(5);
-        let mut s = Searcher::new(&tight, &config);
-        assert!(matches!(s.run(), SearchResult::Infeasible));
-        assert!(s.stats().nodes <= 8, "expected tiny tree, got {}", s.stats().nodes);
+        let (result, stats) = Search::new(&tight, &config).run();
+        assert!(matches!(result, SearchResult::Infeasible));
+        assert!(stats.nodes <= 8, "expected tiny tree, got {}", stats.nodes);
     }
 
     /// The must-overlap rule plus C3: two tasks too wide and too tall to
@@ -845,8 +1221,8 @@ mod propagation_tests {
             .build()
             .expect("valid");
         let config = SolverConfig::default();
-        let mut s = Searcher::new(&i, &config);
-        match s.run() {
+        let (result, stats) = Search::new(&i, &config).run();
+        match result {
             SearchResult::Feasible(p) => {
                 let (a, b) = (p.task_box(0), p.task_box(1));
                 assert!(
@@ -855,7 +1231,7 @@ mod propagation_tests {
                     "2+2 > 3 in both spatial dimensions forces time separation"
                 );
                 // Nothing was left to branch on.
-                assert_eq!(s.stats().nodes, 0);
+                assert_eq!(stats.nodes, 0);
             }
             _ => panic!("serialization fits the horizon"),
         }
@@ -878,10 +1254,10 @@ mod propagation_tests {
             use_heuristics: false,
             ..SolverConfig::default()
         };
-        let mut s = Searcher::new(&i, &config);
-        assert!(matches!(s.run(), SearchResult::Infeasible));
-        assert!(s.stats().c2_conflicts > 0, "C2 must fire: {}", s.stats());
-        assert_eq!(s.stats().leaves, 0, "no leaf should be reached: {}", s.stats());
+        let (result, stats) = Search::new(&i, &config).run();
+        assert!(matches!(result, SearchResult::Infeasible));
+        assert!(stats.c2_conflicts > 0, "C2 must fire: {stats}");
+        assert_eq!(stats.leaves, 0, "no leaf should be reached: {stats}");
     }
 
     /// Orientation conflict: a precedence arc against a forced time order.
@@ -905,8 +1281,8 @@ mod propagation_tests {
             use_heuristics: false,
             ..SolverConfig::default()
         };
-        let mut s = Searcher::new(&i, &config);
-        match s.run() {
+        let (result, _) = Search::new(&i, &config).run();
+        match result {
             SearchResult::Feasible(p) => {
                 // "early" (id 1) strictly precedes "late" (id 0).
                 assert!(p.task_box(1).end(Dim::Time) <= p.task_box(0).start(Dim::Time));
@@ -937,13 +1313,163 @@ mod propagation_tests {
                 use_heuristics: false,
                 ..SolverConfig::default()
             };
-            let off = SolverConfig { c4_rule: false, ..on.clone() };
-            let mut s_on = Searcher::new(&i, &on);
-            let mut s_off = Searcher::new(&i, &off);
-            let a = matches!(s_on.run(), SearchResult::Feasible(_));
-            let b = matches!(s_off.run(), SearchResult::Feasible(_));
+            let off = SolverConfig {
+                c4_rule: false,
+                ..on.clone()
+            };
+            let a = matches!(Search::new(&i, &on).run().0, SearchResult::Feasible(_));
+            let b = matches!(Search::new(&i, &off).run().0, SearchResult::Feasible(_));
             assert_eq!(a, b, "horizon {horizon}");
             assert_eq!(a, horizon >= 2, "two dominoes per cycle");
         }
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use recopack_model::{Chip, Task};
+
+    fn grid(task_count: usize, chip: u64, horizon: u64) -> Instance {
+        let mut b = Instance::builder()
+            .chip(Chip::square(chip))
+            .horizon(horizon);
+        b = b.tasks((0..task_count).map(|k| Task::new(format!("t{k}"), 2, 2, 2)));
+        b.build().expect("valid")
+    }
+
+    fn config_with_threads(threads: usize) -> SolverConfig {
+        SolverConfig {
+            use_bounds: false,
+            use_heuristics: false,
+            threads,
+            ..SolverConfig::default()
+        }
+    }
+
+    /// The parallel verdict and certificate must equal the sequential ones —
+    /// feasible case.
+    #[test]
+    fn parallel_matches_sequential_feasible() {
+        let i = grid(5, 4, 8);
+        let seq = config_with_threads(1);
+        let (r1, _) = Search::new(&i, &seq).run();
+        let SearchResult::Feasible(p1) = r1 else {
+            panic!("sequentially feasible");
+        };
+        for threads in [2, 3, 8] {
+            let par = config_with_threads(threads);
+            let (r, stats) = Search::new(&i, &par).run();
+            let SearchResult::Feasible(p) = r else {
+                panic!("{threads} threads must agree on feasibility");
+            };
+            assert_eq!(p, p1, "certificate differs at {threads} threads");
+            assert_eq!(p.verify(&i), Ok(()));
+            assert!(stats.nodes > 0);
+        }
+    }
+
+    /// Infeasible case: every subtree is exhausted, so the whole tree is —
+    /// and the aggregated statistics cover real work. The bare config keeps
+    /// root propagation from refuting the instance before the fan-out.
+    #[test]
+    fn parallel_matches_sequential_infeasible() {
+        let i = grid(4, 2, 7);
+        for threads in [2, 8] {
+            let par = SolverConfig {
+                threads,
+                ..SolverConfig::bare()
+            };
+            let (r, stats) = Search::new(&i, &par).run();
+            assert!(
+                matches!(r, SearchResult::Infeasible),
+                "{threads} threads must prove infeasibility"
+            );
+            assert!(stats.nodes > 0, "a real tree was searched");
+        }
+    }
+
+    /// The node limit is a *global* budget: many threads must not multiply
+    /// it.
+    #[test]
+    fn parallel_node_limit_is_global() {
+        let i = grid(6, 4, 9);
+        let config = SolverConfig {
+            node_limit: Some(40),
+            ..config_with_threads(4)
+        };
+        let (r, stats) = Search::new(&i, &config).run();
+        assert!(matches!(r, SearchResult::Limit(LimitKind::Nodes)));
+        // Each thread checks after charging the shared counter, so the
+        // overshoot is bounded by the thread count, not multiplied by it.
+        assert!(
+            stats.nodes <= 40 + 8,
+            "global budget overshoot: {} nodes",
+            stats.nodes
+        );
+    }
+
+    /// A zero time limit must stop the parallel search, and report the
+    /// right cause.
+    #[test]
+    fn parallel_time_limit_reports_time() {
+        let i = grid(7, 6, 10);
+        let config = SolverConfig {
+            time_limit: Some(std::time::Duration::ZERO),
+            ..config_with_threads(4)
+        };
+        let (r, _) = Search::new(&i, &config).run();
+        assert!(matches!(r, SearchResult::Limit(LimitKind::Time)));
+    }
+
+    /// Explicit frontier depths, including degenerate ones, never change
+    /// the answer.
+    #[test]
+    fn frontier_depth_is_answer_invariant() {
+        let feasible = grid(5, 4, 8);
+        let infeasible = grid(4, 2, 7);
+        for depth in [1, 2, 5, 12] {
+            let config = SolverConfig {
+                frontier_depth: Some(depth),
+                ..config_with_threads(3)
+            };
+            assert!(
+                matches!(
+                    Search::new(&feasible, &config).run().0,
+                    SearchResult::Feasible(_)
+                ),
+                "depth {depth}"
+            );
+            assert!(
+                matches!(
+                    Search::new(&infeasible, &config).run().0,
+                    SearchResult::Infeasible
+                ),
+                "depth {depth}"
+            );
+        }
+    }
+
+    /// Tiny instances whose whole tree fits inside the expansion: the
+    /// trailing-leaf path must deliver the certificate.
+    #[test]
+    fn expansion_only_trees_still_answer() {
+        let pair = Instance::builder()
+            .chip(Chip::square(2))
+            .horizon(4)
+            .task(Task::new("a", 2, 2, 2))
+            .task(Task::new("b", 2, 2, 2))
+            .precedence("a", "b")
+            .build()
+            .expect("valid");
+        let config = SolverConfig {
+            frontier_depth: Some(30),
+            ..config_with_threads(4)
+        };
+        let (r, _) = Search::new(&pair, &config).run();
+        let SearchResult::Feasible(p) = r else {
+            panic!("pair is feasible");
+        };
+        assert_eq!(p.verify(&pair), Ok(()));
     }
 }

@@ -3,7 +3,6 @@
 
 use recopack_model::{Dim, Instance, Placement};
 
-use crate::bmp::accumulate;
 use crate::config::{SolverConfig, SolverStats};
 use crate::opp::{Opp, SolveOutcome};
 
@@ -100,11 +99,11 @@ impl<'a> Spp<'a> {
                 .with_config(self.config.clone())
                 .solve_with_stats();
             decisions += 1;
-            accumulate(&mut stats, &s);
+            stats.accumulate(&s);
             match outcome {
                 SolveOutcome::Feasible(p) => Some(Some(p)),
                 SolveOutcome::Infeasible(_) => Some(None),
-                SolveOutcome::ResourceLimit => None,
+                SolveOutcome::ResourceLimit(_) => None,
             }
         };
 

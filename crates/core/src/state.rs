@@ -26,6 +26,7 @@ pub enum Orient {
     Backward,
 }
 
+#[derive(Clone)]
 enum TrailEntry {
     State { dim: usize, pair: usize },
     Orient { dim: usize, pair: usize },
@@ -39,6 +40,11 @@ enum TrailEntry {
 /// [`DenseGraph`]s of the *fixed* component and comparability edges so that
 /// propagation rules can run graph queries directly. A trail records every
 /// mutation for exact rollback.
+///
+/// The state is `Clone` so that the parallel search can hand each frontier
+/// subtree an independent copy (the clone carries the trail, so rollbacks
+/// to marks taken after cloning behave identically in the copy).
+#[derive(Clone)]
 pub struct PackingState {
     n: usize,
     idx: PairIndex,
@@ -150,7 +156,11 @@ impl PackingState {
             "only comparability edges carry orientations"
         );
         assert_eq!(self.orients[dim][pair], Orient::None, "already oriented");
-        self.orients[dim][pair] = if u < v { Orient::Forward } else { Orient::Backward };
+        self.orients[dim][pair] = if u < v {
+            Orient::Forward
+        } else {
+            Orient::Backward
+        };
         self.trail.push(TrailEntry::Orient { dim, pair });
     }
 

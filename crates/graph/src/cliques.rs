@@ -109,7 +109,14 @@ fn expand(
         cand.remove(v);
         let next_cand = cand.intersection(g.neighbors(v));
         current.insert(v);
-        expand(g, weights, current, current_weight + weights[v], next_cand, best);
+        expand(
+            g,
+            weights,
+            current,
+            current_weight + weights[v],
+            next_cand,
+            best,
+        );
         current.remove(v);
     }
 }
@@ -147,7 +154,9 @@ mod tests {
     fn random_graph(n: usize, density: f64, seed: u64) -> DenseGraph {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         };
         let mut g = DenseGraph::new(n);
@@ -189,8 +198,8 @@ mod tests {
         let g = DenseGraph::from_edges(5, [(0, 1), (1, 2), (0, 2), (3, 4)]);
         let mut seed = BitSet::new(5);
         seed.extend([3, 4]);
-        let best = max_weight_clique_containing(&g, &[5, 5, 5, 1, 1], &seed)
-            .expect("{3,4} is an edge");
+        let best =
+            max_weight_clique_containing(&g, &[5, 5, 5, 1, 1], &seed).expect("{3,4} is an edge");
         assert_eq!(best.weight, 2);
     }
 

@@ -45,7 +45,9 @@ pub fn find_induced_c4(g: &DenseGraph) -> Option<InducedC4> {
             for (i, &b) in cands.iter().enumerate() {
                 for &d in &cands[..i] {
                     if !g.has_edge(b, d) {
-                        return Some(InducedC4 { cycle: [a, b, c, d] });
+                        return Some(InducedC4 {
+                            cycle: [a, b, c, d],
+                        });
                     }
                 }
             }
@@ -81,10 +83,7 @@ mod tests {
     #[test]
     fn c4_inside_larger_graph() {
         // C4 on {2, 3, 4, 5} embedded in a 7-vertex graph.
-        let g = DenseGraph::from_edges(
-            7,
-            [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 2), (0, 6)],
-        );
+        let g = DenseGraph::from_edges(7, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 2), (0, 6)]);
         assert!(has_induced_c4(&g));
     }
 
@@ -115,7 +114,9 @@ mod proptests {
     fn random_graph(n: usize, density: f64, seed: u64) -> DenseGraph {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(23);
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         };
         let mut g = DenseGraph::new(n);

@@ -25,7 +25,11 @@ pub fn lex_bfs(g: &DenseGraph) -> Vec<usize> {
     let n = g.vertex_count();
     // Partition refinement over a list of cells; each cell is a Vec of
     // unvisited vertices sharing the same label prefix.
-    let mut cells: Vec<Vec<usize>> = if n == 0 { vec![] } else { vec![(0..n).collect()] };
+    let mut cells: Vec<Vec<usize>> = if n == 0 {
+        vec![]
+    } else {
+        vec![(0..n).collect()]
+    };
     let mut order = Vec::with_capacity(n);
     while let Some(first_cell) = cells.first_mut() {
         let v = first_cell.pop().expect("cells are never left empty");

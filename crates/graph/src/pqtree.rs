@@ -159,7 +159,7 @@ impl PqTree {
         // recursion below finds it implicitly: process children first, and
         // the unique node whose subtree contains all of S applies the
         // "root" templates.
-        match self.reduce_node(self.root, s, true) {
+        match self.reduce_node(self.root, s) {
             Some(new_root) => {
                 self.root = new_root;
                 true
@@ -168,11 +168,9 @@ impl PqTree {
         }
     }
 
-    /// Recursive labeling + restructuring. `is_root_path` is true while the
-    /// node's subtree contains *all* full leaves (so the node may still be
-    /// the pertinent root). Returns the (possibly replaced) node id, or
-    /// `None` on failure. Afterwards the node's `label` is set.
-    fn reduce_node(&mut self, id: usize, s: &BitSet, is_root_path: bool) -> Option<usize> {
+    /// Recursive labeling + restructuring. Returns the (possibly replaced)
+    /// node id, or `None` on failure. Afterwards the node's `label` is set.
+    fn reduce_node(&mut self, id: usize, s: &BitSet) -> Option<usize> {
         // Count full leaves under each child to locate the pertinent root.
         let full_under = self.count_full(id, s);
         let total_full = s.len();
@@ -191,7 +189,7 @@ impl PqTree {
             for &c in &children {
                 if self.count_full(c, s) == total_full {
                     // c is on the root path; this node only forwards.
-                    let new_c = self.reduce_node(c, s, is_root_path)?;
+                    let new_c = self.reduce_node(c, s)?;
                     let pos = self.nodes[id]
                         .children
                         .iter()
@@ -238,14 +236,18 @@ impl PqTree {
         let children = self.nodes[id].children.clone();
         let mut new_children = Vec::with_capacity(children.len());
         for c in children {
-            let nc = self.reduce_node(c, s, false)?;
+            let nc = self.reduce_node(c, s)?;
             new_children.push(nc);
         }
         self.nodes[id].children = new_children;
 
         match self.nodes[id].kind.clone() {
             Kind::Leaf(e) => {
-                self.nodes[id].label = if s.contains(e) { Label::Full } else { Label::Empty };
+                self.nodes[id].label = if s.contains(e) {
+                    Label::Full
+                } else {
+                    Label::Empty
+                };
                 Some(id)
             }
             Kind::P => self.reduce_p(id, root),
@@ -541,8 +543,8 @@ mod tests {
 
     #[test]
     fn simple_chain() {
-        let order = consecutive_ones(4, &[vec![0, 1], vec![1, 2], vec![2, 3]])
-            .expect("path structure");
+        let order =
+            consecutive_ones(4, &[vec![0, 1], vec![1, 2], vec![2, 3]]).expect("path structure");
         assert_eq!(order.len(), 4);
     }
 
@@ -558,7 +560,7 @@ mod tests {
         let sets = vec![vec![0, 1, 2], vec![1, 2, 3], vec![2, 3, 4]];
         let order = consecutive_ones(5, &sets).expect("staircase");
         // spot-verify
-        let mut pos = vec![0usize; 5];
+        let mut pos = [0usize; 5];
         for (i, &e) in order.iter().enumerate() {
             pos[e] = i;
         }
@@ -578,19 +580,14 @@ mod tests {
             let masks: Vec<u32> = (0..(1u32 << n))
                 .filter(|m| m.count_ones() >= 2 && (m.count_ones() as usize) < n)
                 .collect();
-            let decode = |m: u32| -> Vec<usize> {
-                (0..n).filter(|&b| m & (1 << b) != 0).collect()
-            };
+            let decode = |m: u32| -> Vec<usize> { (0..n).filter(|&b| m & (1 << b) != 0).collect() };
             for (i, &a) in masks.iter().enumerate() {
                 for (j, &b) in masks.iter().enumerate().take(i + 1) {
                     for &c in masks.iter().take(j + 1) {
                         let sets = vec![decode(a), decode(b), decode(c)];
                         let ours = consecutive_ones(n, &sets).is_some();
                         let brute = consecutive_ones_brute(n, &sets);
-                        assert_eq!(
-                            ours, brute,
-                            "disagreement on n={n}, sets={sets:?}"
-                        );
+                        assert_eq!(ours, brute, "disagreement on n={n}, sets={sets:?}");
                         checked += 1;
                     }
                 }
@@ -603,7 +600,9 @@ mod tests {
     fn random_medium_universes_against_brute_force() {
         let mut state = 0x12345678u64;
         let mut next = |m: u64| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % m
         };
         for _ in 0..400 {

@@ -130,10 +130,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut found = 0;
         for _ in 0..20 {
-            let (i, _) = generate::random_feasible_instance(
-                &generate::GeneratorConfig::default(),
-                &mut rng,
-            );
+            let (i, _) =
+                generate::random_feasible_instance(&generate::GeneratorConfig::default(), &mut rng);
             if find_feasible(&i, &HeuristicConfig::default()).is_some() {
                 found += 1;
             }

@@ -90,8 +90,9 @@ pub fn list_schedule(instance: &Instance, order: &[usize]) -> Option<Placement> 
     let mut grid = SpatialGrid::new(chip.width(), chip.height());
     let mut placed: Vec<Option<[u64; 3]>> = vec![None; n];
     let mut finish: Vec<u64> = vec![0; n];
-    let mut unfinished_preds: Vec<usize> =
-        (0..n).map(|v| instance.precedence().predecessors(v).len()).collect();
+    let mut unfinished_preds: Vec<usize> = (0..n)
+        .map(|v| instance.precedence().predecessors(v).len())
+        .collect();
     let mut running: Vec<usize> = Vec::new();
     let mut events: BTreeSet<u64> = BTreeSet::new();
     events.insert(0);

@@ -119,18 +119,18 @@ pub fn parse_instance(text: &str) -> Result<Instance, ParseInstanceError> {
                 }
             }
             "task" => {
-                let (name, w, h, d, reconfig) = match fields[1..] {
-                    [name, w, h, d] => (name, w, h, d, None),
-                    [name, w, h, d, r] => (name, w, h, d, Some(r)),
-                    _ => {
-                        return Err(syntax(
+                let (name, w, h, d, reconfig) =
+                    match fields[1..] {
+                        [name, w, h, d] => (name, w, h, d, None),
+                        [name, w, h, d, r] => (name, w, h, d, Some(r)),
+                        _ => return Err(syntax(
                             line_no,
                             "expected: task <name> <width> <height> <duration> [reconfiguration]",
-                        ))
-                    }
-                };
+                        )),
+                    };
                 let parse = |s: &str, what: &str| -> Result<u64, ParseInstanceError> {
-                    s.parse().map_err(|_| syntax(line_no, &format!("bad task {what}")))
+                    s.parse()
+                        .map_err(|_| syntax(line_no, &format!("bad task {what}")))
                 };
                 let mut task = Task::new(
                     name,
@@ -291,10 +291,9 @@ mod tests {
             err,
             ParseInstanceError::Invalid(BuildError::UnknownTask("b".into()))
         );
-        let err = parse_instance(
-            "chip 2 2\nhorizon 4\ntask a 1 1 1\ntask b 1 1 1\narc a b\narc b a\n",
-        )
-        .expect_err("cycle");
+        let err =
+            parse_instance("chip 2 2\nhorizon 4\ntask a 1 1 1\ntask b 1 1 1\narc a b\narc b a\n")
+                .expect_err("cycle");
         assert!(matches!(
             err,
             ParseInstanceError::Invalid(BuildError::CyclicPrecedence(_))

@@ -160,7 +160,9 @@ pub fn random_feasible_instance<R: Rng>(
         origins.push(origin);
     }
 
-    let mut builder = Instance::builder().chip(Chip::new(side, side)).horizon(horizon);
+    let mut builder = Instance::builder()
+        .chip(Chip::new(side, side))
+        .horizon(horizon);
     for t in &tasks {
         builder = builder.task(t.clone());
     }
@@ -237,7 +239,7 @@ pub fn layered_instance<R: Rng>(config: &LayeredConfig, rng: &mut R) -> Instance
     let mut max_h = 1;
     let mut volume = 0u64;
     let mut layer_durations = vec![0u64; config.layers];
-    for layer in 0..config.layers {
+    for (layer, layer_duration) in layer_durations.iter_mut().enumerate() {
         for k in 0..config.width {
             let t = Task::new(
                 name(layer, k),
@@ -248,7 +250,7 @@ pub fn layered_instance<R: Rng>(config: &LayeredConfig, rng: &mut R) -> Instance
             max_w = max_w.max(t.width());
             max_h = max_h.max(t.height());
             volume += t.volume();
-            layer_durations[layer] = layer_durations[layer].max(t.duration());
+            *layer_duration = (*layer_duration).max(t.duration());
             builder = builder.task(t);
         }
     }

@@ -307,7 +307,10 @@ mod tests {
 
     #[test]
     fn unknown_task_in_arc_rejected() {
-        let err = two_tasks().precedence("a", "c").build().expect_err("unknown");
+        let err = two_tasks()
+            .precedence("a", "c")
+            .build()
+            .expect_err("unknown");
         assert_eq!(err, BuildError::UnknownTask("c".into()));
     }
 

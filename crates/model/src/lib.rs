@@ -45,12 +45,12 @@
 
 pub mod benchmarks;
 mod chip;
-pub mod format;
 mod dim;
+pub mod format;
 pub mod generate;
 mod instance;
-pub mod render;
 mod placement;
+pub mod render;
 mod task;
 
 pub use chip::Chip;

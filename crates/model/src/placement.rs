@@ -169,7 +169,11 @@ impl Placement {
 
     /// The makespan: latest finishing time over all tasks.
     pub fn makespan(&self) -> u64 {
-        self.boxes.iter().map(|b| b.end(Dim::Time)).max().unwrap_or(0)
+        self.boxes
+            .iter()
+            .map(|b| b.end(Dim::Time))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Smallest square chip side the spatial footprint fits on.
@@ -216,7 +220,10 @@ impl Placement {
         }
         for (u, v) in instance.precedence().arcs() {
             if self.boxes[u].end(Dim::Time) > self.boxes[v].start(Dim::Time) {
-                return Err(VerifyError::PrecedenceViolated { before: u, after: v });
+                return Err(VerifyError::PrecedenceViolated {
+                    before: u,
+                    after: v,
+                });
             }
         }
         Ok(())
@@ -264,9 +271,11 @@ impl Schedule {
     /// Whether all precedence arcs and the horizon are honored (ignoring
     /// space).
     pub fn respects_precedence(&self, instance: &Instance) -> bool {
-        instance.precedence().arcs().all(|(u, v)| {
-            self.starts[u] + instance.task(u).duration() <= self.starts[v]
-        }) && self.makespan(instance) <= instance.horizon()
+        instance
+            .precedence()
+            .arcs()
+            .all(|(u, v)| self.starts[u] + instance.task(u).duration() <= self.starts[v])
+            && self.makespan(instance) <= instance.horizon()
     }
 }
 
@@ -303,13 +312,18 @@ mod tests {
         let p = Placement::new(vec![[3, 0, 0], [0, 2, 0], [0, 0, 2]], &i);
         assert_eq!(
             p.verify(&i),
-            Err(VerifyError::OutOfBounds { task: 0, dim: Dim::X })
+            Err(VerifyError::OutOfBounds {
+                task: 0,
+                dim: Dim::X
+            })
         );
         let late = Placement::new(vec![[0, 0, 5], [2, 2, 0], [0, 0, 0]], &i);
         assert!(matches!(
             late.verify(&i),
-            Err(VerifyError::OutOfBounds { task: 0, dim: Dim::Time })
-                | Err(VerifyError::PrecedenceViolated { .. })
+            Err(VerifyError::OutOfBounds {
+                task: 0,
+                dim: Dim::Time
+            }) | Err(VerifyError::PrecedenceViolated { .. })
         ));
     }
 
@@ -336,7 +350,10 @@ mod tests {
         let p = Placement::new(vec![[0, 0, 4], [2, 2, 4], [0, 0, 0]], &i);
         assert_eq!(
             p.verify(&i),
-            Err(VerifyError::PrecedenceViolated { before: 0, after: 2 })
+            Err(VerifyError::PrecedenceViolated {
+                before: 0,
+                after: 2
+            })
         );
     }
 
@@ -355,9 +372,18 @@ mod tests {
 
     #[test]
     fn box_overlap_predicates() {
-        let a = Box3 { origin: [0, 0, 0], size: [2, 2, 2] };
-        let b = Box3 { origin: [1, 1, 1], size: [2, 2, 2] };
-        let c = Box3 { origin: [2, 0, 0], size: [2, 2, 2] };
+        let a = Box3 {
+            origin: [0, 0, 0],
+            size: [2, 2, 2],
+        };
+        let b = Box3 {
+            origin: [1, 1, 1],
+            size: [2, 2, 2],
+        };
+        let c = Box3 {
+            origin: [2, 0, 0],
+            size: [2, 2, 2],
+        };
         assert!(a.collides(&b));
         assert!(!a.collides(&c));
         assert!(a.overlaps_in(&c, Dim::Y));

@@ -63,12 +63,7 @@ pub fn gantt(placement: &Placement, instance: &Instance) -> String {
 /// Returns `None` when some task only partially overlaps the interval —
 /// the floorplan is only well-defined for intervals between reconfiguration
 /// events (use [`events`] to enumerate them).
-pub fn floorplan(
-    placement: &Placement,
-    instance: &Instance,
-    from: u64,
-    to: u64,
-) -> Option<String> {
+pub fn floorplan(placement: &Placement, instance: &Instance, from: u64, to: u64) -> Option<String> {
     const LETTERS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
     let chip = instance.chip();
     let mut grid = vec![b'.'; (chip.width() * chip.height()) as usize];
@@ -135,7 +130,10 @@ mod tests {
         let g = gantt(&p, &i);
         let alpha_row = g.lines().find(|l| l.contains("alpha")).expect("row");
         assert!(alpha_row.contains("##."));
-        let b_row = g.lines().find(|l| l.trim_start().starts_with("b ")).expect("row");
+        let b_row = g
+            .lines()
+            .find(|l| l.trim_start().starts_with("b "))
+            .expect("row");
         assert!(b_row.contains("###"));
     }
 
@@ -242,7 +240,9 @@ pub fn svg(placement: &Placement, instance: &Instance) -> String {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

@@ -209,8 +209,8 @@ impl Dag {
             reach[u] = r;
         }
         let mut d = Dag::new(self.n);
-        for u in 0..self.n {
-            for v in reach[u].iter() {
+        for (u, r) in reach.iter().enumerate() {
+            for v in r.iter() {
                 d.add_arc(u, v);
             }
         }
@@ -331,10 +331,7 @@ impl Dag {
             let succ_best = self.succ[u].iter().map(|v| tail[v]).max().unwrap_or(0);
             tail[u] = weights[u] + succ_best;
         }
-        Ok(tail
-            .iter()
-            .map(|&t| deadline.checked_sub(t))
-            .collect())
+        Ok(tail.iter().map(|&t| deadline.checked_sub(t)).collect())
     }
 }
 
@@ -438,7 +435,9 @@ mod tests {
     fn random_dag(n: usize, density: f64, seed: u64) -> Dag {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(3);
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         };
         let mut d = Dag::new(n);

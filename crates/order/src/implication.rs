@@ -150,7 +150,9 @@ mod proptests {
     fn random_graph(n: usize, density: f64, seed: u64) -> DenseGraph {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(41);
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         };
         let mut g = DenseGraph::new(n);

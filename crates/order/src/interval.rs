@@ -149,7 +149,7 @@ pub fn interval_representation(g: &DenseGraph) -> Option<IntervalRepresentation>
     let mut ends = vec![0u64; n];
     for v in 0..n {
         debug_assert!(!sets[v].is_empty(), "every vertex is in a maximal clique");
-        starts[v] = sets[v].iter().map(|&c| rank[c] as u64).min()? ;
+        starts[v] = sets[v].iter().map(|&c| rank[c] as u64).min()?;
         ends[v] = sets[v].iter().map(|&c| rank[c] as u64 + 1).max()?;
     }
     // Verify the model reproduces g exactly.
@@ -186,7 +186,9 @@ mod tests {
     fn random_intervals(n: usize, seed: u64) -> (Vec<u64>, Vec<u64>) {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(17);
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % 20
         };
         let starts: Vec<u64> = (0..n).map(|_| next()).collect();
@@ -216,10 +218,7 @@ mod tests {
         assert!(!is_interval_graph(&c4));
         // Asteroidal triple: subdivided star (spider) K1,3 with each leg
         // length 2 is chordal but not interval.
-        let spider = DenseGraph::from_edges(
-            7,
-            [(0, 1), (1, 2), (0, 3), (3, 4), (0, 5), (5, 6)],
-        );
+        let spider = DenseGraph::from_edges(7, [(0, 1), (1, 2), (0, 3), (3, 4), (0, 5), (5, 6)]);
         assert!(chordal::is_chordal(&spider));
         assert!(!is_interval_graph(&spider));
         let p5 = DenseGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
@@ -231,7 +230,11 @@ mod tests {
         let g = DenseGraph::from_edges(3, [(0, 1), (1, 2)]); // 0,2 disjoint
         let r = realize_component_graph(&g, &[3, 3, 3], []).expect("interval graph");
         // comparable pair (0,2): intervals must be disjoint
-        let (a, b) = if r.order.has_arc(0, 2) { (0, 2) } else { (2, 0) };
+        let (a, b) = if r.order.has_arc(0, 2) {
+            (0, 2)
+        } else {
+            (2, 0)
+        };
         assert!(r.starts[a] + 3 <= r.starts[b]);
         assert!(r.extent <= 9);
     }
@@ -304,7 +307,9 @@ mod representation_tests {
     fn random_graph(n: usize, density: f64, seed: u64) -> DenseGraph {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(5);
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         };
         let mut g = DenseGraph::new(n);
@@ -332,10 +337,7 @@ mod representation_tests {
         let c4 = DenseGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
         assert_eq!(interval_representation(&c4), None);
         // Chordal but not interval (asteroidal triple): the 2-subdivided star.
-        let spider = DenseGraph::from_edges(
-            7,
-            [(0, 1), (1, 2), (0, 3), (3, 4), (0, 5), (5, 6)],
-        );
+        let spider = DenseGraph::from_edges(7, [(0, 1), (1, 2), (0, 3), (3, 4), (0, 5), (5, 6)]);
         assert_eq!(interval_representation(&spider), None);
     }
 

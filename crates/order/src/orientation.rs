@@ -161,7 +161,10 @@ impl<'g> Engine<'g> {
     /// Completes the current partial orientation by DFS with forcing.
     fn complete(&mut self) -> bool {
         // Find an unoriented edge.
-        let next = self.g.edges().find(|&(u, v)| self.dir_of(u, v) == Dir::None);
+        let next = self
+            .g
+            .edges()
+            .find(|&(u, v)| self.dir_of(u, v) == Dir::None);
         let Some((u, v)) = next else {
             return true; // fully oriented, propagation kept it consistent
         };
@@ -306,7 +309,9 @@ mod tests {
     fn random_graph(n: usize, density: f64, seed: u64) -> DenseGraph {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(11);
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         };
         let mut g = DenseGraph::new(n);
@@ -365,8 +370,8 @@ mod tests {
         // then 2→1 forces 2→3? no: {2,1},{2,3} share 2, {1,3} missing, so
         // 2→1 ⇔ 2→3. Seed 0→1 plus 3→2 conflicts.
         let g = cycle(4);
-        let err = transitively_orient_extending(&g, [(0, 1), (3, 2)])
-            .expect_err("conflicting seeds");
+        let err =
+            transitively_orient_extending(&g, [(0, 1), (3, 2)]).expect_err("conflicting seeds");
         assert_eq!(err, OrientError::NotExtendable);
         // The individual seeds alone are fine.
         assert!(transitively_orient_extending(&g, [(0, 1)]).is_ok());

@@ -12,7 +12,10 @@ use recopack::solver::Bmp;
 fn main() {
     println!("DE benchmark (paper §5.1, Table 1)");
     println!("module library: MUL 16x16x2, ALU 16x1x1; 11 tasks, 8 arcs\n");
-    println!("{:>4} | {:>10} | {:>10} | {:>9} | {:>9}", "T", "paper chip", "our chip", "decisions", "time");
+    println!(
+        "{:>4} | {:>10} | {:>10} | {:>9} | {:>9}",
+        "T", "paper chip", "our chip", "decisions", "time"
+    );
     println!("-----+------------+------------+-----------+----------");
     for (horizon, paper) in [(6u64, 32u64), (13, 17), (14, 16)] {
         let instance = benchmarks::de(Chip::square(1), horizon).with_transitive_closure();

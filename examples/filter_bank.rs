@@ -45,15 +45,21 @@ fn main() {
         instance.critical_path_length()
     );
 
-    let front = pareto_front(&instance, &SolverConfig::default())
-        .expect("no resource limits configured");
+    let front =
+        pareto_front(&instance, &SolverConfig::default()).expect("no resource limits configured");
     println!("Pareto-optimal implementations:");
     for p in &front {
-        println!("  chip {:>2}x{:<2}  =>  {:>2} cycles", p.side, p.side, p.makespan);
+        println!(
+            "  chip {:>2}x{:<2}  =>  {:>2} cycles",
+            p.side, p.side, p.makespan
+        );
     }
 
     let best = front.last().expect("nonempty front");
-    println!("\nschedule at the fastest point ({}x{}):", best.side, best.side);
+    println!(
+        "\nschedule at the fastest point ({}x{}):",
+        best.side, best.side
+    );
     let target = instance
         .clone()
         .with_chip(Chip::square(best.side))

@@ -23,9 +23,9 @@ fn main() {
         ("v6", 6),
         ("v8", 8),
         ("v7", 10),
-        ("v4", 6),   // after v3
-        ("v5", 12),  // after v4 and v7
-        ("v9", 10),  // after v8
+        ("v4", 6),  // after v3
+        ("v5", 12), // after v4 and v7
+        ("v9", 10), // after v8
         ("v10", 0),
         ("v11", 1),
     ] {
@@ -49,6 +49,9 @@ fn main() {
     let (side, _, stats) = FixedSchedule::new(&instance, &schedule)
         .min_square_chip()
         .expect("schedule is valid");
-    println!("MinA&FixedS: minimal square chip {side}x{side} ({} search nodes)", stats.nodes);
+    println!(
+        "MinA&FixedS: minimal square chip {side}x{side} ({} search nodes)",
+        stats.nodes
+    );
     assert_eq!(side, 17, "the strip layout needs exactly one extra row");
 }

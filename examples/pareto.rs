@@ -31,7 +31,10 @@ fn main() {
     println!("\ncomputed in {:.1?}", started.elapsed());
 
     let pairs = |front: &[recopack::solver::ParetoPoint]| {
-        front.iter().map(|p| (p.side, p.makespan)).collect::<Vec<_>>()
+        front
+            .iter()
+            .map(|p| (p.side, p.makespan))
+            .collect::<Vec<_>>()
     };
     assert_eq!(pairs(&solid), vec![(16, 14), (17, 13), (32, 6)]);
     assert_eq!(pairs(&dashed), vec![(16, 13), (17, 12), (32, 4), (48, 2)]);

@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         SolveOutcome::Infeasible(proof) => println!("infeasible: {proof}"),
-        SolveOutcome::ResourceLimit => println!("gave up (budget)"),
+        SolveOutcome::ResourceLimit(limit) => println!("gave up: {limit} exhausted"),
     }
 
     // 2. Optimization: the minimal execution time on this chip.

@@ -12,14 +12,11 @@ fn main() {
     println!("video codec benchmark (paper §5.2, Table 2)");
     println!("module library: PUM 25x25, BMM 64x64, DCTM 16x16; 17 tasks\n");
     let instance = benchmarks::video_codec(Chip::square(1), 1).with_transitive_closure();
-    println!(
-        "critical path: {} cycles",
-        instance.critical_path_length()
-    );
+    println!("critical path: {} cycles", instance.critical_path_length());
 
     let started = Instant::now();
-    let front = pareto_front(&instance, &SolverConfig::default())
-        .expect("no resource limits configured");
+    let front =
+        pareto_front(&instance, &SolverConfig::default()).expect("no resource limits configured");
     let elapsed = started.elapsed();
 
     println!("\n{:>2} | {:>3} | container | {:>9}", "#", "t", "time");

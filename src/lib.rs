@@ -47,7 +47,7 @@
 //!         assert!(placement.verify(&instance).is_ok());
 //!     }
 //!     SolveOutcome::Infeasible(_) => unreachable!("serial schedule fits"),
-//!     SolveOutcome::ResourceLimit => unreachable!("tiny instance"),
+//!     SolveOutcome::ResourceLimit(limit) => unreachable!("tiny instance hit the {limit}"),
 //! }
 //! # Ok(())
 //! # }

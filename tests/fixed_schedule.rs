@@ -30,8 +30,8 @@ fn schedules_of_witnesses_are_packable() {
 #[test]
 fn de_heuristic_schedule_round_trips() {
     let instance = benchmarks::de(Chip::square(17), 13).with_transitive_closure();
-    let heuristic = find_feasible(&instance, &HeuristicConfig::default())
-        .expect("Table 1 row is feasible");
+    let heuristic =
+        find_feasible(&instance, &HeuristicConfig::default()).expect("Table 1 row is feasible");
     let schedule = heuristic.schedule();
     let packed = FixedSchedule::new(&instance, &schedule).feasible();
     assert!(packed.is_feasible());
@@ -43,10 +43,7 @@ fn de_heuristic_schedule_round_trips() {
 fn min_chip_for_a_serial_de_schedule() {
     let instance = benchmarks::de(Chip::square(16), 17).with_transitive_closure();
     // Serial schedule in topological order: v1..v11 back to back.
-    let order = instance
-        .precedence()
-        .topological_order()
-        .expect("acyclic");
+    let order = instance.precedence().topological_order().expect("acyclic");
     let mut starts = vec![0u64; instance.task_count()];
     let mut clock = 0;
     for v in order {

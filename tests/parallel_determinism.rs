@@ -1,0 +1,113 @@
+//! Outcome determinism of the parallel branch-and-bound: for every thread
+//! count the solver must return the *same verdict* and, when feasible, the
+//! *same verifying certificate* as the sequential search (DESIGN.md,
+//! "Frontier-split parallel search").
+//!
+//! Bounds and heuristics are disabled so every decision below actually runs
+//! the search tree — with them on, most of these instances never reach the
+//! branch-and-bound and the test would prove nothing about it.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use recopack::model::generate::{random_instance, GeneratorConfig};
+use recopack::model::Placement;
+use recopack::solver::{Opp, SolveOutcome, SolverConfig};
+
+fn search_only(threads: usize) -> SolverConfig {
+    SolverConfig {
+        use_bounds: false,
+        use_heuristics: false,
+        threads,
+        ..SolverConfig::default()
+    }
+}
+
+fn decide(instance: &recopack::model::Instance, threads: usize) -> Option<Placement> {
+    match Opp::new(instance).with_config(search_only(threads)).solve() {
+        SolveOutcome::Feasible(p) => {
+            assert_eq!(p.verify(instance), Ok(()), "certificates must verify");
+            Some(p)
+        }
+        SolveOutcome::Infeasible(_) => None,
+        SolveOutcome::ResourceLimit(_) => panic!("no limits configured"),
+    }
+}
+
+/// 60 seeded random instances, threads 1 / 2 / 8: identical verdicts and
+/// identical certificates. The seeds cover both feasible and infeasible
+/// instances (the generator's arc density plus tight horizons produces a
+/// mix), and the oversubscribed 8-thread run exercises frontier splits far
+/// wider than the host's single CPU.
+#[test]
+fn verdicts_and_certificates_are_thread_count_invariant() {
+    let mut feasible_seen = 0u32;
+    let mut infeasible_seen = 0u32;
+    for seed in 0..60u64 {
+        let mut rng = StdRng::seed_from_u64(7000 + seed);
+        let config = GeneratorConfig {
+            task_count: 3 + (seed as usize % 4),
+            max_side: 3,
+            max_duration: 3,
+            arc_percent: 30,
+        };
+        let instance = random_instance(&config, &mut rng);
+        let sequential = decide(&instance, 1);
+        match &sequential {
+            Some(_) => feasible_seen += 1,
+            None => infeasible_seen += 1,
+        }
+        for threads in [2, 8] {
+            let parallel = decide(&instance, threads);
+            assert_eq!(
+                parallel, sequential,
+                "seed {seed}, {threads} threads: outcome diverged on {instance:?}"
+            );
+        }
+    }
+    // The sweep must actually exercise both answers, or the invariance
+    // claim is vacuous for one of them.
+    assert!(feasible_seen >= 10, "only {feasible_seen} feasible seeds");
+    assert!(
+        infeasible_seen >= 10,
+        "only {infeasible_seen} infeasible seeds"
+    );
+}
+
+/// The same invariance under the bare configuration (no propagation rules):
+/// much larger trees per instance, so fewer seeds.
+#[test]
+fn bare_search_is_thread_count_invariant() {
+    for seed in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(9100 + seed);
+        let config = GeneratorConfig {
+            task_count: 3 + (seed as usize % 2),
+            max_side: 3,
+            max_duration: 3,
+            arc_percent: 30,
+        };
+        let instance = random_instance(&config, &mut rng);
+        let decide_bare = |threads: usize| {
+            let config = SolverConfig {
+                threads,
+                ..SolverConfig::bare()
+            };
+            match Opp::new(&instance).with_config(config).solve() {
+                SolveOutcome::Feasible(p) => {
+                    assert_eq!(p.verify(&instance), Ok(()));
+                    Some(p)
+                }
+                SolveOutcome::Infeasible(_) => None,
+                SolveOutcome::ResourceLimit(_) => panic!("no limits configured"),
+            }
+        };
+        let sequential = decide_bare(1);
+        for threads in [2, 8] {
+            assert_eq!(
+                decide_bare(threads),
+                sequential,
+                "seed {seed}, {threads} threads (bare) diverged on {instance:?}"
+            );
+        }
+    }
+}

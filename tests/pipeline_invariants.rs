@@ -147,10 +147,14 @@ fn time_limit_yields_resource_limit() {
         time_limit: Some(std::time::Duration::ZERO),
         ..SolverConfig::bare()
     };
-    // The bare tree for 8 tasks dwarfs the 256-node check interval, so the
-    // zero deadline must fire (whatever the answer would have been).
+    // The bare tree for 8 tasks dwarfs the node-counting check interval, so
+    // the zero deadline must fire (whatever the answer would have been) —
+    // and name the clock, not the node budget, as the cause.
     let outcome = Opp::new(&instance).with_config(config).solve();
-    assert_eq!(outcome, SolveOutcome::ResourceLimit);
+    assert_eq!(
+        outcome,
+        SolveOutcome::ResourceLimit(recopack::solver::LimitKind::Time)
+    );
 }
 
 /// Twin symmetry breaking must never change decisions — it only discards
@@ -173,10 +177,16 @@ fn twin_symmetry_preserves_answers() {
             twin_symmetry: true,
             ..SolverConfig::default()
         };
-        let off = SolverConfig { twin_symmetry: false, ..on.clone() };
+        let off = SolverConfig {
+            twin_symmetry: false,
+            ..on.clone()
+        };
         let a = Opp::new(&instance).with_config(on).solve().is_feasible();
         let b = Opp::new(&instance).with_config(off).solve().is_feasible();
-        assert_eq!(a, b, "iteration {k}: twin rule changed answer on {instance:?}");
+        assert_eq!(
+            a, b,
+            "iteration {k}: twin rule changed answer on {instance:?}"
+        );
     }
 }
 

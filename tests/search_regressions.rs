@@ -22,7 +22,11 @@ fn de_17x17_t12_infeasibility_stays_cheap() {
         .with_config(search_only())
         .solve_with_stats();
     assert!(matches!(outcome, SolveOutcome::Infeasible(_)));
-    assert!(stats.nodes < 1_000, "tree regressed to {} nodes", stats.nodes);
+    assert!(
+        stats.nodes < 1_000,
+        "tree regressed to {} nodes",
+        stats.nodes
+    );
 }
 
 #[test]
@@ -32,7 +36,11 @@ fn de_31x31_t6_infeasibility_stays_cheap() {
         .with_config(search_only())
         .solve_with_stats();
     assert!(matches!(outcome, SolveOutcome::Infeasible(_)));
-    assert!(stats.nodes < 1_000, "tree regressed to {} nodes", stats.nodes);
+    assert!(
+        stats.nodes < 1_000,
+        "tree regressed to {} nodes",
+        stats.nodes
+    );
 }
 
 #[test]
@@ -42,7 +50,11 @@ fn codec_63x63_infeasibility_stays_cheap() {
         .with_config(search_only())
         .solve_with_stats();
     assert!(matches!(outcome, SolveOutcome::Infeasible(_)));
-    assert!(stats.nodes < 10_000, "tree regressed to {} nodes", stats.nodes);
+    assert!(
+        stats.nodes < 10_000,
+        "tree regressed to {} nodes",
+        stats.nodes
+    );
 }
 
 #[test]

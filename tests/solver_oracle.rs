@@ -17,7 +17,7 @@ fn decide_packing_class(instance: &recopack::model::Instance, config: SolverConf
             true
         }
         SolveOutcome::Infeasible(_) => false,
-        SolveOutcome::ResourceLimit => panic!("no limits configured"),
+        SolveOutcome::ResourceLimit(_) => panic!("no limits configured"),
     }
 }
 

@@ -7,7 +7,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use recopack::baseline::{BaselineOutcome, GeometricSolver};
-use recopack::model::generate::{layered_instance, random_instance, GeneratorConfig, LayeredConfig};
+use recopack::model::generate::{
+    layered_instance, random_instance, GeneratorConfig, LayeredConfig,
+};
 use recopack::solver::{Opp, SolveOutcome, SolverConfig};
 
 fn agree(instance: &recopack::model::Instance) {
@@ -17,11 +19,14 @@ fn agree(instance: &recopack::model::Instance) {
             true
         }
         SolveOutcome::Infeasible(_) => false,
-        SolveOutcome::ResourceLimit => panic!("no limits configured"),
+        SolveOutcome::ResourceLimit(_) => panic!("no limits configured"),
     };
     // The geometric oracle occasionally blows up (that asymmetry is the
     // paper's point); skip draws it cannot decide within a generous budget.
-    let baseline = match GeometricSolver::new(instance).with_node_limit(30_000_000).solve() {
+    let baseline = match GeometricSolver::new(instance)
+        .with_node_limit(30_000_000)
+        .solve()
+    {
         BaselineOutcome::Feasible(p) => {
             assert_eq!(p.verify(instance), Ok(()));
             true
