@@ -1,10 +1,17 @@
-//! Shared helpers for the criterion benchmark harness.
+//! Shared helpers for the criterion benchmark harness and the
+//! `recopack-bench` runner.
 //!
-//! The benchmarks live in `benches/`; see DESIGN.md §4 for the experiment
-//! index mapping each bench target to a table or figure of the paper.
+//! The criterion benchmarks live in `benches/`; see DESIGN.md §4 for the
+//! experiment index mapping each bench target to a table or figure of the
+//! paper. The [`suite`] module holds the pinned instance set behind the
+//! `recopack-bench` binary and the CI `bench-smoke` node-count gate, and
+//! [`json`] the dependency-free reader for the committed baseline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod json;
+pub mod suite;
 
 use recopack_core::SolverConfig;
 

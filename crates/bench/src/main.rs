@@ -1,0 +1,133 @@
+//! `recopack-bench`: the reproducible benchmark runner.
+//!
+//! Runs the pinned instance suite of [`recopack_bench::suite`] at the
+//! thread counts pinned per case, writes a versioned JSON report, and
+//! optionally gates against a committed baseline:
+//!
+//! ```text
+//! recopack-bench [--smoke] [--out PATH] [--label NAME]
+//!                [--check BASELINE] [--tolerance PCT]
+//! ```
+//!
+//! * `--smoke` — run the CI smoke subset instead of the full suite;
+//! * `--out PATH` — report path (default `BENCH_PR2.json`);
+//! * `--label NAME` — report label (default `PR2`);
+//! * `--check BASELINE` — compare node counts against a previous report and
+//!   exit nonzero on a regression;
+//! * `--tolerance PCT` — allowed node-count growth in percent (default 25).
+//!
+//! Node counts are deterministic per case (see the suite docs), so the gate
+//! compares them exactly; wall times are informational.
+
+use std::process::ExitCode;
+
+use recopack_bench::json::Json;
+use recopack_bench::suite::{check_against_baseline, run_suite};
+
+struct Args {
+    smoke: bool,
+    out: String,
+    label: String,
+    check: Option<String>,
+    tolerance: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        out: "BENCH_PR2.json".to_string(),
+        label: "PR2".to_string(),
+        check: None,
+        tolerance: 25,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = iter.next().ok_or("--out requires a path")?,
+            "--label" => args.label = iter.next().ok_or("--label requires a name")?,
+            "--check" => args.check = Some(iter.next().ok_or("--check requires a path")?),
+            "--tolerance" => {
+                let value = iter.next().ok_or("--tolerance requires a percentage")?;
+                args.tolerance = value
+                    .parse()
+                    .map_err(|_| format!("--tolerance expects a number, got {value:?}"))?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: recopack-bench [--smoke] [--out PATH] [--label NAME] \
+                     [--check BASELINE] [--tolerance PCT]"
+                        .to_string(),
+                );
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = run_suite(args.smoke, &args.label);
+    println!(
+        "{:<22} {:>3} {:>12} {:>10} {:>10}  outcome",
+        "case", "thr", "nodes", "conflicts", "wall_ms"
+    );
+    for case in &report.cases {
+        println!(
+            "{:<22} {:>3} {:>12} {:>10} {:>10.2}  {}",
+            case.instance,
+            case.threads,
+            case.stats.nodes,
+            case.stats.conflicts(),
+            case.wall_ms,
+            case.outcome
+        );
+    }
+    if let Err(e) = std::fs::write(&args.out, report.to_json()) {
+        eprintln!("cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("report written to {}", args.out);
+
+    let Some(baseline_path) = &args.check else {
+        return ExitCode::SUCCESS;
+    };
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match Json::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("malformed baseline {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let gate = check_against_baseline(&report, &baseline, args.tolerance);
+    println!(
+        "\nnode-count gate vs {baseline_path} (tolerance {}%):",
+        args.tolerance
+    );
+    for line in &gate.lines {
+        println!("  {line}");
+    }
+    if gate.passed() {
+        println!("gate passed");
+        ExitCode::SUCCESS
+    } else {
+        for regression in &gate.regressions {
+            eprintln!("regression: {regression}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,437 @@
+//! The pinned instance suite behind the `recopack-bench` binary and the CI
+//! `bench-smoke` gate.
+//!
+//! Every case is fully determined by this file: instances come from the
+//! paper's benchmarks and from seeded generators, and thread counts are
+//! pinned per case. Node counts (and every other
+//! [`SolverStats`](recopack_core::SolverStats) counter)
+//! are reproducible run over run:
+//!
+//! * cases that may be *feasible* run at `threads = 1` only — parallel
+//!   cancellation can change how much of the tree is explored before the
+//!   certificate is found;
+//! * *infeasible-by-construction* cases run at higher thread counts too: an
+//!   exhausted search explores the same tree for every thread count.
+//!
+//! Wall times are reported but never gated; the regression gate compares
+//! node counts only (see [`check_against_baseline`]).
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recopack_core::{
+    Bmp, Opp, SolveOutcome, SolveReport, SolverConfig, Spp, TELEMETRY_SCHEMA_VERSION,
+};
+use recopack_model::generate::{layered_instance, random_instance, GeneratorConfig, LayeredConfig};
+use recopack_model::{benchmarks, Chip, Instance, Task};
+
+use crate::json::Json;
+use crate::search_only;
+
+/// Which solver a bench case exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// One feasibility decision ([`Opp`]).
+    Opp,
+    /// Square-chip minimization ([`Bmp`]).
+    Bmp,
+    /// Makespan minimization ([`Spp`]).
+    Spp,
+}
+
+impl Command {
+    /// Stable name used in the report JSON.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Command::Opp => "opp",
+            Command::Bmp => "bmp",
+            Command::Spp => "spp",
+        }
+    }
+}
+
+/// One pinned benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchCase {
+    /// Unique case name (doubles as the instance id in reports).
+    pub name: String,
+    /// The solver to run.
+    pub command: Command,
+    /// Whether the case is part of the CI smoke subset.
+    pub smoke: bool,
+    /// Pinned worker thread count.
+    pub threads: usize,
+    /// Run with bounds/heuristics disabled so the search itself is timed.
+    pub search_only: bool,
+    /// The instance (already transitively closed where applicable).
+    pub instance: Instance,
+}
+
+/// `count >= 5` tasks of size `2×2×2` on a `4×4` chip with horizon 2:
+/// every task must run in the only time slot, but the chip holds at most
+/// four `2×2` footprints — infeasible, yet (with bounds disabled) provable
+/// only by exhausting the spatial branching. This is the search-heavy
+/// family of the suite: propagation cannot refute the root, so the node
+/// count grows with `count` and is identical for every thread count.
+fn quad_overflow(count: usize) -> Instance {
+    let mut builder = Instance::builder().chip(Chip::square(4)).horizon(2);
+    for i in 0..count {
+        builder = builder.task(Task::new(format!("t{i}"), 2, 2, 2));
+    }
+    builder
+        .build()
+        .expect("structurally valid")
+        .with_transitive_closure()
+}
+
+/// The full pinned suite, filtered to the smoke subset when `smoke` is set.
+///
+/// Case names are stable identifiers: the regression gate joins current and
+/// baseline reports on `(name, command, threads)`.
+pub fn cases(smoke: bool) -> Vec<BenchCase> {
+    // Paper benchmarks: the full pipeline (bounds, heuristics, search).
+    let mut all = vec![BenchCase {
+        name: "de_opp_32x6".into(),
+        command: Command::Opp,
+        smoke: true,
+        threads: 1,
+        search_only: false,
+        instance: benchmarks::de(Chip::square(32), 6).with_transitive_closure(),
+    }];
+    all.push(BenchCase {
+        name: "de_opp_32x5_refuted".into(),
+        command: Command::Opp,
+        smoke: true,
+        threads: 1,
+        search_only: false,
+        instance: benchmarks::de(Chip::square(32), 5).with_transitive_closure(),
+    });
+    all.push(BenchCase {
+        name: "de_spp_16".into(),
+        command: Command::Spp,
+        smoke: false,
+        threads: 1,
+        search_only: false,
+        instance: benchmarks::de(Chip::square(16), 1).with_transitive_closure(),
+    });
+    all.push(BenchCase {
+        name: "de_bmp_t14".into(),
+        command: Command::Bmp,
+        smoke: false,
+        threads: 1,
+        search_only: false,
+        instance: benchmarks::de(Chip::square(1), 14).with_transitive_closure(),
+    });
+
+    // Seeded random family: mixed shapes, layered DAG, volume-tight
+    // container. Outcome varies by seed; feasible answers are possible, so
+    // these stay sequential (see the module docs).
+    for (i, seed) in [9001u64, 9002, 9003, 9004].into_iter().enumerate() {
+        let config = GeneratorConfig {
+            task_count: 7,
+            max_side: 3,
+            max_duration: 3,
+            arc_percent: 30,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        all.push(BenchCase {
+            name: format!("random_s{seed}"),
+            command: Command::Opp,
+            smoke: i < 2,
+            threads: 1,
+            search_only: true,
+            instance: random_instance(&config, &mut rng).with_transitive_closure(),
+        });
+    }
+
+    // Seeded layered (pipeline-shaped) family.
+    for (i, seed) in [9101u64, 9102].into_iter().enumerate() {
+        let config = LayeredConfig {
+            layers: 3,
+            width: 3,
+            max_side: 3,
+            max_duration: 3,
+            arc_percent: 50,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        all.push(BenchCase {
+            name: format!("layered_s{seed}"),
+            command: Command::Opp,
+            smoke: i < 1,
+            threads: 1,
+            search_only: true,
+            instance: layered_instance(&config, &mut rng).with_transitive_closure(),
+        });
+    }
+
+    // Infeasible-by-construction family: safe at any thread count, so this
+    // is where the parallel merge path gets exercised deterministically.
+    for count in [5usize, 6, 7] {
+        for threads in [1usize, 2] {
+            all.push(BenchCase {
+                name: format!("quad{count}_t{threads}"),
+                command: Command::Opp,
+                smoke: count < 7,
+                threads,
+                search_only: true,
+                instance: quad_overflow(count),
+            });
+        }
+    }
+
+    if smoke {
+        all.retain(|c| c.smoke);
+    }
+    all
+}
+
+/// Runs one case and packages the outcome as a [`SolveReport`].
+pub fn run_case(case: &BenchCase) -> SolveReport {
+    let base = if case.search_only {
+        search_only()
+    } else {
+        SolverConfig::default()
+    };
+    let config = SolverConfig {
+        threads: case.threads,
+        ..base
+    };
+    let started = Instant::now();
+    let (outcome, decisions, stats) = match case.command {
+        Command::Opp => {
+            let (outcome, stats) = Opp::new(&case.instance)
+                .with_config(config)
+                .solve_with_stats();
+            let label = match outcome {
+                SolveOutcome::Feasible(_) => "feasible".to_string(),
+                SolveOutcome::Infeasible(_) => "infeasible".to_string(),
+                SolveOutcome::ResourceLimit(limit) => format!("{limit} reached"),
+            };
+            (label, 1, stats)
+        }
+        Command::Bmp => match Bmp::new(&case.instance).with_config(config).solve() {
+            Some(result) => (
+                format!("side {}", result.side),
+                result.decisions,
+                result.stats,
+            ),
+            None => ("unsolved".to_string(), 0, Default::default()),
+        },
+        Command::Spp => match Spp::new(&case.instance).with_config(config).solve() {
+            Some(result) => (
+                format!("makespan {}", result.makespan),
+                result.decisions,
+                result.stats,
+            ),
+            None => ("unsolved".to_string(), 0, Default::default()),
+        },
+    };
+    SolveReport {
+        command: case.command.name().to_string(),
+        instance: case.name.clone(),
+        outcome,
+        threads: case.threads,
+        decisions,
+        wall_ms: started.elapsed().as_secs_f64() * 1000.0,
+        stats,
+    }
+}
+
+/// A complete bench run: the document written to `BENCH_PR<N>.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Report label (`PR2`, a git ref, ...).
+    pub label: String,
+    /// Whether this was the smoke subset.
+    pub smoke: bool,
+    /// One entry per case, in suite order.
+    pub cases: Vec<SolveReport>,
+}
+
+impl BenchReport {
+    /// Serializes the report as a versioned JSON document.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "{{\"schema_version\":{TELEMETRY_SCHEMA_VERSION}");
+        out.push_str(",\"label\":");
+        recopack_core::telemetry::push_json_str(&mut out, &self.label);
+        let _ = write!(out, ",\"smoke\":{},\"cases\":[", self.smoke);
+        for (i, case) in self.cases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&case.to_json());
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+/// Runs the pinned suite.
+pub fn run_suite(smoke: bool, label: &str) -> BenchReport {
+    BenchReport {
+        label: label.to_string(),
+        smoke,
+        cases: cases(smoke).iter().map(run_case).collect(),
+    }
+}
+
+/// Outcome of the node-count regression gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateOutcome {
+    /// One human-readable comparison line per matched case.
+    pub lines: Vec<String>,
+    /// Cases whose node count regressed past the tolerance.
+    pub regressions: Vec<String>,
+}
+
+impl GateOutcome {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares `current` against a parsed baseline report, flagging every case
+/// whose node count grew by more than `tolerance_percent`.
+///
+/// Cases are joined on `(instance, command, threads)`. Cases present only
+/// on one side are reported but never fail the gate (suites are allowed to
+/// grow and shrink across PRs); wall time is informational only.
+pub fn check_against_baseline(
+    current: &BenchReport,
+    baseline: &Json,
+    tolerance_percent: u64,
+) -> GateOutcome {
+    let empty = Vec::new();
+    let baseline_cases = baseline
+        .get("cases")
+        .and_then(Json::as_array)
+        .unwrap_or(&empty);
+    let baseline_nodes = |case: &SolveReport| -> Option<u64> {
+        baseline_cases
+            .iter()
+            .find(|b| {
+                b.get("instance").and_then(Json::as_str) == Some(case.instance.as_str())
+                    && b.get("command").and_then(Json::as_str) == Some(case.command.as_str())
+                    && b.get("threads").and_then(Json::as_u64) == Some(case.threads as u64)
+            })
+            .and_then(|b| b.get("stats")?.get("nodes")?.as_u64())
+    };
+    let mut outcome = GateOutcome {
+        lines: Vec::new(),
+        regressions: Vec::new(),
+    };
+    for case in &current.cases {
+        let nodes = case.stats.nodes;
+        match baseline_nodes(case) {
+            None => outcome.lines.push(format!(
+                "{} (t{}): {} nodes [new case, not gated]",
+                case.instance, case.threads, nodes
+            )),
+            Some(base) => {
+                // Integer arithmetic: regression iff nodes > base * (1 + tol).
+                let regressed = nodes * 100 > base * (100 + tolerance_percent);
+                outcome.lines.push(format!(
+                    "{} (t{}): {} nodes vs baseline {} [{}]",
+                    case.instance,
+                    case.threads,
+                    nodes,
+                    base,
+                    if regressed { "REGRESSED" } else { "ok" }
+                ));
+                if regressed {
+                    outcome.regressions.push(format!(
+                        "{} (t{}): {} nodes exceeds baseline {} by more than {}%",
+                        case.instance, case.threads, nodes, base, tolerance_percent
+                    ));
+                }
+            }
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_is_a_subset_with_unique_names() {
+        let full = cases(false);
+        let smoke = cases(true);
+        assert!(smoke.len() < full.len());
+        assert!(!smoke.is_empty());
+        let mut keys: Vec<(String, usize)> =
+            full.iter().map(|c| (c.name.clone(), c.threads)).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), full.len(), "case keys must be unique");
+    }
+
+    #[test]
+    fn infeasible_family_is_thread_invariant_and_repeatable() {
+        let all = cases(false);
+        let quad5: Vec<&BenchCase> = all.iter().filter(|c| c.name.starts_with("quad5")).collect();
+        assert_eq!(quad5.len(), 2);
+        let reports: Vec<SolveReport> = quad5.iter().map(|c| run_case(c)).collect();
+        assert!(reports.iter().all(|r| r.outcome == "infeasible"));
+        assert!(
+            reports[0].stats.nodes > 0,
+            "the family must actually search"
+        );
+        assert_eq!(
+            reports[0].stats, reports[1].stats,
+            "threads 1 and 2 must explore the same tree"
+        );
+        let again = run_case(quad5[1]);
+        assert_eq!(again.stats, reports[1].stats, "reruns must be identical");
+    }
+
+    #[test]
+    fn reports_serialize_and_reparse() {
+        let case = &cases(true)[0];
+        let report = BenchReport {
+            label: "test".into(),
+            smoke: true,
+            cases: vec![run_case(case)],
+        };
+        let doc = Json::parse(&report.to_json()).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_u64),
+            Some(u64::from(TELEMETRY_SCHEMA_VERSION))
+        );
+        let cases_json = doc.get("cases").and_then(Json::as_array).expect("array");
+        assert_eq!(
+            cases_json[0].get("instance").and_then(Json::as_str),
+            Some(case.name.as_str())
+        );
+    }
+
+    #[test]
+    fn gate_flags_only_regressions_beyond_tolerance() {
+        let mut report = BenchReport {
+            label: "cur".into(),
+            smoke: true,
+            cases: vec![run_case(&cases(false)[0])],
+        };
+        report.cases[0].stats.nodes = 126;
+        let baseline = Json::parse(&format!(
+            r#"{{"cases":[{{"instance":"{}","command":"{}","threads":{},"stats":{{"nodes":100}}}}]}}"#,
+            report.cases[0].instance, report.cases[0].command, report.cases[0].threads
+        ))
+        .expect("valid");
+        let gate = check_against_baseline(&report, &baseline, 25);
+        assert!(!gate.passed(), "{:?}", gate.lines);
+        report.cases[0].stats.nodes = 125;
+        let gate = check_against_baseline(&report, &baseline, 25);
+        assert!(gate.passed(), "{:?}", gate.regressions);
+        // Unknown cases are reported but never gate.
+        report.cases[0].instance = "brand_new".into();
+        let gate = check_against_baseline(&report, &baseline, 25);
+        assert!(gate.passed());
+        assert!(gate.lines[0].contains("not gated"), "{:?}", gate.lines);
+    }
+}

@@ -42,6 +42,58 @@ pub mod volume;
 
 use recopack_model::{Dim, Instance};
 
+/// The family of lower-bound argument behind a [`Refutation`] — the solver's
+/// telemetry layer records *which* bound refuted an instance so the benchmark
+/// reports can break refutations down per rule.
+///
+/// [`BoundKind::name`] is the stable identifier used in the JSON telemetry
+/// schema; renaming a variant's string is a schema change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoundKind {
+    /// A single task exceeds the container ([`Refutation::TaskTooLarge`]).
+    Fit,
+    /// The plain volume argument ([`Refutation::Volume`]).
+    Volume,
+    /// A dual-feasible-function rescaling ([`Refutation::Dff`]).
+    Dff,
+    /// The duration-weighted critical path ([`Refutation::CriticalPath`]).
+    CriticalPath,
+    /// An empty ASAP/ALAP start window ([`Refutation::EmptyWindow`]).
+    Window,
+    /// The time-point energy argument ([`Refutation::Energy`]).
+    Energy,
+}
+
+impl BoundKind {
+    /// Every kind, in the order the bound battery tries them.
+    pub const ALL: [BoundKind; 6] = [
+        BoundKind::Fit,
+        BoundKind::Volume,
+        BoundKind::Dff,
+        BoundKind::CriticalPath,
+        BoundKind::Window,
+        BoundKind::Energy,
+    ];
+
+    /// Stable snake_case name used in telemetry JSON.
+    pub const fn name(self) -> &'static str {
+        match self {
+            BoundKind::Fit => "fit",
+            BoundKind::Volume => "volume",
+            BoundKind::Dff => "dff",
+            BoundKind::CriticalPath => "critical_path",
+            BoundKind::Window => "window",
+            BoundKind::Energy => "energy",
+        }
+    }
+}
+
+impl std::fmt::Display for BoundKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A reason an instance provably has no feasible packing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Refutation {
@@ -86,6 +138,20 @@ pub enum Refutation {
         /// Chip area.
         capacity: u64,
     },
+}
+
+impl Refutation {
+    /// The lower-bound family that produced this refutation.
+    pub const fn kind(&self) -> BoundKind {
+        match self {
+            Self::TaskTooLarge { .. } => BoundKind::Fit,
+            Self::Volume { .. } => BoundKind::Volume,
+            Self::Dff { .. } => BoundKind::Dff,
+            Self::CriticalPath { .. } => BoundKind::CriticalPath,
+            Self::EmptyWindow { .. } => BoundKind::Window,
+            Self::Energy { .. } => BoundKind::Energy,
+        }
+    }
 }
 
 impl std::fmt::Display for Refutation {
@@ -169,6 +235,21 @@ mod tests {
                 task: 0,
                 dim: Dim::X
             })
+        );
+    }
+
+    #[test]
+    fn refutation_kinds_have_stable_names() {
+        let r = Refutation::Volume {
+            total: 2,
+            capacity: 1,
+        };
+        assert_eq!(r.kind(), BoundKind::Volume);
+        assert_eq!(r.kind().to_string(), "volume");
+        let names: Vec<&str> = BoundKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            ["fit", "volume", "dff", "critical_path", "window", "energy"]
         );
     }
 

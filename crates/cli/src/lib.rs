@@ -15,14 +15,20 @@
 //! All subcommands accept `--no-precedence` (drop the partial order, the
 //! paper's Figure 7(b) mode), `--floorplans` (print the chip occupancy
 //! between reconfiguration events), and `--emit-placement` (print solutions
-//! as `place` lines consumable by `check`/`render`).
+//! as `place` lines consumable by `check`/`render`). The solver subcommands
+//! (`solve`, `bmp`, `spp`, `pareto`) additionally accept
+//! `--stats-json <path>` to write a versioned [`SolveReport`] JSON document
+//! with wall time, node counts and per-rule conflict counters.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
+use std::time::Instant;
 
-use recopack_core::{pareto_front, Bmp, Opp, SolveOutcome, SolverConfig, Spp};
+use recopack_core::{
+    pareto_front_with_stats, Bmp, Opp, SolveOutcome, SolveReport, SolverConfig, SolverStats, Spp,
+};
 use recopack_model::{benchmarks, format, render, Chip, Instance, Placement};
 
 /// A CLI failure with a message and a suggested exit code.
@@ -83,6 +89,9 @@ OPTIONS:
     --threads <n>            worker threads for the branch-and-bound
                              (default 1 = sequential, 0 = all hardware
                              threads; the answer is thread-count invariant)
+    --stats-json <path>      write a versioned JSON telemetry report (wall
+                             time, node counts, per-rule conflicts) for
+                             solve/bmp/spp/pareto
 ";
 
 /// Parsed command-line options.
@@ -93,6 +102,7 @@ struct Options {
     emit_placement: bool,
     svg: bool,
     threads: usize,
+    stats_json: Option<String>,
 }
 
 impl Default for Options {
@@ -103,6 +113,7 @@ impl Default for Options {
             emit_placement: false,
             svg: false,
             threads: 1,
+            stats_json: None,
         }
     }
 }
@@ -134,6 +145,12 @@ fn split_args(args: &[String]) -> Result<(Vec<&str>, Options), CliError> {
                     CliError::usage(format!("--threads expects a number, got {value:?}"))
                 })?;
             }
+            "--stats-json" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError::usage("--stats-json requires a path"))?;
+                options.stats_json = Some(value.clone());
+            }
             flag if flag.starts_with("--") => {
                 return Err(CliError::usage(format!(
                     "unknown option {flag:?}\n\n{USAGE}"
@@ -156,6 +173,33 @@ fn load_instance(path: &str, options: &Options) -> Result<Instance, CliError> {
         instance.with_transitive_closure()
     };
     Ok(instance)
+}
+
+/// Writes the `--stats-json` report, if one was requested.
+fn write_report(
+    options: &Options,
+    command: &str,
+    instance: &str,
+    outcome: String,
+    decisions: u32,
+    started: Instant,
+    stats: &SolverStats,
+) -> Result<(), CliError> {
+    let Some(path) = &options.stats_json else {
+        return Ok(());
+    };
+    let report = SolveReport {
+        command: command.to_string(),
+        instance: instance.to_string(),
+        outcome,
+        threads: options.threads,
+        decisions,
+        wall_ms: started.elapsed().as_secs_f64() * 1000.0,
+        stats: stats.clone(),
+    };
+    let mut text = report.to_json();
+    text.push('\n');
+    std::fs::write(path, text).map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))
 }
 
 fn describe_placement(
@@ -193,10 +237,17 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         [] | ["help"] => out.push_str(USAGE),
         ["solve", path] => {
             let instance = load_instance(path, &options)?;
-            match Opp::new(&instance)
+            let started = Instant::now();
+            let (outcome, stats) = Opp::new(&instance)
                 .with_config(options.solver_config())
-                .solve()
-            {
+                .solve_with_stats();
+            let label = match &outcome {
+                SolveOutcome::Feasible(_) => "feasible".to_string(),
+                SolveOutcome::Infeasible(_) => "infeasible".to_string(),
+                SolveOutcome::ResourceLimit(limit) => format!("{limit} reached"),
+            };
+            write_report(&options, "solve", path, label, 1, started, &stats)?;
+            match outcome {
                 SolveOutcome::Feasible(p) => {
                     p.verify(&instance)
                         .map_err(|e| CliError::runtime(format!("certificate invalid: {e}")))?;
@@ -218,12 +269,22 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         ["bmp", path] => {
             let instance = load_instance(path, &options)?;
+            let started = Instant::now();
             let result = Bmp::new(&instance)
                 .with_config(options.solver_config())
                 .solve()
                 .ok_or_else(|| {
                     CliError::runtime("no chip admits the deadline (critical path too long)")
                 })?;
+            write_report(
+                &options,
+                "bmp",
+                path,
+                format!("side {}", result.side),
+                result.decisions,
+                started,
+                &result.stats,
+            )?;
             let _ = writeln!(
                 out,
                 "minimal square chip for horizon {}: {}x{} ({} exact decisions)",
@@ -237,10 +298,20 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         ["spp", path] => {
             let instance = load_instance(path, &options)?;
+            let started = Instant::now();
             let result = Spp::new(&instance)
                 .with_config(options.solver_config())
                 .solve()
                 .ok_or_else(|| CliError::runtime("some module does not fit the chip spatially"))?;
+            write_report(
+                &options,
+                "spp",
+                path,
+                format!("makespan {}", result.makespan),
+                result.decisions,
+                started,
+                &result.stats,
+            )?;
             let _ = writeln!(
                 out,
                 "minimal execution time on {}: {} cycles ({} exact decisions)",
@@ -253,8 +324,19 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         ["pareto", path] => {
             let instance = load_instance(path, &options)?;
-            let front = pareto_front(&instance, &options.solver_config())
-                .ok_or_else(|| CliError::runtime("resource limit reached"))?;
+            let started = Instant::now();
+            let (front, stats, decisions) =
+                pareto_front_with_stats(&instance, &options.solver_config())
+                    .ok_or_else(|| CliError::runtime("resource limit reached"))?;
+            write_report(
+                &options,
+                "pareto",
+                path,
+                format!("{} pareto points", front.len()),
+                decisions,
+                started,
+                &stats,
+            )?;
             let _ = writeln!(out, "{:>6} | {:>6}", "chip", "time");
             for p in &front {
                 let _ = writeln!(out, "{:>3}x{:<3}| {:>6}", p.side, p.side, p.makespan);
@@ -434,6 +516,50 @@ mod tests {
         assert_eq!(err.exit_code, 2);
         let err = run(&args(&["solve", p, "--threads", "many"])).expect_err("bad value");
         assert!(err.message.contains("expects a number"), "{err:?}");
+    }
+
+    #[test]
+    fn stats_json_writes_versioned_reports() {
+        let path = temp_file(
+            "stats.rpk",
+            "chip 2 2\nhorizon 4\ntask a 2 2 2\ntask b 2 2 2\narc a b\n",
+        );
+        let p = path.to_str().expect("utf8 path");
+        for command in ["solve", "bmp", "spp", "pareto"] {
+            let report_path = temp_file(&format!("stats-{command}.json"), "");
+            let rp = report_path.to_str().expect("utf8 path");
+            run(&args(&[command, p, "--stats-json", rp])).expect("runs");
+            let json = std::fs::read_to_string(&report_path).expect("report written");
+            assert!(
+                json.starts_with("{\"schema_version\":1"),
+                "{command}: {json}"
+            );
+            assert!(
+                json.contains(&format!("\"command\":\"{command}\"")),
+                "{command}: {json}"
+            );
+            assert!(json.contains("\"wall_ms\":"), "{command}: {json}");
+            assert!(json.contains("\"conflicts\":{"), "{command}: {json}");
+            assert!(json.contains("\"depth_histogram\":["), "{command}: {json}");
+        }
+        // Infeasible solves are reported too.
+        let tight = temp_file(
+            "stats-tight.rpk",
+            "chip 2 2\nhorizon 3\ntask a 2 2 2\ntask b 2 2 2\narc a b\n",
+        );
+        let report_path = temp_file("stats-tight.json", "");
+        run(&args(&[
+            "solve",
+            tight.to_str().expect("utf8 path"),
+            "--stats-json",
+            report_path.to_str().expect("utf8 path"),
+        ]))
+        .expect("runs");
+        let json = std::fs::read_to_string(&report_path).expect("report written");
+        assert!(json.contains("\"outcome\":\"infeasible\""), "{json}");
+        // And the flag validates its argument.
+        let err = run(&args(&["solve", p, "--stats-json"])).expect_err("missing path");
+        assert_eq!(err.exit_code, 2);
     }
 
     #[test]

@@ -2,6 +2,10 @@
 
 use std::time::Duration;
 
+use recopack_bounds::BoundKind;
+
+use crate::telemetry::Telemetry;
+
 /// Tunables of the packing-class search.
 ///
 /// The per-rule toggles exist for the ablation experiments (DESIGN.md §4,
@@ -46,6 +50,10 @@ pub struct SolverConfig {
     /// Depth of the sequential frontier expansion in parallel mode. `None`
     /// picks the smallest depth whose frontier can keep every thread busy.
     pub frontier_depth: Option<usize>,
+    /// Structured telemetry sink for search events (see
+    /// [`crate::telemetry`]). Disabled by default; aggregate counters in
+    /// [`SolverStats`] are collected either way.
+    pub telemetry: Telemetry,
 }
 
 impl Default for SolverConfig {
@@ -63,6 +71,7 @@ impl Default for SolverConfig {
             twin_symmetry: true,
             threads: 1,
             frontier_depth: None,
+            telemetry: Telemetry::none(),
         }
     }
 }
@@ -84,6 +93,7 @@ impl SolverConfig {
             twin_symmetry: false,
             threads: 1,
             frontier_depth: None,
+            telemetry: Telemetry::none(),
         }
     }
 
@@ -118,7 +128,14 @@ impl std::fmt::Display for LimitKind {
 }
 
 /// Counters describing one solver run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// Collected per worker thread and merged with [`SolverStats::accumulate`];
+/// for a search that runs to exhaustion (no limits, no feasible leaf) the
+/// merged totals are identical for every thread count, because the explored
+/// tree is. Serialized by
+/// [`telemetry::stats_to_json`](crate::telemetry::stats_to_json) under the
+/// versioned telemetry schema.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SolverStats {
     /// Search-tree nodes expanded (branching decisions taken).
     pub nodes: u64,
@@ -138,8 +155,24 @@ pub struct SolverStats {
     /// branched slot per node (so `propagated_fixes - nodes` is the pure
     /// propagation yield).
     pub propagated_fixes: u64,
+    /// Arcs oriented in comparability edges (precedence seeds, branching
+    /// consequences, and D1/D2 implications).
+    pub arc_fixations: u64,
+    /// Budget checks charged at node entry (each polls the global node and
+    /// time budgets once). In-cascade budget polls are *not* counted here:
+    /// their number depends on how cascades split across workers, which
+    /// would make the totals thread-count dependent.
+    pub budget_checks: u64,
+    /// Nodes expanded per branching depth: `depth_histogram[d]` counts the
+    /// nodes whose branching decision was the `d`-th on its path. Depths
+    /// are global — parallel subtree workers offset by the frontier depth —
+    /// so the histogram matches the sequential one for exhausted searches.
+    pub depth_histogram: Vec<u64>,
     /// Whether the answer came from bounds (`true`) without any search.
     pub refuted_by_bounds: bool,
+    /// Which lower-bound family refuted the instance, when
+    /// `refuted_by_bounds` is set.
+    pub refuting_bound: Option<BoundKind>,
     /// Whether the answer came from the heuristic without any search.
     pub solved_by_heuristic: bool,
 }
@@ -148,6 +181,15 @@ impl SolverStats {
     /// Total conflicts over all propagation rules.
     pub fn conflicts(&self) -> u64 {
         self.c2_conflicts + self.c3_conflicts + self.c4_conflicts + self.orientation_conflicts
+    }
+
+    /// Records one expanded node at branching `depth`.
+    pub(crate) fn record_node(&mut self, depth: usize) {
+        self.nodes += 1;
+        if self.depth_histogram.len() <= depth {
+            self.depth_histogram.resize(depth + 1, 0);
+        }
+        self.depth_histogram[depth] += 1;
     }
 
     /// Adds the counters of `part` — used to merge per-thread statistics of
@@ -161,8 +203,24 @@ impl SolverStats {
         self.orientation_conflicts += part.orientation_conflicts;
         self.leaf_rejections += part.leaf_rejections;
         self.propagated_fixes += part.propagated_fixes;
+        self.arc_fixations += part.arc_fixations;
+        self.budget_checks += part.budget_checks;
+        if self.depth_histogram.len() < part.depth_histogram.len() {
+            self.depth_histogram.resize(part.depth_histogram.len(), 0);
+        }
+        for (total, &count) in self.depth_histogram.iter_mut().zip(&part.depth_histogram) {
+            *total += count;
+        }
         self.refuted_by_bounds |= part.refuted_by_bounds;
+        if self.refuting_bound.is_none() {
+            self.refuting_bound = part.refuting_bound;
+        }
         self.solved_by_heuristic |= part.solved_by_heuristic;
+    }
+
+    /// The deepest branching level reached, if any node was expanded.
+    pub fn max_depth(&self) -> Option<usize> {
+        self.depth_histogram.iter().rposition(|&count| count > 0)
     }
 }
 
@@ -170,7 +228,7 @@ impl std::fmt::Display for SolverStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "nodes={} leaves={} conflicts(c2={}, c3={}, c4={}, orient={}) leaf_rejections={} propagated={}",
+            "nodes={} leaves={} conflicts(c2={}, c3={}, c4={}, orient={}) leaf_rejections={} propagated={} arcs={} max_depth={}",
             self.nodes,
             self.leaves,
             self.c2_conflicts,
@@ -178,7 +236,9 @@ impl std::fmt::Display for SolverStats {
             self.c4_conflicts,
             self.orientation_conflicts,
             self.leaf_rejections,
-            self.propagated_fixes
+            self.propagated_fixes,
+            self.arc_fixations,
+            self.max_depth().map_or(0, |d| d + 1)
         )
     }
 }
@@ -224,11 +284,17 @@ mod tests {
         let mut total = SolverStats {
             nodes: 10,
             c2_conflicts: 1,
+            arc_fixations: 3,
+            depth_histogram: vec![4, 6],
             ..SolverStats::default()
         };
         let part = SolverStats {
             nodes: 5,
             leaves: 2,
+            arc_fixations: 2,
+            budget_checks: 5,
+            depth_histogram: vec![1, 1, 3],
+            refuting_bound: Some(recopack_bounds::BoundKind::Volume),
             solved_by_heuristic: true,
             ..SolverStats::default()
         };
@@ -236,7 +302,37 @@ mod tests {
         assert_eq!(total.nodes, 15);
         assert_eq!(total.leaves, 2);
         assert_eq!(total.c2_conflicts, 1);
+        assert_eq!(total.arc_fixations, 5);
+        assert_eq!(total.budget_checks, 5);
+        assert_eq!(total.depth_histogram, vec![5, 7, 3]);
+        assert_eq!(
+            total.refuting_bound,
+            Some(recopack_bounds::BoundKind::Volume)
+        );
         assert!(total.solved_by_heuristic);
+    }
+
+    #[test]
+    fn accumulate_keeps_the_first_refuting_bound() {
+        let mut total = SolverStats {
+            refuting_bound: Some(recopack_bounds::BoundKind::Dff),
+            ..SolverStats::default()
+        };
+        total.accumulate(&SolverStats {
+            refuting_bound: Some(recopack_bounds::BoundKind::Volume),
+            ..SolverStats::default()
+        });
+        assert_eq!(total.refuting_bound, Some(recopack_bounds::BoundKind::Dff));
+    }
+
+    #[test]
+    fn max_depth_tracks_the_histogram() {
+        assert_eq!(SolverStats::default().max_depth(), None);
+        let s = SolverStats {
+            depth_histogram: vec![1, 2, 0, 4, 0],
+            ..SolverStats::default()
+        };
+        assert_eq!(s.max_depth(), Some(3));
     }
 
     #[test]

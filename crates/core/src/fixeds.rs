@@ -76,6 +76,7 @@ impl<'a> FixedSchedule<'a> {
             if let Some(refutation) = self.energy_refutation() {
                 let mut s = stats;
                 s.refuted_by_bounds = true;
+                s.refuting_bound = Some(refutation.kind());
                 return (
                     SolveOutcome::Infeasible(InfeasibilityProof::Bound(refutation)),
                     s,

@@ -57,10 +57,14 @@ mod pareto;
 mod search;
 mod spp;
 mod state;
+pub mod telemetry;
 
 pub use bmp::{Bmp, BmpResult};
 pub use config::{LimitKind, SolverConfig, SolverStats};
 pub use fixeds::FixedSchedule;
 pub use opp::{InfeasibilityProof, Opp, SolveOutcome};
-pub use pareto::{pareto_front, ParetoPoint};
+pub use pareto::{pareto_front, pareto_front_with_stats, ParetoPoint};
 pub use spp::{Spp, SppResult};
+pub use telemetry::{
+    MemoryJournal, SolveReport, Telemetry, TelemetrySink, TELEMETRY_SCHEMA_VERSION,
+};

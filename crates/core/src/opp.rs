@@ -102,6 +102,7 @@ impl<'a> Opp<'a> {
         if self.config.use_bounds {
             if let Some(refutation) = recopack_bounds::refute(self.instance) {
                 stats.refuted_by_bounds = true;
+                stats.refuting_bound = Some(refutation.kind());
                 return (
                     SolveOutcome::Infeasible(InfeasibilityProof::Bound(refutation)),
                     stats,

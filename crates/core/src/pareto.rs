@@ -2,7 +2,7 @@
 
 use recopack_model::{Chip, Dim, Instance, Placement};
 
-use crate::config::SolverConfig;
+use crate::config::{SolverConfig, SolverStats};
 use crate::spp::Spp;
 
 /// One Pareto-optimal (square chip side, makespan) point with its witness.
@@ -45,8 +45,20 @@ pub struct ParetoPoint {
 /// # Ok::<(), recopack_model::BuildError>(())
 /// ```
 pub fn pareto_front(instance: &Instance, config: &SolverConfig) -> Option<Vec<ParetoPoint>> {
+    pareto_front_with_stats(instance, config).map(|(front, _, _)| front)
+}
+
+/// Like [`pareto_front`], additionally reporting the solver statistics
+/// accumulated over the whole sweep and the number of OPP decision problems
+/// solved along the way.
+pub fn pareto_front_with_stats(
+    instance: &Instance,
+    config: &SolverConfig,
+) -> Option<(Vec<ParetoPoint>, SolverStats, u32)> {
+    let mut stats = SolverStats::default();
+    let mut decisions = 0;
     if instance.task_count() == 0 {
-        return Some(Vec::new());
+        return Some((Vec::new(), stats, decisions));
     }
     let h_min = instance
         .tasks()
@@ -65,6 +77,8 @@ pub fn pareto_front(instance: &Instance, config: &SolverConfig) -> Option<Vec<Pa
     loop {
         let candidate = instance.clone().with_chip(Chip::square(side));
         let result = Spp::new(&candidate).with_config(config.clone()).solve()?;
+        stats.accumulate(&result.stats);
+        decisions += result.decisions;
         let improved = prev_t.is_none_or(|p| result.makespan < p);
         if improved {
             front.push(ParetoPoint {
@@ -79,7 +93,7 @@ pub fn pareto_front(instance: &Instance, config: &SolverConfig) -> Option<Vec<Pa
         }
         side += 1;
     }
-    Some(front)
+    Some((front, stats, decisions))
 }
 
 #[cfg(test)]

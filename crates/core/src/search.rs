@@ -23,6 +23,7 @@ use recopack_order::orientation::transitively_orient_extending;
 
 use crate::config::{LimitKind, SolverConfig, SolverStats};
 use crate::state::{EdgeState, Orient, PackingState};
+use crate::telemetry::{EventKind, PruneRule, SearchEvent};
 
 const TIME: usize = Dim::Time.index();
 
@@ -48,6 +49,20 @@ enum Conflict {
     /// Not a real conflict: the shared budget ran out or the subtree was
     /// cancelled mid-propagation. Unwinds the search instead of pruning.
     Stopped,
+}
+
+impl Conflict {
+    /// The telemetry rule tag for a real pruning conflict (`None` for
+    /// budget/cancellation unwinds, which prune nothing).
+    fn prune_rule(self) -> Option<PruneRule> {
+        match self {
+            Conflict::C2 => Some(PruneRule::C2),
+            Conflict::C3 => Some(PruneRule::C3),
+            Conflict::C4 => Some(PruneRule::C4),
+            Conflict::Orientation => Some(PruneRule::Orientation),
+            Conflict::Stopped => None,
+        }
+    }
 }
 
 /// Propagation events.
@@ -236,6 +251,12 @@ impl<'a> Search<'a> {
     /// Runs the complete search once, returning the result and the
     /// statistics aggregated over every thread.
     pub(crate) fn run(&self) -> (SearchResult, SolverStats) {
+        let (result, stats) = self.run_inner();
+        self.ctx.config.telemetry.finish(&stats);
+        (result, stats)
+    }
+
+    fn run_inner(&self) -> (SearchResult, SolverStats) {
         // Tasks that cannot fit the container at all.
         for d in 0..3 {
             if self.ctx.sizes[d].iter().any(|&s| s > self.ctx.caps[d]) {
@@ -243,7 +264,7 @@ impl<'a> Search<'a> {
             }
         }
         let n = self.ctx.instance.task_count();
-        let mut root = Worker::new(&self.ctx, &self.budget, PackingState::new(n), 0);
+        let mut root = Worker::new(&self.ctx, &self.budget, PackingState::new(n), 0, 0);
         let mut queue = Vec::new();
         let rooted = root
             .seed(&mut queue)
@@ -292,7 +313,10 @@ impl<'a> Search<'a> {
             .max(1);
         let mut frontier: Vec<PackingState> = Vec::new();
         let mut tail_leaf: Option<Placement> = None;
-        if root.expand(depth, &mut frontier, &mut tail_leaf).is_err() {
+        if root
+            .expand(depth, 0, &mut frontier, &mut tail_leaf)
+            .is_err()
+        {
             return (self.limit_result(), root.stats);
         }
         if frontier.is_empty() {
@@ -314,7 +338,7 @@ impl<'a> Search<'a> {
                     if i >= frontier.len() {
                         break;
                     }
-                    let outcome = self.solve_subtree(&frontier[i], i, &total);
+                    let outcome = self.solve_subtree(&frontier[i], i, depth as u32, &total);
                     *outcomes[i].lock().expect("no poisoned locks") = Some(outcome);
                 });
             }
@@ -351,6 +375,7 @@ impl<'a> Search<'a> {
         &self,
         state: &PackingState,
         index: usize,
+        base_depth: u32,
         total: &Mutex<SolverStats>,
     ) -> SubOutcome {
         if self.budget.stopped() {
@@ -359,7 +384,7 @@ impl<'a> Search<'a> {
         if self.budget.lowest_feasible.load(Ordering::Relaxed) < index {
             return SubOutcome::Cancelled;
         }
-        let mut worker = Worker::new(&self.ctx, &self.budget, state.clone(), index);
+        let mut worker = Worker::new(&self.ctx, &self.budget, state.clone(), index, base_depth);
         let outcome = match worker.dfs() {
             Ok(Some(p)) => {
                 self.budget
@@ -394,7 +419,14 @@ struct Worker<'c> {
     /// Frontier index this worker searches under (0 for the sequential
     /// search and the expansion): cancellation compares against it.
     subtree: usize,
-    /// Events processed since the last in-propagation budget check.
+    /// Branching depth of this worker's root in the global tree (0 for the
+    /// sequential search, the frontier depth for parallel subtree workers),
+    /// so depth histograms and event depths are thread-count invariant.
+    base_depth: u32,
+    /// Events processed since the last in-propagation budget check. Reset
+    /// at every cascade start so the budget-poll cadence (and thus any
+    /// stop-flag observation point) depends only on the cascade, not on
+    /// what the worker ran before it.
     propagation_ticks: u32,
 }
 
@@ -404,6 +436,7 @@ impl<'c> Worker<'c> {
         budget: &'c SharedBudget,
         state: PackingState,
         subtree: usize,
+        base_depth: u32,
     ) -> Self {
         Self {
             ctx,
@@ -411,8 +444,18 @@ impl<'c> Worker<'c> {
             state,
             stats: SolverStats::default(),
             subtree,
+            base_depth,
             propagation_ticks: 0,
         }
+    }
+
+    /// Sends one telemetry event (no-op when no sink is configured).
+    fn emit(&self, depth: u32, kind: EventKind) {
+        self.ctx.config.telemetry.emit(SearchEvent {
+            subtree: self.subtree,
+            depth,
+            kind,
+        });
     }
 
     /// Initial forcings: precedence arcs (time dimension), the must-overlap
@@ -508,6 +551,7 @@ impl<'c> Worker<'c> {
         match self.state.orient(dim, pair) {
             Orient::None => {
                 self.state.orient_arc(dim, u, v);
+                self.stats.arc_fixations += 1;
                 queue.push(Event::Arc(dim, u, v));
                 Ok(())
             }
@@ -516,11 +560,26 @@ impl<'c> Worker<'c> {
         }
     }
 
+    /// Runs the root propagation cascade (seed consequences), with conflict
+    /// accounting and telemetry.
     fn propagate(&mut self, queue: &mut Vec<Event>) -> Result<(), Conflict> {
+        self.propagation_ticks = 0;
+        let fixes_before = self.stats.propagated_fixes;
         let result = self.propagate_inner(queue);
-        if let Err(kind) = result {
-            self.count_conflict(kind);
-            queue.clear();
+        match result {
+            Ok(()) => self.emit(
+                self.base_depth,
+                EventKind::Propagate {
+                    fixes: self.stats.propagated_fixes - fixes_before,
+                },
+            ),
+            Err(kind) => {
+                self.count_conflict(kind);
+                if let Some(rule) = kind.prune_rule() {
+                    self.emit(self.base_depth, EventKind::Prune { rule });
+                }
+                queue.clear();
+            }
         }
         result
     }
@@ -881,6 +940,7 @@ impl<'c> Worker<'c> {
 
     /// Charges one node against the *global* budget; `true` means stop.
     fn out_of_budget(&mut self) -> bool {
+        self.stats.budget_checks += 1;
         let total = self.budget.nodes.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(limit) = self.ctx.config.node_limit {
             if total >= limit {
@@ -900,14 +960,63 @@ impl<'c> Worker<'c> {
         self.budget.lowest_feasible.load(Ordering::Relaxed) < self.subtree
     }
 
-    /// DFS over the remaining slots. `Ok(Some)` = feasible with certificate;
-    /// `Ok(None)` = subtree exhausted; `Err(())` = resource limit or
-    /// cancellation (the caller consults the shared budget for the cause).
+    /// One branching decision plus its propagation cascade: fixes the slot,
+    /// closes the consequences, and handles conflict accounting and
+    /// telemetry in one place. The in-cascade budget counter restarts here,
+    /// so the number of in-cascade polls depends only on the cascade itself
+    /// (not on what the worker ran before it).
+    fn decide(
+        &mut self,
+        d: usize,
+        p: usize,
+        choice: EdgeState,
+        depth: u32,
+    ) -> Result<(), Conflict> {
+        self.emit(
+            depth,
+            EventKind::Branch {
+                dim: d,
+                pair: p,
+                component: choice == EdgeState::Component,
+            },
+        );
+        self.propagation_ticks = 0;
+        let fixes_before = self.stats.propagated_fixes;
+        let mut queue = Vec::new();
+        let result = self
+            .force_state(d, p, choice, Conflict::C3, &mut queue)
+            .and_then(|()| self.propagate_inner(&mut queue));
+        match result {
+            Ok(()) => self.emit(
+                depth,
+                EventKind::Propagate {
+                    // The branched slot itself is not propagation yield.
+                    fixes: self.stats.propagated_fixes - fixes_before - 1,
+                },
+            ),
+            Err(kind) => {
+                self.count_conflict(kind);
+                if let Some(rule) = kind.prune_rule() {
+                    self.emit(depth, EventKind::Prune { rule });
+                }
+            }
+        }
+        result
+    }
+
+    /// DFS over the remaining slots, from this worker's base depth.
+    /// `Ok(Some)` = feasible with certificate; `Ok(None)` = subtree
+    /// exhausted; `Err(())` = resource limit or cancellation (the caller
+    /// consults the shared budget for the cause).
     fn dfs(&mut self) -> Result<Option<Placement>, ()> {
+        self.dfs_at(self.base_depth)
+    }
+
+    fn dfs_at(&mut self, depth: u32) -> Result<Option<Placement>, ()> {
         let Some((d, p)) = self.next_unassigned() else {
-            return Ok(self.check_leaf());
+            return Ok(self.check_leaf(depth));
         };
-        self.stats.nodes += 1;
+        self.stats.record_node(depth as usize);
         if self.out_of_budget() {
             return Err(());
         }
@@ -918,13 +1027,9 @@ impl<'c> Worker<'c> {
         };
         for choice in choices {
             let mark = self.state.mark();
-            let mut queue = Vec::new();
-            let ok = self
-                .force_state(d, p, choice, Conflict::C3, &mut queue)
-                .and_then(|()| self.propagate_inner(&mut queue));
-            match ok {
+            match self.decide(d, p, choice, depth) {
                 Ok(()) => {
-                    if let Some(placement) = self.dfs()? {
+                    if let Some(placement) = self.dfs_at(depth + 1)? {
                         return Ok(Some(placement));
                     }
                 }
@@ -932,34 +1037,38 @@ impl<'c> Worker<'c> {
                     self.state.rollback(mark);
                     return Err(());
                 }
-                Err(kind) => self.count_conflict(kind),
+                Err(_) => {}
             }
             self.state.rollback(mark);
+            self.emit(depth, EventKind::Backtrack);
         }
         Ok(None)
     }
 
-    /// Sequential frontier expansion for the parallel search: depth-first to
-    /// `depth` branching levels, pushing a [`PackingState`] clone per open
-    /// subtree, in the exact order the sequential search would enter them.
-    /// A leaf accepted *during* expansion ends it (everything later in
-    /// depth-first order is behind the certificate) and is reported through
-    /// `tail_leaf`; a rejected leaf just backtracks.
+    /// Sequential frontier expansion for the parallel search: depth-first
+    /// until `budget` branching levels are consumed, pushing a
+    /// [`PackingState`] clone per open subtree, in the exact order the
+    /// sequential search would enter them. `depth` is the current global
+    /// branching depth (`0` at the root), so node statistics line up with
+    /// the sequential search. A leaf accepted *during* expansion ends it
+    /// (everything later in depth-first order is behind the certificate)
+    /// and is reported through `tail_leaf`; a rejected leaf just backtracks.
     fn expand(
         &mut self,
-        depth: usize,
+        budget: usize,
+        depth: u32,
         frontier: &mut Vec<PackingState>,
         tail_leaf: &mut Option<Placement>,
     ) -> Result<(), ()> {
         let Some((d, p)) = self.next_unassigned() else {
-            *tail_leaf = self.check_leaf();
+            *tail_leaf = self.check_leaf(depth);
             return Ok(());
         };
-        if depth == 0 {
+        if budget == 0 {
             frontier.push(self.state.clone());
             return Ok(());
         }
-        self.stats.nodes += 1;
+        self.stats.record_node(depth as usize);
         if self.out_of_budget() {
             return Err(());
         }
@@ -970,33 +1079,44 @@ impl<'c> Worker<'c> {
         };
         for choice in choices {
             let mark = self.state.mark();
-            let mut queue = Vec::new();
-            let ok = self
-                .force_state(d, p, choice, Conflict::C3, &mut queue)
-                .and_then(|()| self.propagate_inner(&mut queue));
-            match ok {
+            match self.decide(d, p, choice, depth) {
                 Ok(()) => {
-                    let deeper = self.expand(depth - 1, frontier, tail_leaf);
+                    let deeper = self.expand(budget - 1, depth + 1, frontier, tail_leaf);
                     self.state.rollback(mark);
                     deeper?;
                     if tail_leaf.is_some() {
                         return Ok(());
                     }
+                    self.emit(depth, EventKind::Backtrack);
                     continue;
                 }
                 Err(Conflict::Stopped) => {
                     self.state.rollback(mark);
                     return Err(());
                 }
-                Err(kind) => self.count_conflict(kind),
+                Err(_) => {}
             }
             self.state.rollback(mark);
+            self.emit(depth, EventKind::Backtrack);
         }
         Ok(())
     }
 
+    /// Full leaf acceptance with telemetry: realizes and verifies, then
+    /// reports the accept/reject decision at `depth`.
+    fn check_leaf(&mut self, depth: u32) -> Option<Placement> {
+        let placement = self.realize_leaf();
+        self.emit(
+            depth,
+            EventKind::Leaf {
+                accepted: placement.is_some(),
+            },
+        );
+        placement
+    }
+
     /// Full leaf acceptance: realize every dimension, verify geometrically.
-    fn check_leaf(&mut self) -> Option<Placement> {
+    fn realize_leaf(&mut self) -> Option<Placement> {
         debug_assert_eq!(
             self.state.unassigned_count(),
             0,

@@ -1,0 +1,568 @@
+//! Structured solver telemetry: search events, sinks, and JSON reports.
+//!
+//! The branch-and-bound emits a [`SearchEvent`] stream (branch, propagate,
+//! prune, backtrack, leaf — each tagged with the frontier-subtree id and the
+//! branch depth) into an optional [`TelemetrySink`] configured through
+//! [`SolverConfig::telemetry`](crate::SolverConfig::telemetry). Sinks run on
+//! the search's worker threads, so they must be `Send + Sync`; the built-in
+//! [`MemoryJournal`] keeps a bounded in-memory journal for post-mortem
+//! analysis of the parallel search.
+//!
+//! Aggregate counters live in [`SolverStats`] regardless of whether a sink
+//! is installed; [`SolveReport`] packages them (plus wall time and outcome)
+//! into the versioned JSON document emitted by the CLI's `--stats-json` and
+//! by the `recopack-bench` runner.
+//!
+//! # Event ordering
+//!
+//! In sequential mode the event stream is exactly the depth-first trace of
+//! the search. In parallel mode events from different frontier subtrees
+//! interleave nondeterministically, but every event carries its
+//! [`SearchEvent::subtree`] id, so a per-subtree depth-first trace can be
+//! recovered by a stable partition on that id.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::config::SolverStats;
+
+/// Version of the JSON documents produced by [`SolveReport::to_json`],
+/// [`SolverStats`] serialization, and the `recopack-bench` reports.
+///
+/// Bump this whenever a field is renamed, removed, or changes meaning;
+/// adding fields is backward compatible and does not require a bump.
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 1;
+
+/// The propagation rule (or check) that refuted a subtree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PruneRule {
+    /// C2: a comparability clique (chain) exceeds the container.
+    C2,
+    /// C3: a pair overlapped in every dimension.
+    C3,
+    /// C1 (partial): an induced 4-cycle pattern was completed.
+    C4,
+    /// D1/D2 orientation implications clashed.
+    Orientation,
+}
+
+impl PruneRule {
+    /// Stable snake_case name used in telemetry JSON.
+    pub const fn name(self) -> &'static str {
+        match self {
+            PruneRule::C2 => "c2",
+            PruneRule::C3 => "c3",
+            PruneRule::C4 => "c4",
+            PruneRule::Orientation => "orientation",
+        }
+    }
+}
+
+impl std::fmt::Display for PruneRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What happened at one point of the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A branching decision fixed `(dim, pair)` to component (`true`) or
+    /// comparability (`false`).
+    Branch {
+        /// Dense dimension index (`0` = x, `1` = y, `2` = time).
+        dim: usize,
+        /// Pair index in the instance's [`PairIndex`](recopack_graph::PairIndex).
+        pair: usize,
+        /// `true` for the component ("overlap") choice.
+        component: bool,
+    },
+    /// A propagation cascade completed, fixing `fixes` further slots.
+    Propagate {
+        /// Edge states fixed by the cascade (excluding the branched slot).
+        fixes: u64,
+    },
+    /// A propagation rule refuted the current subtree.
+    Prune {
+        /// The rule that fired.
+        rule: PruneRule,
+    },
+    /// The search undid the most recent branching decision.
+    Backtrack,
+    /// A fully assigned leaf was realized and verified (`accepted`) or
+    /// rejected by realization/verification.
+    Leaf {
+        /// Whether the leaf produced a valid placement.
+        accepted: bool,
+    },
+}
+
+impl EventKind {
+    /// Stable snake_case name of the event type used in telemetry JSON.
+    pub const fn name(&self) -> &'static str {
+        match self {
+            EventKind::Branch { .. } => "branch",
+            EventKind::Propagate { .. } => "propagate",
+            EventKind::Prune { .. } => "prune",
+            EventKind::Backtrack => "backtrack",
+            EventKind::Leaf { .. } => "leaf",
+        }
+    }
+}
+
+/// One entry of the search event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchEvent {
+    /// Frontier-subtree id: `0` for the sequential search and the frontier
+    /// expansion, the subtree's depth-first frontier index in parallel mode.
+    pub subtree: usize,
+    /// Branching depth at which the event occurred.
+    pub depth: u32,
+    /// The event itself.
+    pub kind: EventKind,
+}
+
+impl SearchEvent {
+    /// Serializes the event as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write_event(&mut out, self);
+        out
+    }
+}
+
+fn write_event(out: &mut String, e: &SearchEvent) -> std::fmt::Result {
+    use std::fmt::Write as _;
+    write!(
+        out,
+        "{{\"subtree\":{},\"depth\":{},\"event\":\"{}\"",
+        e.subtree,
+        e.depth,
+        e.kind.name()
+    )?;
+    match e.kind {
+        EventKind::Branch {
+            dim,
+            pair,
+            component,
+        } => write!(
+            out,
+            ",\"dim\":{dim},\"pair\":{pair},\"component\":{component}"
+        )?,
+        EventKind::Propagate { fixes } => write!(out, ",\"fixes\":{fixes}")?,
+        EventKind::Prune { rule } => write!(out, ",\"rule\":\"{}\"", rule.name())?,
+        EventKind::Backtrack => {}
+        EventKind::Leaf { accepted } => write!(out, ",\"accepted\":{accepted}")?,
+    }
+    out.push('}');
+    Ok(())
+}
+
+/// A consumer of the solver's event stream.
+///
+/// Implementations must be cheap and non-blocking: `record` is called from
+/// the search hot path (once per branch/prune/backtrack, once per completed
+/// propagation cascade) on every worker thread.
+pub trait TelemetrySink: Send + Sync {
+    /// Called for every search event.
+    fn record(&self, event: &SearchEvent);
+
+    /// Called once per completed search with the merged statistics.
+    fn search_finished(&self, stats: &SolverStats) {
+        let _ = stats;
+    }
+}
+
+/// The telemetry handle stored in
+/// [`SolverConfig`](crate::SolverConfig): either disabled (the default,
+/// zero-cost) or an [`Arc`] to a shared [`TelemetrySink`].
+///
+/// Equality compares sink *identity* (same `Arc`), which keeps
+/// [`SolverConfig`](crate::SolverConfig) `Eq` without requiring sinks to be
+/// comparable.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    sink: Option<Arc<dyn TelemetrySink>>,
+}
+
+impl Telemetry {
+    /// The disabled handle (no events are recorded).
+    pub const fn none() -> Self {
+        Self { sink: None }
+    }
+
+    /// A handle delivering events to `sink`.
+    pub fn to(sink: Arc<dyn TelemetrySink>) -> Self {
+        Self { sink: Some(sink) }
+    }
+
+    /// Whether a sink is installed; events are delivered only when `true`.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Delivers one event to the sink, if any.
+    pub(crate) fn emit(&self, event: SearchEvent) {
+        if let Some(sink) = &self.sink {
+            sink.record(&event);
+        }
+    }
+
+    /// Signals the end of a search to the sink, if any.
+    pub(crate) fn finish(&self, stats: &SolverStats) {
+        if let Some(sink) = &self.sink {
+            sink.search_finished(stats);
+        }
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.sink {
+            Some(_) => f.write_str("Telemetry(enabled)"),
+            None => f.write_str("Telemetry(disabled)"),
+        }
+    }
+}
+
+impl PartialEq for Telemetry {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.sink, &other.sink) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Telemetry {}
+
+/// A bounded in-memory event journal for post-mortem analysis.
+///
+/// Records up to `capacity` events and counts the overflow, so a runaway
+/// search cannot exhaust memory through its own diagnostics. Thread-safe:
+/// all workers of a parallel search append to the same journal (see the
+/// module docs on event ordering).
+pub struct MemoryJournal {
+    capacity: usize,
+    events: Mutex<Vec<SearchEvent>>,
+    dropped: AtomicU64,
+    finished: AtomicU64,
+}
+
+impl MemoryJournal {
+    /// A journal retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            events: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+            finished: AtomicU64::new(0),
+        }
+    }
+
+    /// A copy of the recorded events, in arrival order.
+    pub fn events(&self) -> Vec<SearchEvent> {
+        self.events.lock().expect("no poisoned locks").clone()
+    }
+
+    /// Events discarded after the journal filled up.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Completed searches observed (one per `Search::run`; optimization
+    /// solvers like BMP/SPP run one search per decision).
+    pub fn searches_finished(&self) -> u64 {
+        self.finished.load(Ordering::Relaxed)
+    }
+
+    /// Serializes the journal as a JSON object with an `events` array.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let events = self.events();
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"schema_version\":{TELEMETRY_SCHEMA_VERSION},\"capacity\":{},\"dropped\":{},\"events\":[",
+            self.capacity,
+            self.dropped()
+        );
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write_event(&mut out, e);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl TelemetrySink for MemoryJournal {
+    fn record(&self, event: &SearchEvent) {
+        let mut events = self.events.lock().expect("no poisoned locks");
+        if events.len() < self.capacity {
+            events.push(*event);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn search_finished(&self, _stats: &SolverStats) {
+        self.finished.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Escapes `s` into `out` as a JSON string literal (with quotes).
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serializes [`SolverStats`] as a JSON object (one element of the telemetry
+/// schema; see `SolveReport::to_json` for the enclosing document).
+pub fn stats_to_json(stats: &SolverStats) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"nodes\":{},\"leaves\":{},\"leaf_rejections\":{},\"propagated_fixes\":{},\"arc_fixations\":{},\"budget_checks\":{}",
+        stats.nodes,
+        stats.leaves,
+        stats.leaf_rejections,
+        stats.propagated_fixes,
+        stats.arc_fixations,
+        stats.budget_checks,
+    );
+    let _ = write!(
+        out,
+        ",\"conflicts\":{{\"c2\":{},\"c3\":{},\"c4\":{},\"orientation\":{}}}",
+        stats.c2_conflicts, stats.c3_conflicts, stats.c4_conflicts, stats.orientation_conflicts,
+    );
+    out.push_str(",\"depth_histogram\":[");
+    for (i, count) in stats.depth_histogram.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{count}");
+    }
+    let _ = write!(
+        out,
+        "],\"refuted_by_bounds\":{},\"refuting_bound\":",
+        stats.refuted_by_bounds
+    );
+    match stats.refuting_bound {
+        Some(kind) => push_json_str(&mut out, kind.name()),
+        None => out.push_str("null"),
+    }
+    let _ = write!(
+        out,
+        ",\"solved_by_heuristic\":{}}}",
+        stats.solved_by_heuristic
+    );
+    out
+}
+
+/// A complete per-solve telemetry report: the document written by the CLI's
+/// `--stats-json <path>` and embedded per instance in `recopack-bench`
+/// output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveReport {
+    /// The subcommand or problem family that ran (`solve`, `bmp`, ...).
+    pub command: String,
+    /// Instance identification (file path or generator name).
+    pub instance: String,
+    /// Human-stable outcome: `feasible`, `infeasible`, `node limit`,
+    /// `time limit`, or an optimization summary.
+    pub outcome: String,
+    /// Worker threads requested.
+    pub threads: usize,
+    /// Exact decision problems solved (1 for `solve`, the binary-search
+    /// count for `bmp`/`spp`, the sweep total for `pareto`).
+    pub decisions: u32,
+    /// Wall-clock time of the whole command, in milliseconds.
+    pub wall_ms: f64,
+    /// Aggregated counters over all decisions and threads.
+    pub stats: SolverStats,
+}
+
+impl SolveReport {
+    /// Serializes the report as a versioned JSON document.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "{{\"schema_version\":{TELEMETRY_SCHEMA_VERSION}");
+        out.push_str(",\"command\":");
+        push_json_str(&mut out, &self.command);
+        out.push_str(",\"instance\":");
+        push_json_str(&mut out, &self.instance);
+        out.push_str(",\"outcome\":");
+        push_json_str(&mut out, &self.outcome);
+        let _ = write!(
+            out,
+            ",\"threads\":{},\"decisions\":{},\"wall_ms\":{:.3},\"stats\":{}}}",
+            self.threads,
+            self.decisions,
+            self.wall_ms,
+            stats_to_json(&self.stats)
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recopack_bounds::BoundKind;
+
+    #[test]
+    fn telemetry_handle_equality_is_identity() {
+        let a: Arc<dyn TelemetrySink> = Arc::new(MemoryJournal::new(4));
+        let b: Arc<dyn TelemetrySink> = Arc::new(MemoryJournal::new(4));
+        assert_eq!(Telemetry::none(), Telemetry::none());
+        assert_eq!(Telemetry::to(a.clone()), Telemetry::to(a.clone()));
+        assert_ne!(Telemetry::to(a.clone()), Telemetry::to(b));
+        assert_ne!(Telemetry::to(a), Telemetry::none());
+        assert!(!Telemetry::none().is_enabled());
+        assert_eq!(format!("{:?}", Telemetry::none()), "Telemetry(disabled)");
+    }
+
+    #[test]
+    fn journal_bounds_its_capacity() {
+        let journal = MemoryJournal::new(2);
+        for depth in 0..5 {
+            journal.record(&SearchEvent {
+                subtree: 0,
+                depth,
+                kind: EventKind::Backtrack,
+            });
+        }
+        assert_eq!(journal.events().len(), 2);
+        assert_eq!(journal.dropped(), 3);
+        let json = journal.to_json();
+        assert!(json.contains("\"dropped\":3"), "{json}");
+        assert!(json.contains("\"event\":\"backtrack\""), "{json}");
+    }
+
+    #[test]
+    fn events_serialize_their_payload() {
+        let branch = SearchEvent {
+            subtree: 3,
+            depth: 7,
+            kind: EventKind::Branch {
+                dim: 2,
+                pair: 9,
+                component: true,
+            },
+        };
+        assert_eq!(
+            branch.to_json(),
+            "{\"subtree\":3,\"depth\":7,\"event\":\"branch\",\"dim\":2,\"pair\":9,\"component\":true}"
+        );
+        let prune = SearchEvent {
+            subtree: 0,
+            depth: 1,
+            kind: EventKind::Prune {
+                rule: PruneRule::C4,
+            },
+        };
+        assert!(prune.to_json().contains("\"rule\":\"c4\""));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn stats_json_covers_every_counter() {
+        let stats = SolverStats {
+            nodes: 5,
+            leaves: 1,
+            c2_conflicts: 2,
+            depth_histogram: vec![1, 2, 2],
+            refuting_bound: Some(BoundKind::Dff),
+            refuted_by_bounds: true,
+            ..SolverStats::default()
+        };
+        let json = stats_to_json(&stats);
+        assert!(json.contains("\"nodes\":5"), "{json}");
+        assert!(json.contains("\"c2\":2"), "{json}");
+        assert!(json.contains("\"depth_histogram\":[1,2,2]"), "{json}");
+        assert!(json.contains("\"refuting_bound\":\"dff\""), "{json}");
+    }
+
+    #[test]
+    fn search_streams_events_into_the_journal() {
+        use crate::{Opp, SolveOutcome, SolverConfig};
+        use recopack_model::{Chip, Instance, Task};
+
+        let journal = Arc::new(MemoryJournal::new(100_000));
+        let config = SolverConfig {
+            use_bounds: false,
+            use_heuristics: false,
+            telemetry: Telemetry::to(journal.clone()),
+            ..SolverConfig::default()
+        };
+        // Search-heavy infeasible: five 2x2x2 tasks, one 4x4 time slot.
+        let mut builder = Instance::builder().chip(Chip::square(4)).horizon(2);
+        for i in 0..5 {
+            builder = builder.task(Task::new(format!("t{i}"), 2, 2, 2));
+        }
+        let instance = builder.build().expect("valid").with_transitive_closure();
+        let (outcome, stats) = Opp::new(&instance).with_config(config).solve_with_stats();
+        assert!(matches!(outcome, SolveOutcome::Infeasible(_)));
+        assert_eq!(journal.searches_finished(), 1);
+        assert_eq!(journal.dropped(), 0);
+
+        let events = journal.events();
+        let count = |name: &str| events.iter().filter(|e| e.kind.name() == name).count() as u64;
+        assert!(stats.nodes > 0, "the instance must actually search");
+        // Every conflict surfaces as a prune event, every successful
+        // cascade as a propagate event, and every cascade except the
+        // root seeding one follows a branch.
+        assert_eq!(count("prune"), stats.conflicts());
+        assert_eq!(count("branch") + 1, count("prune") + count("propagate"));
+        assert_eq!(count("leaf"), stats.leaves);
+        assert!(count("backtrack") > 0);
+        // Sequential search: every event sits in subtree 0.
+        assert!(events.iter().all(|e| e.subtree == 0));
+    }
+
+    #[test]
+    fn report_is_versioned() {
+        let report = SolveReport {
+            command: "solve".into(),
+            instance: "x.rpk".into(),
+            outcome: "feasible".into(),
+            threads: 2,
+            decisions: 1,
+            wall_ms: 1.25,
+            stats: SolverStats::default(),
+        };
+        let json = report.to_json();
+        assert!(
+            json.starts_with(&format!("{{\"schema_version\":{TELEMETRY_SCHEMA_VERSION}")),
+            "{json}"
+        );
+        assert!(json.contains("\"wall_ms\":1.250"), "{json}");
+        assert!(json.contains("\"stats\":{"), "{json}");
+    }
+}

@@ -42,13 +42,32 @@ impl Dim {
     ///
     /// # Panics
     ///
-    /// Panics if `i >= 3`.
+    /// Panics if `i >= 3`. Use [`Dim::try_from_index`] for indices that are
+    /// not known in advance to be in range.
     pub const fn from_index(i: usize) -> Dim {
+        match Dim::try_from_index(i) {
+            Ok(d) => d,
+            Err(_) => panic!("dimension index out of range"),
+        }
+    }
+
+    /// The dimension with the given dense index, or a typed error when the
+    /// index is out of range.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use recopack_model::{Dim, DimIndexError};
+    ///
+    /// assert_eq!(Dim::try_from_index(2), Ok(Dim::Time));
+    /// assert_eq!(Dim::try_from_index(3), Err(DimIndexError(3)));
+    /// ```
+    pub const fn try_from_index(i: usize) -> Result<Dim, DimIndexError> {
         match i {
-            0 => Dim::X,
-            1 => Dim::Y,
-            2 => Dim::Time,
-            _ => panic!("dimension index out of range"),
+            0 => Ok(Dim::X),
+            1 => Ok(Dim::Y),
+            2 => Ok(Dim::Time),
+            _ => Err(DimIndexError(i)),
         }
     }
 
@@ -61,6 +80,18 @@ impl Dim {
         }
     }
 }
+
+/// Error of [`Dim::try_from_index`]: the contained index is not in `0..3`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DimIndexError(pub usize);
+
+impl std::fmt::Display for DimIndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dimension index {} out of range (expected 0..3)", self.0)
+    }
+}
+
+impl std::error::Error for DimIndexError {}
 
 impl std::fmt::Display for Dim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -90,6 +121,20 @@ mod tests {
             assert_ne!(a, d);
             assert_ne!(b, d);
             assert_ne!(a, b);
+        }
+    }
+
+    /// Regression: out-of-range indices must yield a typed error instead of
+    /// a panic (only the documented-panicking `from_index` may panic).
+    #[test]
+    fn out_of_range_index_is_a_typed_error() {
+        for i in 3..10usize {
+            let err = Dim::try_from_index(i).expect_err("out of range");
+            assert_eq!(err, DimIndexError(i));
+            assert!(err.to_string().contains(&i.to_string()));
+        }
+        for i in 0..3usize {
+            assert_eq!(Dim::try_from_index(i), Ok(Dim::from_index(i)));
         }
     }
 

@@ -54,7 +54,7 @@ pub mod render;
 mod task;
 
 pub use chip::Chip;
-pub use dim::Dim;
+pub use dim::{Dim, DimIndexError};
 pub use instance::{BuildError, Instance, InstanceBuilder};
 pub use placement::{Box3, Placement, Schedule, VerifyError};
 pub use task::Task;

@@ -74,6 +74,91 @@ fn verdicts_and_certificates_are_thread_count_invariant() {
     );
 }
 
+/// Merged telemetry counters are thread-count invariant for exhausted
+/// searches: an infeasible instance (no limits configured) forces every
+/// thread count to explore exactly the same tree, so the per-thread
+/// [`SolverStats`](recopack::solver::SolverStats) must sum to identical
+/// totals — nodes, depth histogram, per-rule conflicts, fixations, budget
+/// checks, everything.
+#[test]
+fn merged_stats_are_thread_count_invariant_on_exhausted_searches() {
+    use recopack::model::{Chip, Instance, Task};
+
+    // Fixed search-heavy infeasible instances. The quad family packs
+    // 2x2x2 tasks into the single time slot of a 4x4 chip that holds only
+    // four of them; the mixed variant adds unit-duration tasks, whose
+    // pairs can be time-separated, so the time dimension branches too.
+    // All are volume-infeasible, but with bounds disabled only exhaustive
+    // search can prove it.
+    let quad = |count: usize, extra_units: usize, horizon: u64| {
+        let mut builder = Instance::builder().chip(Chip::square(4)).horizon(horizon);
+        for i in 0..count {
+            builder = builder.task(Task::new(format!("t{i}"), 2, 2, 2));
+        }
+        for i in 0..extra_units {
+            builder = builder.task(Task::new(format!("u{i}"), 2, 2, 1));
+        }
+        builder.build().expect("valid").with_transitive_closure()
+    };
+    let mut instances = vec![quad(5, 0, 2), quad(6, 0, 2), quad(4, 4, 2)];
+
+    // Plus every infeasible seed of a small random sweep, for variety in
+    // tree shape (the feasible ones are covered by the verdict test above —
+    // their node counts legitimately differ across thread counts because
+    // cancellation skips subtrees behind the certificate).
+    for seed in 0..20u64 {
+        let mut rng = StdRng::seed_from_u64(7000 + seed);
+        let config = GeneratorConfig {
+            task_count: 3 + (seed as usize % 4),
+            max_side: 3,
+            max_duration: 3,
+            arc_percent: 30,
+        };
+        let instance = random_instance(&config, &mut rng);
+        if decide(&instance, 1).is_none() {
+            instances.push(instance);
+        }
+    }
+    assert!(instances.len() >= 4, "need several infeasible instances");
+
+    let stats_at = |instance: &recopack::model::Instance, threads: usize| {
+        let (outcome, stats) = Opp::new(instance)
+            .with_config(search_only(threads))
+            .solve_with_stats();
+        assert!(
+            matches!(outcome, SolveOutcome::Infeasible(_)),
+            "expected exhaustion"
+        );
+        stats
+    };
+    let mut searched = 0u32;
+    for (i, instance) in instances.iter().enumerate() {
+        let sequential = stats_at(instance, 1);
+        // Some random seeds are refuted during root propagation (0 nodes);
+        // they still participate in the equality check below.
+        if sequential.nodes > 0 {
+            searched += 1;
+        } else {
+            assert!(i >= 3, "crafted instance {i} must actually search");
+        }
+        assert_eq!(
+            sequential.depth_histogram.iter().sum::<u64>(),
+            sequential.nodes,
+            "instance {i}: histogram must partition the nodes"
+        );
+        for threads in [2, 8] {
+            let parallel = stats_at(instance, threads);
+            assert_eq!(
+                parallel, sequential,
+                "instance {i}, {threads} threads: merged stats diverged"
+            );
+        }
+        // And repeat runs at the same thread count are identical too.
+        assert_eq!(stats_at(instance, 8), sequential, "instance {i}: rerun");
+    }
+    assert!(searched >= 3, "only {searched} instances actually searched");
+}
+
 /// The same invariance under the bare configuration (no propagation rules):
 /// much larger trees per instance, so fewer seeds.
 #[test]
