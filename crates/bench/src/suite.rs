@@ -235,6 +235,8 @@ pub fn run_case(case: &BenchCase) -> SolveReport {
         decisions,
         wall_ms: started.elapsed().as_secs_f64() * 1000.0,
         stats,
+        events: None,
+        journal_dropped: None,
     }
 }
 

@@ -10,6 +10,8 @@
 //! * `check <file> <placement>` — verify a placement file geometrically;
 //! * `render <file> <placement>` — print a Gantt chart (or SVG with `--svg`);
 //! * `sample <de|codec|pair>` — print a ready-made instance file;
+//! * `trace <events.ndjson>` — export a `--trace` journal as a Chrome
+//!   trace, folded flamegraph stacks, or a terminal summary;
 //! * `help` — usage.
 //!
 //! All subcommands accept `--no-precedence` (drop the partial order, the
@@ -17,17 +19,25 @@
 //! between reconfiguration events), and `--emit-placement` (print solutions
 //! as `place` lines consumable by `check`/`render`). The solver subcommands
 //! (`solve`, `bmp`, `spp`, `pareto`) additionally accept
-//! `--stats-json <path>` to write a versioned [`SolveReport`] JSON document
-//! with wall time, node counts and per-rule conflict counters.
+//! `--stats-json <path>` to write a versioned [`SolveReport`] JSON document,
+//! `--trace <path>` to stream the search event journal as NDJSON,
+//! `--progress[=<ms>]` for a live stderr status line, and `--profile` to
+//! collect per-phase wall times into the report.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod progress;
+mod trace;
+
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::io::IsTerminal as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use recopack_core::{
-    pareto_front_with_stats, Bmp, Opp, SolveOutcome, SolveReport, SolverConfig, SolverStats, Spp,
+    pareto_front_with_stats, Bmp, EventTotals, Fanout, FileJournal, Opp, ProgressCounters,
+    SolveOutcome, SolveReport, SolverConfig, SolverStats, Spp, Telemetry, TelemetrySink,
 };
 use recopack_model::{benchmarks, format, render, Chip, Instance, Placement};
 
@@ -79,41 +89,82 @@ COMMANDS:
     check  <file> <place>    verify a placement file against the instance
     render <file> <place>    print a Gantt chart of a placement file
     sample <de|codec|pair>   print a ready-made instance file
+    trace  <events.ndjson>   export a recorded search trace (see below)
     help                     show this message
 
 OPTIONS:
     --no-precedence          drop all precedence arcs before solving
+    --no-bounds              skip the lower-bound refutation stage
+    --no-heuristics          skip the heuristic placement stage (useful with
+                             --trace/--progress to observe the exact search)
     --floorplans             also print chip occupancy between events
     --emit-placement         print solutions as `place` lines
     --svg                    render as an SVG document instead of a Gantt
-    --threads <n>            worker threads for the branch-and-bound
-                             (default 1 = sequential, 0 = all hardware
+    --threads <n|auto>       worker threads for the branch-and-bound
+                             (default 1 = sequential, auto = all hardware
                              threads; the answer is thread-count invariant)
     --stats-json <path>      write a versioned JSON telemetry report (wall
                              time, node counts, per-rule conflicts) for
                              solve/bmp/spp/pareto
+    --trace <path>           stream every search event to <path> as NDJSON
+                             (read back with `recopack trace`)
+    --progress[=<ms>]        live stderr status line while solving, redrawn
+                             every <ms> (default 200; requires a TTY unless
+                             an explicit interval forces it)
+    --profile                collect per-phase wall times (propagation,
+                             bounds, realization, per-rule refutations) into
+                             the stats report; timings are informational and
+                             vary with the thread count
+
+TRACE EXPORT (for `recopack trace <events.ndjson>`):
+    --chrome <path>          write Chrome trace-event JSON (Perfetto,
+                             chrome://tracing); one track per subtree
+    --folded <path>          write folded stacks for flamegraph tooling
+    --weight <nodes|t_ns>    folded-stack weighting (default nodes)
+    --summary                print totals, prune shares, depth profile
+                             (default when no export flag is given)
 ";
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Options {
     no_precedence: bool,
+    no_bounds: bool,
+    no_heuristics: bool,
     floorplans: bool,
     emit_placement: bool,
     svg: bool,
     threads: usize,
     stats_json: Option<String>,
+    trace: Option<String>,
+    /// `None` = no progress; `Some(None)` = on with the default interval
+    /// (TTY-gated); `Some(Some(ms))` = explicit interval, forces output.
+    progress: Option<Option<u64>>,
+    profile: bool,
+    chrome: Option<String>,
+    folded: Option<String>,
+    summary: bool,
+    weight: trace::FoldedWeight,
 }
 
 impl Default for Options {
     fn default() -> Self {
         Self {
             no_precedence: false,
+            no_bounds: false,
+            no_heuristics: false,
             floorplans: false,
             emit_placement: false,
             svg: false,
             threads: 1,
             stats_json: None,
+            trace: None,
+            progress: None,
+            profile: false,
+            chrome: None,
+            folded: None,
+            summary: false,
+            weight: trace::FoldedWeight::default(),
         }
     }
 }
@@ -122,8 +173,36 @@ impl Options {
     fn solver_config(&self) -> SolverConfig {
         SolverConfig {
             threads: self.threads,
+            profile: self.profile,
+            use_bounds: !self.no_bounds,
+            use_heuristics: !self.no_heuristics,
             ..SolverConfig::default()
         }
+    }
+}
+
+/// Resolves a value-taking flag: `--flag=value` or `--flag value`.
+fn take_value<'a>(
+    flag: &str,
+    inline: Option<&'a str>,
+    iter: &mut std::slice::Iter<'a, String>,
+) -> Result<&'a str, CliError> {
+    match inline {
+        Some(v) => Ok(v),
+        None => iter
+            .next()
+            .map(String::as_str)
+            .ok_or_else(|| CliError::usage(format!("{flag} requires a value"))),
+    }
+}
+
+/// Rejects an inline value on a flag that does not take one.
+fn no_value(flag: &str, inline: Option<&str>) -> Result<(), CliError> {
+    match inline {
+        Some(v) => Err(CliError::usage(format!(
+            "{flag} does not take a value (got {v:?})"
+        ))),
+        None => Ok(()),
     }
 }
 
@@ -132,31 +211,98 @@ fn split_args(args: &[String]) -> Result<(Vec<&str>, Options), CliError> {
     let mut options = Options::default();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
-        match a.as_str() {
-            "--no-precedence" => options.no_precedence = true,
-            "--floorplans" => options.floorplans = true,
-            "--emit-placement" => options.emit_placement = true,
-            "--svg" => options.svg = true,
+        if !a.starts_with('-') || a == "-" {
+            positional.push(a.as_str());
+            continue;
+        }
+        let (flag, inline) = match a.split_once('=') {
+            Some((f, v)) => (f, Some(v)),
+            None => (a.as_str(), None),
+        };
+        match flag {
+            "--no-precedence" => {
+                no_value(flag, inline)?;
+                options.no_precedence = true;
+            }
+            "--no-bounds" => {
+                no_value(flag, inline)?;
+                options.no_bounds = true;
+            }
+            "--no-heuristics" => {
+                no_value(flag, inline)?;
+                options.no_heuristics = true;
+            }
+            "--floorplans" => {
+                no_value(flag, inline)?;
+                options.floorplans = true;
+            }
+            "--emit-placement" => {
+                no_value(flag, inline)?;
+                options.emit_placement = true;
+            }
+            "--svg" => {
+                no_value(flag, inline)?;
+                options.svg = true;
+            }
+            "--summary" => {
+                no_value(flag, inline)?;
+                options.summary = true;
+            }
+            "--profile" => {
+                no_value(flag, inline)?;
+                options.profile = true;
+            }
             "--threads" => {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| CliError::usage("--threads requires a value"))?;
-                options.threads = value.parse().map_err(|_| {
-                    CliError::usage(format!("--threads expects a number, got {value:?}"))
-                })?;
+                let value = take_value(flag, inline, &mut iter)?;
+                options.threads = match value {
+                    "auto" => 0,
+                    "0" => {
+                        return Err(CliError::usage(
+                            "--threads 0 is not a thread count; use --threads auto \
+                             for all hardware threads",
+                        ));
+                    }
+                    n => n.parse().map_err(|_| {
+                        CliError::usage(format!("--threads expects a number or auto, got {n:?}"))
+                    })?,
+                };
             }
             "--stats-json" => {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| CliError::usage("--stats-json requires a path"))?;
-                options.stats_json = Some(value.clone());
+                options.stats_json = Some(take_value(flag, inline, &mut iter)?.to_string());
             }
-            flag if flag.starts_with("--") => {
-                return Err(CliError::usage(format!(
-                    "unknown option {flag:?}\n\n{USAGE}"
-                )));
+            "--trace" => {
+                options.trace = Some(take_value(flag, inline, &mut iter)?.to_string());
             }
-            other => positional.push(other),
+            "--chrome" => {
+                options.chrome = Some(take_value(flag, inline, &mut iter)?.to_string());
+            }
+            "--folded" => {
+                options.folded = Some(take_value(flag, inline, &mut iter)?.to_string());
+            }
+            "--weight" => {
+                options.weight = match take_value(flag, inline, &mut iter)? {
+                    "nodes" => trace::FoldedWeight::Nodes,
+                    "t_ns" => trace::FoldedWeight::TimeNs,
+                    other => {
+                        return Err(CliError::usage(format!(
+                            "--weight expects nodes or t_ns, got {other:?}"
+                        )));
+                    }
+                };
+            }
+            // Only the inline form takes an interval, so a following
+            // operand is never swallowed: `--progress file.rpk` works.
+            "--progress" => {
+                options.progress = Some(match inline {
+                    None => None,
+                    Some(ms) => Some(ms.parse().map_err(|_| {
+                        CliError::usage(format!("--progress expects milliseconds, got {ms:?}"))
+                    })?),
+                });
+            }
+            _ => {
+                return Err(CliError::usage(format!("unknown option {a:?}\n\n{USAGE}")));
+            }
         }
     }
     Ok((positional, options))
@@ -175,31 +321,131 @@ fn load_instance(path: &str, options: &Options) -> Result<Instance, CliError> {
     Ok(instance)
 }
 
-/// Writes the `--stats-json` report, if one was requested.
-fn write_report(
-    options: &Options,
-    command: &str,
-    instance: &str,
+/// Everything a `--stats-json` report needs besides the options and stats:
+/// what ran, on what, how it went, and what the trace session observed.
+struct ReportMeta<'a> {
+    command: &'a str,
+    instance: &'a str,
     outcome: String,
     decisions: u32,
     started: Instant,
+    events: Option<EventTotals>,
+    journal_dropped: Option<u64>,
+}
+
+/// Writes the `--stats-json` report, if one was requested.
+fn write_report(
+    options: &Options,
+    meta: ReportMeta<'_>,
     stats: &SolverStats,
 ) -> Result<(), CliError> {
     let Some(path) = &options.stats_json else {
         return Ok(());
     };
     let report = SolveReport {
-        command: command.to_string(),
-        instance: instance.to_string(),
-        outcome,
+        command: meta.command.to_string(),
+        instance: meta.instance.to_string(),
+        outcome: meta.outcome,
         threads: options.threads,
-        decisions,
-        wall_ms: started.elapsed().as_secs_f64() * 1000.0,
+        decisions: meta.decisions,
+        wall_ms: meta.started.elapsed().as_secs_f64() * 1000.0,
         stats: stats.clone(),
+        events: meta.events,
+        journal_dropped: meta.journal_dropped,
     };
     let mut text = report.to_json();
     text.push('\n');
     std::fs::write(path, text).map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))
+}
+
+/// The per-solve observability session: the `--trace` NDJSON journal, the
+/// event counters backing `--progress` and the report's `events` totals,
+/// and the live reporter thread. [`finish`] tears everything down and
+/// returns what belongs in the [`SolveReport`].
+///
+/// [`finish`]: TraceSession::finish
+struct TraceSession {
+    journal: Option<Arc<FileJournal>>,
+    counters: Option<Arc<ProgressCounters>>,
+    reporter: Option<progress::Reporter>,
+    trace_path: Option<String>,
+}
+
+impl TraceSession {
+    fn start(options: &Options, instance: &Instance) -> Result<Self, CliError> {
+        let journal = match &options.trace {
+            Some(path) => Some(Arc::new(
+                FileJournal::create(std::path::Path::new(path)).map_err(|e| {
+                    CliError::runtime(format!("cannot create trace file {path}: {e}"))
+                })?,
+            )),
+            None => None,
+        };
+        // Counters ride along whenever any observability was requested, so
+        // the stats report can carry event totals.
+        let counters = (journal.is_some() || options.progress.is_some())
+            .then(|| Arc::new(ProgressCounters::new()));
+        let reporter = match (&counters, options.progress) {
+            (Some(counters), Some(interval)) => {
+                // A bare `--progress` is pointless when stderr is piped; an
+                // explicit interval is taken as "I know what I'm doing".
+                if interval.is_some() || std::io::stderr().is_terminal() {
+                    let n = instance.task_count() as u64;
+                    let total_slots = 3 * n * n.saturating_sub(1) / 2;
+                    Some(progress::Reporter::start(
+                        counters.clone(),
+                        Duration::from_millis(interval.unwrap_or(200).max(1)),
+                        total_slots,
+                    ))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        Ok(Self {
+            journal,
+            counters,
+            reporter,
+            trace_path: options.trace.clone(),
+        })
+    }
+
+    /// The telemetry handle to install into the solver configuration.
+    fn telemetry(&self) -> Telemetry {
+        let mut sinks: Vec<Arc<dyn TelemetrySink>> = Vec::new();
+        if let Some(journal) = &self.journal {
+            sinks.push(journal.clone());
+        }
+        if let Some(counters) = &self.counters {
+            sinks.push(counters.clone());
+        }
+        match sinks.len() {
+            0 => Telemetry::none(),
+            1 => Telemetry::to(sinks.remove(0)),
+            _ => Telemetry::to(Arc::new(Fanout::new(sinks))),
+        }
+    }
+
+    /// Stops the reporter, flushes the journal, and returns the event
+    /// totals and the journal's dropped count for the stats report.
+    fn finish(mut self) -> Result<(Option<EventTotals>, Option<u64>), CliError> {
+        if let Some(reporter) = self.reporter.take() {
+            reporter.finish();
+        }
+        let totals = self.counters.as_ref().map(|c| c.snapshot());
+        let dropped = match &self.journal {
+            Some(journal) => {
+                journal.flush().map_err(|e| {
+                    let path = self.trace_path.as_deref().unwrap_or("<trace>");
+                    CliError::runtime(format!("cannot write trace file {path}: {e}"))
+                })?;
+                Some(journal.dropped())
+            }
+            None => None,
+        };
+        Ok((totals, dropped))
+    }
 }
 
 fn describe_placement(
@@ -237,16 +483,30 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         [] | ["help"] => out.push_str(USAGE),
         ["solve", path] => {
             let instance = load_instance(path, &options)?;
+            let session = TraceSession::start(&options, &instance)?;
             let started = Instant::now();
-            let (outcome, stats) = Opp::new(&instance)
-                .with_config(options.solver_config())
-                .solve_with_stats();
+            let mut config = options.solver_config();
+            config.telemetry = session.telemetry();
+            let (outcome, stats) = Opp::new(&instance).with_config(config).solve_with_stats();
+            let (events, journal_dropped) = session.finish()?;
             let label = match &outcome {
                 SolveOutcome::Feasible(_) => "feasible".to_string(),
                 SolveOutcome::Infeasible(_) => "infeasible".to_string(),
                 SolveOutcome::ResourceLimit(limit) => format!("{limit} reached"),
             };
-            write_report(&options, "solve", path, label, 1, started, &stats)?;
+            write_report(
+                &options,
+                ReportMeta {
+                    command: "solve",
+                    instance: path,
+                    outcome: label,
+                    decisions: 1,
+                    started,
+                    events,
+                    journal_dropped,
+                },
+                &stats,
+            )?;
             match outcome {
                 SolveOutcome::Feasible(p) => {
                     p.verify(&instance)
@@ -269,20 +529,26 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         ["bmp", path] => {
             let instance = load_instance(path, &options)?;
+            let session = TraceSession::start(&options, &instance)?;
             let started = Instant::now();
-            let result = Bmp::new(&instance)
-                .with_config(options.solver_config())
-                .solve()
-                .ok_or_else(|| {
-                    CliError::runtime("no chip admits the deadline (critical path too long)")
-                })?;
+            let mut config = options.solver_config();
+            config.telemetry = session.telemetry();
+            let result = Bmp::new(&instance).with_config(config).solve();
+            let (events, journal_dropped) = session.finish()?;
+            let result = result.ok_or_else(|| {
+                CliError::runtime("no chip admits the deadline (critical path too long)")
+            })?;
             write_report(
                 &options,
-                "bmp",
-                path,
-                format!("side {}", result.side),
-                result.decisions,
-                started,
+                ReportMeta {
+                    command: "bmp",
+                    instance: path,
+                    outcome: format!("side {}", result.side),
+                    decisions: result.decisions,
+                    started,
+                    events,
+                    journal_dropped,
+                },
                 &result.stats,
             )?;
             let _ = writeln!(
@@ -298,18 +564,25 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         ["spp", path] => {
             let instance = load_instance(path, &options)?;
+            let session = TraceSession::start(&options, &instance)?;
             let started = Instant::now();
-            let result = Spp::new(&instance)
-                .with_config(options.solver_config())
-                .solve()
+            let mut config = options.solver_config();
+            config.telemetry = session.telemetry();
+            let result = Spp::new(&instance).with_config(config).solve();
+            let (events, journal_dropped) = session.finish()?;
+            let result = result
                 .ok_or_else(|| CliError::runtime("some module does not fit the chip spatially"))?;
             write_report(
                 &options,
-                "spp",
-                path,
-                format!("makespan {}", result.makespan),
-                result.decisions,
-                started,
+                ReportMeta {
+                    command: "spp",
+                    instance: path,
+                    outcome: format!("makespan {}", result.makespan),
+                    decisions: result.decisions,
+                    started,
+                    events,
+                    journal_dropped,
+                },
                 &result.stats,
             )?;
             let _ = writeln!(
@@ -324,17 +597,25 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         ["pareto", path] => {
             let instance = load_instance(path, &options)?;
+            let session = TraceSession::start(&options, &instance)?;
             let started = Instant::now();
+            let mut config = options.solver_config();
+            config.telemetry = session.telemetry();
+            let result = pareto_front_with_stats(&instance, &config);
+            let (events, journal_dropped) = session.finish()?;
             let (front, stats, decisions) =
-                pareto_front_with_stats(&instance, &options.solver_config())
-                    .ok_or_else(|| CliError::runtime("resource limit reached"))?;
+                result.ok_or_else(|| CliError::runtime("resource limit reached"))?;
             write_report(
                 &options,
-                "pareto",
-                path,
-                format!("{} pareto points", front.len()),
-                decisions,
-                started,
+                ReportMeta {
+                    command: "pareto",
+                    instance: path,
+                    outcome: format!("{} pareto points", front.len()),
+                    decisions,
+                    started,
+                    events,
+                    journal_dropped,
+                },
                 &stats,
             )?;
             let _ = writeln!(out, "{:>6} | {:>6}", "chip", "time");
@@ -395,6 +676,50 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 }
             };
             out.push_str(&format::format_instance(&instance));
+        }
+        ["trace", path] => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+            let events = trace::parse_ndjson(&text)?;
+            let mut exported = false;
+            if let Some(chrome_path) = &options.chrome {
+                std::fs::write(chrome_path, trace::to_chrome(&events))
+                    .map_err(|e| CliError::runtime(format!("cannot write {chrome_path}: {e}")))?;
+                let _ = writeln!(
+                    out,
+                    "wrote Chrome trace for {} events to {chrome_path}",
+                    events.len()
+                );
+                exported = true;
+            }
+            if let Some(folded_path) = &options.folded {
+                std::fs::write(folded_path, trace::to_folded(&events, options.weight))
+                    .map_err(|e| CliError::runtime(format!("cannot write {folded_path}: {e}")))?;
+                let _ = writeln!(out, "wrote folded stacks to {folded_path}");
+                exported = true;
+            }
+            if options.summary || !exported {
+                out.push_str(&trace::summary(&events));
+            }
+        }
+        [command, rest @ ..]
+            if matches!(
+                *command,
+                "solve"
+                    | "bmp"
+                    | "spp"
+                    | "pareto"
+                    | "check"
+                    | "render"
+                    | "sample"
+                    | "trace"
+                    | "help"
+            ) =>
+        {
+            return Err(CliError::usage(format!(
+                "wrong number of operands for {command} (got {})\n\n{USAGE}",
+                rest.len()
+            )));
         }
         other => {
             return Err(CliError::usage(format!(
@@ -508,14 +833,47 @@ mod tests {
         );
         let p = path.to_str().expect("utf8 path");
         let seq = run(&args(&["solve", p])).expect("runs");
-        for t in ["0", "1", "4"] {
+        for t in ["1", "4", "auto"] {
             let par = run(&args(&["solve", p, "--threads", t])).expect("runs");
             assert_eq!(par, seq, "--threads {t} changed the output");
         }
+        let inline = run(&args(&["solve", p, "--threads=4"])).expect("runs");
+        assert_eq!(inline, seq, "--threads=4 changed the output");
         let err = run(&args(&["solve", p, "--threads"])).expect_err("missing value");
         assert_eq!(err.exit_code, 2);
         let err = run(&args(&["solve", p, "--threads", "many"])).expect_err("bad value");
         assert!(err.message.contains("expects a number"), "{err:?}");
+        let err = run(&args(&["solve", p, "--threads", "0"])).expect_err("zero threads");
+        assert_eq!(err.exit_code, 2);
+        assert!(err.message.contains("--threads auto"), "{err:?}");
+    }
+
+    #[test]
+    fn argument_hardening_rejects_malformed_usage() {
+        // Single-dash unknowns are options, not operands.
+        let err = run(&args(&["solve", "x.rpk", "-q"])).expect_err("unknown short flag");
+        assert_eq!(err.exit_code, 2);
+        assert!(err.message.contains("unknown option"), "{err:?}");
+        // Unknown flags after operands error the same way.
+        let err = run(&args(&["solve", "x.rpk", "--wat=3"])).expect_err("unknown flag");
+        assert_eq!(err.exit_code, 2);
+        assert!(err.message.contains("unknown option"), "{err:?}");
+        // Boolean flags reject inline values.
+        let err = run(&args(&["solve", "x.rpk", "--svg=yes"])).expect_err("inline value");
+        assert_eq!(err.exit_code, 2);
+        assert!(err.message.contains("does not take a value"), "{err:?}");
+        // Wrong operand counts are usage errors, not file errors.
+        for cmd in ["solve", "bmp", "spp", "pareto", "trace", "sample"] {
+            let err = run(&args(&[cmd])).expect_err("missing operand");
+            assert_eq!(err.exit_code, 2, "{cmd}");
+            assert!(err.message.contains("wrong number of operands"), "{err:?}");
+        }
+        let err = run(&args(&["solve", "a.rpk", "b.rpk"])).expect_err("extra operand");
+        assert_eq!(err.exit_code, 2);
+        // Progress intervals must be numeric.
+        let err = run(&args(&["solve", "x.rpk", "--progress=soon"])).expect_err("bad ms");
+        assert_eq!(err.exit_code, 2);
+        assert!(err.message.contains("milliseconds"), "{err:?}");
     }
 
     #[test]
@@ -531,7 +889,7 @@ mod tests {
             run(&args(&[command, p, "--stats-json", rp])).expect("runs");
             let json = std::fs::read_to_string(&report_path).expect("report written");
             assert!(
-                json.starts_with("{\"schema_version\":1"),
+                json.starts_with("{\"schema_version\":2"),
                 "{command}: {json}"
             );
             assert!(
@@ -541,6 +899,13 @@ mod tests {
             assert!(json.contains("\"wall_ms\":"), "{command}: {json}");
             assert!(json.contains("\"conflicts\":{"), "{command}: {json}");
             assert!(json.contains("\"depth_histogram\":["), "{command}: {json}");
+            assert!(json.contains("\"timings\":{"), "{command}: {json}");
+            // No trace session was active, so the optional fields are null.
+            assert!(json.contains("\"events\":null"), "{command}: {json}");
+            assert!(
+                json.contains("\"journal_dropped\":null"),
+                "{command}: {json}"
+            );
         }
         // Infeasible solves are reported too.
         let tight = temp_file(
@@ -559,6 +924,141 @@ mod tests {
         assert!(json.contains("\"outcome\":\"infeasible\""), "{json}");
         // And the flag validates its argument.
         let err = run(&args(&["solve", p, "--stats-json"])).expect_err("missing path");
+        assert_eq!(err.exit_code, 2);
+    }
+
+    #[test]
+    fn trace_pipeline_records_exports_and_summarizes() {
+        use recopack_json::Json;
+
+        let path = temp_file(
+            "trace.rpk",
+            "chip 4 4\nhorizon 2\ntask a 2 2 2\ntask b 2 2 2\ntask c 2 2 2\n\
+             task d 2 2 2\ntask e 2 2 2\n",
+        );
+        let p = path.to_str().expect("utf8 path");
+        let trace_path = temp_file("trace.ndjson", "");
+        let tp = trace_path.to_str().expect("utf8 path");
+        let report_path = temp_file("trace-report.json", "");
+        let rp = report_path.to_str().expect("utf8 path");
+        // Bounds and heuristics would settle this instance before the
+        // search starts; disabling them makes the event stream non-trivial.
+        run(&args(&[
+            "solve",
+            p,
+            "--no-bounds",
+            "--no-heuristics",
+            "--trace",
+            tp,
+            "--stats-json",
+            rp,
+            "--profile",
+        ]))
+        .expect("solves");
+
+        // Every line of the journal is a standalone JSON object.
+        let ndjson = std::fs::read_to_string(&trace_path).expect("trace written");
+        assert!(
+            ndjson.lines().count() > 10,
+            "search-heavy instance expected"
+        );
+        for line in ndjson.lines() {
+            Json::parse(line).expect("valid NDJSON line");
+        }
+
+        // The stats report carries event totals and the dropped count.
+        let report = Json::parse(
+            std::fs::read_to_string(&report_path)
+                .expect("report written")
+                .trim(),
+        )
+        .expect("report parses");
+        let events = report.get("events").expect("events totals present");
+        let branches = events.get("branch").and_then(Json::as_u64).expect("branch");
+        assert!(branches > 0);
+        assert_eq!(
+            report.get("journal_dropped").and_then(Json::as_u64),
+            Some(0)
+        );
+        // --profile: the search spent measurable time somewhere.
+        let timings = report
+            .get("stats")
+            .and_then(|s| s.get("timings"))
+            .expect("timings");
+        let spent: u64 = ["propagate_ns", "bounds_ns", "realize_ns"]
+            .iter()
+            .filter_map(|k| timings.get(k).and_then(Json::as_u64))
+            .sum();
+        let prunes: u64 = ["c2", "c3", "c4", "orientation"]
+            .iter()
+            .filter_map(|k| {
+                timings
+                    .get("prune_ns")
+                    .and_then(|p| p.get(k))
+                    .and_then(Json::as_u64)
+            })
+            .sum();
+        assert!(
+            spent + prunes > 0,
+            "profiling collected no time: {timings:?}"
+        );
+
+        // The trace subcommand exports Chrome JSON and folded stacks.
+        let chrome_path = temp_file("trace.chrome.json", "");
+        let folded_path = temp_file("trace.folded", "");
+        let cp = chrome_path.to_str().expect("utf8 path");
+        let fp = folded_path.to_str().expect("utf8 path");
+        let out = run(&args(&[
+            "trace",
+            tp,
+            "--chrome",
+            cp,
+            "--folded",
+            fp,
+            "--summary",
+        ]))
+        .expect("exports");
+        assert!(out.contains("wrote Chrome trace"), "{out}");
+        assert!(out.contains("trace:"), "summary expected: {out}");
+        assert!(out.contains("depth profile"), "{out}");
+
+        let chrome = Json::parse(&std::fs::read_to_string(&chrome_path).expect("chrome written"))
+            .expect("chrome parses");
+        let slices = chrome
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents");
+        let count = |ph: &str| {
+            slices
+                .iter()
+                .filter(|e| e.get("ph").and_then(Json::as_str) == Some(ph))
+                .count()
+        };
+        assert!(count("B") > 0);
+        assert_eq!(count("B"), count("E"), "all slices closed");
+
+        // Folded node weights sum to the branch total from the report.
+        let folded = std::fs::read_to_string(&folded_path).expect("folded written");
+        let weight_sum: u64 = folded
+            .lines()
+            .map(|l| {
+                l.rsplit(' ')
+                    .next()
+                    .expect("weight column")
+                    .parse::<u64>()
+                    .expect("numeric weight")
+            })
+            .sum();
+        assert_eq!(weight_sum, branches);
+
+        // Bare `trace` defaults to the summary.
+        let out = run(&args(&["trace", tp])).expect("summarizes");
+        assert!(out.contains("depth profile"), "{out}");
+        // t_ns weighting works too.
+        let out = run(&args(&["trace", tp, "--folded", fp, "--weight", "t_ns"]))
+            .expect("time-weighted folded");
+        assert!(out.contains("wrote folded stacks"), "{out}");
+        let err = run(&args(&["trace", tp, "--weight", "bytes"])).expect_err("bad weight");
         assert_eq!(err.exit_code, 2);
     }
 

@@ -1,0 +1,175 @@
+//! The live `--progress` reporter: a sampler thread that periodically reads
+//! a [`ProgressCounters`] sink and rewrites one stderr status line, e.g.
+//!
+//! ```text
+//! nodes 1.2M (410.0k/s) · depth 14/31 · prunes c2:62% c3:20% · elapsed 12.4s
+//! ```
+//!
+//! The line is rewritten in place (`\r` + clear-to-end), so it only makes
+//! sense on a terminal; the CLI auto-disables it when stderr is not a TTY
+//! unless an explicit interval forces it. On finish the final totals are
+//! printed and terminated with a newline, leaving the scrollback clean.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use recopack_core::{EventTotals, ProgressCounters, PruneRule};
+
+/// Formats a count with a metric suffix (`1234` → `1.2k`).
+fn human(n: u64) -> String {
+    match n {
+        0..=9_999 => format!("{n}"),
+        10_000..=999_999 => format!("{:.1}k", n as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}M", n as f64 / 1e6),
+        _ => format!("{:.2}G", n as f64 / 1e9),
+    }
+}
+
+/// Renders one status line from a snapshot.
+fn status_line(totals: &EventTotals, rate: f64, total_slots: u64, elapsed: Duration) -> String {
+    use std::fmt::Write as _;
+    let mut line = format!(
+        "nodes {} ({}/s)",
+        human(totals.branches),
+        human(rate as u64)
+    );
+    let _ = write!(line, " · depth {}/{}", totals.max_depth, total_slots);
+    let prunes = totals.prunes_total();
+    if prunes > 0 {
+        line.push_str(" · prunes");
+        let mut rules: Vec<(PruneRule, u64)> = PruneRule::ALL
+            .into_iter()
+            .map(|r| (r, totals.prunes[r.index()]))
+            .filter(|(_, n)| *n > 0)
+            .collect();
+        rules.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+        for (rule, n) in rules.into_iter().take(2) {
+            let _ = write!(
+                line,
+                " {}:{:.0}%",
+                rule.name(),
+                n as f64 * 100.0 / prunes as f64
+            );
+        }
+    }
+    let _ = write!(line, " · elapsed {:.1}s", elapsed.as_secs_f64());
+    line
+}
+
+/// A running progress reporter; dropping (or calling [`finish`]) stops the
+/// sampler thread and prints the final line.
+///
+/// [`finish`]: Reporter::finish
+pub(crate) struct Reporter {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Reporter {
+    /// Starts the sampler over `counters`, redrawing every `interval`.
+    /// `total_slots` is the depth budget shown as `depth <max>/<total>`
+    /// (three dimensions times the number of task pairs).
+    pub(crate) fn start(
+        counters: Arc<ProgressCounters>,
+        interval: Duration,
+        total_slots: u64,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("recopack-progress".to_string())
+            .spawn(move || {
+                let started = Instant::now();
+                let mut last = (Instant::now(), 0u64);
+                while !stop_flag.load(Ordering::Relaxed) {
+                    std::thread::sleep(interval.min(Duration::from_millis(50)));
+                    if stop_flag.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if last.0.elapsed() < interval {
+                        continue;
+                    }
+                    let totals = counters.snapshot();
+                    let dt = last.0.elapsed().as_secs_f64();
+                    let rate = (totals.branches - last.1) as f64 / dt.max(1e-9);
+                    last = (Instant::now(), totals.branches);
+                    let line = status_line(&totals, rate, total_slots, started.elapsed());
+                    let mut err = std::io::stderr().lock();
+                    let _ = write!(err, "\r\x1b[K{line}");
+                    let _ = err.flush();
+                }
+                // Final totals, average rate, then release the line.
+                let totals = counters.snapshot();
+                let elapsed = started.elapsed();
+                let rate = totals.branches as f64 / elapsed.as_secs_f64().max(1e-9);
+                let line = status_line(&totals, rate, total_slots, elapsed);
+                let mut err = std::io::stderr().lock();
+                let _ = writeln!(err, "\r\x1b[K{line}");
+                let _ = err.flush();
+            })
+            .expect("progress thread spawns");
+        Self {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the sampler and prints the final line.
+    pub(crate) fn finish(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Reporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_suffixes() {
+        assert_eq!(human(950), "950");
+        assert_eq!(human(12_345), "12.3k");
+        assert_eq!(human(1_234_567), "1.2M");
+        assert_eq!(human(7_000_000_000), "7.00G");
+    }
+
+    #[test]
+    fn status_line_shows_the_dominant_rules() {
+        let totals = EventTotals {
+            branches: 1_200_000,
+            prunes: [620, 200, 10, 0],
+            max_depth: 14,
+            ..EventTotals::default()
+        };
+        let line = status_line(&totals, 410_000.0, 31, Duration::from_millis(12_400));
+        assert!(line.contains("nodes 1.2M"), "{line}");
+        assert!(line.contains("(410.0k/s)"), "{line}");
+        assert!(line.contains("depth 14/31"), "{line}");
+        assert!(line.contains("c2:75%"), "{line}");
+        assert!(line.contains("c3:24%"), "{line}");
+        assert!(!line.contains("c4:"), "only the top two rules are shown");
+        assert!(line.contains("elapsed 12.4s"), "{line}");
+    }
+
+    #[test]
+    fn reporter_stops_cleanly() {
+        let counters = Arc::new(ProgressCounters::new());
+        let reporter = Reporter::start(counters, Duration::from_millis(5), 10);
+        std::thread::sleep(Duration::from_millis(20));
+        reporter.finish();
+    }
+}

@@ -1,0 +1,561 @@
+//! Offline exporters for NDJSON search traces written by `--trace`.
+//!
+//! The `recopack trace` subcommand reads a trace back with the shared
+//! [`recopack_json`] parser and converts it into:
+//!
+//! * **Chrome trace-event JSON** (`--chrome`) — loadable in Perfetto or
+//!   `chrome://tracing`; every frontier subtree becomes a track, each
+//!   branch decision opens a duration slice that its backtrack closes, and
+//!   prunes/propagations/leaves appear as instant events;
+//! * **folded stacks** (`--folded`) — `inferno`/`flamegraph.pl` input where
+//!   a stack is the chain of branch decisions (`x:3:c;t:7:s;...`) and the
+//!   weight is either visited nodes or self-time in nanoseconds;
+//! * a **terminal summary** (`--summary`) — hottest subtrees, prune-rule
+//!   breakdown, and the branch-depth profile.
+//!
+//! All three exporters tolerate truncated traces (a journal with a capacity
+//! limit or an interrupted solve): unmatched branches are closed at the
+//! last timestamp seen, stray backtracks are ignored.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use recopack_json::Json;
+
+use crate::CliError;
+
+/// One parsed line of an NDJSON search trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct TraceEvent {
+    pub(crate) subtree: u64,
+    pub(crate) depth: u64,
+    pub(crate) t_ns: u64,
+    pub(crate) kind: TraceKind,
+}
+
+/// The payload of a [`TraceEvent`], mirroring the solver's `EventKind`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum TraceKind {
+    Branch {
+        dim: u64,
+        pair: u64,
+        component: bool,
+    },
+    Propagate {
+        fixes: u64,
+    },
+    Prune {
+        rule: String,
+    },
+    Backtrack,
+    Leaf {
+        accepted: bool,
+    },
+}
+
+fn field(json: &Json, line_no: usize, key: &str) -> Result<u64, CliError> {
+    json.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| CliError::runtime(format!("trace line {line_no}: missing numeric {key:?}")))
+}
+
+fn bool_field(json: &Json, line_no: usize, key: &str) -> Result<bool, CliError> {
+    json.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| CliError::runtime(format!("trace line {line_no}: missing boolean {key:?}")))
+}
+
+/// Parses a whole NDJSON trace document; blank lines are allowed.
+pub(crate) fn parse_ndjson(text: &str) -> Result<Vec<TraceEvent>, CliError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let json = Json::parse(line)
+            .map_err(|e| CliError::runtime(format!("trace line {line_no}: {e}")))?;
+        let kind = match json.get("event").and_then(Json::as_str) {
+            Some("branch") => TraceKind::Branch {
+                dim: field(&json, line_no, "dim")?,
+                pair: field(&json, line_no, "pair")?,
+                component: bool_field(&json, line_no, "component")?,
+            },
+            Some("propagate") => TraceKind::Propagate {
+                fixes: field(&json, line_no, "fixes")?,
+            },
+            Some("prune") => TraceKind::Prune {
+                rule: json
+                    .get("rule")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string(),
+            },
+            Some("backtrack") => TraceKind::Backtrack,
+            Some("leaf") => TraceKind::Leaf {
+                accepted: bool_field(&json, line_no, "accepted")?,
+            },
+            other => {
+                return Err(CliError::runtime(format!(
+                    "trace line {line_no}: unknown event {other:?}"
+                )));
+            }
+        };
+        events.push(TraceEvent {
+            subtree: field(&json, line_no, "subtree")?,
+            depth: field(&json, line_no, "depth")?,
+            t_ns: field(&json, line_no, "t_ns")?,
+            kind,
+        });
+    }
+    Ok(events)
+}
+
+/// The slice name of a branch decision: dimension, pair, and choice
+/// (`c` = component/overlap, `s` = comparability/separate).
+fn branch_name(dim: u64, pair: u64, component: bool) -> String {
+    let d = match dim {
+        0 => "x",
+        1 => "y",
+        2 => "t",
+        _ => "?",
+    };
+    format!("{d}:{pair}:{}", if component { 'c' } else { 's' })
+}
+
+fn push_ts(out: &mut String, t_ns: u64) {
+    // Chrome trace timestamps are microseconds; keep ns resolution.
+    let _ = write!(out, "{}.{:03}", t_ns / 1_000, t_ns % 1_000);
+}
+
+/// Converts a trace into Chrome trace-event JSON (the `traceEvents` array
+/// format): one track (`tid`) per frontier subtree, duration slices from
+/// branch to matching backtrack, instant events for everything else.
+pub(crate) fn to_chrome(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut emit = |piece: String, out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push_str(&piece);
+    };
+    // Open-slice stack per subtree, for defensive EOF handling.
+    let mut open: HashMap<u64, Vec<String>> = HashMap::new();
+    let mut seen: Vec<u64> = Vec::new();
+    let mut last_ts = 0;
+    for e in events {
+        last_ts = last_ts.max(e.t_ns);
+        if !seen.contains(&e.subtree) {
+            seen.push(e.subtree);
+        }
+        let mut piece = String::new();
+        match &e.kind {
+            TraceKind::Branch {
+                dim,
+                pair,
+                component,
+            } => {
+                let name = branch_name(*dim, *pair, *component);
+                piece.push_str("{\"ph\":\"B\",\"pid\":1,\"tid\":");
+                let _ = write!(piece, "{}", e.subtree);
+                piece.push_str(",\"ts\":");
+                push_ts(&mut piece, e.t_ns);
+                piece.push_str(",\"name\":\"");
+                piece.push_str(&name);
+                piece.push_str("\",\"cat\":\"branch\"}");
+                open.entry(e.subtree).or_default().push(name);
+            }
+            TraceKind::Backtrack => {
+                // A backtrack without an open slice (truncated trace head)
+                // is dropped rather than corrupting the nesting.
+                if open.entry(e.subtree).or_default().pop().is_none() {
+                    continue;
+                }
+                piece.push_str("{\"ph\":\"E\",\"pid\":1,\"tid\":");
+                let _ = write!(piece, "{}", e.subtree);
+                piece.push_str(",\"ts\":");
+                push_ts(&mut piece, e.t_ns);
+                piece.push('}');
+            }
+            TraceKind::Propagate { fixes } => {
+                piece.push_str("{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":");
+                let _ = write!(piece, "{}", e.subtree);
+                piece.push_str(",\"ts\":");
+                push_ts(&mut piece, e.t_ns);
+                let _ = write!(
+                    piece,
+                    ",\"name\":\"propagate\",\"cat\":\"propagate\",\"args\":{{\"fixes\":{fixes}}}}}"
+                );
+            }
+            TraceKind::Prune { rule } => {
+                piece.push_str("{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":");
+                let _ = write!(piece, "{}", e.subtree);
+                piece.push_str(",\"ts\":");
+                push_ts(&mut piece, e.t_ns);
+                let _ = write!(piece, ",\"name\":\"prune:{rule}\",\"cat\":\"prune\"}}");
+            }
+            TraceKind::Leaf { accepted } => {
+                piece.push_str("{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":");
+                let _ = write!(piece, "{}", e.subtree);
+                piece.push_str(",\"ts\":");
+                push_ts(&mut piece, e.t_ns);
+                let _ = write!(
+                    piece,
+                    ",\"name\":\"leaf:{}\",\"cat\":\"leaf\"}}",
+                    if *accepted { "accepted" } else { "rejected" }
+                );
+            }
+        }
+        emit(piece, &mut out);
+    }
+    // Close slices left open by a truncated or interrupted trace.
+    for (subtree, stack) in &open {
+        for _ in stack {
+            let mut piece = String::new();
+            piece.push_str("{\"ph\":\"E\",\"pid\":1,\"tid\":");
+            let _ = write!(piece, "{subtree}");
+            piece.push_str(",\"ts\":");
+            push_ts(&mut piece, last_ts);
+            piece.push('}');
+            emit(piece, &mut out);
+        }
+    }
+    // Name the tracks so Perfetto shows "subtree N" instead of bare tids.
+    for subtree in &seen {
+        let mut piece = String::new();
+        let _ = write!(
+            piece,
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{subtree},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"subtree {subtree}\"}}}}"
+        );
+        emit(piece, &mut out);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// How folded-stack samples are weighted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) enum FoldedWeight {
+    /// One sample per branch decision (node counts; thread-count invariant).
+    #[default]
+    Nodes,
+    /// Self-time in nanoseconds between a branch and its backtrack.
+    TimeNs,
+}
+
+/// One open frame of the folded-stack reconstruction.
+struct FoldedFrame {
+    name: String,
+    opened_ns: u64,
+    child_ns: u64,
+}
+
+/// Converts a trace into folded-stack lines (`frame;frame;... weight`),
+/// the input format of `flamegraph.pl` and `inferno-flamegraph`.
+pub(crate) fn to_folded(events: &[TraceEvent], weight: FoldedWeight) -> String {
+    // Stack of open branch frames per subtree, and the accumulated weights.
+    let mut stacks: HashMap<u64, Vec<FoldedFrame>> = HashMap::new();
+    let mut weights: HashMap<String, u64> = HashMap::new();
+    let mut last_ts = 0;
+    let stack_key = |subtree: u64, frames: &[FoldedFrame]| {
+        let mut key = format!("subtree:{subtree}");
+        for frame in frames {
+            key.push(';');
+            key.push_str(&frame.name);
+        }
+        key
+    };
+    let pop = |subtree: u64,
+               frames: &mut Vec<FoldedFrame>,
+               t_ns: u64,
+               weights: &mut HashMap<String, u64>| {
+        let Some(frame) = frames.pop() else {
+            return;
+        };
+        if weight == FoldedWeight::TimeNs {
+            let total = t_ns.saturating_sub(frame.opened_ns);
+            let self_ns = total.saturating_sub(frame.child_ns);
+            let mut key = stack_key(subtree, frames);
+            key.push(';');
+            key.push_str(&frame.name);
+            *weights.entry(key).or_default() += self_ns;
+            if let Some(parent) = frames.last_mut() {
+                parent.child_ns += total;
+            }
+        }
+    };
+    for e in events {
+        last_ts = last_ts.max(e.t_ns);
+        let frames = stacks.entry(e.subtree).or_default();
+        match &e.kind {
+            TraceKind::Branch {
+                dim,
+                pair,
+                component,
+            } => {
+                frames.push(FoldedFrame {
+                    name: branch_name(*dim, *pair, *component),
+                    opened_ns: e.t_ns,
+                    child_ns: 0,
+                });
+                if weight == FoldedWeight::Nodes {
+                    *weights.entry(stack_key(e.subtree, frames)).or_default() += 1;
+                }
+            }
+            TraceKind::Backtrack => pop(e.subtree, frames, e.t_ns, &mut weights),
+            TraceKind::Propagate { .. } | TraceKind::Prune { .. } | TraceKind::Leaf { .. } => {}
+        }
+    }
+    // Unwind frames left open by a truncated trace at the last timestamp.
+    for (subtree, frames) in &mut stacks {
+        while !frames.is_empty() {
+            pop(*subtree, frames, last_ts, &mut weights);
+        }
+    }
+    let mut lines: Vec<(String, u64)> = weights.into_iter().filter(|(_, w)| *w > 0).collect();
+    lines.sort();
+    let mut out = String::new();
+    for (stack, w) in lines {
+        let _ = writeln!(out, "{stack} {w}");
+    }
+    out
+}
+
+/// Renders a terminal summary: totals, prune-rule breakdown, hottest
+/// subtrees, and the branch-depth profile.
+pub(crate) fn summary(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    if events.is_empty() {
+        out.push_str("empty trace\n");
+        return out;
+    }
+    let mut branches = 0u64;
+    let mut propagates = 0u64;
+    let mut backtracks = 0u64;
+    let mut leaves = [0u64; 2];
+    let mut prunes: Vec<(String, u64)> = Vec::new();
+    let mut per_subtree: HashMap<u64, u64> = HashMap::new();
+    let mut per_depth: Vec<u64> = Vec::new();
+    let mut span_ns = 0u64;
+    for e in events {
+        span_ns = span_ns.max(e.t_ns);
+        match &e.kind {
+            TraceKind::Branch { .. } => {
+                branches += 1;
+                *per_subtree.entry(e.subtree).or_default() += 1;
+                let depth = e.depth as usize;
+                if per_depth.len() <= depth {
+                    per_depth.resize(depth + 1, 0);
+                }
+                per_depth[depth] += 1;
+            }
+            TraceKind::Propagate { .. } => propagates += 1,
+            TraceKind::Backtrack => backtracks += 1,
+            TraceKind::Leaf { accepted } => leaves[usize::from(*accepted)] += 1,
+            TraceKind::Prune { rule } => match prunes.iter_mut().find(|(r, _)| r == rule) {
+                Some((_, n)) => *n += 1,
+                None => prunes.push((rule.clone(), 1)),
+            },
+        }
+    }
+    let _ = writeln!(
+        out,
+        "trace: {} events, {} subtrees, span {:.3} ms",
+        events.len(),
+        per_subtree.len().max(1),
+        span_ns as f64 / 1e6
+    );
+    let _ = writeln!(
+        out,
+        "  branches {branches} · propagations {propagates} · backtracks {backtracks} \
+         · leaves {} accepted / {} rejected",
+        leaves[1], leaves[0]
+    );
+    let total_prunes: u64 = prunes.iter().map(|(_, n)| n).sum();
+    if total_prunes > 0 {
+        prunes.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let _ = write!(out, "  prunes {total_prunes}:");
+        for (rule, n) in &prunes {
+            let _ = write!(
+                out,
+                " {rule} {n} ({:.0}%)",
+                *n as f64 * 100.0 / total_prunes as f64
+            );
+        }
+        out.push('\n');
+    }
+    // Hottest subtrees by branch count.
+    let mut hot: Vec<(u64, u64)> = per_subtree.into_iter().collect();
+    hot.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    if hot.len() > 1 {
+        let _ = write!(out, "  hottest subtrees:");
+        for (subtree, n) in hot.iter().take(5) {
+            let _ = write!(out, " #{subtree} ({n} branches)");
+        }
+        out.push('\n');
+    }
+    // Depth profile as a log-ish bar chart of branch counts.
+    let peak = per_depth.iter().copied().max().unwrap_or(0).max(1);
+    out.push_str("  depth profile (branches per depth):\n");
+    for (depth, n) in per_depth.iter().enumerate() {
+        let bar = (n * 40).div_ceil(peak) as usize;
+        let _ = writeln!(out, "    {depth:>4} {:<40} {n}", "#".repeat(bar));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(subtree: u64, depth: u64, t_ns: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            subtree,
+            depth,
+            t_ns,
+            kind,
+        }
+    }
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            ev(
+                0,
+                0,
+                100,
+                TraceKind::Branch {
+                    dim: 0,
+                    pair: 0,
+                    component: true,
+                },
+            ),
+            ev(0, 0, 150, TraceKind::Propagate { fixes: 2 }),
+            ev(
+                0,
+                1,
+                200,
+                TraceKind::Branch {
+                    dim: 2,
+                    pair: 1,
+                    component: false,
+                },
+            ),
+            ev(
+                0,
+                1,
+                300,
+                TraceKind::Prune {
+                    rule: "c2".to_string(),
+                },
+            ),
+            ev(0, 1, 400, TraceKind::Backtrack),
+            ev(0, 1, 500, TraceKind::Leaf { accepted: false }),
+            ev(0, 0, 600, TraceKind::Backtrack),
+        ]
+    }
+
+    #[test]
+    fn ndjson_parses_every_event_shape() {
+        let text = "\
+{\"subtree\":0,\"depth\":0,\"t_ns\":5,\"event\":\"branch\",\"dim\":1,\"pair\":3,\"component\":false}\n\
+{\"subtree\":0,\"depth\":0,\"t_ns\":6,\"event\":\"propagate\",\"fixes\":4}\n\
+{\"subtree\":1,\"depth\":2,\"t_ns\":7,\"event\":\"prune\",\"rule\":\"orientation\"}\n\
+{\"subtree\":0,\"depth\":0,\"t_ns\":8,\"event\":\"backtrack\"}\n\
+{\"subtree\":0,\"depth\":3,\"t_ns\":9,\"event\":\"leaf\",\"accepted\":true}\n";
+        let events = parse_ndjson(text).expect("parses");
+        assert_eq!(events.len(), 5);
+        assert_eq!(
+            events[0].kind,
+            TraceKind::Branch {
+                dim: 1,
+                pair: 3,
+                component: false
+            }
+        );
+        assert_eq!(events[2].subtree, 1);
+        assert_eq!(events[4].kind, TraceKind::Leaf { accepted: true });
+        assert!(parse_ndjson("{\"event\":\"wat\"}").is_err());
+        assert!(parse_ndjson("not json").is_err());
+    }
+
+    #[test]
+    fn chrome_slices_balance_and_parse() {
+        let chrome = to_chrome(&sample());
+        let json = Json::parse(&chrome).expect("chrome JSON parses");
+        let events = json
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        let count = |ph: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(Json::as_str) == Some(ph))
+                .count()
+        };
+        assert_eq!(count("B"), 2);
+        assert_eq!(count("E"), 2, "every branch slice is closed");
+        assert_eq!(count("i"), 3, "propagate, prune, leaf instants");
+        assert_eq!(count("M"), 1, "one track-name record per subtree");
+        assert!(chrome.contains("\"name\":\"x:0:c\""), "{chrome}");
+        assert!(chrome.contains("\"name\":\"prune:c2\""), "{chrome}");
+    }
+
+    #[test]
+    fn chrome_closes_unmatched_slices_at_eof() {
+        let mut events = sample();
+        events.truncate(4); // drop the backtracks: two slices stay open
+        let chrome = to_chrome(&events);
+        let json = Json::parse(&chrome).expect("chrome JSON parses");
+        let arr = json
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("array");
+        let b = arr
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("B"))
+            .count();
+        let e = arr
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("E"))
+            .count();
+        assert_eq!(b, e);
+    }
+
+    #[test]
+    fn folded_node_weights_sum_to_branch_count() {
+        let folded = to_folded(&sample(), FoldedWeight::Nodes);
+        let total: u64 = folded
+            .lines()
+            .map(|l| {
+                l.rsplit(' ')
+                    .next()
+                    .expect("weight")
+                    .parse::<u64>()
+                    .expect("number")
+            })
+            .sum();
+        assert_eq!(total, 2, "one sample per branch");
+        assert!(folded.contains("subtree:0;x:0:c 1"), "{folded}");
+        assert!(folded.contains("subtree:0;x:0:c;t:1:s 1"), "{folded}");
+    }
+
+    #[test]
+    fn folded_self_time_partitions_the_span() {
+        let folded = to_folded(&sample(), FoldedWeight::TimeNs);
+        // Outer frame [100, 600] minus inner [200, 400] = 300 self;
+        // inner frame = 200 self.
+        assert!(folded.contains("subtree:0;x:0:c 300"), "{folded}");
+        assert!(folded.contains("subtree:0;x:0:c;t:1:s 200"), "{folded}");
+    }
+
+    #[test]
+    fn summary_reports_rules_and_depths() {
+        let text = summary(&sample());
+        assert!(text.contains("7 events"), "{text}");
+        assert!(text.contains("c2 1 (100%)"), "{text}");
+        assert!(text.contains("branches 2"), "{text}");
+        assert!(summary(&[]).contains("empty trace"));
+    }
+}

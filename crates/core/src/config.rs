@@ -54,6 +54,13 @@ pub struct SolverConfig {
     /// [`crate::telemetry`]). Disabled by default; aggregate counters in
     /// [`SolverStats`] are collected either way.
     pub telemetry: Telemetry,
+    /// Collect per-phase wall-clock timings (`propagate_ns`, `bounds_ns`,
+    /// `realize_ns`, per-rule prune time) into [`SolverStats`]. Off by
+    /// default: with profiling off and [`Telemetry::none`] installed the
+    /// hot path performs **zero** extra clock reads. Phase timings are
+    /// informational — unlike the event *counts*, they are not
+    /// thread-count invariant (see DESIGN.md, "Tracing and profiling").
+    pub profile: bool,
 }
 
 impl Default for SolverConfig {
@@ -72,6 +79,7 @@ impl Default for SolverConfig {
             threads: 1,
             frontier_depth: None,
             telemetry: Telemetry::none(),
+            profile: false,
         }
     }
 }
@@ -94,6 +102,7 @@ impl SolverConfig {
             threads: 1,
             frontier_depth: None,
             telemetry: Telemetry::none(),
+            profile: false,
         }
     }
 
@@ -175,6 +184,23 @@ pub struct SolverStats {
     pub refuting_bound: Option<BoundKind>,
     /// Whether the answer came from the heuristic without any search.
     pub solved_by_heuristic: bool,
+    /// Wall-clock nanoseconds spent in *successful* propagation cascades
+    /// (branch consequences and root seeding). Collected only when
+    /// [`SolverConfig::profile`] is set; always zero otherwise. Timings
+    /// are informational — they sum worker-local clocks, so they are not
+    /// thread-count invariant and are excluded from determinism claims.
+    pub propagate_ns: u64,
+    /// Wall-clock nanoseconds spent in the stage-1 lower-bound battery
+    /// (profiling only).
+    pub bounds_ns: u64,
+    /// Wall-clock nanoseconds spent realizing and verifying leaves
+    /// (profiling only).
+    pub realize_ns: u64,
+    /// Wall-clock nanoseconds of propagation cascades that ended in a
+    /// prune, attributed to the rule that fired, indexed by
+    /// [`PruneRule::index`](crate::telemetry::PruneRule::index)
+    /// (profiling only). Disjoint from `propagate_ns`.
+    pub prune_ns: [u64; 4],
 }
 
 impl SolverStats {
@@ -216,6 +242,18 @@ impl SolverStats {
             self.refuting_bound = part.refuting_bound;
         }
         self.solved_by_heuristic |= part.solved_by_heuristic;
+        self.propagate_ns += part.propagate_ns;
+        self.bounds_ns += part.bounds_ns;
+        self.realize_ns += part.realize_ns;
+        for (total, &ns) in self.prune_ns.iter_mut().zip(&part.prune_ns) {
+            *total += ns;
+        }
+    }
+
+    /// Total profiled time over all phases, in nanoseconds (zero unless
+    /// [`SolverConfig::profile`] was set).
+    pub fn profiled_ns(&self) -> u64 {
+        self.propagate_ns + self.bounds_ns + self.realize_ns + self.prune_ns.iter().sum::<u64>()
     }
 
     /// The deepest branching level reached, if any node was expanded.
@@ -333,6 +371,27 @@ mod tests {
             ..SolverStats::default()
         };
         assert_eq!(s.max_depth(), Some(3));
+    }
+
+    #[test]
+    fn profiling_is_off_by_default_and_timings_accumulate() {
+        assert!(!SolverConfig::default().profile);
+        assert!(!SolverConfig::bare().profile);
+        let mut total = SolverStats {
+            propagate_ns: 5,
+            prune_ns: [1, 0, 0, 0],
+            ..SolverStats::default()
+        };
+        total.accumulate(&SolverStats {
+            propagate_ns: 7,
+            bounds_ns: 2,
+            realize_ns: 3,
+            prune_ns: [0, 4, 0, 0],
+            ..SolverStats::default()
+        });
+        assert_eq!(total.propagate_ns, 12);
+        assert_eq!(total.prune_ns, [1, 4, 0, 0]);
+        assert_eq!(total.profiled_ns(), 12 + 2 + 3 + 1 + 4);
     }
 
     #[test]

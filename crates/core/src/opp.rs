@@ -100,7 +100,12 @@ impl<'a> Opp<'a> {
     pub fn solve_with_stats(&self) -> (SolveOutcome, SolverStats) {
         let mut stats = SolverStats::default();
         if self.config.use_bounds {
-            if let Some(refutation) = recopack_bounds::refute(self.instance) {
+            let timer = self.config.profile.then(std::time::Instant::now);
+            let refutation = recopack_bounds::refute(self.instance);
+            if let Some(t) = timer {
+                stats.bounds_ns += t.elapsed().as_nanos() as u64;
+            }
+            if let Some(refutation) = refutation {
                 stats.refuted_by_bounds = true;
                 stats.refuting_bound = Some(refutation.kind());
                 return (

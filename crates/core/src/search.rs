@@ -449,13 +449,35 @@ impl<'c> Worker<'c> {
         }
     }
 
-    /// Sends one telemetry event (no-op when no sink is configured).
+    /// Sends one telemetry event (no-op when no sink is configured). The
+    /// timestamp is read from the shared search epoch only when a sink is
+    /// installed, so disabled telemetry costs zero clock reads.
     fn emit(&self, depth: u32, kind: EventKind) {
+        if !self.ctx.config.telemetry.is_enabled() {
+            return;
+        }
         self.ctx.config.telemetry.emit(SearchEvent {
             subtree: self.subtree,
             depth,
+            t_ns: self.budget.started.elapsed().as_nanos() as u64,
             kind,
         });
+    }
+
+    /// Starts a profiling timer when [`SolverConfig::profile`] is on; pair
+    /// with [`Worker::lap`]. `None` (the default) costs zero clock reads.
+    fn timer(&self) -> Option<Instant> {
+        if self.ctx.config.profile {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Elapsed nanoseconds of a [`Worker::timer`], or `0` when profiling is
+    /// off (so unconditional `+=` accumulation stays free of branches).
+    fn lap(timer: Option<Instant>) -> u64 {
+        timer.map_or(0, |t| t.elapsed().as_nanos() as u64)
     }
 
     /// Initial forcings: precedence arcs (time dimension), the must-overlap
@@ -565,7 +587,9 @@ impl<'c> Worker<'c> {
     fn propagate(&mut self, queue: &mut Vec<Event>) -> Result<(), Conflict> {
         self.propagation_ticks = 0;
         let fixes_before = self.stats.propagated_fixes;
+        let timer = self.timer();
         let result = self.propagate_inner(queue);
+        self.attribute_cascade(timer, &result);
         match result {
             Ok(()) => self.emit(
                 self.base_depth,
@@ -582,6 +606,20 @@ impl<'c> Worker<'c> {
             }
         }
         result
+    }
+
+    /// Books a cascade's elapsed time: refuting cascades bill the rule that
+    /// fired (`SolverStats::prune_ns`), everything else — successful
+    /// cascades and budget stops — bills `SolverStats::propagate_ns`.
+    fn attribute_cascade(&mut self, timer: Option<Instant>, result: &Result<(), Conflict>) {
+        if timer.is_none() {
+            return;
+        }
+        let ns = Self::lap(timer);
+        match result.as_ref().err().and_then(|kind| kind.prune_rule()) {
+            Some(rule) => self.stats.prune_ns[rule.index()] += ns,
+            None => self.stats.propagate_ns += ns,
+        }
     }
 
     fn count_conflict(&mut self, kind: Conflict) {
@@ -983,9 +1021,11 @@ impl<'c> Worker<'c> {
         self.propagation_ticks = 0;
         let fixes_before = self.stats.propagated_fixes;
         let mut queue = Vec::new();
+        let timer = self.timer();
         let result = self
             .force_state(d, p, choice, Conflict::C3, &mut queue)
             .and_then(|()| self.propagate_inner(&mut queue));
+        self.attribute_cascade(timer, &result);
         match result {
             Ok(()) => self.emit(
                 depth,
@@ -1105,7 +1145,11 @@ impl<'c> Worker<'c> {
     /// Full leaf acceptance with telemetry: realizes and verifies, then
     /// reports the accept/reject decision at `depth`.
     fn check_leaf(&mut self, depth: u32) -> Option<Placement> {
+        let timer = self.timer();
         let placement = self.realize_leaf();
+        if timer.is_some() {
+            self.stats.realize_ns += Self::lap(timer);
+        }
         self.emit(
             depth,
             EventKind::Leaf {

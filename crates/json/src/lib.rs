@@ -1,9 +1,15 @@
-//! A minimal JSON reader for the committed bench baselines.
+//! A minimal JSON reader shared by every telemetry *consumer* in the
+//! workspace: the `recopack-bench` baseline gate and the `recopack trace`
+//! exporters both parse documents produced by the telemetry writer in
+//! `recopack-core`.
 //!
-//! The workspace is dependency-free by policy (no serde), so the baseline
-//! gate parses its input with a small recursive-descent parser. It accepts
-//! strict JSON as produced by the telemetry writer
-//! ([`recopack_core::telemetry`]); it is not a general-purpose validator.
+//! The workspace is dependency-free by policy (no serde), so consumers parse
+//! their input with this small recursive-descent parser. It accepts strict
+//! JSON as produced by the telemetry writer; it is not a general-purpose
+//! validator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +75,14 @@ impl Json {
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -289,6 +303,7 @@ mod tests {
             Json::parse("\"a\\n\\\"b\\u0041\"").expect("ok"),
             Json::String("a\n\"bA".to_string())
         );
+        assert_eq!(Json::parse("false").expect("ok").as_bool(), Some(false));
     }
 
     #[test]
@@ -302,35 +317,6 @@ mod tests {
         assert_eq!(cases[0].get("nodes").and_then(Json::as_u64), Some(12));
         assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
         assert_eq!(doc.get("missing"), None);
-    }
-
-    #[test]
-    fn roundtrips_the_telemetry_writer() {
-        use recopack_core::{SolveReport, SolverStats};
-        let report = SolveReport {
-            command: "solve".into(),
-            instance: "weird \"name\"\n".into(),
-            outcome: "infeasible".into(),
-            threads: 2,
-            decisions: 3,
-            wall_ms: 0.5,
-            stats: SolverStats {
-                nodes: 7,
-                depth_histogram: vec![1, 2, 4],
-                ..SolverStats::default()
-            },
-        };
-        let doc = Json::parse(&report.to_json()).expect("writer output parses");
-        assert_eq!(
-            doc.get("instance").and_then(Json::as_str),
-            Some("weird \"name\"\n")
-        );
-        let stats = doc.get("stats").expect("stats object");
-        assert_eq!(stats.get("nodes").and_then(Json::as_u64), Some(7));
-        assert_eq!(
-            stats.get("depth_histogram").and_then(Json::as_array),
-            Some(&[Json::Number(1.0), Json::Number(2.0), Json::Number(4.0)][..])
-        );
     }
 
     #[test]

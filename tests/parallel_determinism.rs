@@ -159,6 +159,57 @@ fn merged_stats_are_thread_count_invariant_on_exhausted_searches() {
     assert!(searched >= 3, "only {searched} instances actually searched");
 }
 
+/// Profiling must not break stats invariance: with `profile: true` the
+/// timing fields are nondeterministic wall-clock measurements, but zeroing
+/// them must recover exactly the counters of an unprofiled run at any
+/// thread count. This is the contract documented on
+/// [`SolverConfig::profile`](recopack::solver::SolverConfig) — timings are
+/// informational, counters stay exact.
+#[test]
+fn profiling_changes_timings_but_not_counters() {
+    use recopack::model::{Chip, Instance, Task};
+    use recopack::solver::SolverStats;
+
+    let mut builder = Instance::builder().chip(Chip::square(4)).horizon(2);
+    for i in 0..5 {
+        builder = builder.task(Task::new(format!("t{i}"), 2, 2, 2));
+    }
+    let instance = builder.build().expect("valid").with_transitive_closure();
+
+    let strip_timings = |mut stats: SolverStats| {
+        stats.propagate_ns = 0;
+        stats.bounds_ns = 0;
+        stats.realize_ns = 0;
+        stats.prune_ns = [0; 4];
+        stats
+    };
+    let stats_at = |threads: usize, profile: bool| {
+        let config = SolverConfig {
+            profile,
+            ..search_only(threads)
+        };
+        let (outcome, stats) = Opp::new(&instance).with_config(config).solve_with_stats();
+        assert!(matches!(outcome, SolveOutcome::Infeasible(_)));
+        stats
+    };
+
+    let plain = stats_at(1, false);
+    assert!(plain.nodes > 0, "the instance must actually search");
+    assert_eq!(plain.profiled_ns(), 0, "profiling off records no time");
+    for threads in [1, 2, 8] {
+        let profiled = stats_at(threads, true);
+        assert!(
+            profiled.profiled_ns() > 0,
+            "{threads} threads: profiling must record time somewhere"
+        );
+        assert_eq!(
+            strip_timings(profiled),
+            plain,
+            "{threads} threads: profiling changed the counters"
+        );
+    }
+}
+
 /// The same invariance under the bare configuration (no propagation rules):
 /// much larger trees per instance, so fewer seeds.
 #[test]
