@@ -1,0 +1,142 @@
+//! Propagation-cascade throughput and the steady-state allocation spot
+//! check (DESIGN.md, "Incremental propagation").
+//!
+//! The incremental engine promises that the per-node search path — branch,
+//! cascade, backtrack — performs no heap allocations in steady state: the
+//! event queue, the bitset scan buffers, the clique workspace, and the
+//! chain-label trail are all owned by the worker and reused. The `sanity`
+//! preamble proves it with a counting global allocator: a ~10⁵-node
+//! infeasibility proof (no accepted leaves, so the leaf-realization path
+//! never runs) must average well under one allocation per node once the
+//! process is warm. Per-solve setup (state, bitset rows, amortized trail
+//! growth) is what remains; it is independent of the node count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use recopack_core::{Opp, SolveOutcome, SolverConfig};
+use recopack_model::{Chip, Instance, Task};
+
+use recopack_bench::search_only;
+
+/// [`System`] with a global allocation counter, installed process-wide so
+/// the spot check observes every heap allocation the solver makes.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn config() -> SolverConfig {
+    SolverConfig {
+        threads: 1,
+        ..search_only()
+    }
+}
+
+/// The volume-tight infeasible workload of `parallel_scaling.rs` (seed
+/// 4243): seven random tasks whose exhaustive refutation takes a ~10⁵-node
+/// tree with zero accepted leaves — a pure sample of the per-node path.
+fn cascade_workload() -> Instance {
+    let mut rng = StdRng::seed_from_u64(4243);
+    let mut volume = 0u64;
+    let mut tasks = Vec::new();
+    for k in 0..7 {
+        let w = rng.gen_range(2..=3u64);
+        let h = rng.gen_range(2..=3u64);
+        let d = rng.gen_range(1..=3u64);
+        volume += w * h * d;
+        tasks.push(Task::new(format!("t{k}"), w, h, d));
+    }
+    Instance::builder()
+        .chip(Chip::new(6, 6))
+        .horizon(volume.div_ceil(36))
+        .tasks(tasks)
+        .build()
+        .expect("valid instance")
+}
+
+/// The `quad6` suite case: a shorter exhaustive proof for the throughput
+/// group, matching `recopack-bench`'s search-heavy family.
+fn quad_workload() -> Instance {
+    let mut builder = Instance::builder().chip(Chip::square(4)).horizon(2);
+    for i in 0..6 {
+        builder = builder.task(Task::new(format!("t{i}"), 2, 2, 2));
+    }
+    builder
+        .build()
+        .expect("structurally valid")
+        .with_transitive_closure()
+}
+
+fn sanity() {
+    let instance = cascade_workload();
+    // Warm-up: first solve pays one-time process and capacity costs.
+    let (warm, _) = Opp::new(&instance).with_config(config()).solve_with_stats();
+    assert!(matches!(warm, SolveOutcome::Infeasible(_)));
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let (outcome, stats) = Opp::new(&instance).with_config(config()).solve_with_stats();
+    let delta = ALLOCS.load(Ordering::Relaxed) - before;
+    assert!(matches!(outcome, SolveOutcome::Infeasible(_)));
+    assert!(
+        stats.nodes > 50_000,
+        "workload too small to amortize setup: {} nodes",
+        stats.nodes
+    );
+    assert_eq!(stats.leaves, 0, "the proof must never hit realization");
+
+    let per_node = delta as f64 / stats.nodes as f64;
+    println!(
+        "steady-state allocations: {delta} over {} nodes ({per_node:.4} per node)",
+        stats.nodes
+    );
+    assert!(
+        per_node < 0.1,
+        "per-node search path allocates: {per_node:.4} allocations per node"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    sanity();
+    let mut group = c.benchmark_group("cascade");
+    group.sample_size(10);
+    for (label, instance) in [
+        ("infeasibility_proof", cascade_workload()),
+        ("quad6", quad_workload()),
+    ] {
+        group.bench_function(format!("{label}/threads1"), |b| {
+            b.iter_batched(
+                || instance.clone(),
+                |i| Opp::new(&i).with_config(config()).solve(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

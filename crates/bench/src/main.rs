@@ -5,16 +5,20 @@
 //! optionally gates against a committed baseline:
 //!
 //! ```text
-//! recopack-bench [--smoke] [--out PATH] [--label NAME]
-//!                [--check BASELINE] [--tolerance PCT]
+//! recopack-bench [--smoke] [--only NAME] [--profile] [--out PATH]
+//!                [--label NAME] [--check BASELINE] [--tolerance PCT]
 //! ```
 //!
 //! * `--smoke` — run the CI smoke subset instead of the full suite;
+//! * `--only NAME` — run a single case by name;
+//! * `--profile` — collect per-phase wall times into each case's stats;
 //! * `--out PATH` — report path (default `BENCH_PR2.json`);
 //! * `--label NAME` — report label (default `PR2`);
 //! * `--check BASELINE` — compare node counts against a previous report and
 //!   exit nonzero on a regression;
-//! * `--tolerance PCT` — allowed node-count growth in percent (default 25).
+//! * `--tolerance PCT` — allowed node-count growth in percent (default 0:
+//!   the search is deterministic, so the gate requires *exact* equality and
+//!   flags any drift in either direction).
 //!
 //! Node counts are deterministic per case (see the suite docs), so the gate
 //! compares them exactly; wall times are informational.
@@ -22,10 +26,12 @@
 use std::process::ExitCode;
 
 use recopack_bench::json::Json;
-use recopack_bench::suite::{check_against_baseline, run_suite};
+use recopack_bench::suite::{check_against_baseline, run_suite_with, SuiteOptions};
 
 struct Args {
     smoke: bool,
+    only: Option<String>,
+    profile: bool,
     out: String,
     label: String,
     check: Option<String>,
@@ -35,15 +41,19 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         smoke: false,
+        only: None,
+        profile: false,
         out: "BENCH_PR2.json".to_string(),
         label: "PR2".to_string(),
         check: None,
-        tolerance: 25,
+        tolerance: 0,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--smoke" => args.smoke = true,
+            "--only" => args.only = Some(iter.next().ok_or("--only requires a case name")?),
+            "--profile" => args.profile = true,
             "--out" => args.out = iter.next().ok_or("--out requires a path")?,
             "--label" => args.label = iter.next().ok_or("--label requires a name")?,
             "--check" => args.check = Some(iter.next().ok_or("--check requires a path")?),
@@ -54,11 +64,9 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| format!("--tolerance expects a number, got {value:?}"))?;
             }
             "--help" | "-h" => {
-                return Err(
-                    "usage: recopack-bench [--smoke] [--out PATH] [--label NAME] \
-                     [--check BASELINE] [--tolerance PCT]"
-                        .to_string(),
-                );
+                return Err("usage: recopack-bench [--smoke] [--only NAME] [--profile] \
+                     [--out PATH] [--label NAME] [--check BASELINE] [--tolerance PCT]"
+                    .to_string());
             }
             other => return Err(format!("unknown argument {other:?} (try --help)")),
         }
@@ -74,7 +82,16 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = run_suite(args.smoke, &args.label);
+    let report = run_suite_with(&SuiteOptions {
+        smoke: args.smoke,
+        label: args.label.clone(),
+        profile: args.profile,
+        only: args.only.clone(),
+    });
+    if report.cases.is_empty() {
+        eprintln!("no case matched the selection (see --only)");
+        return ExitCode::from(2);
+    }
     println!(
         "{:<22} {:>3} {:>12} {:>10} {:>10}  outcome",
         "case", "thr", "nodes", "conflicts", "wall_ms"

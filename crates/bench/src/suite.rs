@@ -188,6 +188,14 @@ pub fn cases(smoke: bool) -> Vec<BenchCase> {
 
 /// Runs one case and packages the outcome as a [`SolveReport`].
 pub fn run_case(case: &BenchCase) -> SolveReport {
+    run_case_with(case, false)
+}
+
+/// Runs one case, optionally with per-phase profiling enabled.
+///
+/// Profiling adds clock reads around every propagation cascade; node counts
+/// must be identical either way (the CI bench-smoke job asserts this).
+pub fn run_case_with(case: &BenchCase, profile: bool) -> SolveReport {
     let base = if case.search_only {
         search_only()
     } else {
@@ -195,6 +203,7 @@ pub fn run_case(case: &BenchCase) -> SolveReport {
     };
     let config = SolverConfig {
         threads: case.threads,
+        profile,
         ..base
     };
     let started = Instant::now();
@@ -227,13 +236,17 @@ pub fn run_case(case: &BenchCase) -> SolveReport {
             None => ("unsolved".to_string(), 0, Default::default()),
         },
     };
+    let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+    let per_sec = |count: u64| (wall_ms > 0.0).then(|| count as f64 / (wall_ms / 1000.0));
     SolveReport {
         command: case.command.name().to_string(),
         instance: case.name.clone(),
         outcome,
         threads: case.threads,
         decisions,
-        wall_ms: started.elapsed().as_secs_f64() * 1000.0,
+        wall_ms,
+        nodes_per_sec: per_sec(stats.nodes),
+        propagation_events_per_sec: per_sec(stats.propagation_events),
         stats,
         events: None,
         journal_dropped: None,
@@ -271,12 +284,41 @@ impl BenchReport {
     }
 }
 
+/// Options for [`run_suite_with`].
+#[derive(Debug, Clone, Default)]
+pub struct SuiteOptions {
+    /// Run the CI smoke subset instead of the full suite.
+    pub smoke: bool,
+    /// Report label.
+    pub label: String,
+    /// Collect per-phase wall times (see [`run_case_with`]).
+    pub profile: bool,
+    /// When set, run only the case with this exact name.
+    pub only: Option<String>,
+}
+
 /// Runs the pinned suite.
 pub fn run_suite(smoke: bool, label: &str) -> BenchReport {
-    BenchReport {
-        label: label.to_string(),
+    run_suite_with(&SuiteOptions {
         smoke,
-        cases: cases(smoke).iter().map(run_case).collect(),
+        label: label.to_string(),
+        ..Default::default()
+    })
+}
+
+/// Runs the pinned suite with filtering and profiling options.
+pub fn run_suite_with(options: &SuiteOptions) -> BenchReport {
+    let mut selected = cases(options.smoke);
+    if let Some(only) = &options.only {
+        selected.retain(|c| &c.name == only);
+    }
+    BenchReport {
+        label: options.label.clone(),
+        smoke: options.smoke,
+        cases: selected
+            .iter()
+            .map(|c| run_case_with(c, options.profile))
+            .collect(),
     }
 }
 
@@ -298,6 +340,12 @@ impl GateOutcome {
 
 /// Compares `current` against a parsed baseline report, flagging every case
 /// whose node count grew by more than `tolerance_percent`.
+///
+/// With `tolerance_percent == 0` the gate demands *exact* equality: the
+/// search is deterministic, so any node-count drift — shrinkage included —
+/// is a behavior change that must be acknowledged by refreshing the
+/// baseline, not absorbed as noise. A nonzero tolerance keeps the historical
+/// one-sided growth check for exploratory runs.
 ///
 /// Cases are joined on `(instance, command, threads)`. Cases present only
 /// on one side are reported but never fail the gate (suites are allowed to
@@ -335,7 +383,12 @@ pub fn check_against_baseline(
             )),
             Some(base) => {
                 // Integer arithmetic: regression iff nodes > base * (1 + tol).
-                let regressed = nodes * 100 > base * (100 + tolerance_percent);
+                // At zero tolerance the comparison is exact and two-sided.
+                let regressed = if tolerance_percent == 0 {
+                    nodes != base
+                } else {
+                    nodes * 100 > base * (100 + tolerance_percent)
+                };
                 outcome.lines.push(format!(
                     "{} (t{}): {} nodes vs baseline {} [{}]",
                     case.instance,
@@ -345,9 +398,14 @@ pub fn check_against_baseline(
                     if regressed { "REGRESSED" } else { "ok" }
                 ));
                 if regressed {
+                    let direction = if tolerance_percent == 0 {
+                        format!("differs from baseline {base} (exact gate)")
+                    } else {
+                        format!("exceeds baseline {base} by more than {tolerance_percent}%")
+                    };
                     outcome.regressions.push(format!(
-                        "{} (t{}): {} nodes exceeds baseline {} by more than {}%",
-                        case.instance, case.threads, nodes, base, tolerance_percent
+                        "{} (t{}): {} nodes {}",
+                        case.instance, case.threads, nodes, direction
                     ));
                 }
             }
@@ -435,5 +493,58 @@ mod tests {
         let gate = check_against_baseline(&report, &baseline, 25);
         assert!(gate.passed());
         assert!(gate.lines[0].contains("not gated"), "{:?}", gate.lines);
+    }
+
+    #[test]
+    fn zero_tolerance_gate_is_exact_and_two_sided() {
+        let mut report = BenchReport {
+            label: "cur".into(),
+            smoke: true,
+            cases: vec![run_case(&cases(false)[0])],
+        };
+        let baseline = Json::parse(&format!(
+            r#"{{"cases":[{{"instance":"{}","command":"{}","threads":{},"stats":{{"nodes":100}}}}]}}"#,
+            report.cases[0].instance, report.cases[0].command, report.cases[0].threads
+        ))
+        .expect("valid");
+        report.cases[0].stats.nodes = 100;
+        assert!(check_against_baseline(&report, &baseline, 0).passed());
+        // One node more *or less* than the baseline must fail at 0%.
+        report.cases[0].stats.nodes = 101;
+        assert!(!check_against_baseline(&report, &baseline, 0).passed());
+        report.cases[0].stats.nodes = 99;
+        let gate = check_against_baseline(&report, &baseline, 0);
+        assert!(!gate.passed());
+        assert!(
+            gate.regressions[0].contains("exact gate"),
+            "{:?}",
+            gate.regressions
+        );
+    }
+
+    #[test]
+    fn profiled_run_matches_unprofiled_node_counts() {
+        let case = cases(false)
+            .into_iter()
+            .find(|c| c.name == "quad5_t1")
+            .expect("pinned case");
+        let plain = run_case_with(&case, false);
+        let profiled = run_case_with(&case, true);
+        assert!(plain.stats.nodes > 0);
+        assert_eq!(plain.stats.nodes, profiled.stats.nodes);
+        assert_eq!(plain.stats.conflicts(), profiled.stats.conflicts());
+        assert_eq!(plain.outcome, profiled.outcome);
+    }
+
+    #[test]
+    fn suite_options_filter_to_a_single_case() {
+        let report = run_suite_with(&SuiteOptions {
+            smoke: false,
+            label: "filtered".into(),
+            profile: false,
+            only: Some("de_opp_32x5_refuted".into()),
+        });
+        assert_eq!(report.cases.len(), 1);
+        assert_eq!(report.cases[0].instance, "de_opp_32x5_refuted");
     }
 }

@@ -342,13 +342,17 @@ fn write_report(
     let Some(path) = &options.stats_json else {
         return Ok(());
     };
+    let wall_ms = meta.started.elapsed().as_secs_f64() * 1000.0;
+    let per_sec = |count: u64| (wall_ms > 0.0).then(|| count as f64 / (wall_ms / 1000.0));
     let report = SolveReport {
         command: meta.command.to_string(),
         instance: meta.instance.to_string(),
         outcome: meta.outcome,
         threads: options.threads,
         decisions: meta.decisions,
-        wall_ms: meta.started.elapsed().as_secs_f64() * 1000.0,
+        wall_ms,
+        nodes_per_sec: per_sec(stats.nodes),
+        propagation_events_per_sec: per_sec(stats.propagation_events),
         stats: stats.clone(),
         events: meta.events,
         journal_dropped: meta.journal_dropped,

@@ -167,6 +167,10 @@ pub struct SolverStats {
     /// Arcs oriented in comparability edges (precedence seeds, branching
     /// consequences, and D1/D2 implications).
     pub arc_fixations: u64,
+    /// Propagation events processed (queue pops inside cascades: slot
+    /// fixations and arc orientations whose consequences were closed).
+    /// Thread-count invariant for exhausted searches, like `nodes`.
+    pub propagation_events: u64,
     /// Budget checks charged at node entry (each polls the global node and
     /// time budgets once). In-cascade budget polls are *not* counted here:
     /// their number depends on how cascades split across workers, which
@@ -230,6 +234,7 @@ impl SolverStats {
         self.leaf_rejections += part.leaf_rejections;
         self.propagated_fixes += part.propagated_fixes;
         self.arc_fixations += part.arc_fixations;
+        self.propagation_events += part.propagation_events;
         self.budget_checks += part.budget_checks;
         if self.depth_histogram.len() < part.depth_histogram.len() {
             self.depth_histogram.resize(part.depth_histogram.len(), 0);
@@ -330,6 +335,7 @@ mod tests {
             nodes: 5,
             leaves: 2,
             arc_fixations: 2,
+            propagation_events: 7,
             budget_checks: 5,
             depth_histogram: vec![1, 1, 3],
             refuting_bound: Some(recopack_bounds::BoundKind::Volume),
@@ -341,6 +347,7 @@ mod tests {
         assert_eq!(total.leaves, 2);
         assert_eq!(total.c2_conflicts, 1);
         assert_eq!(total.arc_fixations, 5);
+        assert_eq!(total.propagation_events, 7);
         assert_eq!(total.budget_checks, 5);
         assert_eq!(total.depth_histogram, vec![5, 7, 3]);
         assert_eq!(

@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use recopack_graph::cliques;
+use recopack_graph::{cliques, BitSet};
 use recopack_model::{Dim, Instance, Placement};
 use recopack_order::interval::realize_from_order;
 use recopack_order::orientation::transitively_orient_extending;
@@ -264,7 +264,10 @@ impl<'a> Search<'a> {
             }
         }
         let n = self.ctx.instance.task_count();
-        let mut root = Worker::new(&self.ctx, &self.budget, PackingState::new(n), 0, 0);
+        // The state carries the per-dimension sizes so it can maintain the
+        // oriented-chain labels incrementally (see `oriented_chain_exceeds`).
+        let state = PackingState::with_sizes(n, self.ctx.sizes.clone());
+        let mut root = Worker::new(&self.ctx, &self.budget, state, 0, 0);
         let mut queue = Vec::new();
         let rooted = root
             .seed(&mut queue)
@@ -428,6 +431,27 @@ struct Worker<'c> {
     /// stop-flag observation point) depends only on the cascade, not on
     /// what the worker ran before it.
     propagation_ticks: u32,
+    /// Reusable event queue for [`Worker::decide`] cascades; taken out with
+    /// `mem::take` for the duration of a cascade so the per-node path never
+    /// allocates in steady state.
+    queue: Vec<Event>,
+    /// Position in [`SearchContext::branch_order`] before which every slot
+    /// is known assigned. Assignments are monotone within a subtree, so
+    /// [`Worker::next_unassigned`] resumes here instead of rescanning;
+    /// callers save/restore it around rollbacks.
+    cursor: usize,
+    /// Scratch candidate sets for the propagation scans (contents are
+    /// meaningless between calls).
+    scan_a: BitSet,
+    scan_b: BitSet,
+    /// Scratch sets for the per-`w` inner candidate filter of
+    /// [`Worker::c4_scan`].
+    c4_acc: BitSet,
+    c4_tmp: BitSet,
+    /// Reusable seed set for the C2 clique rule.
+    clique_seed: BitSet,
+    /// Reusable branch-and-bound scratch for the C2 clique rule.
+    clique_ws: cliques::CliqueWorkspace,
 }
 
 impl<'c> Worker<'c> {
@@ -438,6 +462,7 @@ impl<'c> Worker<'c> {
         subtree: usize,
         base_depth: u32,
     ) -> Self {
+        let n = state.task_count();
         Self {
             ctx,
             budget,
@@ -446,6 +471,14 @@ impl<'c> Worker<'c> {
             subtree,
             base_depth,
             propagation_ticks: 0,
+            queue: Vec::new(),
+            cursor: 0,
+            scan_a: BitSet::new(n),
+            scan_b: BitSet::new(n),
+            c4_acc: BitSet::new(n),
+            c4_tmp: BitSet::new(n),
+            clique_seed: BitSet::new(n),
+            clique_ws: cliques::CliqueWorkspace::new(),
         }
     }
 
@@ -652,6 +685,7 @@ impl<'c> Worker<'c> {
 
     fn propagate_inner(&mut self, queue: &mut Vec<Event>) -> Result<(), Conflict> {
         while let Some(event) = queue.pop() {
+            self.stats.propagation_events += 1;
             self.propagation_ticks = self.propagation_ticks.wrapping_add(1);
             if self
                 .propagation_ticks
@@ -682,8 +716,14 @@ impl<'c> Worker<'c> {
         v: usize,
         queue: &mut Vec<Event>,
     ) -> Result<(), Conflict> {
-        // C3: a pair must be separated in at least one dimension.
-        let others: Vec<usize> = (0..3).filter(|&x| x != d).collect();
+        // C3: a pair must be separated in at least one dimension. The two
+        // other dimensions, in ascending order (matching the filter this
+        // replaces, without the per-event allocation).
+        let others = match d {
+            0 => [1, 2],
+            1 => [0, 2],
+            _ => [0, 1],
+        };
         let s0 = self.state.state(others[0], p);
         let s1 = self.state.state(others[1], p);
         match (s0, s1) {
@@ -701,16 +741,16 @@ impl<'c> Worker<'c> {
         }
         if self.ctx.config.orientation_rules {
             // A new component edge (u, v) links comparability edges at any
-            // common comparability-neighbor w: w→u ⇔ w→v.
-            let n = self.state.task_count();
-            for w in 0..n {
-                if w == u || w == v {
-                    continue;
-                }
-                let cg = self.state.comparability_graph(d);
-                if !(cg.has_edge(u, w) && cg.has_edge(v, w)) {
-                    continue;
-                }
+            // common comparability-neighbor w: w→u ⇔ w→v. Candidates are
+            // exactly compar(u) ∩ compar(v) — the loop body only orients
+            // pairs at the current w, so the snapshot cannot miss anyone
+            // (and u, v are never comparability-neighbors of themselves).
+            let cg = self.state.comparability_graph(d);
+            self.scan_a.copy_from(cg.neighbors(u));
+            self.scan_a.intersect_with(cg.neighbors(v));
+            let mut from = 0;
+            while let Some(w) = self.scan_a.next_at_or_after(from) {
+                from = w + 1;
                 if self.state.has_arc(d, w, u) {
                     self.force_arc(d, w, v, queue)?;
                 }
@@ -743,16 +783,17 @@ impl<'c> Worker<'c> {
         // C2, clique form: only cliques through the new edge can newly
         // violate the bound.
         if self.ctx.config.clique_rule {
-            let mut seed = recopack_graph::BitSet::new(self.state.task_count());
-            seed.insert(u);
-            seed.insert(v);
-            let best = cliques::max_weight_clique_containing(
+            self.clique_seed.clear();
+            self.clique_seed.insert(u);
+            self.clique_seed.insert(v);
+            let best = cliques::max_weight_clique_weight_containing(
+                &mut self.clique_ws,
                 self.state.comparability_graph(d),
                 &self.ctx.sizes[d],
-                &seed,
+                &self.clique_seed,
             )
             .expect("a fixed comparability edge is a clique");
-            if best.weight > self.ctx.caps[d] {
+            if best > self.ctx.caps[d] {
                 return Err(Conflict::C2);
             }
         }
@@ -768,12 +809,20 @@ impl<'c> Worker<'c> {
         if self.ctx.config.orientation_rules {
             // D1 with the new comparability edge as one of the pair-sharing
             // edges: (u,v) & (u,w) comparability with (v,w) component means
-            // u→v ⇔ u→w (and symmetrically at v).
-            let n = self.state.task_count();
-            for w in 0..n {
-                if w == u || w == v {
-                    continue;
-                }
+            // u→v ⇔ u→w (and symmetrically at v). Candidates are
+            // (comp(v) ∩ compar(u)) ∪ (comp(u) ∩ compar(v)); the loop body
+            // only orients the pair (u, v) itself, so no new candidates can
+            // appear mid-scan and the snapshot is exact.
+            let comp = self.state.component_graph(d);
+            let compar = self.state.comparability_graph(d);
+            self.scan_a.copy_from(comp.neighbors(v));
+            self.scan_a.intersect_with(compar.neighbors(u));
+            self.scan_b.copy_from(comp.neighbors(u));
+            self.scan_b.intersect_with(compar.neighbors(v));
+            self.scan_a.union_with(&self.scan_b);
+            let mut from = 0;
+            while let Some(w) = self.scan_a.next_at_or_after(from) {
+                from = w + 1;
                 let vw_component = self.state.component_graph(d).has_edge(v, w);
                 let uw_component = self.state.component_graph(d).has_edge(u, w);
                 let uw_comparability = self.state.comparability_graph(d).has_edge(u, w);
@@ -807,12 +856,25 @@ impl<'c> Worker<'c> {
         b: usize,
         queue: &mut Vec<Event>,
     ) -> Result<(), Conflict> {
-        let n = self.state.task_count();
         let idx = self.state.pair_index();
-        for w in 0..n {
-            if w == a || w == b {
-                continue;
-            }
+        // Candidates: the D1 patterns need a component edge at one end and
+        // a comparability edge at the other — (compar(a) ∩ comp(b)) ∪
+        // (comp(a) ∩ compar(b)) — and the D2 transitivity patterns need an
+        // existing arc b→w or w→a. The loop body only touches pairs (a, w)
+        // and (w, b) of the *current* w, which cannot add later vertices to
+        // any of these rows, so the snapshot is exact.
+        let comp = self.state.component_graph(d);
+        let compar = self.state.comparability_graph(d);
+        self.scan_a.copy_from(compar.neighbors(a));
+        self.scan_a.intersect_with(comp.neighbors(b));
+        self.scan_b.copy_from(comp.neighbors(a));
+        self.scan_b.intersect_with(compar.neighbors(b));
+        self.scan_a.union_with(&self.scan_b);
+        self.scan_a.union_with(self.state.out_neighbors(d, b));
+        self.scan_a.union_with(self.state.in_neighbors(d, a));
+        let mut from = 0;
+        while let Some(w) = self.scan_a.next_at_or_after(from) {
+            from = w + 1;
             let aw = self.state.state(d, idx.index(a, w));
             let bw = self.state.state(d, idx.index(b, w));
             // D1: {a,b},{a,w} comparability + {b,w} component: a→b ⇒ a→w.
@@ -847,31 +909,15 @@ impl<'c> Worker<'c> {
     /// Longest vertex-weighted path over the fixed arcs of `dim` exceeds
     /// the container (cycles count as exceeded; D2 closure normally rules
     /// them out earlier).
+    ///
+    /// O(1): the state maintains the longest-path labels and the cycle flag
+    /// incrementally under [`PackingState::orient_arc`]/rollback, so this
+    /// is a pair of field reads instead of a from-scratch topological sweep
+    /// per arc event. The labels freeze while a cycle is live, which is
+    /// sound here: a cyclic digraph refutes the cascade by itself, and the
+    /// caller rolls the whole cascade back.
     fn oriented_chain_exceeds(&self, d: usize) -> bool {
-        let n = self.state.task_count();
-        let arcs = self.state.arcs(d);
-        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut indeg = vec![0usize; n];
-        for &(u, v) in &arcs {
-            succ[u].push(v);
-            indeg[v] += 1;
-        }
-        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
-        let mut dist: Vec<u64> = (0..n).map(|v| self.ctx.sizes[d][v]).collect();
-        let mut seen = 0usize;
-        let mut best = 0u64;
-        while let Some(u) = queue.pop() {
-            seen += 1;
-            best = best.max(dist[u]);
-            for &v in &succ[u] {
-                dist[v] = dist[v].max(dist[u] + self.ctx.sizes[d][v]);
-                indeg[v] -= 1;
-                if indeg[v] == 0 {
-                    queue.push(v);
-                }
-            }
-        }
-        seen < n || best > self.ctx.caps[d]
+        self.state.has_cycle(d) || self.state.max_longest_path(d) > self.ctx.caps[d]
     }
 
     /// Induced-C4 avoidance around a newly fixed slot (paper §3.3, forbidden
@@ -881,6 +927,18 @@ impl<'c> Worker<'c> {
     /// cycle edges component, both chords `{a,c}`, `{b,d}` comparability.
     /// Complete pattern = conflict; pattern missing exactly one open slot =
     /// force that slot to the opposite value.
+    /// Candidate filtering (DESIGN.md, "Incremental propagation"): the
+    /// outer `w` keeps a *live* O(1) viability test — in-scan forcings can
+    /// only kill later `w` patterns, never revive them, so skipping
+    /// nonviable `w` drops exactly the no-op iterations. The inner `x` uses
+    /// a per-`w` bitset snapshot: a live pattern has at most one open slot,
+    /// so at least two of `x`'s three slots are already fixed right, and
+    /// in-scan forcings only write term-row positions at `u`, `v`, `w`, or
+    /// already-visited `x`, so the snapshot cannot miss a candidate. Role 2
+    /// is symmetric under `w ↔ x` (same unordered cycle/chord pattern), and
+    /// the `(min, max)` visit comes first and forces the anti-pattern
+    /// value, so the swapped revisit was always a dead no-op — it is
+    /// skipped via `x > w`.
     fn c4_scan(
         &mut self,
         d: usize,
@@ -895,7 +953,45 @@ impl<'c> Worker<'c> {
             if w == u || w == v {
                 continue;
             }
-            for x in 0..n {
+            let comp = self.state.component_graph(d);
+            let compar = self.state.comparability_graph(d);
+            // A viable `w` has no wrong-state slot of its own and at most
+            // one open one (two opens at `w` already exceed the pattern's
+            // single-open budget for every `x`).
+            let viable_w = if as_cycle_edge {
+                // Role 1: (v,w) is a cycle edge, (u,w) a chord.
+                !compar.has_edge(v, w)
+                    && !comp.has_edge(u, w)
+                    && (comp.has_edge(v, w) || compar.has_edge(u, w))
+            } else {
+                // Role 2: (u,w) and (w,v) are cycle edges.
+                !compar.has_edge(u, w)
+                    && !compar.has_edge(v, w)
+                    && (comp.has_edge(u, w) || comp.has_edge(v, w))
+            };
+            if !viable_w {
+                continue;
+            }
+            // x's three slots, as graph rows: at least two must already be
+            // fixed right, so candidates are the pairwise intersections.
+            let (ra, rb, rc) = if as_cycle_edge {
+                // (w,x) component, (x,u) component, (v,x) comparability.
+                (comp.neighbors(w), comp.neighbors(u), compar.neighbors(v))
+            } else {
+                // (v,x) component, (x,u) component, (w,x) comparability.
+                (comp.neighbors(v), comp.neighbors(u), compar.neighbors(w))
+            };
+            self.c4_acc.copy_from(ra);
+            self.c4_acc.intersect_with(rb);
+            self.c4_tmp.copy_from(ra);
+            self.c4_tmp.intersect_with(rc);
+            self.c4_acc.union_with(&self.c4_tmp);
+            self.c4_tmp.copy_from(rb);
+            self.c4_tmp.intersect_with(rc);
+            self.c4_acc.union_with(&self.c4_tmp);
+            let mut from = if as_cycle_edge { 0 } else { w + 1 };
+            while let Some(x) = self.c4_acc.next_at_or_after(from) {
+                from = x + 1;
                 if x == u || x == v || x == w {
                     continue;
                 }
@@ -968,12 +1064,19 @@ impl<'c> Worker<'c> {
         Ok(())
     }
 
-    fn next_unassigned(&self) -> Option<(usize, usize)> {
-        self.ctx
-            .branch_order
-            .iter()
-            .copied()
-            .find(|&(d, p)| self.state.state(d, p) == EdgeState::Unassigned)
+    /// First unassigned slot in branching order, resuming from the cursor:
+    /// every slot before it is known assigned (assignments are monotone
+    /// within a subtree; `dfs_at`/`expand` restore the cursor together with
+    /// every rollback), so the amortized cost per node is O(1) instead of a
+    /// full rescan of `branch_order`.
+    fn next_unassigned(&mut self) -> Option<(usize, usize)> {
+        while let Some(&(d, p)) = self.ctx.branch_order.get(self.cursor) {
+            if self.state.state(d, p) == EdgeState::Unassigned {
+                return Some((d, p));
+            }
+            self.cursor += 1;
+        }
+        None
     }
 
     /// Charges one node against the *global* budget; `true` means stop.
@@ -1020,11 +1123,15 @@ impl<'c> Worker<'c> {
         );
         self.propagation_ticks = 0;
         let fixes_before = self.stats.propagated_fixes;
-        let mut queue = Vec::new();
+        // Reuse the worker-owned queue (taken out for the borrow, returned
+        // below): the steady-state per-node path allocates nothing.
+        let mut queue = std::mem::take(&mut self.queue);
+        queue.clear();
         let timer = self.timer();
         let result = self
             .force_state(d, p, choice, Conflict::C3, &mut queue)
             .and_then(|()| self.propagate_inner(&mut queue));
+        self.queue = queue;
         self.attribute_cascade(timer, &result);
         match result {
             Ok(()) => self.emit(
@@ -1067,6 +1174,7 @@ impl<'c> Worker<'c> {
         };
         for choice in choices {
             let mark = self.state.mark();
+            let cursor = self.cursor;
             match self.decide(d, p, choice, depth) {
                 Ok(()) => {
                     if let Some(placement) = self.dfs_at(depth + 1)? {
@@ -1075,11 +1183,13 @@ impl<'c> Worker<'c> {
                 }
                 Err(Conflict::Stopped) => {
                     self.state.rollback(mark);
+                    self.cursor = cursor;
                     return Err(());
                 }
                 Err(_) => {}
             }
             self.state.rollback(mark);
+            self.cursor = cursor;
             self.emit(depth, EventKind::Backtrack);
         }
         Ok(None)
@@ -1119,10 +1229,12 @@ impl<'c> Worker<'c> {
         };
         for choice in choices {
             let mark = self.state.mark();
+            let cursor = self.cursor;
             match self.decide(d, p, choice, depth) {
                 Ok(()) => {
                     let deeper = self.expand(budget - 1, depth + 1, frontier, tail_leaf);
                     self.state.rollback(mark);
+                    self.cursor = cursor;
                     deeper?;
                     if tail_leaf.is_some() {
                         return Ok(());
@@ -1132,11 +1244,13 @@ impl<'c> Worker<'c> {
                 }
                 Err(Conflict::Stopped) => {
                     self.state.rollback(mark);
+                    self.cursor = cursor;
                     return Err(());
                 }
                 Err(_) => {}
             }
             self.state.rollback(mark);
+            self.cursor = cursor;
             self.emit(depth, EventKind::Backtrack);
         }
         Ok(())
@@ -1179,7 +1293,10 @@ impl<'c> Worker<'c> {
                 }
             }
             let comp = self.state.comparability_graph(d);
-            let seeds = self.state.arcs(d);
+            // Seeds come from the maintained arc list (insertion order).
+            // The D1/D2 closure inside the orientation engine is a least
+            // fixpoint, so the seed order cannot change the result.
+            let seeds = self.state.arcs(d).iter().copied();
             let Ok(order) = transitively_orient_extending(comp, seeds) else {
                 self.stats.leaf_rejections += 1;
                 return None;
@@ -1452,6 +1569,59 @@ mod propagation_tests {
                 assert!(p.task_box(1).end(Dim::Time) <= p.task_box(0).start(Dim::Time));
             }
             _ => panic!("chain fits exactly"),
+        }
+    }
+
+    /// The C4 chord scan visits each *symmetric-role* chord pair once
+    /// (`x > w`) instead of twice; its forcing and conflict behavior must
+    /// be identical to the historical double enumeration. This pins exact
+    /// node, fix, and cascade-event counts on two infeasible instances
+    /// where the rule is load-bearing — disabling it provably changes the
+    /// tree — so a dedup bug (a missed or doubled forcing) moves a pinned
+    /// number.
+    #[test]
+    fn c4_dedup_preserves_forcing_behavior() {
+        let build = |chip: u64, horizon: u64, sides: &[(u64, u64, u64)]| {
+            let mut b = Instance::builder()
+                .chip(Chip::square(chip))
+                .horizon(horizon);
+            for (k, (w, h, d)) in sides.iter().enumerate() {
+                b = b.task(Task::new(format!("t{k}"), *w, *h, *d));
+            }
+            b.build().expect("valid")
+        };
+        let on = SolverConfig {
+            use_bounds: false,
+            use_heuristics: false,
+            ..SolverConfig::default()
+        };
+        let off = SolverConfig {
+            c4_rule: false,
+            ..on.clone()
+        };
+        let mixed: &[(u64, u64, u64)] = &[
+            (3, 2, 3),
+            (2, 3, 3),
+            (3, 2, 2),
+            (2, 3, 2),
+            (2, 2, 3),
+            (3, 3, 1),
+        ];
+        let cubes: &[(u64, u64, u64)] = &[(2, 2, 3); 5];
+        for (instance, want_nodes, want_fixes, want_events, nodes_without_c4) in [
+            (build(5, 3, mixed), 64, 194, 192, 98),
+            (build(4, 4, cubes), 209, 615, 604, 265),
+        ] {
+            let (result, stats) = Search::new(&instance, &on).run();
+            assert!(matches!(result, SearchResult::Infeasible));
+            assert_eq!(stats.nodes, want_nodes);
+            assert_eq!(stats.propagated_fixes, want_fixes);
+            assert_eq!(stats.propagation_events, want_events);
+            // The rule must actually act here, or the pin proves nothing.
+            let (off_result, off_stats) = Search::new(&instance, &off).run();
+            assert!(matches!(off_result, SearchResult::Infeasible));
+            assert_eq!(off_stats.nodes, nodes_without_c4);
+            assert_ne!(stats.nodes, off_stats.nodes, "C4 must prune this tree");
         }
     }
 

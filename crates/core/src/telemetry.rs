@@ -698,12 +698,13 @@ pub fn stats_to_json(stats: &SolverStats) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\"nodes\":{},\"leaves\":{},\"leaf_rejections\":{},\"propagated_fixes\":{},\"arc_fixations\":{},\"budget_checks\":{}",
+        "{{\"nodes\":{},\"leaves\":{},\"leaf_rejections\":{},\"propagated_fixes\":{},\"arc_fixations\":{},\"propagation_events\":{},\"budget_checks\":{}",
         stats.nodes,
         stats.leaves,
         stats.leaf_rejections,
         stats.propagated_fixes,
         stats.arc_fixations,
+        stats.propagation_events,
         stats.budget_checks,
     );
     let _ = write!(
@@ -774,6 +775,13 @@ pub struct SolveReport {
     /// Events dropped by the trace journal (capacity overflow or write
     /// errors), when a journal was installed; `null` in JSON otherwise.
     pub journal_dropped: Option<u64>,
+    /// Search throughput in explored nodes per second of wall-clock time,
+    /// when the producer measured it; `null` in JSON otherwise.
+    pub nodes_per_sec: Option<f64>,
+    /// Propagation-queue throughput in processed events per second of
+    /// wall-clock time, when the producer measured it; `null` in JSON
+    /// otherwise.
+    pub propagation_events_per_sec: Option<f64>,
 }
 
 impl SolveReport {
@@ -805,6 +813,20 @@ impl SolveReport {
         match self.journal_dropped {
             Some(n) => {
                 let _ = write!(out, "{n}");
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"nodes_per_sec\":");
+        match self.nodes_per_sec {
+            Some(rate) => {
+                let _ = write!(out, "{rate:.1}");
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"propagation_events_per_sec\":");
+        match self.propagation_events_per_sec {
+            Some(rate) => {
+                let _ = write!(out, "{rate:.1}");
             }
             None => out.push_str("null"),
         }
@@ -950,6 +972,8 @@ mod tests {
             stats: SolverStats::default(),
             events: None,
             journal_dropped: None,
+            nodes_per_sec: None,
+            propagation_events_per_sec: None,
         };
         let json = report.to_json();
         assert!(
@@ -960,6 +984,11 @@ mod tests {
         assert!(json.contains("\"stats\":{"), "{json}");
         assert!(json.contains("\"events\":null"), "{json}");
         assert!(json.contains("\"journal_dropped\":null"), "{json}");
+        assert!(json.contains("\"nodes_per_sec\":null"), "{json}");
+        assert!(
+            json.contains("\"propagation_events_per_sec\":null"),
+            "{json}"
+        );
     }
 
     #[test]
@@ -992,6 +1021,8 @@ mod tests {
                 max_depth: 17,
             }),
             journal_dropped: Some(3),
+            nodes_per_sec: Some(4_250.0),
+            propagation_events_per_sec: Some(19_301.5),
         };
         let json = recopack_json::Json::parse(&report.to_json()).expect("report JSON parses");
         assert_eq!(
@@ -1036,6 +1067,15 @@ mod tests {
         assert_eq!(
             json.get("journal_dropped").and_then(|v| v.as_u64()),
             Some(3)
+        );
+        assert_eq!(
+            json.get("nodes_per_sec").and_then(|v| v.as_f64()),
+            Some(4_250.0)
+        );
+        assert_eq!(
+            json.get("propagation_events_per_sec")
+                .and_then(|v| v.as_f64()),
+            Some(19_301.5)
         );
     }
 

@@ -161,6 +161,55 @@ impl BitSet {
         None
     }
 
+    /// The smallest element `>= i`, if any.
+    ///
+    /// Enables allocation-free cursor iteration over a set that may be
+    /// mutated between steps (unlike [`BitSet::iter`], which borrows the
+    /// set for its whole lifetime):
+    ///
+    /// ```
+    /// use recopack_graph::BitSet;
+    ///
+    /// let mut s = BitSet::new(10);
+    /// s.extend([2, 5, 9]);
+    /// let mut from = 0;
+    /// let mut seen = Vec::new();
+    /// while let Some(i) = s.next_at_or_after(from) {
+    ///     from = i + 1;
+    ///     seen.push(i);
+    /// }
+    /// assert_eq!(seen, vec![2, 5, 9]);
+    /// ```
+    pub fn next_at_or_after(&self, i: usize) -> Option<usize> {
+        if i >= self.capacity {
+            return None;
+        }
+        let (wi, b) = (i / 64, i % 64);
+        let masked = self.words[wi] & (!0u64 << b);
+        if masked != 0 {
+            return Some(wi * 64 + masked.trailing_zeros() as usize);
+        }
+        for (offset, &w) in self.words[wi + 1..].iter().enumerate() {
+            if w != 0 {
+                return Some((wi + 1 + offset) * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Overwrites `self` with the contents of `other` without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn copy_from(&mut self, other: &BitSet) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "copy_from requires equal capacities"
+        );
+        self.words.copy_from_slice(&other.words);
+    }
+
     /// Iterates over elements in increasing order.
     pub fn iter(&self) -> Iter<'_> {
         Iter {
@@ -310,5 +359,52 @@ mod tests {
     fn insert_out_of_range_panics() {
         let mut s = BitSet::new(4);
         s.insert(4);
+    }
+
+    #[test]
+    fn next_at_or_after_scans_across_words() {
+        let mut s = BitSet::new(200);
+        s.extend([0, 63, 64, 127, 199]);
+        assert_eq!(s.next_at_or_after(0), Some(0));
+        assert_eq!(s.next_at_or_after(1), Some(63));
+        assert_eq!(s.next_at_or_after(63), Some(63));
+        assert_eq!(s.next_at_or_after(64), Some(64));
+        assert_eq!(s.next_at_or_after(65), Some(127));
+        assert_eq!(s.next_at_or_after(128), Some(199));
+        assert_eq!(s.next_at_or_after(199), Some(199));
+        assert_eq!(s.next_at_or_after(200), None);
+        assert_eq!(BitSet::new(0).next_at_or_after(0), None);
+    }
+
+    #[test]
+    fn cursor_iteration_matches_iter() {
+        let mut s = BitSet::new(300);
+        s.extend([3, 64, 65, 191, 192, 299]);
+        let mut cursor = Vec::new();
+        let mut from = 0;
+        while let Some(i) = s.next_at_or_after(from) {
+            from = i + 1;
+            cursor.push(i);
+        }
+        assert_eq!(cursor, s.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn copy_from_overwrites_in_place() {
+        let mut dst = BitSet::new(100);
+        dst.extend([1, 2, 3]);
+        let mut src = BitSet::new(100);
+        src.extend([70, 99]);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        dst.copy_from(&BitSet::new(100));
+        assert!(dst.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal capacities")]
+    fn copy_from_rejects_capacity_mismatch() {
+        let mut dst = BitSet::new(10);
+        dst.copy_from(&BitSet::new(11));
     }
 }

@@ -47,6 +47,64 @@ pub fn max_weight_clique(g: &DenseGraph, weights: &[u64]) -> WeightedClique {
         .expect("the empty seed is always a clique")
 }
 
+/// Reusable scratch for the seeded clique search: one candidate set and one
+/// branch-order buffer per recursion depth, plus the incumbent clique.
+///
+/// The solver calls [`max_weight_clique_weight_containing`] on every fixed
+/// comparability edge, deep inside the search inner loop; routing those
+/// calls through a per-worker workspace keeps the steady-state path free of
+/// heap allocations. The workspace sizes itself lazily to the queried
+/// graph's vertex count and reallocates only when that count changes.
+#[derive(Debug)]
+pub struct CliqueWorkspace {
+    /// Vertex count the buffers are currently sized for.
+    n: usize,
+    /// Candidate set per recursion depth (a clique has at most `n` vertices,
+    /// so depth never exceeds `n`; one extra level for the empty tail).
+    cands: Vec<BitSet>,
+    /// Branch-order buffer per recursion depth.
+    orders: Vec<Vec<usize>>,
+    /// The all-vertices set, kept around to seed `cands[0]` by copy.
+    full: BitSet,
+    /// The clique currently being grown.
+    current: BitSet,
+    /// Vertices of the best clique found so far.
+    best_vertices: BitSet,
+}
+
+impl Default for CliqueWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CliqueWorkspace {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            cands: Vec::new(),
+            orders: Vec::new(),
+            full: BitSet::new(0),
+            current: BitSet::new(0),
+            best_vertices: BitSet::new(0),
+        }
+    }
+
+    /// Ensures every buffer fits a graph of `n` vertices.
+    fn fit(&mut self, n: usize) {
+        if self.n == n && !self.cands.is_empty() {
+            return;
+        }
+        self.n = n;
+        self.cands = (0..=n).map(|_| BitSet::new(n)).collect();
+        self.orders = (0..=n).map(|_| Vec::with_capacity(n)).collect();
+        self.full = BitSet::full(n);
+        self.current = BitSet::new(n);
+        self.best_vertices = BitSet::new(n);
+    }
+}
+
 /// Finds a maximum-weight clique of `g` that contains all vertices of `seed`.
 ///
 /// Returns `None` if `seed` itself is not a clique. Used by the solver for
@@ -57,68 +115,94 @@ pub fn max_weight_clique_containing(
     weights: &[u64],
     seed: &BitSet,
 ) -> Option<WeightedClique> {
-    let n = g.vertex_count();
+    let mut ws = CliqueWorkspace::new();
+    let weight = max_weight_clique_weight_containing(&mut ws, g, weights, seed)?;
+    Some(WeightedClique {
+        vertices: ws.best_vertices.clone(),
+        weight,
+    })
+}
+
+/// Weight-only variant of [`max_weight_clique_containing`] running entirely
+/// inside a caller-provided [`CliqueWorkspace`].
+///
+/// Allocation-free once `ws` has been sized to `g.vertex_count()` (the
+/// first call, or a call after the vertex count changed, pays a one-time
+/// resize). The search itself is identical to the allocating variant:
+/// branch-and-bound over common neighbors of the seed, candidates taken in
+/// decreasing weight order.
+pub fn max_weight_clique_weight_containing(
+    ws: &mut CliqueWorkspace,
+    g: &DenseGraph,
+    weights: &[u64],
+    seed: &BitSet,
+) -> Option<u64> {
     if !g.is_clique(seed) {
         return None;
     }
+    ws.fit(g.vertex_count());
     // Candidates: common neighbors of the whole seed.
-    let mut cand = BitSet::full(n);
+    ws.cands[0].copy_from(&ws.full);
     for v in seed.iter() {
-        cand.intersect_with(g.neighbors(v));
+        ws.cands[0].intersect_with(g.neighbors(v));
     }
-    cand.difference_with(seed);
+    ws.cands[0].difference_with(seed);
 
     let seed_weight: u64 = seed.iter().map(|v| weights[v]).sum();
-    let mut best = WeightedClique {
-        vertices: seed.clone(),
-        weight: seed_weight,
-    };
-    let mut current = seed.clone();
-    expand(g, weights, &mut current, seed_weight, cand, &mut best);
-    Some(best)
+    ws.current.copy_from(seed);
+    ws.best_vertices.copy_from(seed);
+    let mut best_weight = seed_weight;
+    expand(g, weights, ws, 0, seed_weight, &mut best_weight);
+    Some(best_weight)
 }
 
 fn expand(
     g: &DenseGraph,
     weights: &[u64],
-    current: &mut BitSet,
+    ws: &mut CliqueWorkspace,
+    depth: usize,
     current_weight: u64,
-    mut cand: BitSet,
-    best: &mut WeightedClique,
+    best_weight: &mut u64,
 ) {
-    if current_weight > best.weight {
-        best.weight = current_weight;
-        best.vertices = current.clone();
+    if current_weight > *best_weight {
+        *best_weight = current_weight;
+        ws.best_vertices.copy_from(&ws.current);
     }
     // Upper bound: everything remaining joins the clique.
-    let remaining: u64 = cand.iter().map(|v| weights[v]).sum();
-    if current_weight + remaining <= best.weight {
+    let remaining: u64 = ws.cands[depth].iter().map(|v| weights[v]).sum();
+    if current_weight + remaining <= *best_weight {
         return;
     }
     // Branch on candidates in decreasing weight order: good incumbents early.
-    let mut verts: Vec<usize> = cand.iter().collect();
-    verts.sort_unstable_by_key(|&v| std::cmp::Reverse(weights[v]));
-    for v in verts {
-        if !cand.contains(v) {
+    let mut order = std::mem::take(&mut ws.orders[depth]);
+    order.clear();
+    order.extend(ws.cands[depth].iter());
+    order.sort_unstable_by_key(|&v| std::cmp::Reverse(weights[v]));
+    for &v in &order {
+        if !ws.cands[depth].contains(v) {
             continue;
         }
-        let remaining_now: u64 = cand.iter().map(|u| weights[u]).sum();
-        if current_weight + remaining_now <= best.weight {
-            return;
+        let remaining_now: u64 = ws.cands[depth].iter().map(|u| weights[u]).sum();
+        if current_weight + remaining_now <= *best_weight {
+            break;
         }
-        cand.remove(v);
-        let next_cand = cand.intersection(g.neighbors(v));
-        current.insert(v);
+        ws.cands[depth].remove(v);
+        // Child candidates: survivors of this level that also see `v`.
+        let (head, tail) = ws.cands.split_at_mut(depth + 1);
+        tail[0].copy_from(&head[depth]);
+        tail[0].intersect_with(g.neighbors(v));
+        ws.current.insert(v);
         expand(
             g,
             weights,
-            current,
+            ws,
+            depth + 1,
             current_weight + weights[v],
-            next_cand,
-            best,
+            best_weight,
         );
-        current.remove(v);
+        ws.current.remove(v);
     }
+    ws.orders[depth] = order;
 }
 
 /// Finds a maximum-weight independent set (stable set) of `g`.
@@ -209,6 +293,33 @@ mod tests {
         let mut seed = BitSet::new(3);
         seed.extend([0, 1]);
         assert!(max_weight_clique_containing(&g, &[1, 1, 1], &seed).is_none());
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_searches() {
+        // One workspace across differently-sized graphs and repeated
+        // queries: every answer must match the allocating entry point.
+        let mut ws = CliqueWorkspace::new();
+        for n in [3usize, 5, 5, 4] {
+            for seed_id in 0..40u64 {
+                let g = random_graph(n, 0.6, seed_id);
+                let weights: Vec<u64> = (0..n as u64).map(|v| 1 + (v * 5 + seed_id) % 9).collect();
+                for u in 0..n {
+                    for v in u + 1..n {
+                        let mut seed = BitSet::new(n);
+                        seed.extend([u, v]);
+                        let fresh = max_weight_clique_containing(&g, &weights, &seed);
+                        let reused =
+                            max_weight_clique_weight_containing(&mut ws, &g, &weights, &seed);
+                        assert_eq!(
+                            fresh.map(|c| c.weight),
+                            reused,
+                            "n={n} seed={seed_id} ({u},{v})"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -139,22 +139,23 @@ impl DenseGraph {
         (g, map)
     }
 
-    /// Whether `set` is a clique (pairwise adjacent).
+    /// Whether `set` is a clique (pairwise adjacent). Allocation-free: the
+    /// solver asks this on every fixed comparability edge.
     pub fn is_clique(&self, set: &BitSet) -> bool {
-        let verts: Vec<usize> = set.iter().collect();
-        verts
-            .iter()
-            .enumerate()
-            .all(|(i, &u)| verts[..i].iter().all(|&v| self.has_edge(u, v)))
+        set.iter().all(|u| {
+            set.iter()
+                .take_while(|&v| v < u)
+                .all(|v| self.has_edge(u, v))
+        })
     }
 
     /// Whether `set` is an independent set (pairwise non-adjacent).
     pub fn is_independent_set(&self, set: &BitSet) -> bool {
-        let verts: Vec<usize> = set.iter().collect();
-        verts
-            .iter()
-            .enumerate()
-            .all(|(i, &u)| verts[..i].iter().all(|&v| !self.has_edge(u, v)))
+        set.iter().all(|u| {
+            set.iter()
+                .take_while(|&v| v < u)
+                .all(|v| !self.has_edge(u, v))
+        })
     }
 
     /// Connected components, each as a sorted vertex list.
