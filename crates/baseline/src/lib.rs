@@ -160,7 +160,8 @@ impl<'a> GeometricSolver<'a> {
             .map(|task| {
                 let t = self.instance.task(task);
                 let tsize = [t.width(), t.height(), t.duration()];
-                std::array::from_fn(|d| self.normal_patterns(task, d, container[d], tsize[d]))
+                recopack_model::Dim::ALL
+                    .map(|d| self.normal_patterns(task, d, container[d.index()], tsize[d.index()]))
             })
             .collect();
         let mut origins: Vec<Option<[u64; 3]>> = vec![None; n];
@@ -183,7 +184,13 @@ impl<'a> GeometricSolver<'a> {
 
     /// Subset sums of the other tasks' `dim`-sizes that keep a `size`-wide
     /// task within `cap`.
-    fn normal_patterns(&self, task: usize, dim: usize, cap: u64, size: u64) -> Vec<u64> {
+    fn normal_patterns(
+        &self,
+        task: usize,
+        d: recopack_model::Dim,
+        cap: u64,
+        size: u64,
+    ) -> Vec<u64> {
         let Some(max_pos) = cap.checked_sub(size) else {
             return Vec::new();
         };
@@ -191,7 +198,6 @@ impl<'a> GeometricSolver<'a> {
         let max_pos = max_pos as usize;
         let mut reachable = vec![false; max_pos + 1];
         reachable[0] = true;
-        let d = recopack_model::Dim::from_index(dim);
         for (i, other) in self.instance.tasks().iter().enumerate() {
             if i == task {
                 continue;

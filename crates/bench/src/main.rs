@@ -12,8 +12,10 @@
 //! * `--smoke` — run the CI smoke subset instead of the full suite;
 //! * `--only NAME` — run a single case by name;
 //! * `--profile` — collect per-phase wall times into each case's stats;
-//! * `--out PATH` — report path (default `BENCH_PR2.json`);
-//! * `--label NAME` — report label (default `PR2`);
+//! * `--out PATH` — report path (default `BENCH_PR5.json`; committing the
+//!   default-path report of a full run at the repo root is how the perf
+//!   trajectory is recorded, one snapshot per PR);
+//! * `--label NAME` — report label (default `PR5`);
 //! * `--check BASELINE` — compare node counts against a previous report and
 //!   exit nonzero on a regression;
 //! * `--tolerance PCT` — allowed node-count growth in percent (default 0:
@@ -43,8 +45,8 @@ fn parse_args() -> Result<Args, String> {
         smoke: false,
         only: None,
         profile: false,
-        out: "BENCH_PR2.json".to_string(),
-        label: "PR2".to_string(),
+        out: "BENCH_PR5.json".to_string(),
+        label: "PR5".to_string(),
         check: None,
         tolerance: 0,
     };

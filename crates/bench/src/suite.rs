@@ -264,7 +264,40 @@ pub struct BenchReport {
     pub cases: Vec<SolveReport>,
 }
 
+/// Whole-suite aggregates: the perf-trajectory numbers a repo-root
+/// `BENCH_<n>.json` snapshot carries, so run-over-run comparisons don't
+/// have to re-derive them from the per-case reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuiteTotals {
+    /// Number of cases in the report.
+    pub cases: usize,
+    /// Search nodes summed over all cases.
+    pub nodes: u64,
+    /// Propagation events summed over all cases.
+    pub propagation_events: u64,
+    /// Pruned subtrees summed over all cases and rules.
+    pub conflicts: u64,
+    /// Wall-clock time summed over all cases, in milliseconds.
+    pub wall_ms: f64,
+    /// Aggregate throughput: total nodes over total wall time.
+    pub nodes_per_sec: Option<f64>,
+}
+
 impl BenchReport {
+    /// Aggregates the per-case stats into [`SuiteTotals`].
+    pub fn totals(&self) -> SuiteTotals {
+        let nodes = self.cases.iter().map(|c| c.stats.nodes).sum();
+        let wall_ms: f64 = self.cases.iter().map(|c| c.wall_ms).sum();
+        SuiteTotals {
+            cases: self.cases.len(),
+            nodes,
+            propagation_events: self.cases.iter().map(|c| c.stats.propagation_events).sum(),
+            conflicts: self.cases.iter().map(|c| c.stats.conflicts()).sum(),
+            wall_ms,
+            nodes_per_sec: (wall_ms > 0.0).then(|| nodes as f64 / (wall_ms / 1000.0)),
+        }
+    }
+
     /// Serializes the report as a versioned JSON document.
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
@@ -272,7 +305,25 @@ impl BenchReport {
         let _ = write!(out, "{{\"schema_version\":{TELEMETRY_SCHEMA_VERSION}");
         out.push_str(",\"label\":");
         recopack_core::telemetry::push_json_str(&mut out, &self.label);
-        let _ = write!(out, ",\"smoke\":{},\"cases\":[", self.smoke);
+        let totals = self.totals();
+        let _ = write!(
+            out,
+            ",\"smoke\":{},\"totals\":{{\"cases\":{},\"nodes\":{},\
+             \"propagation_events\":{},\"conflicts\":{},\"wall_ms\":{:.3}",
+            self.smoke,
+            totals.cases,
+            totals.nodes,
+            totals.propagation_events,
+            totals.conflicts,
+            totals.wall_ms
+        );
+        match totals.nodes_per_sec {
+            Some(rate) => {
+                let _ = write!(out, ",\"nodes_per_sec\":{rate:.1}}}");
+            }
+            None => out.push_str(",\"nodes_per_sec\":null}"),
+        }
+        out.push_str(",\"cases\":[");
         for (i, case) in self.cases.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -468,6 +519,15 @@ mod tests {
             cases_json[0].get("instance").and_then(Json::as_str),
             Some(case.name.as_str())
         );
+        // The suite totals ride in the document and agree with the cases.
+        let totals = doc.get("totals").expect("totals object");
+        assert_eq!(totals.get("cases").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            totals.get("nodes").and_then(Json::as_u64),
+            Some(report.cases[0].stats.nodes)
+        );
+        assert!(totals.get("wall_ms").and_then(Json::as_f64).is_some());
+        assert!(totals.get("nodes_per_sec").is_some());
     }
 
     #[test]

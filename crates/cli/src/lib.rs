@@ -12,6 +12,8 @@
 //! * `sample <de|codec|pair>` — print a ready-made instance file;
 //! * `trace <events.ndjson>` — export a `--trace` journal as a Chrome
 //!   trace, folded flamegraph stacks, or a terminal summary;
+//! * `serve` — run the long-lived solver service (HTTP job queue, health,
+//!   Prometheus metrics) until SIGTERM/ctrl-c;
 //! * `help` — usage.
 //!
 //! All subcommands accept `--no-precedence` (drop the partial order, the
@@ -90,6 +92,7 @@ COMMANDS:
     render <file> <place>    print a Gantt chart of a placement file
     sample <de|codec|pair>   print a ready-made instance file
     trace  <events.ndjson>   export a recorded search trace (see below)
+    serve                    run the solver service until SIGTERM/ctrl-c
     help                     show this message
 
 OPTIONS:
@@ -115,6 +118,13 @@ OPTIONS:
                              bounds, realization, per-rule refutations) into
                              the stats report; timings are informational and
                              vary with the thread count
+
+SERVICE (for `recopack serve`):
+    --addr <host:port>       listen address (default 127.0.0.1:7878; port 0
+                             binds an ephemeral port)
+    --queue-depth <n>        bounded job-queue capacity; submissions beyond
+                             it get 503 (default 16)
+                             (`--threads` sets the solver worker count)
 
 TRACE EXPORT (for `recopack trace <events.ndjson>`):
     --chrome <path>          write Chrome trace-event JSON (Perfetto,
@@ -145,6 +155,8 @@ struct Options {
     folded: Option<String>,
     summary: bool,
     weight: trace::FoldedWeight,
+    addr: Option<String>,
+    queue_depth: usize,
 }
 
 impl Default for Options {
@@ -165,6 +177,8 @@ impl Default for Options {
             folded: None,
             summary: false,
             weight: trace::FoldedWeight::default(),
+            addr: None,
+            queue_depth: 16,
         }
     }
 }
@@ -278,6 +292,20 @@ fn split_args(args: &[String]) -> Result<(Vec<&str>, Options), CliError> {
             }
             "--folded" => {
                 options.folded = Some(take_value(flag, inline, &mut iter)?.to_string());
+            }
+            "--addr" => {
+                options.addr = Some(take_value(flag, inline, &mut iter)?.to_string());
+            }
+            "--queue-depth" => {
+                let value = take_value(flag, inline, &mut iter)?;
+                options.queue_depth = match value.parse() {
+                    Ok(0) | Err(_) => {
+                        return Err(CliError::usage(format!(
+                            "--queue-depth expects a positive number, got {value:?}"
+                        )));
+                    }
+                    Ok(n) => n,
+                };
             }
             "--weight" => {
                 options.weight = match take_value(flag, inline, &mut iter)? {
@@ -681,10 +709,32 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             };
             out.push_str(&format::format_instance(&instance));
         }
+        ["serve"] => {
+            let stop = recopack_serve::install_shutdown_handler();
+            let config = recopack_serve::ServeConfig {
+                addr: options
+                    .addr
+                    .clone()
+                    .unwrap_or_else(|| "127.0.0.1:7878".to_string()),
+                workers: options.threads,
+                queue_depth: options.queue_depth,
+            };
+            let server = recopack_serve::Server::bind(&config)
+                .map_err(|e| CliError::runtime(format!("cannot bind {}: {e}", config.addr)))?;
+            server.run_until(stop);
+            let _ = writeln!(out, "server drained and stopped");
+        }
         ["trace", path] => {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
-            let events = trace::parse_ndjson(&text)?;
+            let (events, skipped) = trace::parse_ndjson(&text)?;
+            if skipped > 0 {
+                let _ = writeln!(
+                    out,
+                    "warning: skipped {skipped} malformed line{} in {path}",
+                    if skipped == 1 { "" } else { "s" }
+                );
+            }
             let mut exported = false;
             if let Some(chrome_path) = &options.chrome {
                 std::fs::write(chrome_path, trace::to_chrome(&events))
@@ -717,6 +767,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     | "render"
                     | "sample"
                     | "trace"
+                    | "serve"
                     | "help"
             ) =>
         {
@@ -1064,6 +1115,57 @@ mod tests {
         assert!(out.contains("wrote folded stacks"), "{out}");
         let err = run(&args(&["trace", tp, "--weight", "bytes"])).expect_err("bad weight");
         assert_eq!(err.exit_code, 2);
+    }
+
+    #[test]
+    fn serve_flags_validate() {
+        let err = run(&args(&["serve", "extra"])).expect_err("no operands");
+        assert_eq!(err.exit_code, 2);
+        assert!(err.message.contains("wrong number of operands"), "{err:?}");
+        let err = run(&args(&["serve", "--addr"])).expect_err("missing value");
+        assert_eq!(err.exit_code, 2);
+        let err = run(&args(&["serve", "--queue-depth", "0"])).expect_err("zero depth");
+        assert_eq!(err.exit_code, 2);
+        assert!(err.message.contains("positive number"), "{err:?}");
+        let err = run(&args(&["serve", "--queue-depth", "soon"])).expect_err("bad depth");
+        assert_eq!(err.exit_code, 2);
+        let err = run(&args(&["serve", "--addr", "not an address"])).expect_err("bad bind");
+        assert_eq!(err.exit_code, 1);
+        assert!(err.message.contains("cannot bind"), "{err:?}");
+    }
+
+    #[test]
+    fn serve_boots_and_drains_on_the_shutdown_flag() {
+        use std::sync::atomic::Ordering;
+        // Trip the shutdown flag up front: the server must bind, notice the
+        // flag, drain, and return instead of serving forever.
+        recopack_serve::install_shutdown_handler().store(true, Ordering::Relaxed);
+        let out = run(&args(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--queue-depth",
+            "2",
+        ]))
+        .expect("serves and drains");
+        assert!(out.contains("server drained and stopped"), "{out}");
+    }
+
+    #[test]
+    fn trace_skips_malformed_lines_with_a_warning() {
+        let path = temp_file(
+            "mixed.ndjson",
+            "{\"subtree\":0,\"depth\":0,\"t_ns\":5,\"event\":\"backtrack\"}\n\
+             not json at all\n",
+        );
+        let out = run(&args(&["trace", path.to_str().expect("utf8 path")])).expect("summarizes");
+        assert!(out.contains("skipped 1 malformed line"), "{out}");
+        assert!(out.contains("1 events"), "{out}");
+        // A document with no valid events at all still fails loudly.
+        let bad = temp_file("bad.ndjson", "garbage\nmore garbage\n");
+        let err = run(&args(&["trace", bad.to_str().expect("utf8 path")])).expect_err("no events");
+        assert_eq!(err.exit_code, 1);
+        assert!(err.message.contains("no valid trace events"), "{err:?}");
     }
 
     #[test]

@@ -65,50 +65,76 @@ fn bool_field(json: &Json, line_no: usize, key: &str) -> Result<bool, CliError> 
         .ok_or_else(|| CliError::runtime(format!("trace line {line_no}: missing boolean {key:?}")))
 }
 
+/// Parses one NDJSON trace line into an event.
+fn parse_line(line: &str, line_no: usize) -> Result<TraceEvent, CliError> {
+    let json =
+        Json::parse(line).map_err(|e| CliError::runtime(format!("trace line {line_no}: {e}")))?;
+    let kind = match json.get("event").and_then(Json::as_str) {
+        Some("branch") => TraceKind::Branch {
+            dim: field(&json, line_no, "dim")?,
+            pair: field(&json, line_no, "pair")?,
+            component: bool_field(&json, line_no, "component")?,
+        },
+        Some("propagate") => TraceKind::Propagate {
+            fixes: field(&json, line_no, "fixes")?,
+        },
+        Some("prune") => TraceKind::Prune {
+            rule: json
+                .get("rule")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+        },
+        Some("backtrack") => TraceKind::Backtrack,
+        Some("leaf") => TraceKind::Leaf {
+            accepted: bool_field(&json, line_no, "accepted")?,
+        },
+        other => {
+            return Err(CliError::runtime(format!(
+                "trace line {line_no}: unknown event {other:?}"
+            )));
+        }
+    };
+    Ok(TraceEvent {
+        subtree: field(&json, line_no, "subtree")?,
+        depth: field(&json, line_no, "depth")?,
+        t_ns: field(&json, line_no, "t_ns")?,
+        kind,
+    })
+}
+
 /// Parses a whole NDJSON trace document; blank lines are allowed.
-pub(crate) fn parse_ndjson(text: &str) -> Result<Vec<TraceEvent>, CliError> {
+///
+/// Malformed lines — truncated tails of an interrupted solve, unknown
+/// event kinds from a newer writer, or stray non-JSON — are skipped and
+/// counted rather than aborting the export; the caller surfaces the count
+/// as a warning. Only a document where *nothing* parses is an error, so a
+/// wrong file (a log, a report) still fails loudly with the reason the
+/// first line was refused.
+pub(crate) fn parse_ndjson(text: &str) -> Result<(Vec<TraceEvent>, u64), CliError> {
     let mut events = Vec::new();
+    let mut skipped = 0u64;
+    let mut first_error: Option<CliError> = None;
     for (i, line) in text.lines().enumerate() {
-        let line_no = i + 1;
         if line.trim().is_empty() {
             continue;
         }
-        let json = Json::parse(line)
-            .map_err(|e| CliError::runtime(format!("trace line {line_no}: {e}")))?;
-        let kind = match json.get("event").and_then(Json::as_str) {
-            Some("branch") => TraceKind::Branch {
-                dim: field(&json, line_no, "dim")?,
-                pair: field(&json, line_no, "pair")?,
-                component: bool_field(&json, line_no, "component")?,
-            },
-            Some("propagate") => TraceKind::Propagate {
-                fixes: field(&json, line_no, "fixes")?,
-            },
-            Some("prune") => TraceKind::Prune {
-                rule: json
-                    .get("rule")
-                    .and_then(Json::as_str)
-                    .unwrap_or("unknown")
-                    .to_string(),
-            },
-            Some("backtrack") => TraceKind::Backtrack,
-            Some("leaf") => TraceKind::Leaf {
-                accepted: bool_field(&json, line_no, "accepted")?,
-            },
-            other => {
-                return Err(CliError::runtime(format!(
-                    "trace line {line_no}: unknown event {other:?}"
-                )));
+        match parse_line(line, i + 1) {
+            Ok(event) => events.push(event),
+            Err(e) => {
+                skipped += 1;
+                first_error.get_or_insert(e);
             }
-        };
-        events.push(TraceEvent {
-            subtree: field(&json, line_no, "subtree")?,
-            depth: field(&json, line_no, "depth")?,
-            t_ns: field(&json, line_no, "t_ns")?,
-            kind,
-        });
+        }
     }
-    Ok(events)
+    match first_error {
+        Some(e) if events.is_empty() => Err(CliError::runtime(format!(
+            "no valid trace events ({skipped} malformed line{}; first: {})",
+            if skipped == 1 { "" } else { "s" },
+            e.message
+        ))),
+        _ => Ok((events, skipped)),
+    }
 }
 
 /// The slice name of a branch decision: dimension, pair, and choice
@@ -464,8 +490,9 @@ mod tests {
 {\"subtree\":1,\"depth\":2,\"t_ns\":7,\"event\":\"prune\",\"rule\":\"orientation\"}\n\
 {\"subtree\":0,\"depth\":0,\"t_ns\":8,\"event\":\"backtrack\"}\n\
 {\"subtree\":0,\"depth\":3,\"t_ns\":9,\"event\":\"leaf\",\"accepted\":true}\n";
-        let events = parse_ndjson(text).expect("parses");
+        let (events, skipped) = parse_ndjson(text).expect("parses");
         assert_eq!(events.len(), 5);
+        assert_eq!(skipped, 0);
         assert_eq!(
             events[0].kind,
             TraceKind::Branch {
@@ -478,6 +505,36 @@ mod tests {
         assert_eq!(events[4].kind, TraceKind::Leaf { accepted: true });
         assert!(parse_ndjson("{\"event\":\"wat\"}").is_err());
         assert!(parse_ndjson("not json").is_err());
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped_and_counted() {
+        // A valid backtrack surrounded by every flavor of damage: truncated
+        // JSON, an unknown event kind, a missing required field, and noise.
+        let text = "\
+{\"subtree\":0,\"depth\":0,\"t_ns\":5,\"event\":\"branch\",\"dim\":1,\"pa\n\
+{\"subtree\":0,\"depth\":0,\"t_ns\":6,\"event\":\"backtrack\"}\n\
+{\"subtree\":0,\"depth\":0,\"t_ns\":7,\"event\":\"quantum_tunnel\"}\n\
+{\"subtree\":0,\"depth\":0,\"event\":\"propagate\",\"fixes\":4}\n\
+totally not json\n";
+        let (events, skipped) = parse_ndjson(text).expect("one valid line survives");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, TraceKind::Backtrack);
+        assert_eq!(skipped, 4);
+    }
+
+    #[test]
+    fn all_malformed_is_an_error_naming_the_first_cause() {
+        let err = parse_ndjson("nope\n{\"event\":\"wat\"}\n").expect_err("nothing parses");
+        assert!(err.message.contains("no valid trace events"), "{err:?}");
+        assert!(err.message.contains("2 malformed lines"), "{err:?}");
+        assert!(err.message.contains("line 1"), "{err:?}");
+    }
+
+    #[test]
+    fn empty_documents_parse_to_nothing() {
+        assert_eq!(parse_ndjson("").expect("empty ok"), (Vec::new(), 0));
+        assert_eq!(parse_ndjson("\n  \n").expect("blank ok"), (Vec::new(), 0));
     }
 
     #[test]

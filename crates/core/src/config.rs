@@ -1,10 +1,57 @@
 //! Solver configuration and search statistics.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use recopack_bounds::BoundKind;
 
 use crate::telemetry::Telemetry;
+
+/// A cooperative cancellation handle for a running solve.
+///
+/// Clone the token, hand one copy to [`SolverConfig::cancel`], keep the
+/// other, and call [`cancel`](CancelToken::cancel) from any thread: every
+/// worker of the search observes the flag at its regular budget checkpoints
+/// (node entry and in-cascade polls) and unwinds with
+/// [`SolveOutcome::ResourceLimit`](crate::SolveOutcome::ResourceLimit)`(`[`LimitKind::Cancelled`]`)`.
+/// Cancellation is level-triggered and sticky: once cancelled, a token stays
+/// cancelled, and every solve sharing it stops.
+///
+/// The default token is never cancelled and costs one relaxed atomic load
+/// per budget check. Equality compares token *identity* (same shared flag),
+/// which keeps [`SolverConfig`] `Eq` — two independently created tokens are
+/// never equal, a token always equals its clones.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, not-yet-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation: every search polling this token unwinds at
+    /// its next budget checkpoint.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`cancel`](CancelToken::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+}
+
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.cancelled, &other.cancelled)
+    }
+}
+
+impl Eq for CancelToken {}
 
 /// Tunables of the packing-class search.
 ///
@@ -61,6 +108,11 @@ pub struct SolverConfig {
     /// informational — unlike the event *counts*, they are not
     /// thread-count invariant (see DESIGN.md, "Tracing and profiling").
     pub profile: bool,
+    /// Cooperative cancellation handle, polled at every budget checkpoint.
+    /// The default token is never cancelled; install a clone of a caller-held
+    /// [`CancelToken`] to stop a solve from outside (the `recopack serve`
+    /// job daemon uses this for `DELETE /jobs/{id}`).
+    pub cancel: CancelToken,
 }
 
 impl Default for SolverConfig {
@@ -80,6 +132,7 @@ impl Default for SolverConfig {
             frontier_depth: None,
             telemetry: Telemetry::none(),
             profile: false,
+            cancel: CancelToken::new(),
         }
     }
 }
@@ -103,6 +156,7 @@ impl SolverConfig {
             frontier_depth: None,
             telemetry: Telemetry::none(),
             profile: false,
+            cancel: CancelToken::new(),
         }
     }
 
@@ -125,6 +179,8 @@ pub enum LimitKind {
     Nodes,
     /// [`SolverConfig::time_limit`] elapsed.
     Time,
+    /// [`SolverConfig::cancel`] was cancelled from outside.
+    Cancelled,
 }
 
 impl std::fmt::Display for LimitKind {
@@ -132,6 +188,7 @@ impl std::fmt::Display for LimitKind {
         match self {
             Self::Nodes => write!(f, "node limit"),
             Self::Time => write!(f, "time limit"),
+            Self::Cancelled => write!(f, "cancelled"),
         }
     }
 }
@@ -405,6 +462,21 @@ mod tests {
     fn limit_kinds_name_their_budget() {
         assert_eq!(LimitKind::Nodes.to_string(), "node limit");
         assert_eq!(LimitKind::Time.to_string(), "time limit");
+        assert_eq!(LimitKind::Cancelled.to_string(), "cancelled");
+    }
+
+    #[test]
+    fn cancel_token_is_sticky_and_shared_between_clones() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        let clone = token.clone();
+        assert_eq!(token, clone);
+        clone.cancel();
+        assert!(token.is_cancelled());
+        clone.cancel();
+        assert!(clone.is_cancelled());
+        // A freshly created token is a distinct cancellation domain.
+        assert_ne!(token, CancelToken::new());
     }
 
     #[test]

@@ -60,7 +60,7 @@ mod state;
 pub mod telemetry;
 
 pub use bmp::{Bmp, BmpResult};
-pub use config::{LimitKind, SolverConfig, SolverStats};
+pub use config::{CancelToken, LimitKind, SolverConfig, SolverStats};
 pub use fixeds::FixedSchedule;
 pub use opp::{InfeasibilityProof, Opp, SolveOutcome};
 pub use pareto::{pareto_front, pareto_front_with_stats, ParetoPoint};

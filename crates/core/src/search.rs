@@ -149,6 +149,7 @@ struct SharedBudget {
 
 const STOP_NODES: u8 = 1;
 const STOP_TIME: u8 = 2;
+const STOP_CANCELLED: u8 = 3;
 
 impl SharedBudget {
     fn new() -> Self {
@@ -166,6 +167,7 @@ impl SharedBudget {
         let code = match kind {
             LimitKind::Nodes => STOP_NODES,
             LimitKind::Time => STOP_TIME,
+            LimitKind::Cancelled => STOP_CANCELLED,
         };
         let _ = self
             .stop
@@ -180,6 +182,7 @@ impl SharedBudget {
         match self.stop.load(Ordering::Relaxed) {
             STOP_NODES => Some(LimitKind::Nodes),
             STOP_TIME => Some(LimitKind::Time),
+            STOP_CANCELLED => Some(LimitKind::Cancelled),
             _ => None,
         }
     }
@@ -211,7 +214,7 @@ impl<'a> Search<'a> {
         config: &'a SolverConfig,
         fixed_starts: Option<Vec<u64>>,
     ) -> Self {
-        let sizes = std::array::from_fn(|d| instance.sizes(Dim::from_index(d)));
+        let sizes = Dim::ALL.map(|d| instance.sizes(d));
         let caps = instance.container();
         // Branch on the most constrained slots first: largest combined size
         // relative to capacity; ties prefer the time dimension (where the
@@ -680,6 +683,10 @@ impl<'c> Worker<'c> {
                 return Err(Conflict::Stopped);
             }
         }
+        if self.ctx.config.cancel.is_cancelled() {
+            self.budget.request_stop(LimitKind::Cancelled);
+            return Err(Conflict::Stopped);
+        }
         Ok(())
     }
 
@@ -1095,6 +1102,10 @@ impl<'c> Worker<'c> {
                 return true;
             }
         }
+        if self.ctx.config.cancel.is_cancelled() {
+            self.budget.request_stop(LimitKind::Cancelled);
+            return true;
+        }
         if self.budget.stopped() {
             return true;
         }
@@ -1420,6 +1431,24 @@ mod tests {
         assert!(matches!(
             solve(&i, &config),
             SearchResult::Limit(LimitKind::Nodes)
+        ));
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_the_search() {
+        // Cancellation set before the search starts must surface as a
+        // Cancelled limit, not a verdict.
+        let i = Instance::builder()
+            .chip(Chip::square(4))
+            .horizon(8)
+            .tasks((0..5).map(|k| Task::new(format!("t{k}"), 2, 2, 2)))
+            .build()
+            .expect("valid");
+        let config = SolverConfig::default();
+        config.cancel.cancel();
+        assert!(matches!(
+            solve(&i, &config),
+            SearchResult::Limit(LimitKind::Cancelled)
         ));
     }
 

@@ -1,0 +1,575 @@
+//! Hand-rolled metrics primitives for the `recopack serve` daemon.
+//!
+//! The workspace is dependency-free by policy (the build environment has no
+//! crates.io access), so this crate provides the minimal instrument set a
+//! long-running solver service needs, built purely on `std` atomics:
+//!
+//! * [`Counter`] — a monotone `u64` count (jobs accepted, events seen);
+//! * [`Gauge`] — a signed instantaneous value (queue depth, in-flight jobs);
+//! * [`Histogram`] — fixed cumulative buckets plus sum and count
+//!   (solve latency, nodes per job);
+//! * [`Registry`] — the collection surface that renders every registered
+//!   instrument in the Prometheus *text exposition format* version 0.0.4,
+//!   the wire format scraped from `GET /metrics`.
+//!
+//! # Concurrency
+//!
+//! Every instrument is internally atomic and every handle is cheaply
+//! cloneable (an `Arc` around the atomics), so solver workers and HTTP
+//! connection threads update the same instrument without locks. Histogram
+//! observations touch one bucket, the sum, and the count with relaxed
+//! atomics: scrapes may observe a count momentarily ahead of the sum, which
+//! Prometheus tolerates by design (scrapes are sampled, not transactional).
+//!
+//! # Cardinality policy
+//!
+//! Labels are fixed at registration time: a labelled instrument is
+//! registered once per label combination from a *closed* enumeration (for
+//! recopack: the four job kinds). Nothing derived from request payloads —
+//! job ids, instance names, addresses — may become a label value; unbounded
+//! label sets are how metric backends die. The registry therefore exposes no
+//! dynamic label API at all.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+///
+/// Cloning shares the underlying value. Counters must never decrease;
+/// there is deliberately no `dec` or `set`.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed value that can go up and down.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.value.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Sets the value outright.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over fixed, strictly increasing bucket upper bounds.
+///
+/// Buckets are *cumulative* in the exposition (each `le` bucket counts all
+/// observations at or below its bound, and `+Inf` equals the total count),
+/// matching what Prometheus expects from a `histogram` type. The sum is
+/// tracked in micro-units (`observe` takes an `f64` and stores
+/// `round(v * 1e6)`) so it can live in an atomic integer without losing the
+/// precision that millisecond-scale latencies need.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bounds: Arc<[f64]>,
+    /// One slot per bound plus the final `+Inf` slot.
+    buckets: Arc<[AtomicU64]>,
+    sum_micros: Arc<AtomicU64>,
+    count: Arc<AtomicU64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty, not strictly increasing, or contains a
+    /// non-finite value — bucket layout is a programming decision made at
+    /// startup, not a runtime input.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        for pair in bounds.windows(2) {
+            assert!(
+                pair[0] < pair[1],
+                "histogram bounds must be strictly increasing"
+            );
+        }
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite (+Inf is implicit)"
+        );
+        let buckets: Vec<AtomicU64> = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            bounds: bounds.into(),
+            buckets: buckets.into(),
+            sum_micros: Arc::new(AtomicU64::new(0)),
+            count: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one observation.
+    ///
+    /// Negative or non-finite observations are clamped to zero: the
+    /// instrument measures durations and sizes, for which such values can
+    /// only be clock or accounting glitches.
+    pub fn observe(&self, v: f64) {
+        let v = if v.is_finite() && v > 0.0 { v } else { 0.0 };
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros
+            .fetch_add((v * 1e6).round() as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Cumulative count at or below each bound, ending with the `+Inf`
+    /// total. The returned vector has `bounds.len() + 1` entries.
+    pub fn cumulative_buckets(&self) -> Vec<u64> {
+        let mut total = 0;
+        self.buckets
+            .iter()
+            .map(|b| {
+                total += b.load(Ordering::Relaxed);
+                total
+            })
+            .collect()
+    }
+
+    /// The configured bucket upper bounds (without `+Inf`).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+}
+
+/// The kind of instrument behind a registered metric, for exposition.
+#[derive(Clone, Debug)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// One registered time series: a metric family member with fixed labels.
+#[derive(Clone, Debug)]
+struct Series {
+    /// Metric family name, e.g. `recopack_jobs_total`.
+    name: String,
+    /// Pre-rendered label pairs, e.g. `[("kind", "opp")]`. Empty for
+    /// unlabelled series.
+    labels: Vec<(String, String)>,
+    help: String,
+    instrument: Instrument,
+}
+
+/// A collection of instruments that renders itself in the Prometheus text
+/// exposition format v0.0.4.
+///
+/// Registration order is exposition order; series of the same family must
+/// be registered contiguously so the single `# HELP`/`# TYPE` header covers
+/// them (the registry enforces that the family's type and help text agree).
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    series: Arc<Mutex<Vec<Series>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers and returns an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        let c = Counter::new();
+        self.push(name, &[], help, Instrument::Counter(c.clone()));
+        c
+    }
+
+    /// Registers and returns a counter with fixed labels.
+    ///
+    /// Call once per member of a closed label enumeration; see the crate
+    /// docs for the cardinality policy.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Counter {
+        let c = Counter::new();
+        self.push(name, labels, help, Instrument::Counter(c.clone()));
+        c
+    }
+
+    /// Registers and returns an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        let g = Gauge::new();
+        self.push(name, &[], help, Instrument::Gauge(g.clone()));
+        g
+    }
+
+    /// Registers and returns an unlabelled histogram over `bounds`.
+    pub fn histogram(&self, name: &str, bounds: &[f64], help: &str) -> Histogram {
+        let h = Histogram::new(bounds);
+        self.push(name, &[], help, Instrument::Histogram(h.clone()));
+        h
+    }
+
+    fn push(&self, name: &str, labels: &[(&str, &str)], help: &str, instrument: Instrument) {
+        assert!(
+            is_valid_metric_name(name),
+            "invalid metric name {name:?}: must match [a-zA-Z_:][a-zA-Z0-9_:]*"
+        );
+        for (k, _) in labels {
+            assert!(
+                is_valid_label_name(k),
+                "invalid label name {k:?}: must match [a-zA-Z_][a-zA-Z0-9_]*"
+            );
+        }
+        let mut series = self.series.lock().expect("metrics registry poisoned");
+        for existing in series.iter() {
+            if existing.name == name {
+                assert!(
+                    kind_str(&existing.instrument) == kind_str(&instrument)
+                        && existing.help == help,
+                    "metric family {name:?} re-registered with a different type or help"
+                );
+                let same_labels = existing.labels.len() == labels.len()
+                    && existing
+                        .labels
+                        .iter()
+                        .zip(labels)
+                        .all(|((k, v), (lk, lv))| k == lk && v == lv);
+                assert!(
+                    !same_labels,
+                    "metric family {name:?} re-registered with identical labels"
+                );
+            }
+        }
+        series.push(Series {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            help: help.to_string(),
+            instrument,
+        });
+    }
+
+    /// Renders every registered series in the text exposition format
+    /// v0.0.4: `# HELP` and `# TYPE` per family, one sample line per
+    /// series (histograms expand to `_bucket`, `_sum`, `_count`).
+    pub fn render(&self) -> String {
+        let series = self.series.lock().expect("metrics registry poisoned");
+        let mut out = String::new();
+        let mut last_family = "";
+        for s in series.iter() {
+            if s.name != last_family {
+                out.push_str("# HELP ");
+                out.push_str(&s.name);
+                out.push(' ');
+                out.push_str(&escape_help(&s.help));
+                out.push('\n');
+                out.push_str("# TYPE ");
+                out.push_str(&s.name);
+                out.push(' ');
+                out.push_str(kind_str(&s.instrument));
+                out.push('\n');
+                last_family = &s.name;
+            }
+            match &s.instrument {
+                Instrument::Counter(c) => {
+                    sample(&mut out, &s.name, &s.labels, None, &c.get().to_string());
+                }
+                Instrument::Gauge(g) => {
+                    sample(&mut out, &s.name, &s.labels, None, &g.get().to_string());
+                }
+                Instrument::Histogram(h) => {
+                    let cumulative = h.cumulative_buckets();
+                    for (i, bound) in h.bounds().iter().enumerate() {
+                        let mut labels = s.labels.clone();
+                        labels.push(("le".to_string(), format_f64(*bound)));
+                        sample(
+                            &mut out,
+                            &s.name,
+                            &labels,
+                            Some("_bucket"),
+                            &cumulative[i].to_string(),
+                        );
+                    }
+                    let mut labels = s.labels.clone();
+                    labels.push(("le".to_string(), "+Inf".to_string()));
+                    sample(
+                        &mut out,
+                        &s.name,
+                        &labels,
+                        Some("_bucket"),
+                        &cumulative[h.bounds().len()].to_string(),
+                    );
+                    sample(
+                        &mut out,
+                        &s.name,
+                        &s.labels,
+                        Some("_sum"),
+                        &format_f64(h.sum()),
+                    );
+                    sample(
+                        &mut out,
+                        &s.name,
+                        &s.labels,
+                        Some("_count"),
+                        &h.count().to_string(),
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Appends one exposition sample line.
+fn sample(
+    out: &mut String,
+    family: &str,
+    labels: &[(String, String)],
+    suffix: Option<&str>,
+    value: &str,
+) {
+    out.push_str(family);
+    if let Some(suffix) = suffix {
+        out.push_str(suffix);
+    }
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape_label_value(v));
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+fn kind_str(i: &Instrument) -> &'static str {
+    match i {
+        Instrument::Counter(_) => "counter",
+        Instrument::Gauge(_) => "gauge",
+        Instrument::Histogram(_) => "histogram",
+    }
+}
+
+/// Renders an `f64` the way Prometheus clients do: integral values without
+/// a fraction, everything else via the shortest roundtrip `Display`.
+fn format_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// `# HELP` text escapes backslash and newline.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Label values escape backslash, double quote, and newline.
+fn escape_label_value(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn is_valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_' || first == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_monotone_and_shared() {
+        let c = Counter::new();
+        let clone = c.clone();
+        c.inc();
+        clone.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::new(&[0.1, 1.0, 10.0]);
+        h.observe(0.05); // slot 0
+        h.observe(0.5); // slot 1
+        h.observe(0.1); // boundary: le is inclusive, slot 0
+        h.observe(100.0); // overflow, +Inf only
+        assert_eq!(h.cumulative_buckets(), vec![2, 3, 3, 4]);
+        assert_eq!(h.count(), 4);
+        let sum = h.sum();
+        assert!((sum - 100.65).abs() < 1e-9, "sum was {sum}");
+    }
+
+    #[test]
+    fn histogram_clamps_garbage_observations() {
+        let h = Histogram::new(&[1.0]);
+        h.observe(-3.0);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.cumulative_buckets(), vec![3, 3]);
+        assert_eq!(h.sum(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(&[1.0, 1.0]);
+    }
+
+    #[test]
+    fn registry_renders_text_exposition() {
+        let r = Registry::new();
+        let jobs = r.counter_with("jobs_total", &[("kind", "opp")], "Jobs by kind.");
+        let depth = r.gauge("queue_depth", "Jobs waiting.");
+        let latency = r.histogram("latency_seconds", &[0.5, 2.0], "Solve latency.");
+        jobs.add(3);
+        depth.set(2);
+        latency.observe(0.25);
+        latency.observe(5.0);
+        let text = r.render();
+        let expected = "\
+# HELP jobs_total Jobs by kind.
+# TYPE jobs_total counter
+jobs_total{kind=\"opp\"} 3
+# HELP queue_depth Jobs waiting.
+# TYPE queue_depth gauge
+queue_depth 2
+# HELP latency_seconds Solve latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le=\"0.5\"} 1
+latency_seconds_bucket{le=\"2\"} 1
+latency_seconds_bucket{le=\"+Inf\"} 2
+latency_seconds_sum 5.25
+latency_seconds_count 2
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn families_share_one_header() {
+        let r = Registry::new();
+        r.counter_with("jobs_total", &[("kind", "opp")], "Jobs by kind.")
+            .inc();
+        r.counter_with("jobs_total", &[("kind", "bmp")], "Jobs by kind.");
+        let text = r.render();
+        assert_eq!(text.matches("# HELP jobs_total").count(), 1);
+        assert_eq!(text.matches("# TYPE jobs_total").count(), 1);
+        assert!(text.contains("jobs_total{kind=\"opp\"} 1"));
+        assert!(text.contains("jobs_total{kind=\"bmp\"} 0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different type or help")]
+    fn registry_rejects_family_type_conflicts() {
+        let r = Registry::new();
+        let _ = r.counter("thing", "A thing.");
+        let _ = r.gauge("thing", "A thing.");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        let c = r.counter_with("weird_total", &[("why", "a\"b\\c\nd")], "Escapes.");
+        c.inc();
+        assert!(r
+            .render()
+            .contains("weird_total{why=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn registry_rejects_bad_names() {
+        let r = Registry::new();
+        let _ = r.counter("0bad", "Starts with a digit.");
+    }
+}

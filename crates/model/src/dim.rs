@@ -38,21 +38,12 @@ impl Dim {
         }
     }
 
-    /// The dimension with the given dense index.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `i >= 3`. Use [`Dim::try_from_index`] for indices that are
-    /// not known in advance to be in range.
-    pub const fn from_index(i: usize) -> Dim {
-        match Dim::try_from_index(i) {
-            Ok(d) => d,
-            Err(_) => panic!("dimension index out of range"),
-        }
-    }
-
     /// The dimension with the given dense index, or a typed error when the
     /// index is out of range.
+    ///
+    /// This is the only index-to-dimension conversion: in-range indices are
+    /// normally known statically (iterate [`Dim::ALL`] instead of `0..3`),
+    /// and anything dynamic must handle [`DimIndexError`].
     ///
     /// # Example
     ///
@@ -110,7 +101,7 @@ mod tests {
     #[test]
     fn index_roundtrip() {
         for d in Dim::ALL {
-            assert_eq!(Dim::from_index(d.index()), d);
+            assert_eq!(Dim::try_from_index(d.index()), Ok(d));
         }
     }
 
@@ -125,7 +116,8 @@ mod tests {
     }
 
     /// Regression: out-of-range indices must yield a typed error instead of
-    /// a panic (only the documented-panicking `from_index` may panic).
+    /// a panic — the panicking accessor is gone, so no index-to-dimension
+    /// conversion can abort the process.
     #[test]
     fn out_of_range_index_is_a_typed_error() {
         for i in 3..10usize {
@@ -133,9 +125,9 @@ mod tests {
             assert_eq!(err, DimIndexError(i));
             assert!(err.to_string().contains(&i.to_string()));
         }
-        for i in 0..3usize {
-            assert_eq!(Dim::try_from_index(i), Ok(Dim::from_index(i)));
-        }
+        assert_eq!(Dim::try_from_index(0), Ok(Dim::X));
+        assert_eq!(Dim::try_from_index(1), Ok(Dim::Y));
+        assert_eq!(Dim::try_from_index(2), Ok(Dim::Time));
     }
 
     #[test]

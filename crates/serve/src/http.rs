@@ -1,0 +1,140 @@
+//! A deliberately minimal HTTP/1.1 server side: parse one request, write
+//! one response, close the connection.
+//!
+//! The service speaks to curl, Prometheus scrapers, and the raw
+//! `std::net::TcpStream` clients of the integration tests — none of which
+//! need keep-alive, chunked transfer, or TLS. Every response carries
+//! `Connection: close` and an exact `Content-Length`, so clients can read
+//! to EOF.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+
+/// Upper bound on the request line plus headers.
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+
+/// Upper bound on a request body (instance files are a few KB; a megabyte
+/// is already a thousand-task instance).
+const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub(crate) struct Request {
+    pub(crate) method: String,
+    pub(crate) path: String,
+    pub(crate) body: String,
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// Malformed input yields a human-readable message the caller turns into a
+/// `400 Bad Request`; transport errors are folded into the same path (the
+/// peer is gone either way).
+pub(crate) fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = find_blank_line(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err("request headers too large".to_string());
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| format!("read failed: {e}"))?;
+        if n == 0 {
+            return Err("connection closed before the headers ended".to_string());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..header_end])
+        .map_err(|_| "request headers are not UTF-8".to_string())?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(format!("malformed request line {request_line:?}"));
+    }
+
+    let mut content_length = 0usize;
+    let mut expects_continue = false;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| format!("bad Content-Length {value:?}"))?;
+        } else if name.eq_ignore_ascii_case("expect") && value.eq_ignore_ascii_case("100-continue")
+        {
+            expects_continue = true;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(format!("request body too large ({content_length} bytes)"));
+    }
+    // curl sends `Expect: 100-continue` for larger bodies and stalls until
+    // the server approves; acknowledge so instance uploads don't hang.
+    if expects_continue {
+        let _ = stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
+    }
+
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| format!("read failed: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-body".to_string());
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body).map_err(|_| "request body is not UTF-8".to_string())?;
+    Ok(Request { method, path, body })
+}
+
+/// Writes a complete response and flushes it.
+pub(crate) fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    // The peer may have gone away; nothing useful to do about it.
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Index of the first `\r\n\r\n` in `buf`, if any.
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blank_line_is_found() {
+        assert_eq!(find_blank_line(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
+        assert_eq!(find_blank_line(b"partial\r\n"), None);
+    }
+}

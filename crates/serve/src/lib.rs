@@ -1,0 +1,911 @@
+//! `recopack serve`: the long-running solver service.
+//!
+//! Turns the one-shot solvers of `recopack-core` into an online system in
+//! the shape real reconfigurable-device managers take (van der Veen et al.,
+//! Angermeier et al.): a daemon that accepts solve jobs over HTTP, runs
+//! them on a bounded worker pool, and exposes its internals through
+//! standard observability endpoints.
+//!
+//! | Endpoint           | Method | Purpose                                      |
+//! |--------------------|--------|----------------------------------------------|
+//! | `/jobs`            | POST   | submit an Opp/Bmp/Spp/Pareto instance        |
+//! | `/jobs`            | GET    | list all known jobs                          |
+//! | `/jobs/{id}`       | GET    | job status + [`SolveReport`] on completion   |
+//! | `/jobs/{id}`       | DELETE | cancel (cooperative, via [`CancelToken`])    |
+//! | `/healthz`         | GET    | liveness + readiness (queue not saturated)   |
+//! | `/metrics`         | GET    | Prometheus text exposition v0.0.4            |
+//!
+//! Jobs are submitted as JSON (bodies are parsed with `recopack-json`, the
+//! workspace's dependency-free reader):
+//!
+//! ```json
+//! {"kind": "opp", "instance": "chip 4 4\nhorizon 2\ntask a 2 2 2\n",
+//!  "node_limit": 1000000, "time_limit_ms": 5000, "threads": 2}
+//! ```
+//!
+//! The server logs one NDJSON object per request and per job transition to
+//! stderr, and drains gracefully on SIGTERM/ctrl-c: in-flight and queued
+//! jobs finish, new submissions are refused with 503, and the final metric
+//! values are flushed to the log before exit.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod http;
+mod signal;
+mod sink;
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant, SystemTime};
+
+use recopack_core::telemetry::push_json_str;
+use recopack_core::{
+    pareto_front_with_stats, Bmp, CancelToken, LimitKind, Opp, SolveOutcome, SolveReport,
+    SolverConfig, SolverStats, Spp, Telemetry,
+};
+use recopack_json::Json;
+use recopack_metrics::{Counter, Gauge, Histogram, Registry};
+use recopack_model::{format, Chip, Instance};
+
+pub use signal::{install_shutdown_handler, shutdown_requested};
+pub use sink::MetricsSink;
+
+/// Configuration of one [`Server`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7878`. Port `0` binds an ephemeral
+    /// port (see [`Server::local_addr`]).
+    pub addr: String,
+    /// Solver worker threads draining the job queue. `0` uses the hardware
+    /// parallelism.
+    pub workers: usize,
+    /// Capacity of the bounded job queue; submissions beyond it are
+    /// rejected with `503` and counted in `recopack_jobs_rejected_total`.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 2,
+            queue_depth: 16,
+        }
+    }
+}
+
+/// The problem family a job asks to solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobKind {
+    Opp,
+    Bmp,
+    Spp,
+    Pareto,
+}
+
+impl JobKind {
+    const ALL: [JobKind; 4] = [JobKind::Opp, JobKind::Bmp, JobKind::Spp, JobKind::Pareto];
+
+    fn name(self) -> &'static str {
+        match self {
+            JobKind::Opp => "opp",
+            JobKind::Bmp => "bmp",
+            JobKind::Spp => "spp",
+            JobKind::Pareto => "pareto",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            JobKind::Opp => 0,
+            JobKind::Bmp => 1,
+            JobKind::Spp => 2,
+            JobKind::Pareto => 3,
+        }
+    }
+
+    fn parse(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// Label values of `recopack_jobs_rejected_total`: the four job kinds plus
+/// `unknown` for requests refused before a kind could be determined. A
+/// closed set — see the cardinality policy in `recopack-metrics`.
+const REJECT_KINDS: [&str; 5] = ["opp", "bmp", "spp", "pareto", "unknown"];
+
+/// Index of the `unknown` slot in [`REJECT_KINDS`].
+const REJECT_UNKNOWN: usize = 4;
+
+/// Everything the worker needs to run a job.
+struct JobSpec {
+    instance: Instance,
+    config: SolverConfig,
+}
+
+/// Lifecycle of a submitted job.
+enum JobState {
+    Queued,
+    Running,
+    Finished {
+        /// `done`, `cancelled`, or `failed`.
+        status: &'static str,
+        outcome: String,
+        /// The schema-2 [`SolveReport`] JSON, when the solver produced
+        /// statistics.
+        report: Option<String>,
+        /// The placement in the text format of `recopack_model::format`,
+        /// for feasible decision problems and optimization optima.
+        placement: Option<String>,
+    },
+}
+
+struct Job {
+    kind: JobKind,
+    name: String,
+    cancel: CancelToken,
+    state: JobState,
+    /// Taken by the worker when the job starts.
+    spec: Option<JobSpec>,
+}
+
+/// Job table and queue, guarded by one mutex so queue membership and job
+/// state can never disagree.
+#[derive(Default)]
+struct State {
+    jobs: HashMap<u64, Job>,
+    queue: VecDeque<u64>,
+    draining: bool,
+}
+
+/// Every metric family the service exposes. Names are fixed at startup;
+/// labels come from the closed [`JobKind`]/[`REJECT_KINDS`] enumerations.
+struct ServerMetrics {
+    registry: Registry,
+    accepted: [Counter; 4],
+    completed: [Counter; 4],
+    cancelled: [Counter; 4],
+    failed: [Counter; 4],
+    rejected: [Counter; 5],
+    queue_depth: Gauge,
+    in_flight: Gauge,
+    latency: Histogram,
+    nodes: Histogram,
+}
+
+impl ServerMetrics {
+    fn new() -> Self {
+        let registry = Registry::new();
+        let per_kind = |name: &str, help: &str| {
+            JobKind::ALL.map(|k| registry.counter_with(name, &[("kind", k.name())], help))
+        };
+        let accepted = per_kind(
+            "recopack_jobs_accepted_total",
+            "Jobs admitted to the queue, by kind.",
+        );
+        let completed = per_kind(
+            "recopack_jobs_completed_total",
+            "Jobs that ran to a verdict (including budget exhaustion), by kind.",
+        );
+        let cancelled = per_kind(
+            "recopack_jobs_cancelled_total",
+            "Jobs cancelled via DELETE /jobs/{id}, by kind.",
+        );
+        let failed = per_kind(
+            "recopack_jobs_failed_total",
+            "Jobs whose optimization goal was unreachable, by kind.",
+        );
+        let rejected = REJECT_KINDS.map(|k| {
+            registry.counter_with(
+                "recopack_jobs_rejected_total",
+                &[("kind", k)],
+                "Submissions refused (malformed, queue full, draining), by kind.",
+            )
+        });
+        Self {
+            accepted,
+            completed,
+            cancelled,
+            failed,
+            rejected,
+            queue_depth: registry
+                .gauge("recopack_queue_depth", "Jobs waiting in the bounded queue."),
+            in_flight: registry.gauge(
+                "recopack_jobs_in_flight",
+                "Jobs currently being solved by the worker pool.",
+            ),
+            latency: registry.histogram(
+                "recopack_job_duration_seconds",
+                &[0.001, 0.005, 0.025, 0.1, 0.5, 2.0, 10.0, 30.0, 120.0],
+                "Wall-clock duration of completed jobs in seconds.",
+            ),
+            nodes: registry.histogram(
+                "recopack_job_nodes",
+                &[
+                    10.0,
+                    100.0,
+                    1_000.0,
+                    10_000.0,
+                    100_000.0,
+                    1_000_000.0,
+                    10_000_000.0,
+                ],
+                "Search nodes explored per job.",
+            ),
+            registry,
+        }
+    }
+}
+
+struct Inner {
+    state: Mutex<State>,
+    work_available: Condvar,
+    queue_capacity: usize,
+    metrics: ServerMetrics,
+    sink: Arc<MetricsSink>,
+    next_id: AtomicU64,
+    accept_stop: AtomicBool,
+}
+
+/// One NDJSON log line on stderr: `{"t_ms":...,"event":...,...}`.
+struct LogLine {
+    buf: String,
+}
+
+impl LogLine {
+    fn new(event: &str) -> Self {
+        let t_ms = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_millis())
+            .unwrap_or(0);
+        let mut buf = format!("{{\"t_ms\":{t_ms},\"event\":");
+        push_json_str(&mut buf, event);
+        Self { buf }
+    }
+
+    fn str(mut self, key: &str, value: &str) -> Self {
+        self.buf.push(',');
+        push_json_str(&mut self.buf, key);
+        self.buf.push(':');
+        push_json_str(&mut self.buf, value);
+        self
+    }
+
+    fn num(mut self, key: &str, value: u64) -> Self {
+        self.buf.push(',');
+        push_json_str(&mut self.buf, key);
+        use std::fmt::Write as _;
+        let _ = write!(self.buf, ":{value}");
+        self
+    }
+
+    fn ms(mut self, key: &str, value: f64) -> Self {
+        self.buf.push(',');
+        push_json_str(&mut self.buf, key);
+        use std::fmt::Write as _;
+        let _ = write!(self.buf, ":{value:.3}");
+        self
+    }
+
+    fn emit(mut self) {
+        self.buf.push('}');
+        eprintln!("{}", self.buf);
+    }
+}
+
+/// A running solver service: an HTTP acceptor plus a pool of solver
+/// workers over one bounded job queue.
+///
+/// Lifecycle: [`bind`](Server::bind) starts everything,
+/// [`shutdown`](Server::shutdown) begins the graceful drain (accepted jobs
+/// finish, new submissions are refused), [`join`](Server::join) waits for
+/// the drain and stops the acceptor. [`run_until`](Server::run_until)
+/// bundles the three for the CLI.
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and starts the worker pool and the acceptor.
+    pub fn bind(config: &ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let metrics = ServerMetrics::new();
+        let sink = Arc::new(MetricsSink::register(&metrics.registry));
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State::default()),
+            work_available: Condvar::new(),
+            queue_capacity: config.queue_depth.max(1),
+            metrics,
+            sink,
+            next_id: AtomicU64::new(1),
+            accept_stop: AtomicBool::new(false),
+        });
+        let worker_count = match config.workers {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        };
+        let workers = (0..worker_count)
+            .map(|_| {
+                let inner = inner.clone();
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        let acceptor = {
+            let inner = inner.clone();
+            std::thread::spawn(move || accept_loop(&inner, listener))
+        };
+        LogLine::new("listening")
+            .str("addr", &addr.to_string())
+            .num("workers", worker_count as u64)
+            .num("queue_depth", inner.queue_capacity as u64)
+            .emit();
+        Ok(Server {
+            inner,
+            addr,
+            workers,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (relevant when the config asked for port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begins the graceful drain: queued and running jobs finish, new
+    /// submissions are refused with `503`, `/healthz` reports draining.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.inner.state.lock().expect("state lock");
+            if st.draining {
+                return;
+            }
+            st.draining = true;
+        }
+        self.inner.work_available.notify_all();
+        LogLine::new("shutdown").str("phase", "drain").emit();
+    }
+
+    /// Waits for the workers to drain the queue, then stops the acceptor
+    /// and flushes the final metric values to the log. Call
+    /// [`shutdown`](Server::shutdown) first, or this blocks until someone
+    /// does.
+    pub fn join(mut self) {
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.inner.accept_stop.store(true, Ordering::Relaxed);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let exposition = self.inner.metrics.registry.render();
+        LogLine::new("metrics_flushed")
+            .num("bytes", exposition.len() as u64)
+            .emit();
+        eprint!("{exposition}");
+    }
+
+    /// Serves until `stop` becomes true (typically the flag returned by
+    /// [`install_shutdown_handler`]), then drains and exits.
+    pub fn run_until(self, stop: &AtomicBool) {
+        while !stop.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.shutdown();
+        self.join();
+    }
+}
+
+/// One solver worker: pop a job, run it, record the outcome — until the
+/// queue is empty *and* the server is draining.
+fn worker_loop(inner: &Inner) {
+    loop {
+        let mut st = inner.state.lock().expect("state lock");
+        let id = loop {
+            if let Some(id) = st.queue.pop_front() {
+                break id;
+            }
+            if st.draining {
+                return;
+            }
+            st = inner.work_available.wait(st).expect("state lock");
+        };
+        inner.metrics.queue_depth.dec();
+        let job = st.jobs.get_mut(&id).expect("queued job exists");
+        if !matches!(job.state, JobState::Queued) {
+            // Cancelled while queued; its terminal state is already set.
+            continue;
+        }
+        job.state = JobState::Running;
+        let kind = job.kind;
+        let name = job.name.clone();
+        let spec = job.spec.take().expect("queued job has a spec");
+        drop(st);
+
+        inner.metrics.in_flight.inc();
+        LogLine::new("job_started")
+            .num("job", id)
+            .str("kind", kind.name())
+            .emit();
+        let started = Instant::now();
+        let finished = run_job(kind, &name, &spec);
+        let wall = started.elapsed();
+        inner.metrics.in_flight.dec();
+        inner.metrics.latency.observe(wall.as_secs_f64());
+        inner.metrics.nodes.observe(finished.nodes as f64);
+        match finished.status {
+            "cancelled" => inner.metrics.cancelled[kind.index()].inc(),
+            "failed" => inner.metrics.failed[kind.index()].inc(),
+            _ => inner.metrics.completed[kind.index()].inc(),
+        }
+        LogLine::new("job_finished")
+            .num("job", id)
+            .str("kind", kind.name())
+            .str("status", finished.status)
+            .str("outcome", &finished.outcome)
+            .ms("wall_ms", wall.as_secs_f64() * 1000.0)
+            .num("nodes", finished.nodes)
+            .emit();
+
+        let mut st = inner.state.lock().expect("state lock");
+        let job = st.jobs.get_mut(&id).expect("running job exists");
+        job.state = JobState::Finished {
+            status: finished.status,
+            outcome: finished.outcome,
+            report: finished.report,
+            placement: finished.placement,
+        };
+    }
+}
+
+/// Terminal result of one executed job.
+struct FinishedJob {
+    status: &'static str,
+    outcome: String,
+    report: Option<String>,
+    placement: Option<String>,
+    nodes: u64,
+}
+
+/// Runs one job to completion on the calling worker thread.
+fn run_job(kind: JobKind, name: &str, spec: &JobSpec) -> FinishedJob {
+    let started = Instant::now();
+    let threads = spec.config.threads;
+    let report_for = |outcome: &str, decisions: u32, stats: &SolverStats| {
+        let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+        let per_sec = |count: u64| (wall_ms > 0.0).then(|| count as f64 / (wall_ms / 1000.0));
+        SolveReport {
+            command: kind.name().to_string(),
+            instance: name.to_string(),
+            outcome: outcome.to_string(),
+            threads,
+            decisions,
+            wall_ms,
+            nodes_per_sec: per_sec(stats.nodes),
+            propagation_events_per_sec: per_sec(stats.propagation_events),
+            stats: stats.clone(),
+            events: None,
+            journal_dropped: None,
+        }
+        .to_json()
+    };
+    match kind {
+        JobKind::Opp => {
+            let (outcome, stats) = Opp::new(&spec.instance)
+                .with_config(spec.config.clone())
+                .solve_with_stats();
+            let label = match &outcome {
+                SolveOutcome::Feasible(_) => "feasible".to_string(),
+                SolveOutcome::Infeasible(_) => "infeasible".to_string(),
+                SolveOutcome::ResourceLimit(LimitKind::Cancelled) => "cancelled".to_string(),
+                SolveOutcome::ResourceLimit(limit) => format!("{limit} reached"),
+            };
+            let status = match &outcome {
+                SolveOutcome::ResourceLimit(LimitKind::Cancelled) => "cancelled",
+                _ => "done",
+            };
+            let placement = outcome
+                .placement()
+                .map(|p| format::format_placement(p, &spec.instance));
+            FinishedJob {
+                status,
+                report: Some(report_for(&label, 1, &stats)),
+                outcome: label,
+                placement,
+                nodes: stats.nodes,
+            }
+        }
+        JobKind::Bmp => match Bmp::new(&spec.instance)
+            .with_config(spec.config.clone())
+            .solve()
+        {
+            Some(result) => {
+                let label = format!("side {}", result.side);
+                let target = spec.instance.clone().with_chip(Chip::square(result.side));
+                FinishedJob {
+                    status: "done",
+                    report: Some(report_for(&label, result.decisions, &result.stats)),
+                    outcome: label,
+                    placement: Some(format::format_placement(&result.placement, &target)),
+                    nodes: result.stats.nodes,
+                }
+            }
+            None => unresolved(
+                &spec.config.cancel,
+                "no chip admits the deadline or a budget ran out",
+            ),
+        },
+        JobKind::Spp => match Spp::new(&spec.instance)
+            .with_config(spec.config.clone())
+            .solve()
+        {
+            Some(result) => {
+                let label = format!("makespan {}", result.makespan);
+                let target = spec.instance.clone().with_horizon(result.makespan);
+                FinishedJob {
+                    status: "done",
+                    report: Some(report_for(&label, result.decisions, &result.stats)),
+                    outcome: label,
+                    placement: Some(format::format_placement(&result.placement, &target)),
+                    nodes: result.stats.nodes,
+                }
+            }
+            None => unresolved(
+                &spec.config.cancel,
+                "no horizon fits the chip spatially or a budget ran out",
+            ),
+        },
+        JobKind::Pareto => match pareto_front_with_stats(&spec.instance, &spec.config) {
+            Some((front, stats, decisions)) => {
+                let label = format!("{} pareto points", front.len());
+                FinishedJob {
+                    status: "done",
+                    report: Some(report_for(&label, decisions, &stats)),
+                    outcome: label,
+                    placement: None,
+                    nodes: stats.nodes,
+                }
+            }
+            None => unresolved(&spec.config.cancel, "a budget ran out during the sweep"),
+        },
+    }
+}
+
+/// An optimization solver returned no result: either our cancellation hook
+/// fired, or the goal is unreachable within the budgets.
+fn unresolved(cancel: &CancelToken, message: &str) -> FinishedJob {
+    if cancel.is_cancelled() {
+        FinishedJob {
+            status: "cancelled",
+            outcome: "cancelled".to_string(),
+            report: None,
+            placement: None,
+            nodes: 0,
+        }
+    } else {
+        FinishedJob {
+            status: "failed",
+            outcome: message.to_string(),
+            report: None,
+            placement: None,
+            nodes: 0,
+        }
+    }
+}
+
+/// Accepts connections until told to stop; each connection is handled on
+/// its own thread so a slow client cannot stall the health or metrics
+/// endpoints.
+fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
+    loop {
+        if inner.accept_stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nonblocking(false);
+                let inner = inner.clone();
+                std::thread::spawn(move || handle_connection(&inner, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn handle_connection(inner: &Inner, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let request = match http::read_request(&mut stream) {
+        Ok(request) => request,
+        Err(message) => {
+            http::respond(&mut stream, 400, "application/json", &error_body(&message));
+            return;
+        }
+    };
+    let (status, content_type, body) = route(inner, &request);
+    http::respond(&mut stream, status, content_type, &body);
+    LogLine::new("request")
+        .str("method", &request.method)
+        .str("path", &request.path)
+        .num("status", u64::from(status))
+        .emit();
+}
+
+fn error_body(message: &str) -> String {
+    let mut body = String::from("{\"error\":");
+    push_json_str(&mut body, message);
+    body.push('}');
+    body
+}
+
+fn route(inner: &Inner, request: &http::Request) -> (u16, &'static str, String) {
+    const JSON: &str = "application/json";
+    const PROMETHEUS: &str = "text/plain; version=0.0.4; charset=utf-8";
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let (status, body) = healthz(inner);
+            (status, JSON, body)
+        }
+        ("GET", "/metrics") => (200, PROMETHEUS, inner.metrics.registry.render()),
+        ("POST", "/jobs") => {
+            let (status, body) = submit(inner, &request.body);
+            (status, JSON, body)
+        }
+        ("GET", "/jobs") => (200, JSON, list_jobs(inner)),
+        (method, path) => match path.strip_prefix("/jobs/").map(str::parse::<u64>) {
+            Some(Ok(id)) => match method {
+                "GET" => {
+                    let (status, body) = job_status(inner, id);
+                    (status, JSON, body)
+                }
+                "DELETE" => {
+                    let (status, body) = cancel_job(inner, id);
+                    (status, JSON, body)
+                }
+                _ => (405, JSON, error_body("method not allowed")),
+            },
+            Some(Err(_)) => (404, JSON, error_body("job ids are integers")),
+            None => (404, JSON, error_body("not found")),
+        },
+    }
+}
+
+fn healthz(inner: &Inner) -> (u16, String) {
+    let (depth, draining) = {
+        let st = inner.state.lock().expect("state lock");
+        (st.queue.len(), st.draining)
+    };
+    let capacity = inner.queue_capacity;
+    let in_flight = inner.metrics.in_flight.get();
+    let status_word = if draining {
+        "draining"
+    } else if depth >= capacity {
+        "saturated"
+    } else {
+        "ok"
+    };
+    let code = if status_word == "ok" { 200 } else { 503 };
+    let body = format!(
+        "{{\"status\":\"{status_word}\",\"queue_depth\":{depth},\
+         \"queue_capacity\":{capacity},\"in_flight\":{in_flight}}}"
+    );
+    (code, body)
+}
+
+/// Handles `POST /jobs`: validate, admission-control, enqueue.
+fn submit(inner: &Inner, body: &str) -> (u16, String) {
+    let reject = |kind_index: usize, status: u16, reason: &str| {
+        inner.metrics.rejected[kind_index].inc();
+        LogLine::new("job_rejected")
+            .str("kind", REJECT_KINDS[kind_index])
+            .str("reason", reason)
+            .emit();
+        (status, error_body(reason))
+    };
+    let doc = match Json::parse(body) {
+        Ok(doc) => doc,
+        Err(e) => return reject(REJECT_UNKNOWN, 400, &format!("malformed JSON body: {e}")),
+    };
+    let Some(kind_name) = doc.get("kind").and_then(Json::as_str) else {
+        return reject(REJECT_UNKNOWN, 400, "missing \"kind\" (opp|bmp|spp|pareto)");
+    };
+    let Some(kind) = JobKind::parse(kind_name) else {
+        return reject(REJECT_UNKNOWN, 400, &format!("unknown kind {kind_name:?}"));
+    };
+    let Some(instance_text) = doc.get("instance").and_then(Json::as_str) else {
+        return reject(kind.index(), 400, "missing \"instance\" text");
+    };
+    let instance = match format::parse_instance(instance_text) {
+        Ok(instance) => instance,
+        Err(e) => return reject(kind.index(), 400, &format!("bad instance: {e}")),
+    };
+    let instance = if doc
+        .get("no_precedence")
+        .and_then(Json::as_bool)
+        .unwrap_or(false)
+    {
+        instance.without_precedence()
+    } else {
+        instance.with_transitive_closure()
+    };
+    let cancel = CancelToken::new();
+    let config = SolverConfig {
+        threads: doc.get("threads").and_then(Json::as_u64).unwrap_or(1) as usize,
+        use_bounds: doc
+            .get("use_bounds")
+            .and_then(Json::as_bool)
+            .unwrap_or(true),
+        use_heuristics: doc
+            .get("use_heuristics")
+            .and_then(Json::as_bool)
+            .unwrap_or(true),
+        node_limit: doc.get("node_limit").and_then(Json::as_u64),
+        time_limit: doc
+            .get("time_limit_ms")
+            .and_then(Json::as_u64)
+            .map(Duration::from_millis),
+        telemetry: Telemetry::to(inner.sink.clone()),
+        cancel: cancel.clone(),
+        ..SolverConfig::default()
+    };
+
+    let mut st = inner.state.lock().expect("state lock");
+    if st.draining {
+        return reject(kind.index(), 503, "server is draining");
+    }
+    if st.queue.len() >= inner.queue_capacity {
+        return reject(kind.index(), 503, "queue full");
+    }
+    let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+    let name = doc
+        .get("name")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("job-{id}"));
+    st.jobs.insert(
+        id,
+        Job {
+            kind,
+            name: name.clone(),
+            cancel,
+            state: JobState::Queued,
+            spec: Some(JobSpec { instance, config }),
+        },
+    );
+    st.queue.push_back(id);
+    drop(st);
+    inner.metrics.queue_depth.inc();
+    inner.metrics.accepted[kind.index()].inc();
+    inner.work_available.notify_one();
+    LogLine::new("job_accepted")
+        .num("job", id)
+        .str("kind", kind.name())
+        .str("name", &name)
+        .emit();
+    (202, format!("{{\"id\":{id},\"status\":\"queued\"}}"))
+}
+
+fn job_json(id: u64, job: &Job) -> String {
+    let mut body = format!("{{\"id\":{id},\"kind\":");
+    push_json_str(&mut body, job.kind.name());
+    body.push_str(",\"name\":");
+    push_json_str(&mut body, &job.name);
+    body.push_str(",\"status\":");
+    match &job.state {
+        JobState::Queued => body.push_str("\"queued\"}"),
+        JobState::Running => body.push_str("\"running\"}"),
+        JobState::Finished {
+            status,
+            outcome,
+            report,
+            placement,
+        } => {
+            push_json_str(&mut body, status);
+            body.push_str(",\"outcome\":");
+            push_json_str(&mut body, outcome);
+            body.push_str(",\"report\":");
+            match report {
+                Some(report) => body.push_str(report),
+                None => body.push_str("null"),
+            }
+            body.push_str(",\"placement\":");
+            match placement {
+                Some(placement) => push_json_str(&mut body, placement),
+                None => body.push_str("null"),
+            }
+            body.push('}');
+        }
+    }
+    body
+}
+
+fn job_status(inner: &Inner, id: u64) -> (u16, String) {
+    let st = inner.state.lock().expect("state lock");
+    match st.jobs.get(&id) {
+        Some(job) => (200, job_json(id, job)),
+        None => (404, error_body("no such job")),
+    }
+}
+
+fn list_jobs(inner: &Inner) -> String {
+    let st = inner.state.lock().expect("state lock");
+    let mut ids: Vec<u64> = st.jobs.keys().copied().collect();
+    ids.sort_unstable();
+    let mut body = String::from("{\"jobs\":[");
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&job_json(*id, &st.jobs[id]));
+    }
+    body.push_str("]}");
+    body
+}
+
+fn cancel_job(inner: &Inner, id: u64) -> (u16, String) {
+    enum Snapshot {
+        NotFound,
+        Queued(JobKind),
+        Running,
+        Finished(&'static str),
+    }
+    let mut st = inner.state.lock().expect("state lock");
+    let snapshot = match st.jobs.get(&id) {
+        None => Snapshot::NotFound,
+        Some(job) => match &job.state {
+            JobState::Queued => Snapshot::Queued(job.kind),
+            JobState::Running => Snapshot::Running,
+            JobState::Finished { status, .. } => Snapshot::Finished(status),
+        },
+    };
+    match snapshot {
+        Snapshot::NotFound => (404, error_body("no such job")),
+        Snapshot::Queued(kind) => {
+            st.queue.retain(|&queued| queued != id);
+            let job = st.jobs.get_mut(&id).expect("job exists");
+            job.cancel.cancel();
+            job.state = JobState::Finished {
+                status: "cancelled",
+                outcome: "cancelled while queued".to_string(),
+                report: None,
+                placement: None,
+            };
+            drop(st);
+            inner.metrics.queue_depth.dec();
+            inner.metrics.cancelled[kind.index()].inc();
+            LogLine::new("job_cancelled")
+                .num("job", id)
+                .str("while", "queued")
+                .emit();
+            (200, format!("{{\"id\":{id},\"status\":\"cancelled\"}}"))
+        }
+        Snapshot::Running => {
+            st.jobs.get(&id).expect("job exists").cancel.cancel();
+            drop(st);
+            LogLine::new("job_cancelled")
+                .num("job", id)
+                .str("while", "running")
+                .emit();
+            // The worker observes the token at its next budget checkpoint
+            // and records the terminal state.
+            (202, format!("{{\"id\":{id},\"status\":\"cancelling\"}}"))
+        }
+        Snapshot::Finished(status) => (
+            409,
+            format!("{{\"id\":{id},\"status\":\"{status}\",\"error\":\"job already finished\"}}"),
+        ),
+    }
+}

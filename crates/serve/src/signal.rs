@@ -1,0 +1,64 @@
+//! SIGTERM / ctrl-c handling without a libc dependency.
+//!
+//! The workspace has no crates.io access, so instead of the usual `signal
+//! hook` crates this module declares the one POSIX function it needs. The
+//! handler does the only async-signal-safe thing a handler may do here:
+//! one relaxed atomic store into a process-wide flag, which the serve
+//! loop polls to begin its graceful drain.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the signal handler; polled by [`crate::Server::run_until`].
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use super::SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    type Handler = extern "C" fn(i32);
+
+    extern "C" {
+        /// POSIX `signal(2)`. The return value (the previous handler) is a
+        /// function pointer we never need; `usize` keeps the declaration
+        /// free of pointer types.
+        fn signal(signum: i32, handler: Handler) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::Relaxed);
+    }
+
+    pub(super) fn install() {
+        // SAFETY: `signal` is the C library's own entry point; installing a
+        // handler that only performs an atomic store is async-signal-safe.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signal wiring off Unix; the flag is still usable (e.g. tests can
+    /// set it) but nothing flips it on ctrl-c.
+    pub(super) fn install() {}
+}
+
+/// Installs handlers for SIGINT and SIGTERM (on Unix) and returns the flag
+/// they set. Call once at startup; pass the flag to
+/// [`Server::run_until`](crate::Server::run_until).
+pub fn install_shutdown_handler() -> &'static AtomicBool {
+    imp::install();
+    &SHUTDOWN
+}
+
+/// Whether a shutdown signal has arrived (or the flag was set manually).
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}

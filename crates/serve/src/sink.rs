@@ -1,0 +1,115 @@
+//! The bridge from the solver's telemetry stream to the metrics registry.
+
+use recopack_core::{PruneRule, SearchEvent, SolverStats, TelemetrySink};
+use recopack_metrics::{Counter, Registry};
+
+/// A [`TelemetrySink`] that turns search telemetry into cumulative
+/// Prometheus counters.
+///
+/// The hot-path cost is one relaxed atomic increment per search event
+/// ([`TelemetrySink::record`]); the [`SolverStats`] aggregates — nodes,
+/// per-rule prunes, propagation events — are added once per completed
+/// search in [`TelemetrySink::search_finished`], where they are already
+/// merged across worker threads. One shared `MetricsSink` is installed
+/// into every job's [`SolverConfig`](recopack_core::SolverConfig), so the
+/// exposed series are service-lifetime totals.
+pub struct MetricsSink {
+    events_total: Counter,
+    searches_total: Counter,
+    nodes_total: Counter,
+    propagation_events_total: Counter,
+    prunes_total: [Counter; 4],
+}
+
+impl MetricsSink {
+    /// Registers the solver-telemetry series in `registry` and returns the
+    /// sink feeding them.
+    pub fn register(registry: &Registry) -> Self {
+        let prunes_total = PruneRule::ALL.map(|rule| {
+            registry.counter_with(
+                "recopack_solver_prunes_total",
+                &[("rule", rule.name())],
+                "Subtrees refuted, by propagation rule.",
+            )
+        });
+        Self {
+            events_total: registry.counter(
+                "recopack_search_events_total",
+                "Search telemetry events observed (branch, propagate, prune, backtrack, leaf).",
+            ),
+            searches_total: registry.counter(
+                "recopack_searches_total",
+                "Completed branch-and-bound searches (one per exact decision).",
+            ),
+            nodes_total: registry.counter(
+                "recopack_solver_nodes_total",
+                "Search nodes explored across all jobs.",
+            ),
+            propagation_events_total: registry.counter(
+                "recopack_solver_propagation_events_total",
+                "Propagation-queue events processed across all jobs.",
+            ),
+            prunes_total,
+        }
+    }
+}
+
+impl TelemetrySink for MetricsSink {
+    fn record(&self, _event: &SearchEvent) {
+        self.events_total.inc();
+    }
+
+    fn search_finished(&self, stats: &SolverStats) {
+        self.searches_total.inc();
+        self.nodes_total.add(stats.nodes);
+        self.propagation_events_total.add(stats.propagation_events);
+        self.prunes_total[PruneRule::C2.index()].add(stats.c2_conflicts);
+        self.prunes_total[PruneRule::C3.index()].add(stats.c3_conflicts);
+        self.prunes_total[PruneRule::C4.index()].add(stats.c4_conflicts);
+        self.prunes_total[PruneRule::Orientation.index()].add(stats.orientation_conflicts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_accumulates_stats_into_counters() {
+        let registry = Registry::new();
+        let sink = MetricsSink::register(&registry);
+        sink.record(&SearchEvent {
+            subtree: 0,
+            depth: 1,
+            t_ns: 0,
+            kind: recopack_core::EventKind::Backtrack,
+        });
+        let stats = SolverStats {
+            nodes: 10,
+            propagation_events: 20,
+            c2_conflicts: 1,
+            c3_conflicts: 2,
+            c4_conflicts: 3,
+            orientation_conflicts: 4,
+            ..SolverStats::default()
+        };
+        sink.search_finished(&stats);
+        sink.search_finished(&stats);
+        let text = registry.render();
+        assert!(text.contains("recopack_search_events_total 1"), "{text}");
+        assert!(text.contains("recopack_searches_total 2"), "{text}");
+        assert!(text.contains("recopack_solver_nodes_total 20"), "{text}");
+        assert!(
+            text.contains("recopack_solver_propagation_events_total 40"),
+            "{text}"
+        );
+        assert!(
+            text.contains("recopack_solver_prunes_total{rule=\"c3\"} 4"),
+            "{text}"
+        );
+        assert!(
+            text.contains("recopack_solver_prunes_total{rule=\"orientation\"} 8"),
+            "{text}"
+        );
+    }
+}

@@ -1,0 +1,311 @@
+//! End-to-end tests: a real server on an ephemeral port, exercised with
+//! raw `TcpStream` HTTP/1.1 requests exactly the way curl or a Prometheus
+//! scraper would.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use recopack_core::telemetry::stats_to_json;
+use recopack_core::{Opp, SolverConfig};
+use recopack_json::Json;
+use recopack_model::format;
+use recopack_serve::{ServeConfig, Server};
+
+/// A trivially feasible two-task chain on a 2x2 chip.
+const PAIR: &str = "chip 2 2\nhorizon 4\ntask a 2 2 2\ntask b 2 2 2\narc a b\n";
+
+/// Infeasible by one task too many, with bounds and heuristics disabled in
+/// the submission so the exhaustive refutation takes long enough to cancel.
+fn hard_instance() -> String {
+    let mut text = String::from("chip 6 6\nhorizon 2\n");
+    for i in 0..12 {
+        text.push_str(&format!("task t{i} 2 2 2\n"));
+    }
+    text
+}
+
+/// Sends one HTTP/1.1 request and returns `(status, body)`.
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: e2e\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split(' ')
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response {response:?}"));
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get_json(addr: SocketAddr, path: &str) -> (u16, Json) {
+    let (status, body) = request(addr, "GET", path, "");
+    let doc = Json::parse(&body).unwrap_or_else(|e| panic!("bad JSON from {path}: {e}: {body}"));
+    (status, doc)
+}
+
+/// Polls `GET /jobs/{id}` until `done(status_word)` holds or a deadline
+/// expires, returning the job document.
+fn poll_job(addr: SocketAddr, id: u64, done: impl Fn(&str) -> bool) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, doc) = get_json(addr, &format!("/jobs/{id}"));
+        assert_eq!(status, 200, "job {id} should exist");
+        let word = doc
+            .get("status")
+            .and_then(Json::as_str)
+            .expect("status field")
+            .to_string();
+        if done(&word) {
+            return doc;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job {id} stuck in state {word:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Value of a series in a Prometheus text exposition, by exact
+/// `name{labels}` prefix.
+fn metric_value(exposition: &str, series: &str) -> Option<f64> {
+    exposition.lines().find_map(|line| {
+        let (name, value) = line.rsplit_once(' ')?;
+        (name == series).then(|| value.parse().expect("metric value parses"))
+    })
+}
+
+fn bind_test_server(workers: usize, queue_depth: usize) -> Server {
+    Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_depth,
+    })
+    .expect("bind ephemeral port")
+}
+
+#[test]
+fn served_opp_job_matches_direct_solve_and_shows_in_metrics() {
+    let server = bind_test_server(1, 4);
+    let addr = server.local_addr();
+
+    let (status, health) = get_json(addr, "/healthz");
+    assert_eq!(status, 200, "fresh server is healthy");
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+
+    // Heuristics off so the job runs a real branch-and-bound search (the
+    // solver-telemetry series below stay at zero for heuristic solves).
+    let mut body =
+        String::from("{\"kind\":\"opp\",\"name\":\"pair\",\"use_heuristics\":false,\"instance\":");
+    recopack_core::telemetry::push_json_str(&mut body, PAIR);
+    body.push('}');
+    let (status, reply) = request(addr, "POST", "/jobs", &body);
+    assert_eq!(status, 202, "submission accepted: {reply}");
+    let id = Json::parse(&reply)
+        .expect("submission reply is JSON")
+        .get("id")
+        .and_then(Json::as_u64)
+        .expect("id field");
+
+    let job = poll_job(addr, id, |s| s != "queued" && s != "running");
+    assert_eq!(job.get("status").and_then(Json::as_str), Some("done"));
+    assert_eq!(job.get("outcome").and_then(Json::as_str), Some("feasible"));
+    let placement = job
+        .get("placement")
+        .and_then(Json::as_str)
+        .expect("feasible job carries a placement");
+    assert!(placement.contains('a') && placement.contains('b'));
+
+    // The served report must agree exactly with a direct in-process solve
+    // under the same configuration.
+    let report = job.get("report").expect("finished job carries a report");
+    assert_eq!(report.get("command").and_then(Json::as_str), Some("opp"));
+    assert_eq!(report.get("instance").and_then(Json::as_str), Some("pair"));
+    let instance = format::parse_instance(PAIR)
+        .expect("pair instance parses")
+        .with_transitive_closure();
+    let (_, direct_stats) = Opp::new(&instance)
+        .with_config(SolverConfig {
+            threads: 1,
+            use_heuristics: false,
+            ..SolverConfig::default()
+        })
+        .solve_with_stats();
+    let direct = Json::parse(&stats_to_json(&direct_stats)).expect("stats JSON parses");
+    assert_eq!(
+        report.get("stats"),
+        Some(&direct),
+        "served stats must match a direct solve"
+    );
+
+    // The exposition is well-formed and shows exactly one completed job.
+    let (status, exposition) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    for line in exposition.lines().filter(|l| !l.starts_with('#')) {
+        let (name, value) = line.rsplit_once(' ').expect("name value pair");
+        assert!(!name.is_empty() && value.parse::<f64>().is_ok(), "{line}");
+    }
+    assert_eq!(
+        metric_value(&exposition, "recopack_jobs_accepted_total{kind=\"opp\"}"),
+        Some(1.0)
+    );
+    assert_eq!(
+        metric_value(&exposition, "recopack_jobs_completed_total{kind=\"opp\"}"),
+        Some(1.0)
+    );
+    assert_eq!(
+        metric_value(&exposition, "recopack_job_duration_seconds_count"),
+        Some(1.0)
+    );
+    assert_eq!(
+        metric_value(&exposition, "recopack_searches_total"),
+        Some(1.0)
+    );
+    let nodes = metric_value(&exposition, "recopack_solver_nodes_total").expect("nodes series");
+    assert_eq!(nodes as u64, direct_stats.nodes);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn delete_cancels_a_running_search_and_counts_it() {
+    let server = bind_test_server(1, 4);
+    let addr = server.local_addr();
+
+    let mut body = String::from(
+        "{\"kind\":\"opp\",\"name\":\"hard\",\"use_bounds\":false,\
+         \"use_heuristics\":false,\"time_limit_ms\":60000,\"instance\":",
+    );
+    recopack_core::telemetry::push_json_str(&mut body, &hard_instance());
+    body.push('}');
+    let (status, reply) = request(addr, "POST", "/jobs", &body);
+    assert_eq!(status, 202, "submission accepted: {reply}");
+    let id = Json::parse(&reply)
+        .expect("reply is JSON")
+        .get("id")
+        .and_then(Json::as_u64)
+        .expect("id field");
+
+    poll_job(addr, id, |s| s == "running");
+    let (status, reply) = request(addr, "DELETE", &format!("/jobs/{id}"), "");
+    assert_eq!(status, 202, "running job starts cancelling: {reply}");
+
+    let job = poll_job(addr, id, |s| s != "queued" && s != "running");
+    assert_eq!(
+        job.get("status").and_then(Json::as_str),
+        Some("cancelled"),
+        "{job:?}"
+    );
+    assert_eq!(job.get("outcome").and_then(Json::as_str), Some("cancelled"));
+
+    let (_, exposition) = request(addr, "GET", "/metrics", "");
+    assert_eq!(
+        metric_value(&exposition, "recopack_jobs_cancelled_total{kind=\"opp\"}"),
+        Some(1.0)
+    );
+    assert_eq!(
+        metric_value(&exposition, "recopack_jobs_completed_total{kind=\"opp\"}"),
+        Some(0.0)
+    );
+
+    // Cancelling a finished job is refused.
+    let (status, _) = request(addr, "DELETE", &format!("/jobs/{id}"), "");
+    assert_eq!(status, 409);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn saturated_queue_rejects_submissions_and_reports_unhealthy() {
+    let server = bind_test_server(1, 1);
+    let addr = server.local_addr();
+
+    let submit = |name: &str, instance: &str| -> (u16, String) {
+        let mut body = format!(
+            "{{\"kind\":\"opp\",\"name\":\"{name}\",\"use_bounds\":false,\
+             \"use_heuristics\":false,\"time_limit_ms\":60000,\"instance\":"
+        );
+        recopack_core::telemetry::push_json_str(&mut body, instance);
+        body.push('}');
+        request(addr, "POST", "/jobs", &body)
+    };
+
+    let hard = hard_instance();
+    let (status, reply) = submit("occupant", &hard);
+    assert_eq!(status, 202);
+    let occupant = Json::parse(&reply)
+        .expect("reply is JSON")
+        .get("id")
+        .and_then(Json::as_u64)
+        .expect("id");
+    poll_job(addr, occupant, |s| s == "running");
+
+    // The single queue slot fills; the server reports saturation.
+    let (status, reply) = submit("waiter", &hard);
+    assert_eq!(status, 202);
+    let waiter = Json::parse(&reply)
+        .expect("reply is JSON")
+        .get("id")
+        .and_then(Json::as_u64)
+        .expect("id");
+    let (status, health) = get_json(addr, "/healthz");
+    assert_eq!(status, 503);
+    assert_eq!(
+        health.get("status").and_then(Json::as_str),
+        Some("saturated")
+    );
+
+    let (status, reply) = submit("overflow", &hard);
+    assert_eq!(status, 503, "full queue refuses work: {reply}");
+
+    // Malformed submissions are counted under the closed `unknown` label.
+    let (status, _) = request(addr, "POST", "/jobs", "{\"kind\":\"sudoku\"}");
+    assert_eq!(status, 400);
+
+    let (_, exposition) = request(addr, "GET", "/metrics", "");
+    assert_eq!(
+        metric_value(&exposition, "recopack_jobs_rejected_total{kind=\"opp\"}"),
+        Some(1.0)
+    );
+    assert_eq!(
+        metric_value(
+            &exposition,
+            "recopack_jobs_rejected_total{kind=\"unknown\"}"
+        ),
+        Some(1.0)
+    );
+    assert_eq!(metric_value(&exposition, "recopack_queue_depth"), Some(1.0));
+
+    // Cancel the queued waiter first (it never runs), then the occupant.
+    let (status, _) = request(addr, "DELETE", &format!("/jobs/{waiter}"), "");
+    assert_eq!(status, 200, "queued job cancels immediately");
+    let (status, _) = request(addr, "DELETE", &format!("/jobs/{occupant}"), "");
+    assert_eq!(status, 202);
+    poll_job(addr, occupant, |s| s != "queued" && s != "running");
+
+    let (status, health) = get_json(addr, "/healthz");
+    assert_eq!(status, 200, "queue drained, healthy again: {health:?}");
+
+    let (_, listing) = get_json(addr, "/jobs");
+    let jobs = listing
+        .get("jobs")
+        .and_then(Json::as_array)
+        .expect("jobs array");
+    assert_eq!(jobs.len(), 2, "occupant and waiter are both known");
+
+    server.shutdown();
+    server.join();
+}
