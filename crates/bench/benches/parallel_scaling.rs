@@ -1,5 +1,5 @@
-//! Parallel scaling of the frontier-split branch-and-bound (DESIGN.md,
-//! "Frontier-split parallel search").
+//! Parallel scaling of the work-stealing branch-and-bound (DESIGN.md,
+//! "Adaptive work-stealing parallel search").
 //!
 //! The workload is an infeasibility *proof* — the whole tree must be
 //! exhausted, so there is no early-exit luck and the speedup measures pure
@@ -30,7 +30,7 @@ fn config(threads: usize) -> SolverConfig {
 /// combination "propagation cannot refute at the root" + "the exhaustive
 /// proof still finishes in a fraction of a second"): seven 2..3-sided tasks
 /// on a 6x6 chip with the horizon at the volume bound. Infeasible with a
-/// ~170k-node tree — real work for the frontier subtrees, no early exit.
+/// ~170k-node tree — real work for the stolen units, no early exit.
 fn infeasible_workload() -> Instance {
     let mut rng = StdRng::seed_from_u64(4243);
     let mut volume = 0u64;

@@ -12,12 +12,14 @@
 //! * `--smoke` — run the CI smoke subset instead of the full suite;
 //! * `--only NAME` — run a single case by name;
 //! * `--profile` — collect per-phase wall times into each case's stats;
-//! * `--out PATH` — report path (default `BENCH_PR5.json`; committing the
+//! * `--out PATH` — report path (default `BENCH_PR6.json`; committing the
 //!   default-path report of a full run at the repo root is how the perf
 //!   trajectory is recorded, one snapshot per PR);
-//! * `--label NAME` — report label (default `PR5`);
-//! * `--check BASELINE` — compare node counts against a previous report and
-//!   exit nonzero on a regression;
+//! * `--label NAME` — report label (default `PR6`);
+//! * `--check BASELINE` — compare node counts against a previous report,
+//!   check two-thread wall-clock parity (t2 walls may sum to at most 1.5×
+//!   the t1 walls across the paired families), and exit nonzero on a
+//!   regression;
 //! * `--tolerance PCT` — allowed node-count growth in percent (default 0:
 //!   the search is deterministic, so the gate requires *exact* equality and
 //!   flags any drift in either direction).
@@ -28,7 +30,14 @@
 use std::process::ExitCode;
 
 use recopack_bench::json::Json;
-use recopack_bench::suite::{check_against_baseline, run_suite_with, SuiteOptions};
+use recopack_bench::suite::{
+    check_against_baseline, check_parallel_parity, run_suite_with, SuiteOptions,
+};
+
+/// Generous ceiling for the `--check` wall-clock parity gate: summed over
+/// the paired families, two-thread walls may cost at most 1.5× the
+/// one-thread walls (see [`check_parallel_parity`]).
+const PARITY_MAX_PERCENT: u64 = 150;
 
 struct Args {
     smoke: bool,
@@ -45,8 +54,8 @@ fn parse_args() -> Result<Args, String> {
         smoke: false,
         only: None,
         profile: false,
-        out: "BENCH_PR5.json".to_string(),
-        label: "PR5".to_string(),
+        out: "BENCH_PR6.json".to_string(),
+        label: "PR6".to_string(),
         check: None,
         tolerance: 0,
     };
@@ -140,11 +149,19 @@ fn main() -> ExitCode {
     for line in &gate.lines {
         println!("  {line}");
     }
-    if gate.passed() {
+    let parity = check_parallel_parity(&report, PARITY_MAX_PERCENT);
+    println!(
+        "\nparallel parity gate (t2 <= {:.2}x t1, summed over pairs):",
+        PARITY_MAX_PERCENT as f64 / 100.0
+    );
+    for line in &parity.lines {
+        println!("  {line}");
+    }
+    if gate.passed() && parity.passed() {
         println!("gate passed");
         ExitCode::SUCCESS
     } else {
-        for regression in &gate.regressions {
+        for regression in gate.regressions.iter().chain(&parity.regressions) {
             eprintln!("regression: {regression}");
         }
         ExitCode::FAILURE

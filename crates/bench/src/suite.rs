@@ -21,7 +21,7 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use recopack_core::{
-    Bmp, Opp, SolveOutcome, SolveReport, SolverConfig, Spp, TELEMETRY_SCHEMA_VERSION,
+    per_second, Bmp, Opp, SolveOutcome, SolveReport, SolverConfig, Spp, TELEMETRY_SCHEMA_VERSION,
 };
 use recopack_model::generate::{layered_instance, random_instance, GeneratorConfig, LayeredConfig};
 use recopack_model::{benchmarks, Chip, Instance, Task};
@@ -78,6 +78,28 @@ fn quad_overflow(count: usize) -> Instance {
     let mut builder = Instance::builder().chip(Chip::square(4)).horizon(2);
     for i in 0..count {
         builder = builder.task(Task::new(format!("t{i}"), 2, 2, 2));
+    }
+    builder
+        .build()
+        .expect("structurally valid")
+        .with_transitive_closure()
+}
+
+/// The *deep* infeasible family: `quads` full-height `2×2×2` tasks plus
+/// `units` unit-duration `2×2×1` tasks on the same `4×4`, horizon-2 chip.
+/// The unit tasks can be time-separated, so the time dimension branches
+/// too and the tree is orders of magnitude deeper than `quad_overflow`
+/// (thousands to ~10⁵ nodes) — deep enough that the work-stealing
+/// scheduler actually splits and the `_t2` runs measure real parallel
+/// search, not just scheduler overhead. Still infeasible by volume, so
+/// node counts stay thread-count invariant.
+fn mixed_overflow(quads: usize, units: usize) -> Instance {
+    let mut builder = Instance::builder().chip(Chip::square(4)).horizon(2);
+    for i in 0..quads {
+        builder = builder.task(Task::new(format!("t{i}"), 2, 2, 2));
+    }
+    for i in 0..units {
+        builder = builder.task(Task::new(format!("u{i}"), 2, 2, 1));
     }
     builder
         .build()
@@ -167,6 +189,9 @@ pub fn cases(smoke: bool) -> Vec<BenchCase> {
 
     // Infeasible-by-construction family: safe at any thread count, so this
     // is where the parallel merge path gets exercised deterministically.
+    // The quad trees are a few hundred nodes — *below* the default split
+    // threshold, so their `_t2` runs measure the scheduler's small-tree
+    // tax (ideally zero).
     for count in [5usize, 6, 7] {
         for threads in [1usize, 2] {
             all.push(BenchCase {
@@ -176,6 +201,23 @@ pub fn cases(smoke: bool) -> Vec<BenchCase> {
                 threads,
                 search_only: true,
                 instance: quad_overflow(count),
+            });
+        }
+    }
+
+    // Deep infeasible family (see `mixed_overflow`): thousands to ~10⁵
+    // nodes, where the work-stealing scheduler genuinely splits. The
+    // `_t2`/`_t1` wall ratio of these cases is the headline
+    // `parallel_overhead` number.
+    for (quads, units) in [(6usize, 4usize), (5, 6)] {
+        for threads in [1usize, 2] {
+            all.push(BenchCase {
+                name: format!("mixed{quads}{units}_t{threads}"),
+                command: Command::Opp,
+                smoke: (quads, units) == (6, 4),
+                threads,
+                search_only: true,
+                instance: mixed_overflow(quads, units),
             });
         }
     }
@@ -237,7 +279,7 @@ pub fn run_case_with(case: &BenchCase, profile: bool) -> SolveReport {
         },
     };
     let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
-    let per_sec = |count: u64| (wall_ms > 0.0).then(|| count as f64 / (wall_ms / 1000.0));
+    let per_sec = |count: u64| per_second(count, wall_ms);
     SolveReport {
         command: case.command.name().to_string(),
         instance: case.name.clone(),
@@ -283,6 +325,27 @@ pub struct SuiteTotals {
     pub nodes_per_sec: Option<f64>,
 }
 
+/// A `<family>_t1` / `<family>_t2` case pair of one report: the same
+/// pinned instance at one and two threads, whose wall-clock ratio is the
+/// scheduler's parallel overhead (or speedup, below 1) on that tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParityPair {
+    /// The shared name prefix (`quad5`, `mixed64`, ...).
+    pub family: String,
+    /// Wall time of the `threads = 1` run, milliseconds.
+    pub t1_wall_ms: f64,
+    /// Wall time of the `threads = 2` run, milliseconds.
+    pub t2_wall_ms: f64,
+}
+
+impl ParityPair {
+    /// `t2 / t1` wall-clock ratio; `None` when the t1 wall rounded to
+    /// zero. `1.0` is perfect parity, below 1 is a parallel speedup.
+    pub fn overhead(&self) -> Option<f64> {
+        (self.t1_wall_ms > 0.0).then(|| self.t2_wall_ms / self.t1_wall_ms)
+    }
+}
+
 impl BenchReport {
     /// Aggregates the per-case stats into [`SuiteTotals`].
     pub fn totals(&self) -> SuiteTotals {
@@ -296,6 +359,29 @@ impl BenchReport {
             wall_ms,
             nodes_per_sec: (wall_ms > 0.0).then(|| nodes as f64 / (wall_ms / 1000.0)),
         }
+    }
+
+    /// Every `<family>_t1` / `<family>_t2` pair present in this report, in
+    /// case order. Pairs are joined on the name prefix; a family with only
+    /// one half present (e.g. under `--only`) is skipped.
+    pub fn parity_pairs(&self) -> Vec<ParityPair> {
+        let wall_of = |name: &str| {
+            self.cases
+                .iter()
+                .find(|c| c.instance == name)
+                .map(|c| c.wall_ms)
+        };
+        self.cases
+            .iter()
+            .filter_map(|case| {
+                let family = case.instance.strip_suffix("_t1")?;
+                Some(ParityPair {
+                    family: family.to_string(),
+                    t1_wall_ms: case.wall_ms,
+                    t2_wall_ms: wall_of(&format!("{family}_t2"))?,
+                })
+            })
+            .collect()
     }
 
     /// Serializes the report as a versioned JSON document.
@@ -319,10 +405,26 @@ impl BenchReport {
         );
         match totals.nodes_per_sec {
             Some(rate) => {
-                let _ = write!(out, ",\"nodes_per_sec\":{rate:.1}}}");
+                let _ = write!(out, ",\"nodes_per_sec\":{rate:.1}");
             }
-            None => out.push_str(",\"nodes_per_sec\":null}"),
+            None => out.push_str(",\"nodes_per_sec\":null"),
         }
+        // Per-family t2/t1 wall ratios — the record of what parallel
+        // search costs (or saves) on each pinned pair.
+        out.push_str(",\"parallel_overhead\":{");
+        for (i, pair) in self.parity_pairs().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            recopack_core::telemetry::push_json_str(&mut out, &pair.family);
+            match pair.overhead() {
+                Some(ratio) => {
+                    let _ = write!(out, ":{ratio:.3}");
+                }
+                None => out.push_str(":null"),
+            }
+        }
+        out.push_str("}}");
         out.push_str(",\"cases\":[");
         for (i, case) in self.cases.iter().enumerate() {
             if i > 0 {
@@ -465,6 +567,45 @@ pub fn check_against_baseline(
     outcome
 }
 
+/// The wall-clock parity gate: over all `_t1`/`_t2` pairs of `current`,
+/// the two-thread walls summed must stay within `max_percent` of the
+/// one-thread walls summed (150 = "t2 may cost at most 1.5× t1").
+///
+/// This is the regression class PR 6 fixed — the eager frontier split ran
+/// the quad family 3–5× *slower* at two threads — kept from silently
+/// returning. The gate is deliberately generous and aggregated across the
+/// families: individual pinned cases run sub-millisecond, where a single
+/// scheduler hiccup flips per-case ratios; the suite-wide sum is stable.
+/// Wall time is noisy by nature, so this complements (never replaces) the
+/// exact node-count gate of [`check_against_baseline`].
+pub fn check_parallel_parity(current: &BenchReport, max_percent: u64) -> GateOutcome {
+    let pairs = current.parity_pairs();
+    let mut outcome = GateOutcome {
+        lines: Vec::new(),
+        regressions: Vec::new(),
+    };
+    for pair in &pairs {
+        outcome.lines.push(match pair.overhead() {
+            Some(ratio) => format!(
+                "{}: t1 {:.2} ms, t2 {:.2} ms (ratio {:.2})",
+                pair.family, pair.t1_wall_ms, pair.t2_wall_ms, ratio
+            ),
+            None => format!("{}: t1 wall rounded to zero, skipped", pair.family),
+        });
+    }
+    let t1: f64 = pairs.iter().map(|p| p.t1_wall_ms).sum();
+    let t2: f64 = pairs.iter().map(|p| p.t2_wall_ms).sum();
+    if t1 > 0.0 && t2 * 100.0 > t1 * max_percent as f64 {
+        outcome.regressions.push(format!(
+            "parallel overhead: t2 walls sum to {t2:.2} ms vs {t1:.2} ms at t1 \
+             ({:.2}x, limit {:.2}x)",
+            t2 / t1,
+            max_percent as f64 / 100.0
+        ));
+    }
+    outcome
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -499,6 +640,103 @@ mod tests {
         );
         let again = run_case(quad5[1]);
         assert_eq!(again.stats, reports[1].stats, "reruns must be identical");
+    }
+
+    fn stub_case(name: &str, threads: usize, wall_ms: f64) -> SolveReport {
+        SolveReport {
+            command: "opp".into(),
+            instance: name.into(),
+            outcome: "infeasible".into(),
+            threads,
+            decisions: 1,
+            wall_ms,
+            stats: Default::default(),
+            events: None,
+            journal_dropped: None,
+            nodes_per_sec: None,
+            propagation_events_per_sec: None,
+        }
+    }
+
+    fn stub_report(cases: Vec<SolveReport>) -> BenchReport {
+        BenchReport {
+            label: "test".into(),
+            smoke: false,
+            cases,
+        }
+    }
+
+    #[test]
+    fn parity_pairs_join_on_the_family_prefix() {
+        let report = stub_report(vec![
+            stub_case("quad5_t1", 1, 2.0),
+            stub_case("quad5_t2", 2, 3.0),
+            stub_case("lonely_t1", 1, 1.0),
+            stub_case("de_opp_32x6", 1, 1.0),
+        ]);
+        let pairs = report.parity_pairs();
+        assert_eq!(pairs.len(), 1, "unpaired and unthreaded cases skipped");
+        assert_eq!(pairs[0].family, "quad5");
+        assert_eq!(pairs[0].overhead(), Some(1.5));
+    }
+
+    #[test]
+    fn parity_gate_sums_over_pairs() {
+        // Individually quad5 is 3x over, but the aggregate (5 ms vs 11 ms)
+        // is fine — the gate judges the sum, not sub-millisecond blips.
+        let good = stub_report(vec![
+            stub_case("quad5_t1", 1, 1.0),
+            stub_case("quad5_t2", 2, 3.0),
+            stub_case("mixed64_t1", 1, 10.0),
+            stub_case("mixed64_t2", 2, 2.0),
+        ]);
+        assert!(check_parallel_parity(&good, 150).passed());
+
+        let bad = stub_report(vec![
+            stub_case("quad5_t1", 1, 1.0),
+            stub_case("quad5_t2", 2, 4.0),
+        ]);
+        let outcome = check_parallel_parity(&bad, 150);
+        assert!(!outcome.passed());
+        assert_eq!(outcome.regressions.len(), 1);
+
+        // No pairs (e.g. an `--only` selection): trivially green.
+        let none = stub_report(vec![stub_case("de_opp_32x6", 1, 1.0)]);
+        assert!(check_parallel_parity(&none, 150).passed());
+    }
+
+    #[test]
+    fn suite_has_the_deep_stealing_family() {
+        let all = cases(false);
+        for name in ["mixed64_t1", "mixed64_t2", "mixed56_t1", "mixed56_t2"] {
+            assert!(
+                all.iter().any(|c| c.name == name),
+                "missing deep case {name}"
+            );
+        }
+        let smoke = cases(true);
+        assert!(
+            smoke.iter().any(|c| c.name.starts_with("mixed64")),
+            "smoke subset must exercise a stealing-scale pair"
+        );
+    }
+
+    #[test]
+    fn totals_json_records_parallel_overhead() {
+        let report = stub_report(vec![
+            stub_case("quad5_t1", 1, 2.0),
+            stub_case("quad5_t2", 2, 1.0),
+        ]);
+        let doc = Json::parse(&report.to_json()).expect("valid JSON");
+        let overhead = doc
+            .get("totals")
+            .and_then(|t| t.get("parallel_overhead"))
+            .expect("totals.parallel_overhead present");
+        assert_eq!(
+            overhead.get("quad5").and_then(Json::as_f64),
+            Some(0.5),
+            "ratio = t2 wall / t1 wall"
+        );
     }
 
     #[test]

@@ -38,8 +38,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use recopack_core::{
-    pareto_front_with_stats, Bmp, EventTotals, Fanout, FileJournal, Opp, ProgressCounters,
-    SolveOutcome, SolveReport, SolverConfig, SolverStats, Spp, Telemetry, TelemetrySink,
+    pareto_front_with_stats, per_second, Bmp, EventTotals, Fanout, FileJournal, Opp,
+    ProgressCounters, SolveOutcome, SolveReport, SolverConfig, SolverStats, Spp, Telemetry,
+    TelemetrySink,
 };
 use recopack_model::{benchmarks, format, render, Chip, Instance, Placement};
 
@@ -371,7 +372,7 @@ fn write_report(
         return Ok(());
     };
     let wall_ms = meta.started.elapsed().as_secs_f64() * 1000.0;
-    let per_sec = |count: u64| (wall_ms > 0.0).then(|| count as f64 / (wall_ms / 1000.0));
+    let per_sec = |count: u64| per_second(count, wall_ms);
     let report = SolveReport {
         command: meta.command.to_string(),
         instance: meta.instance.to_string(),

@@ -4,7 +4,7 @@
 //! [`recopack_json`] parser and converts it into:
 //!
 //! * **Chrome trace-event JSON** (`--chrome`) — loadable in Perfetto or
-//!   `chrome://tracing`; every frontier subtree becomes a track, each
+//!   `chrome://tracing`; every work unit becomes a track, each
 //!   branch decision opens a duration slice that its backtrack closes, and
 //!   prunes/propagations/leaves appear as instant events;
 //! * **folded stacks** (`--folded`) — `inferno`/`flamegraph.pl` input where
@@ -155,7 +155,7 @@ fn push_ts(out: &mut String, t_ns: u64) {
 }
 
 /// Converts a trace into Chrome trace-event JSON (the `traceEvents` array
-/// format): one track (`tid`) per frontier subtree, duration slices from
+/// format): one track (`tid`) per work unit, duration slices from
 /// branch to matching backtrack, instant events for everything else.
 pub(crate) fn to_chrome(events: &[TraceEvent]) -> String {
     let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");

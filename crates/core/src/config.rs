@@ -89,14 +89,29 @@ pub struct SolverConfig {
     /// pinned by the given start times).
     pub twin_symmetry: bool,
     /// Worker threads for the branch-and-bound. `1` (the default) searches
-    /// sequentially; `0` uses the hardware parallelism; `>= 2` expands the
-    /// tree to a frontier and solves the frontier subtrees concurrently.
-    /// The verdict and the certificate are identical for every thread count
-    /// (see DESIGN.md, "Frontier-split parallel search").
+    /// sequentially; `0` uses the hardware parallelism; `>= 2` runs the
+    /// adaptive work-stealing scheduler: every worker searches plain DFS
+    /// and *offers* subtrees to idle workers only once its own subtree has
+    /// proven deep enough. The verdict and the certificate are identical
+    /// for every thread count (see DESIGN.md, "Adaptive work-stealing
+    /// parallel search").
     pub threads: usize,
-    /// Depth of the sequential frontier expansion in parallel mode. `None`
-    /// picks the smallest depth whose frontier can keep every thread busy.
-    pub frontier_depth: Option<usize>,
+    /// Nodes a worker must expand inside its current work unit before the
+    /// unit counts as deep enough to split (parallel mode only). Below the
+    /// threshold a subtree is finished by its owner, so small trees never
+    /// pay for a state clone — or even a thread spawn, since helpers start
+    /// lazily on the first unclaimed offer; above it the worker donates
+    /// its highest open branch whenever another worker is starving. The
+    /// default (256 nodes, a fraction of a millisecond of search) is the
+    /// point below which cloning a state and waking a thread cannot pay
+    /// for itself. Must be `>= 1`.
+    pub split_after_nodes: u64,
+    /// How many queued-but-unclaimed work units the scheduler keeps
+    /// *beyond* the number of currently idle workers. `0` (the default)
+    /// splits strictly on demand — a worker must actually be waiting — and
+    /// keeps speculative clones to a minimum; small values trade a few
+    /// extra clones for hiding the donor's inter-node latency.
+    pub split_backlog: usize,
     /// Structured telemetry sink for search events (see
     /// [`crate::telemetry`]). Disabled by default; aggregate counters in
     /// [`SolverStats`] are collected either way.
@@ -129,7 +144,8 @@ impl Default for SolverConfig {
             component_first: false,
             twin_symmetry: true,
             threads: 1,
-            frontier_depth: None,
+            split_after_nodes: 256,
+            split_backlog: 0,
             telemetry: Telemetry::none(),
             profile: false,
             cancel: CancelToken::new(),
@@ -153,7 +169,8 @@ impl SolverConfig {
             component_first: false,
             twin_symmetry: false,
             threads: 1,
-            frontier_depth: None,
+            split_after_nodes: 256,
+            split_backlog: 0,
             telemetry: Telemetry::none(),
             profile: false,
             cancel: CancelToken::new(),
@@ -235,8 +252,8 @@ pub struct SolverStats {
     pub budget_checks: u64,
     /// Nodes expanded per branching depth: `depth_histogram[d]` counts the
     /// nodes whose branching decision was the `d`-th on its path. Depths
-    /// are global — parallel subtree workers offset by the frontier depth —
-    /// so the histogram matches the sequential one for exhausted searches.
+    /// are global — a stolen work unit resumes at its donor's depth — so
+    /// the histogram matches the sequential one for exhausted searches.
     pub depth_histogram: Vec<u64>,
     /// Whether the answer came from bounds (`true`) without any search.
     pub refuted_by_bounds: bool,

@@ -66,6 +66,6 @@ pub use opp::{InfeasibilityProof, Opp, SolveOutcome};
 pub use pareto::{pareto_front, pareto_front_with_stats, ParetoPoint};
 pub use spp::{Spp, SppResult};
 pub use telemetry::{
-    EventKind, EventTotals, Fanout, FileJournal, MemoryJournal, ProgressCounters, PruneRule,
-    SearchEvent, SolveReport, Telemetry, TelemetrySink, TELEMETRY_SCHEMA_VERSION,
+    per_second, EventKind, EventTotals, Fanout, FileJournal, MemoryJournal, ProgressCounters,
+    PruneRule, SearchEvent, SolveReport, Telemetry, TelemetrySink, TELEMETRY_SCHEMA_VERSION,
 };

@@ -6,14 +6,20 @@
 //! after a successful coordinate realization and geometric verification.
 //!
 //! The search runs sequentially or in parallel ([`SolverConfig::threads`]).
-//! Parallel mode expands the tree sequentially to a shallow *frontier*,
-//! hands each frontier subtree (a cloned [`PackingState`]) to a worker
-//! thread, and aggregates the subtree answers **in depth-first order**, so
-//! the verdict and the certificate are identical for every thread count
-//! (DESIGN.md, "Frontier-split parallel search").
+//! Parallel mode is *adaptive work-stealing*: every worker runs plain DFS
+//! on its current subtree (a *work unit*) and, once the unit has survived
+//! [`SolverConfig::split_after_nodes`] nodes, *offers* its highest open
+//! branch — as a cloned [`PackingState`] rolled back to that branch point —
+//! to idle workers through a shared priority queue. Units are identified by
+//! their branch-choice path from the root, whose lexicographic order **is**
+//! sequential depth-first order; the verdict combines the lexicographically
+//! least feasible leaf with the least abandoned subtree (see
+//! [`Search::finalize`]), so verdict and certificate are identical for
+//! every thread count and small trees never pay a parallel tax (DESIGN.md,
+//! "Adaptive work-stealing parallel search").
 
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 use recopack_graph::{cliques, BitSet};
@@ -26,11 +32,6 @@ use crate::state::{EdgeState, Orient, PackingState};
 use crate::telemetry::{EventKind, PruneRule, SearchEvent};
 
 const TIME: usize = Dim::Time.index();
-
-/// Frontier subtrees generated per requested worker thread: enough that a
-/// thread finishing an easy subtree finds more work, few enough that the
-/// sequential expansion stays negligible.
-const SUBTREES_PER_THREAD: usize = 4;
 
 /// How many propagation events pass between budget checks inside
 /// [`Worker::propagate_inner`] — a single search node can cascade through
@@ -131,19 +132,13 @@ struct SearchContext<'a> {
 }
 
 /// Counters and flags shared by every thread of one search, so that
-/// `node_limit` and `time_limit` stay *global* budgets and a feasible find
-/// can cancel the subtrees that come after it in depth-first order.
+/// `node_limit` and `time_limit` stay *global* budgets.
 struct SharedBudget {
     /// Search nodes expanded across all threads.
     nodes: AtomicU64,
     /// `0` = running, otherwise a `LimitKind` discriminant + 1; written
     /// once by the first thread that exhausts a budget.
     stop: AtomicU8,
-    /// Lowest frontier index known to hold a feasible leaf. Workers on
-    /// higher indices abandon their subtrees: in depth-first order those
-    /// subtrees are *after* the certificate, so the sequential search would
-    /// never have entered them.
-    lowest_feasible: AtomicUsize,
     started: Instant,
 }
 
@@ -156,7 +151,6 @@ impl SharedBudget {
         Self {
             nodes: AtomicU64::new(0),
             stop: AtomicU8::new(0),
-            lowest_feasible: AtomicUsize::new(usize::MAX),
             started: Instant::now(),
         }
     }
@@ -188,13 +182,175 @@ impl SharedBudget {
     }
 }
 
-/// Outcome of one frontier subtree, recorded at its frontier index.
-enum SubOutcome {
-    Feasible(Placement),
-    Infeasible,
-    Limit(LimitKind),
-    /// Abandoned because a lower frontier index turned out feasible.
-    Cancelled,
+/// One subtree handed between workers of the parallel search.
+///
+/// A unit is *disjoint* from every other unit: the donor removes the
+/// donated branch from its own backtracking before publishing, so no node
+/// is ever expanded twice and the merged statistics of an exhausted search
+/// are thread-count invariant.
+struct WorkUnit {
+    /// Telemetry id ([`SearchEvent::subtree`]): `0` for the root unit, then
+    /// one fresh id per offered split, in offer order.
+    id: usize,
+    /// Branch-choice indices (0 = first choice, 1 = second) from the global
+    /// root to this unit's root. Lexicographic order on these paths **is**
+    /// the sequential depth-first visit order, which makes "would the
+    /// sequential search have reached this before the incumbent?" a plain
+    /// `<` on byte vectors.
+    priority: Vec<u8>,
+    /// The packing state at the donated node — rolled back to the moment
+    /// *before* the donor decided the node, so the pending sibling choice
+    /// applies cleanly. The root unit carries the propagated root state.
+    state: PackingState,
+    /// The donor's [`Worker::cursor`] at that node.
+    cursor: usize,
+    /// The untried sibling choice donated with the unit: fix slot
+    /// `(dim, pair)` to the given state, then search below it. The donor
+    /// already recorded the parent node and charged its budget check (one
+    /// per node, covering both children, exactly like the sequential
+    /// search), so the thief applies the decision *without* recording a
+    /// node — keeping every merged counter thread-count invariant. `None`
+    /// for the root unit, which starts at a fresh node.
+    pending: Option<(usize, usize, EdgeState)>,
+}
+
+/// The shared state of the work-stealing scheduler. Lock order: `queue`
+/// before `incumbent` before `min_abandoned`; no path acquires them in
+/// reverse.
+struct Scheduler {
+    queue: Mutex<UnitQueue>,
+    /// Signalled when a unit is pushed and when the queue shuts down.
+    work: Condvar,
+    /// Workers currently blocked waiting for a unit — the *demand* signal
+    /// read (relaxed) by busy workers deciding whether to offer a split.
+    idle: AtomicUsize,
+    /// Helper threads the configuration allows (`threads - 1`; the calling
+    /// thread is worker 0).
+    helpers: usize,
+    /// Helper threads actually started. Helpers are spawned *lazily*, by
+    /// the root worker, the first time a queued unit finds no idle worker
+    /// — a search whose tree never grows deep enough to split never pays
+    /// thread spawn/join latency at all.
+    spawned: AtomicUsize,
+    /// Mirror of `queue.units.len()`, readable without the lock — the
+    /// *supply* signal of the same decision.
+    pending: AtomicUsize,
+    /// Telemetry ids for offered units (`0` is the root unit).
+    next_unit: AtomicUsize,
+    /// Bumped on every incumbent improvement. Workers cache the last value
+    /// they saw and re-read `incumbent` only when it moves, so the
+    /// steady-state supersession check is one relaxed load per node.
+    incumbent_epoch: AtomicU64,
+    /// The lexicographically least feasible leaf found so far: its full
+    /// branch-choice path and its verified placement.
+    incumbent: Mutex<Option<(Vec<u8>, Placement)>>,
+    /// The least priority path whose subtree was abandoned unexplored
+    /// (budget stop, cancellation, or superseded by the incumbent).
+    /// Consulted once, in [`Search::finalize`].
+    min_abandoned: Mutex<Option<Vec<u8>>>,
+}
+
+struct UnitQueue {
+    units: Vec<WorkUnit>,
+    /// Workers currently searching a unit.
+    active: usize,
+    /// Set once — by exhaustion (no units, no active workers) or by a
+    /// budget stop — after which every worker drains and exits.
+    done: bool,
+}
+
+impl UnitQueue {
+    /// Removes and returns the least-priority unit (the one the sequential
+    /// search would enter first). The queue stays small — offers are demand
+    /// driven — so a linear scan beats maintaining a heap.
+    fn take_least(&mut self) -> Option<WorkUnit> {
+        let least = self
+            .units
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.priority.cmp(&b.priority))
+            .map(|(i, _)| i)?;
+        Some(self.units.swap_remove(least))
+    }
+}
+
+impl Scheduler {
+    fn new(helpers: usize) -> Self {
+        Self {
+            queue: Mutex::new(UnitQueue {
+                units: Vec::new(),
+                active: 0,
+                done: false,
+            }),
+            work: Condvar::new(),
+            idle: AtomicUsize::new(0),
+            helpers,
+            spawned: AtomicUsize::new(0),
+            pending: AtomicUsize::new(0),
+            next_unit: AtomicUsize::new(1),
+            incumbent_epoch: AtomicU64::new(0),
+            incumbent: Mutex::new(None),
+            min_abandoned: Mutex::new(None),
+        }
+    }
+
+    /// Helper threads that could still be started — latent demand the
+    /// split gate counts alongside currently-idle workers.
+    fn unspawned(&self) -> usize {
+        self.helpers
+            .saturating_sub(self.spawned.load(Ordering::Relaxed))
+    }
+
+    /// Whether the incumbent precedes `path` in depth-first order — i.e.
+    /// the sequential search would have stopped before ever reaching
+    /// `path`. The incumbent only ever moves towards lower paths, so a
+    /// `true` answer is stable.
+    fn behind_incumbent(&self, path: &[u8]) -> bool {
+        self.incumbent
+            .lock()
+            .expect("no poisoned locks")
+            .as_ref()
+            .is_some_and(|(leaf, _)| leaf.as_slice() < path)
+    }
+
+    /// Publishes an offered unit and wakes one idle worker. Offers racing
+    /// a fresh incumbent are dropped here instead of queued (their whole
+    /// subtree is behind the incumbent).
+    fn push(&self, unit: WorkUnit, stopped: bool) {
+        if self.behind_incumbent(&unit.priority) {
+            self.record_abandoned(unit.priority, stopped);
+            return;
+        }
+        let mut queue = self.queue.lock().expect("no poisoned locks");
+        queue.units.push(unit);
+        self.pending.store(queue.units.len(), Ordering::Relaxed);
+        drop(queue);
+        self.work.notify_one();
+    }
+
+    /// Records a feasible leaf; keeps the lexicographically least one.
+    fn record_feasible(&self, path: Vec<u8>, placement: Placement) {
+        let mut best = self.incumbent.lock().expect("no poisoned locks");
+        if best.as_ref().map_or(true, |(leaf, _)| path < *leaf) {
+            *best = Some((path, placement));
+            self.incumbent_epoch.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a subtree abandoned unexplored. The invariant checked here
+    /// is what makes [`Search::finalize`] sound: abandonment happens only
+    /// under a budget stop or strictly behind the incumbent — never silently
+    /// in front of a feasible leaf.
+    fn record_abandoned(&self, path: Vec<u8>, stopped: bool) {
+        debug_assert!(
+            stopped || self.behind_incumbent(&path),
+            "subtrees are abandoned only on a stop or behind the incumbent"
+        );
+        let mut min = self.min_abandoned.lock().expect("no poisoned locks");
+        if min.as_ref().map_or(true, |m| path < *m) {
+            *min = Some(path);
+        }
+    }
 }
 
 /// One complete search over an instance: builds the shared context and
@@ -270,7 +426,7 @@ impl<'a> Search<'a> {
         // The state carries the per-dimension sizes so it can maintain the
         // oriented-chain labels incrementally (see `oriented_chain_exceeds`).
         let state = PackingState::with_sizes(n, self.ctx.sizes.clone());
-        let mut root = Worker::new(&self.ctx, &self.budget, state, 0, 0);
+        let mut root = Worker::new(&self.ctx, &self.budget, state, None);
         let mut queue = Vec::new();
         let rooted = root
             .seed(&mut queue)
@@ -298,121 +454,129 @@ impl<'a> Search<'a> {
         SearchResult::Limit(self.budget.stop_kind().unwrap_or(LimitKind::Nodes))
     }
 
-    /// Frontier-split parallel search. Soundness and determinism argument in
-    /// DESIGN.md ("Frontier-split parallel search"); in short: the frontier
-    /// lists the open subtrees in depth-first order, each subtree is solved
-    /// by the same deterministic search the sequential solver would run on
-    /// it, and the answers are combined in frontier order — so the first
-    /// feasible (or limit) outcome in that order is exactly the sequential
-    /// answer. Cancellation only ever skips subtrees *behind* a feasible
-    /// one, which the sequential search would not have entered either.
-    fn run_parallel(&self, mut root: Worker<'_>, threads: usize) -> (SearchResult, SolverStats) {
-        let target = threads.saturating_mul(SUBTREES_PER_THREAD);
-        // Smallest depth whose full binary frontier reaches the target;
-        // conflicts prune some branches, so the actual frontier may be
-        // smaller.
-        let depth = self
-            .ctx
-            .config
-            .frontier_depth
-            .unwrap_or_else(|| (usize::BITS - (target - 1).leading_zeros()) as usize)
-            .max(1);
-        let mut frontier: Vec<PackingState> = Vec::new();
-        let mut tail_leaf: Option<Placement> = None;
-        if root
-            .expand(depth, 0, &mut frontier, &mut tail_leaf)
-            .is_err()
-        {
-            return (self.limit_result(), root.stats);
-        }
-        if frontier.is_empty() {
-            // The expansion decided the whole tree by itself.
-            let result = match tail_leaf {
-                Some(p) => SearchResult::Feasible(p),
-                None => SearchResult::Infeasible,
-            };
-            return (result, root.stats);
-        }
-        let next = AtomicUsize::new(0);
-        let outcomes: Vec<Mutex<Option<SubOutcome>>> =
-            (0..frontier.len()).map(|_| Mutex::new(None)).collect();
-        let total = Mutex::new(root.stats);
+    /// Adaptive work-stealing parallel search. The full soundness and
+    /// determinism argument lives in DESIGN.md ("Adaptive work-stealing
+    /// parallel search"); in short: every worker runs the same
+    /// deterministic DFS the sequential solver would run on its unit,
+    /// units are disjoint and totally ordered by their priority paths, and
+    /// [`Search::finalize`] combines the least feasible leaf with the
+    /// least abandoned subtree — exactly the information needed to name
+    /// the sequential answer.
+    fn run_parallel(&self, root: Worker<'_>, threads: usize) -> (SearchResult, SolverStats) {
+        // The root worker's state (already seeded and propagated) becomes
+        // the first work unit; its stats seed the merged totals.
+        let Worker {
+            state,
+            cursor,
+            stats,
+            ..
+        } = root;
+        let task_count = state.task_count();
+        let scheduler = Scheduler::new(threads - 1);
+        scheduler.push(
+            WorkUnit {
+                id: 0,
+                priority: Vec::new(),
+                state,
+                cursor,
+                pending: None,
+            },
+            false,
+        );
+        let total = Mutex::new(stats);
+        let worker_body = |spawn: Option<&dyn Fn()>| {
+            // The placeholder state is replaced by the first unit the
+            // worker claims; it only sizes the reusable scratch sets.
+            let state = PackingState::with_sizes(task_count, self.ctx.sizes.clone());
+            let mut worker = Worker::new(&self.ctx, &self.budget, state, Some(&scheduler));
+            worker.spawn = spawn;
+            worker.run_queue();
+            total
+                .lock()
+                .expect("no poisoned locks")
+                .accumulate(&worker.stats);
+        };
         std::thread::scope(|scope| {
-            for _ in 0..threads.min(frontier.len()) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= frontier.len() {
-                        break;
-                    }
-                    let outcome = self.solve_subtree(&frontier[i], i, depth as u32, &total);
-                    *outcomes[i].lock().expect("no poisoned locks") = Some(outcome);
-                });
-            }
+            // The calling thread is worker 0 and the only one that starts
+            // helpers — lazily, through this callback, when a queued unit
+            // finds no idle worker (see `Worker::maybe_spawn_helper`). A
+            // search that never splits exits the scope without having
+            // spawned (or joined) a single thread.
+            let spawn_helper = || {
+                scope.spawn(|| worker_body(None));
+            };
+            worker_body(Some(&spawn_helper));
         });
         let stats = total.into_inner().expect("no poisoned locks");
-        for slot in outcomes {
-            let outcome = slot
-                .into_inner()
-                .expect("no poisoned locks")
-                .expect("every frontier index is recorded");
-            match outcome {
-                SubOutcome::Infeasible => {}
-                SubOutcome::Feasible(p) => return (SearchResult::Feasible(p), stats),
-                SubOutcome::Limit(kind) => return (SearchResult::Limit(kind), stats),
-                SubOutcome::Cancelled => {
-                    // Reachable only past a feasible index, and the scan
-                    // returns there; keep scanning defensively.
-                    debug_assert!(false, "cancelled subtree before any feasible one");
-                }
-            }
-        }
-        // Every frontier subtree exhausted: the expansion's trailing leaf
-        // (which comes after all of them in depth-first order) decides.
-        let result = match tail_leaf {
-            Some(p) => SearchResult::Feasible(p),
-            None => SearchResult::Infeasible,
-        };
-        (result, stats)
+        (self.finalize(scheduler), stats)
     }
 
-    /// Solves one frontier subtree on the calling thread and merges its
-    /// statistics.
-    fn solve_subtree(
-        &self,
-        state: &PackingState,
-        index: usize,
-        base_depth: u32,
-        total: &Mutex<SolverStats>,
-    ) -> SubOutcome {
-        if self.budget.stopped() {
-            return SubOutcome::Limit(self.budget.stop_kind().unwrap_or(LimitKind::Nodes));
-        }
-        if self.budget.lowest_feasible.load(Ordering::Relaxed) < index {
-            return SubOutcome::Cancelled;
-        }
-        let mut worker = Worker::new(&self.ctx, &self.budget, state.clone(), index, base_depth);
-        let outcome = match worker.dfs() {
-            Ok(Some(p)) => {
-                self.budget
-                    .lowest_feasible
-                    .fetch_min(index, Ordering::Relaxed);
-                SubOutcome::Feasible(p)
+    /// Combines the scheduler's records into the final verdict. This is
+    /// **the** definition of the parallel search's outcome — and of its
+    /// cancellation semantics:
+    ///
+    /// - **Feasible(incumbent)** iff a feasible leaf was found and no
+    ///   subtree *before* it (priority path `<` the leaf path) was
+    ///   abandoned unexplored. Every leaf the sequential search would have
+    ///   visited first was then provably visited and rejected, so the
+    ///   incumbent is exactly the sequential certificate.
+    /// - Otherwise **Limit(kind)** if a stop (node/time budget or
+    ///   cancellation) was requested: some subtree before the incumbent —
+    ///   or the whole tree, if there is none — was left unexplored.
+    /// - Otherwise **Infeasible**: nothing was abandoned (the
+    ///   [`Scheduler::record_abandoned`] invariant — no stop, no incumbent,
+    ///   hence no abandonment), so the tree was exhausted without an
+    ///   accepted leaf.
+    ///
+    /// Units abandoned because they are *behind* the incumbent never block
+    /// it: supersession requires `incumbent < unit.priority` and the
+    /// incumbent path only ever decreases, so those records always compare
+    /// `>` here. There is no fourth case — the old frontier scheduler's
+    /// defensively-reachable `Cancelled` outcome is gone by construction.
+    fn finalize(&self, scheduler: Scheduler) -> SearchResult {
+        let mut queue = scheduler.queue.into_inner().expect("no poisoned locks");
+        let mut min_abandoned = scheduler
+            .min_abandoned
+            .into_inner()
+            .expect("no poisoned locks");
+        // Units still queued were never entered; a stop is the only way
+        // the scheduler shuts down with a non-empty queue.
+        for unit in queue.units.drain(..) {
+            debug_assert!(self.budget.stopped(), "drained units imply a stop");
+            if min_abandoned.as_ref().map_or(true, |m| unit.priority < *m) {
+                min_abandoned = Some(unit.priority);
             }
-            Ok(None) => SubOutcome::Infeasible,
-            Err(()) => {
-                if self.budget.lowest_feasible.load(Ordering::Relaxed) < index {
-                    SubOutcome::Cancelled
-                } else {
-                    SubOutcome::Limit(self.budget.stop_kind().unwrap_or(LimitKind::Nodes))
-                }
+        }
+        match scheduler.incumbent.into_inner().expect("no poisoned locks") {
+            Some((leaf, placement)) if min_abandoned.map_or(true, |abandoned| abandoned > leaf) => {
+                SearchResult::Feasible(placement)
             }
-        };
-        total
-            .lock()
-            .expect("no poisoned locks")
-            .accumulate(&worker.stats);
-        outcome
+            _ => match self.budget.stop_kind() {
+                Some(kind) => SearchResult::Limit(kind),
+                None => SearchResult::Infeasible,
+            },
+        }
     }
+}
+
+/// One open branching level of the worker's current DFS path — the
+/// explicit mirror of the recursion stack that work-stealing needs: the
+/// shallowest level with `open` still set is the donor's best offer, and
+/// the `choice` indices spell out the priority path for incumbent and
+/// abandonment bookkeeping.
+struct Level {
+    /// The `(dim, pair)` slot branched at this level.
+    slot: (usize, usize),
+    /// Trail mark *before* the level's decision — the rollback target that
+    /// reconstructs the branch point inside a cloned state.
+    mark: usize,
+    /// [`Worker::cursor`] at the branch point.
+    cursor: usize,
+    /// The not-yet-tried sibling choice; `take`n either by the owner on
+    /// backtrack or by [`Worker::offer_split`] when donating it.
+    open: Option<EdgeState>,
+    /// Index (0 or 1) of the choice currently being explored.
+    choice: u8,
 }
 
 /// The per-thread search: owns a [`PackingState`] and local statistics,
@@ -422,13 +586,30 @@ struct Worker<'c> {
     budget: &'c SharedBudget,
     state: PackingState,
     stats: SolverStats,
-    /// Frontier index this worker searches under (0 for the sequential
-    /// search and the expansion): cancellation compares against it.
-    subtree: usize,
-    /// Branching depth of this worker's root in the global tree (0 for the
-    /// sequential search, the frontier depth for parallel subtree workers),
-    /// so depth histograms and event depths are thread-count invariant.
-    base_depth: u32,
+    /// The work-stealing scheduler; `None` in sequential mode, where the
+    /// per-node scheduler hooks reduce to a single branch.
+    scheduler: Option<&'c Scheduler>,
+    /// Lazy helper-thread starter — `Some` only on worker 0, which spawns
+    /// a helper whenever a queued unit has no idle worker to take it (see
+    /// [`Worker::maybe_spawn_helper`]).
+    spawn: Option<&'c dyn Fn()>,
+    /// Id of the unit being searched ([`SearchEvent::subtree`]); 0 for the
+    /// sequential search and the root unit.
+    unit: usize,
+    /// Priority path of the current unit's root (empty for the root unit
+    /// and the sequential search).
+    unit_priority: Vec<u8>,
+    /// Open branching levels of the current unit, shallowest first.
+    levels: Vec<Level>,
+    /// Nodes expanded inside the current unit — the split-threshold gate.
+    nodes_in_unit: u64,
+    /// Last [`Scheduler::incumbent_epoch`] at which `superseded` was
+    /// computed.
+    seen_epoch: u64,
+    /// Whether the incumbent precedes this unit (stable once true): the
+    /// sequential search would have stopped before entering it, so the
+    /// worker unwinds.
+    superseded: bool,
     /// Events processed since the last in-propagation budget check. Reset
     /// at every cascade start so the budget-poll cadence (and thus any
     /// stop-flag observation point) depends only on the cascade, not on
@@ -462,8 +643,7 @@ impl<'c> Worker<'c> {
         ctx: &'c SearchContext<'c>,
         budget: &'c SharedBudget,
         state: PackingState,
-        subtree: usize,
-        base_depth: u32,
+        scheduler: Option<&'c Scheduler>,
     ) -> Self {
         let n = state.task_count();
         Self {
@@ -471,8 +651,14 @@ impl<'c> Worker<'c> {
             budget,
             state,
             stats: SolverStats::default(),
-            subtree,
-            base_depth,
+            scheduler,
+            spawn: None,
+            unit: 0,
+            unit_priority: Vec::new(),
+            levels: Vec::new(),
+            nodes_in_unit: 0,
+            seen_epoch: 0,
+            superseded: false,
             propagation_ticks: 0,
             queue: Vec::new(),
             cursor: 0,
@@ -493,7 +679,7 @@ impl<'c> Worker<'c> {
             return;
         }
         self.ctx.config.telemetry.emit(SearchEvent {
-            subtree: self.subtree,
+            subtree: self.unit,
             depth,
             t_ns: self.budget.started.elapsed().as_nanos() as u64,
             kind,
@@ -628,7 +814,7 @@ impl<'c> Worker<'c> {
         self.attribute_cascade(timer, &result);
         match result {
             Ok(()) => self.emit(
-                self.base_depth,
+                0,
                 EventKind::Propagate {
                     fixes: self.stats.propagated_fixes - fixes_before,
                 },
@@ -636,7 +822,7 @@ impl<'c> Worker<'c> {
             Err(kind) => {
                 self.count_conflict(kind);
                 if let Some(rule) = kind.prune_rule() {
-                    self.emit(self.base_depth, EventKind::Prune { rule });
+                    self.emit(0, EventKind::Prune { rule });
                 }
                 queue.clear();
             }
@@ -669,12 +855,10 @@ impl<'c> Worker<'c> {
     }
 
     /// Budget poll from inside a propagation cascade: observes the global
-    /// stop flag, the cancellation of this subtree, and — crucially — the
+    /// stop flag, the supersession of this unit, and — crucially — the
     /// wall-time limit, which otherwise would only be seen between nodes.
     fn propagation_checkpoint(&mut self) -> Result<(), Conflict> {
-        if self.budget.stopped()
-            || self.budget.lowest_feasible.load(Ordering::Relaxed) < self.subtree
-        {
+        if self.budget.stopped() || self.check_superseded() {
             return Err(Conflict::Stopped);
         }
         if let Some(limit) = self.ctx.config.time_limit {
@@ -1073,9 +1257,9 @@ impl<'c> Worker<'c> {
 
     /// First unassigned slot in branching order, resuming from the cursor:
     /// every slot before it is known assigned (assignments are monotone
-    /// within a subtree; `dfs_at`/`expand` restore the cursor together with
-    /// every rollback), so the amortized cost per node is O(1) instead of a
-    /// full rescan of `branch_order`.
+    /// within a subtree; `dfs_at` restores the cursor with every rollback,
+    /// and a stolen unit carries its donor's cursor), so the amortized cost
+    /// per node is O(1) instead of a full rescan of `branch_order`.
     fn next_unassigned(&mut self) -> Option<(usize, usize)> {
         while let Some(&(d, p)) = self.ctx.branch_order.get(self.cursor) {
             if self.state.state(d, p) == EdgeState::Unassigned {
@@ -1097,7 +1281,10 @@ impl<'c> Worker<'c> {
             }
         }
         if let Some(limit) = self.ctx.config.time_limit {
-            if total.is_multiple_of(64) && self.budget.started.elapsed() >= limit {
+            // Polled at the first node (so an already-expired limit stops
+            // the search before any work) and every 64th thereafter to
+            // amortize the clock read.
+            if (total == 1 || total.is_multiple_of(64)) && self.budget.started.elapsed() >= limit {
                 self.budget.request_stop(LimitKind::Time);
                 return true;
             }
@@ -1109,7 +1296,214 @@ impl<'c> Worker<'c> {
         if self.budget.stopped() {
             return true;
         }
-        self.budget.lowest_feasible.load(Ordering::Relaxed) < self.subtree
+        self.check_superseded()
+    }
+
+    /// Whether the incumbent has moved in front of this unit. Cached per
+    /// incumbent epoch, so the steady state (no new feasible leaves) costs
+    /// one relaxed atomic load; the incumbent mutex is touched only when
+    /// the epoch advances. Supersession is stable: the incumbent path only
+    /// decreases, so it never un-precedes a unit.
+    fn check_superseded(&mut self) -> bool {
+        let Some(scheduler) = self.scheduler else {
+            return false;
+        };
+        let epoch = scheduler.incumbent_epoch.load(Ordering::Relaxed);
+        if epoch != self.seen_epoch {
+            self.seen_epoch = epoch;
+            self.superseded = scheduler.behind_incumbent(&self.unit_priority);
+        }
+        self.superseded
+    }
+
+    /// The full branch-choice path of the node the worker currently sits
+    /// at: the unit's priority followed by the live choice index of every
+    /// open level.
+    fn current_path(&self) -> Vec<u8> {
+        let mut path = self.unit_priority.clone();
+        path.extend(self.levels.iter().map(|level| level.choice));
+        path
+    }
+
+    /// The scheduler's per-node hook: counts the node against the split
+    /// threshold and, when this unit has proven deep enough *and* a worker
+    /// is starving, donates the shallowest open branch as a new unit. The
+    /// clone + rollback only happens on an actual offer, so the common
+    /// path is two relaxed atomic loads.
+    fn offer_split(&mut self) {
+        let Some(scheduler) = self.scheduler else {
+            return;
+        };
+        // Worker 0 also reacts here — once per node — to units queued by
+        // other workers that found nobody idle.
+        self.maybe_spawn_helper();
+        self.nodes_in_unit += 1;
+        if self.nodes_in_unit < self.ctx.config.split_after_nodes.max(1) || self.superseded {
+            return;
+        }
+        let idle = scheduler.idle.load(Ordering::Relaxed);
+        let pending = scheduler.pending.load(Ordering::Relaxed);
+        // Not-yet-started helpers count as demand: they are spawned the
+        // moment a queued unit would otherwise starve.
+        let demand = idle
+            .saturating_add(scheduler.unspawned())
+            .saturating_add(self.ctx.config.split_backlog);
+        if pending >= demand {
+            return;
+        }
+        // Donate the *shallowest* open branch: it is the largest subtree
+        // this worker can give away, and taking it out of `open` removes
+        // it from the owner's backtracking — units stay disjoint.
+        let Some(i) = self.levels.iter().position(|level| level.open.is_some()) else {
+            return;
+        };
+        let donated = self.levels[i].open.take().expect("position found open");
+        let (d, p) = self.levels[i].slot;
+        let mut state = self.state.clone();
+        // The clone carries the trail, so rolling back to the ancestor's
+        // mark reconstructs the exact branch-point state.
+        state.rollback(self.levels[i].mark);
+        let mut priority = self.unit_priority.clone();
+        priority.extend(self.levels[..i].iter().map(|level| level.choice));
+        // An open sibling is always the second choice at its node.
+        priority.push(1);
+        scheduler.push(
+            WorkUnit {
+                id: scheduler.next_unit.fetch_add(1, Ordering::Relaxed),
+                priority,
+                state,
+                cursor: self.levels[i].cursor,
+                pending: Some((d, p, donated)),
+            },
+            self.budget.stopped(),
+        );
+        self.maybe_spawn_helper();
+    }
+
+    /// Worker 0's lazy thread starter: if a queued unit has no idle worker
+    /// to take it and the thread budget allows, start one helper. At most
+    /// one spawn per call — sustained demand (checked once per node) ramps
+    /// the pool up, a transient blip does not. On helpers (and in
+    /// sequential mode) `spawn` is `None` and this is a no-op.
+    fn maybe_spawn_helper(&self) {
+        let (Some(scheduler), Some(spawn)) = (self.scheduler, self.spawn) else {
+            return;
+        };
+        if scheduler.pending.load(Ordering::Relaxed) <= scheduler.idle.load(Ordering::Relaxed) {
+            return;
+        }
+        let spawned = scheduler.spawned.load(Ordering::Relaxed);
+        if spawned < scheduler.helpers
+            && scheduler
+                .spawned
+                .compare_exchange(spawned, spawned + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            spawn();
+        }
+    }
+
+    /// The parallel worker loop: claim the depth-first-least queued unit,
+    /// search it, repeat; parks on the scheduler condvar while the queue
+    /// is empty and exits when the search is exhausted or stopped.
+    fn run_queue(&mut self) {
+        let scheduler = self.scheduler.expect("run_queue is parallel-only");
+        while let Some(unit) = self.claim_unit(scheduler) {
+            // Claiming may have left further units pending with nobody
+            // idle — worker 0 starts a helper for them before diving in.
+            self.maybe_spawn_helper();
+            self.run_unit(unit, scheduler);
+            let mut queue = scheduler.queue.lock().expect("no poisoned locks");
+            queue.active -= 1;
+            if self.budget.stopped() || (queue.active == 0 && queue.units.is_empty()) {
+                queue.done = true;
+                drop(queue);
+                scheduler.work.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until a unit is available (returning it with `active`
+    /// incremented) or the scheduler is done (`None`). Units already
+    /// behind the incumbent are dropped here — the sequential search would
+    /// have stopped before entering them.
+    fn claim_unit(&mut self, scheduler: &Scheduler) -> Option<WorkUnit> {
+        let mut queue = scheduler.queue.lock().expect("no poisoned locks");
+        loop {
+            if queue.done {
+                return None;
+            }
+            if let Some(unit) = queue.take_least() {
+                scheduler
+                    .pending
+                    .store(queue.units.len(), Ordering::Relaxed);
+                if scheduler.behind_incumbent(&unit.priority) {
+                    scheduler.record_abandoned(unit.priority, self.budget.stopped());
+                    continue;
+                }
+                queue.active += 1;
+                return Some(unit);
+            }
+            if queue.active == 0 {
+                queue.done = true;
+                scheduler.work.notify_all();
+                return None;
+            }
+            scheduler.idle.fetch_add(1, Ordering::Relaxed);
+            queue = scheduler.work.wait(queue).expect("no poisoned locks");
+            scheduler.idle.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Searches one work unit to its end: exhaustion, a feasible leaf
+    /// (recorded as incumbent at the leaf itself), or an abort — whose
+    /// path is recorded so [`Search::finalize`] knows what was left
+    /// unexplored.
+    fn run_unit(&mut self, unit: WorkUnit, scheduler: &Scheduler) {
+        let WorkUnit {
+            id,
+            priority,
+            state,
+            cursor,
+            pending,
+        } = unit;
+        self.unit = id;
+        self.unit_priority = priority;
+        self.state = state;
+        self.cursor = cursor;
+        self.nodes_in_unit = 0;
+        self.levels.clear();
+        self.seen_epoch = scheduler.incumbent_epoch.load(Ordering::Relaxed);
+        self.superseded = scheduler.behind_incumbent(&self.unit_priority);
+        let result = match pending {
+            Some((d, p, choice)) => {
+                // The unit root is the donated sibling: its parent node is
+                // already recorded and budget-charged by the donor, so
+                // apply the decision and descend without re-recording.
+                let depth = self.unit_priority.len() as u32 - 1;
+                match self.decide(d, p, choice, depth) {
+                    Ok(()) => match self.dfs_at(depth + 1) {
+                        Ok(None) => {
+                            self.emit(depth, EventKind::Backtrack);
+                            Ok(None)
+                        }
+                        other => other,
+                    },
+                    Err(Conflict::Stopped) => Err(()),
+                    Err(_) => {
+                        self.emit(depth, EventKind::Backtrack);
+                        Ok(None)
+                    }
+                }
+            }
+            None => self.dfs_at(self.unit_priority.len() as u32),
+        };
+        if result.is_err() {
+            // `levels` is intentionally not unwound on the stop path: the
+            // live choice indices name the exact node the abort happened
+            // at, which is the least unexplored point of this unit.
+            scheduler.record_abandoned(self.current_path(), self.budget.stopped());
+        }
     }
 
     /// One branching decision plus its propagation cascade: fixes the slot,
@@ -1162,14 +1556,20 @@ impl<'c> Worker<'c> {
         result
     }
 
-    /// DFS over the remaining slots, from this worker's base depth.
-    /// `Ok(Some)` = feasible with certificate; `Ok(None)` = subtree
-    /// exhausted; `Err(())` = resource limit or cancellation (the caller
-    /// consults the shared budget for the cause).
+    /// DFS over the remaining slots (sequential entry point). `Ok(Some)` =
+    /// feasible with certificate; `Ok(None)` = subtree exhausted;
+    /// `Err(())` = resource limit or cancellation (the caller consults the
+    /// shared budget for the cause).
     fn dfs(&mut self) -> Result<Option<Placement>, ()> {
-        self.dfs_at(self.base_depth)
+        self.dfs_at(0)
     }
 
+    /// One DFS node at global branching `depth`. The explicit [`Level`]
+    /// stack mirrors the recursion: each node pushes its untried sibling
+    /// as `open`, which either the owner takes on backtrack or
+    /// [`Worker::offer_split`] donates to another worker. On the stop path
+    /// (`Err`) the stack is deliberately *not* unwound — the live choice
+    /// indices name the abort point for [`Worker::run_unit`].
     fn dfs_at(&mut self, depth: u32) -> Result<Option<Placement>, ()> {
         let Some((d, p)) = self.next_unassigned() else {
             return Ok(self.check_leaf(depth));
@@ -1178,97 +1578,51 @@ impl<'c> Worker<'c> {
         if self.out_of_budget() {
             return Err(());
         }
-        let choices = if self.ctx.config.component_first {
+        let [first, second] = if self.ctx.config.component_first {
             [EdgeState::Component, EdgeState::Comparability]
         } else {
             [EdgeState::Comparability, EdgeState::Component]
         };
-        for choice in choices {
-            let mark = self.state.mark();
-            let cursor = self.cursor;
+        let level = self.levels.len();
+        self.levels.push(Level {
+            slot: (d, p),
+            mark: self.state.mark(),
+            cursor: self.cursor,
+            open: Some(second),
+            choice: 0,
+        });
+        self.offer_split();
+        let mut next_choice = Some(first);
+        while let Some(choice) = next_choice {
+            let (mark, cursor) = (self.levels[level].mark, self.levels[level].cursor);
             match self.decide(d, p, choice, depth) {
-                Ok(()) => {
-                    if let Some(placement) = self.dfs_at(depth + 1)? {
+                Ok(()) => match self.dfs_at(depth + 1) {
+                    Ok(Some(placement)) => {
+                        self.levels.pop();
                         return Ok(Some(placement));
                     }
-                }
-                Err(Conflict::Stopped) => {
-                    self.state.rollback(mark);
-                    self.cursor = cursor;
-                    return Err(());
-                }
+                    Ok(None) => {}
+                    Err(()) => return Err(()),
+                },
+                Err(Conflict::Stopped) => return Err(()),
                 Err(_) => {}
             }
             self.state.rollback(mark);
             self.cursor = cursor;
             self.emit(depth, EventKind::Backtrack);
+            next_choice = self.levels[level].open.take();
+            if next_choice.is_some() {
+                self.levels[level].choice = 1;
+            }
         }
+        self.levels.pop();
         Ok(None)
     }
 
-    /// Sequential frontier expansion for the parallel search: depth-first
-    /// until `budget` branching levels are consumed, pushing a
-    /// [`PackingState`] clone per open subtree, in the exact order the
-    /// sequential search would enter them. `depth` is the current global
-    /// branching depth (`0` at the root), so node statistics line up with
-    /// the sequential search. A leaf accepted *during* expansion ends it
-    /// (everything later in depth-first order is behind the certificate)
-    /// and is reported through `tail_leaf`; a rejected leaf just backtracks.
-    fn expand(
-        &mut self,
-        budget: usize,
-        depth: u32,
-        frontier: &mut Vec<PackingState>,
-        tail_leaf: &mut Option<Placement>,
-    ) -> Result<(), ()> {
-        let Some((d, p)) = self.next_unassigned() else {
-            *tail_leaf = self.check_leaf(depth);
-            return Ok(());
-        };
-        if budget == 0 {
-            frontier.push(self.state.clone());
-            return Ok(());
-        }
-        self.stats.record_node(depth as usize);
-        if self.out_of_budget() {
-            return Err(());
-        }
-        let choices = if self.ctx.config.component_first {
-            [EdgeState::Component, EdgeState::Comparability]
-        } else {
-            [EdgeState::Comparability, EdgeState::Component]
-        };
-        for choice in choices {
-            let mark = self.state.mark();
-            let cursor = self.cursor;
-            match self.decide(d, p, choice, depth) {
-                Ok(()) => {
-                    let deeper = self.expand(budget - 1, depth + 1, frontier, tail_leaf);
-                    self.state.rollback(mark);
-                    self.cursor = cursor;
-                    deeper?;
-                    if tail_leaf.is_some() {
-                        return Ok(());
-                    }
-                    self.emit(depth, EventKind::Backtrack);
-                    continue;
-                }
-                Err(Conflict::Stopped) => {
-                    self.state.rollback(mark);
-                    self.cursor = cursor;
-                    return Err(());
-                }
-                Err(_) => {}
-            }
-            self.state.rollback(mark);
-            self.cursor = cursor;
-            self.emit(depth, EventKind::Backtrack);
-        }
-        Ok(())
-    }
-
     /// Full leaf acceptance with telemetry: realizes and verifies, then
-    /// reports the accept/reject decision at `depth`.
+    /// reports the accept/reject decision at `depth`. In parallel mode an
+    /// accepted leaf is recorded as incumbent right here, while the level
+    /// stack still spells out its full path.
     fn check_leaf(&mut self, depth: u32) -> Option<Placement> {
         let timer = self.timer();
         let placement = self.realize_leaf();
@@ -1281,6 +1635,9 @@ impl<'c> Worker<'c> {
                 accepted: placement.is_some(),
             },
         );
+        if let (Some(scheduler), Some(placement)) = (self.scheduler, &placement) {
+            scheduler.record_feasible(self.current_path(), placement.clone());
+        }
         placement
     }
 
@@ -1785,38 +2142,49 @@ mod parallel_tests {
         assert!(matches!(r, SearchResult::Limit(LimitKind::Time)));
     }
 
-    /// Explicit frontier depths, including degenerate ones, never change
-    /// the answer.
+    /// Split knobs, including degenerate ones, never change the answer:
+    /// threshold 1 splits at every opportunity (maximum stealing),
+    /// `u64::MAX` never splits (the root unit is searched alone), and a
+    /// nonzero backlog queues speculative units.
     #[test]
-    fn frontier_depth_is_answer_invariant() {
+    fn split_knobs_are_answer_invariant() {
         let feasible = grid(5, 4, 8);
         let infeasible = grid(4, 2, 7);
-        for depth in [1, 2, 5, 12] {
-            let config = SolverConfig {
-                frontier_depth: Some(depth),
-                ..config_with_threads(3)
-            };
-            assert!(
-                matches!(
-                    Search::new(&feasible, &config).run().0,
-                    SearchResult::Feasible(_)
-                ),
-                "depth {depth}"
-            );
-            assert!(
-                matches!(
-                    Search::new(&infeasible, &config).run().0,
-                    SearchResult::Infeasible
-                ),
-                "depth {depth}"
-            );
+        let (seq, _) = Search::new(&feasible, &config_with_threads(1)).run();
+        let SearchResult::Feasible(expected) = seq else {
+            panic!("sequentially feasible");
+        };
+        for split_after_nodes in [1, 2, 5, 64, u64::MAX] {
+            for split_backlog in [0, 2] {
+                let config = SolverConfig {
+                    split_after_nodes,
+                    split_backlog,
+                    ..config_with_threads(3)
+                };
+                let (r, _) = Search::new(&feasible, &config).run();
+                let SearchResult::Feasible(p) = r else {
+                    panic!("threshold {split_after_nodes}: must stay feasible");
+                };
+                assert_eq!(
+                    p, expected,
+                    "threshold {split_after_nodes}, backlog {split_backlog}: certificate"
+                );
+                assert!(
+                    matches!(
+                        Search::new(&infeasible, &config).run().0,
+                        SearchResult::Infeasible
+                    ),
+                    "threshold {split_after_nodes}, backlog {split_backlog}"
+                );
+            }
         }
     }
 
-    /// Tiny instances whose whole tree fits inside the expansion: the
-    /// trailing-leaf path must deliver the certificate.
+    /// Tiny instances whose whole tree stays below the split threshold:
+    /// the root unit decides everything itself and the incumbent path
+    /// delivers the certificate.
     #[test]
-    fn expansion_only_trees_still_answer() {
+    fn small_trees_answer_without_splitting() {
         let pair = Instance::builder()
             .chip(Chip::square(2))
             .horizon(4)
@@ -1825,14 +2193,61 @@ mod parallel_tests {
             .precedence("a", "b")
             .build()
             .expect("valid");
-        let config = SolverConfig {
-            frontier_depth: Some(30),
-            ..config_with_threads(4)
-        };
-        let (r, _) = Search::new(&pair, &config).run();
+        let (r, _) = Search::new(&pair, &config_with_threads(4)).run();
         let SearchResult::Feasible(p) = r else {
             panic!("pair is feasible");
         };
         assert_eq!(p.verify(&pair), Ok(()));
+    }
+
+    /// A cancellation token flipped before the parallel search starts must
+    /// surface as `Limit(Cancelled)` — every unit aborts, nothing is
+    /// feasible, and [`Search::finalize`] maps the recorded stop to the
+    /// cause. This pins the documented cancellation semantics.
+    #[test]
+    fn parallel_pre_cancelled_token_reports_cancelled() {
+        let i = grid(6, 4, 9);
+        let config = SolverConfig {
+            split_after_nodes: 1,
+            ..config_with_threads(4)
+        };
+        config.cancel.cancel();
+        let (r, _) = Search::new(&i, &config).run();
+        assert!(matches!(r, SearchResult::Limit(LimitKind::Cancelled)));
+    }
+
+    /// Mid-search cancellation under forced stealing: on an infeasible
+    /// instance the verdict is the `Cancelled` limit — or, if the host is
+    /// fast enough to exhaust the tree before the token flips, the honest
+    /// `Infeasible`. It is never a feasible answer and never a different
+    /// limit kind.
+    #[test]
+    fn parallel_mid_search_cancellation_is_a_limit() {
+        use crate::config::CancelToken;
+        // Infeasible with a deep tree: seven 2x2x2 tasks, 4x4 chip,
+        // horizon 3 (volume 56 > 48).
+        let i = grid(7, 4, 3);
+        for threads in [2, 4, 8] {
+            let token = CancelToken::new();
+            let config = SolverConfig {
+                split_after_nodes: 1,
+                cancel: token.clone(),
+                ..config_with_threads(threads)
+            };
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    token.cancel();
+                });
+                let (r, _) = Search::new(&i, &config).run();
+                assert!(
+                    matches!(
+                        r,
+                        SearchResult::Limit(LimitKind::Cancelled) | SearchResult::Infeasible
+                    ),
+                    "{threads} threads: cancellation must end in a limit or exhaustion"
+                );
+            });
+        }
     }
 }

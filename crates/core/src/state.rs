@@ -74,9 +74,9 @@ enum TrailEntry {
 /// propagation rules can run graph queries directly. A trail records every
 /// mutation for exact rollback.
 ///
-/// The state is `Clone` so that the parallel search can hand each frontier
-/// subtree an independent copy (the clone carries the trail, so rollbacks
-/// to marks taken after cloning behave identically in the copy).
+/// The state is `Clone` so that the parallel search can hand each stolen
+/// work unit an independent copy (the clone carries the trail, so rollbacks
+/// to marks taken before cloning behave identically in the copy).
 #[derive(Clone)]
 pub struct PackingState {
     n: usize,

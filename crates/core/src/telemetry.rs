@@ -1,7 +1,7 @@
 //! Structured solver telemetry: search events, sinks, and JSON reports.
 //!
 //! The branch-and-bound emits a [`SearchEvent`] stream (branch, propagate,
-//! prune, backtrack, leaf — each tagged with the frontier-subtree id, the
+//! prune, backtrack, leaf — each tagged with its work-unit id, the
 //! branch depth, and a monotonic timestamp) into an optional
 //! [`TelemetrySink`] configured through
 //! [`SolverConfig::telemetry`](crate::SolverConfig::telemetry). Sinks run on
@@ -26,12 +26,12 @@
 //! # Event ordering and timestamps
 //!
 //! In sequential mode the event stream is exactly the depth-first trace of
-//! the search. In parallel mode events from different frontier subtrees
+//! the search. In parallel mode events from different work units
 //! interleave nondeterministically, but every event carries its
-//! [`SearchEvent::subtree`] id, so a per-subtree depth-first trace can be
+//! [`SearchEvent::subtree`] id, so a per-unit depth-first trace can be
 //! recovered by a stable partition on that id. [`SearchEvent::t_ns`] is
 //! captured per worker from the search's shared [`std::time::Instant`]
-//! epoch, so timestamps of different subtree streams are mergeable onto one
+//! epoch, so timestamps of different unit streams are mergeable onto one
 //! timeline; optimization solvers (BMP/SPP/Pareto) run one search per
 //! decision, and each search restarts the epoch at zero.
 
@@ -151,8 +151,8 @@ impl EventKind {
 /// One entry of the search event stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SearchEvent {
-    /// Frontier-subtree id: `0` for the sequential search and the frontier
-    /// expansion, the subtree's depth-first frontier index in parallel mode.
+    /// Work-unit id: `0` for the sequential search and the parallel root
+    /// unit, then one fresh id per stolen unit, in offer order.
     pub subtree: usize,
     /// Branching depth at which the event occurred.
     pub depth: u32,
@@ -545,10 +545,10 @@ struct JournalFile {
 /// buffers (selected by thread id, so the hot path never touches a global
 /// lock) and flushed to a file in buffer-sized chunks.
 ///
-/// Per-subtree order is preserved: a frontier subtree is searched by one
-/// worker thread, that thread always lands in the same shard, and a shard
-/// is flushed under its own lock — so lines of one subtree appear in the
-/// file in emission order, merely interleaved with other subtrees' chunks.
+/// Per-unit order is preserved: a work unit is searched by one worker
+/// thread, that thread always lands in the same shard, and a shard is
+/// flushed under its own lock — so lines of one unit appear in the file
+/// in emission order, merely interleaved with other units' chunks.
 ///
 /// The journal is bounded like [`MemoryJournal`]: an optional event
 /// capacity plus fixed-size shard buffers. Events beyond the capacity, and
@@ -782,6 +782,17 @@ pub struct SolveReport {
     /// wall-clock time, when the producer measured it; `null` in JSON
     /// otherwise.
     pub propagation_events_per_sec: Option<f64>,
+}
+
+/// Throughput of `count` events over `wall_ms` milliseconds, in events per
+/// second — `None` when no wall-clock time elapsed (a rate computed from a
+/// zero denominator would be infinite, which JSON cannot represent).
+///
+/// This is *the* rate computation behind every `*_per_sec` field of
+/// [`SolveReport`], shared by the CLI, the bench runner, and the job
+/// server so the zero-guard and units cannot drift apart.
+pub fn per_second(count: u64, wall_ms: f64) -> Option<f64> {
+    (wall_ms > 0.0).then(|| count as f64 / (wall_ms / 1000.0))
 }
 
 impl SolveReport {

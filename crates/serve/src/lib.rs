@@ -43,8 +43,8 @@ use std::time::{Duration, Instant, SystemTime};
 
 use recopack_core::telemetry::push_json_str;
 use recopack_core::{
-    pareto_front_with_stats, Bmp, CancelToken, LimitKind, Opp, SolveOutcome, SolveReport,
-    SolverConfig, SolverStats, Spp, Telemetry,
+    pareto_front_with_stats, per_second, Bmp, CancelToken, LimitKind, Opp, SolveOutcome,
+    SolveReport, SolverConfig, SolverStats, Spp, Telemetry,
 };
 use recopack_json::Json;
 use recopack_metrics::{Counter, Gauge, Histogram, Registry};
@@ -315,7 +315,6 @@ impl Server {
     /// Binds the listener and starts the worker pool and the acceptor.
     pub fn bind(config: &ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
-        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let metrics = ServerMetrics::new();
         let sink = Arc::new(MetricsSink::register(&metrics.registry));
@@ -386,7 +385,21 @@ impl Server {
         }
         self.inner.accept_stop.store(true, Ordering::Relaxed);
         if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+            // The acceptor blocks in `accept` (no polling), so wake it
+            // with one throwaway local connection; it re-checks
+            // `accept_stop` on every wakeup. If the wake cannot connect
+            // (exotic network config), the handle is dropped instead of
+            // joined — a leaked parked thread beats a deadlocked drain.
+            let mut wake = self.addr;
+            if wake.ip().is_unspecified() {
+                wake.set_ip(match wake.ip() {
+                    std::net::IpAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                    std::net::IpAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+                });
+            }
+            if TcpStream::connect_timeout(&wake, Duration::from_secs(1)).is_ok() {
+                let _ = acceptor.join();
+            }
         }
         let exposition = self.inner.metrics.registry.render();
         LogLine::new("metrics_flushed")
@@ -396,10 +409,13 @@ impl Server {
     }
 
     /// Serves until `stop` becomes true (typically the flag returned by
-    /// [`install_shutdown_handler`]), then drains and exits.
+    /// [`install_shutdown_handler`]), then drains and exits. With the
+    /// signal flag this parks on the handler's self-pipe and wakes the
+    /// instant a signal arrives; a foreign flag falls back to a coarse
+    /// poll (see [`signal::wait_for_shutdown`]).
     pub fn run_until(self, stop: &AtomicBool) {
         while !stop.load(Ordering::Relaxed) {
-            std::thread::sleep(Duration::from_millis(50));
+            signal::wait_for_shutdown(stop);
         }
         self.shutdown();
         self.join();
@@ -483,7 +499,7 @@ fn run_job(kind: JobKind, name: &str, spec: &JobSpec) -> FinishedJob {
     let threads = spec.config.threads;
     let report_for = |outcome: &str, decisions: u32, stats: &SolverStats| {
         let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
-        let per_sec = |count: u64| (wall_ms > 0.0).then(|| count as f64 / (wall_ms / 1000.0));
+        let per_sec = |count: u64| per_second(count, wall_ms);
         SolveReport {
             command: kind.name().to_string(),
             instance: name.to_string(),
@@ -605,7 +621,10 @@ fn unresolved(cancel: &CancelToken, message: &str) -> FinishedJob {
 
 /// Accepts connections until told to stop; each connection is handled on
 /// its own thread so a slow client cannot stall the health or metrics
-/// endpoints.
+/// endpoints. The accept is *blocking* — an idle server sleeps in the
+/// kernel and a new connection is dispatched immediately, instead of the
+/// old nonblocking poll that added up to 20 ms of latency per request.
+/// [`Server::join`] unblocks a parked accept with a wake connection.
 fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
     loop {
         if inner.accept_stop.load(Ordering::Relaxed) {
@@ -613,13 +632,15 @@ fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let _ = stream.set_nonblocking(false);
+                if inner.accept_stop.load(Ordering::Relaxed) {
+                    // The wake connection from `join`; drop it and exit.
+                    return;
+                }
                 let inner = inner.clone();
                 std::thread::spawn(move || handle_connection(&inner, stream));
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(20));
-            }
+            // Transient accept failures (connection reset in the backlog,
+            // fd exhaustion): back off briefly instead of spinning.
             Err(_) => std::thread::sleep(Duration::from_millis(20)),
         }
     }

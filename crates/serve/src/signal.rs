@@ -1,24 +1,31 @@
 //! SIGTERM / ctrl-c handling without a libc dependency.
 //!
 //! The workspace has no crates.io access, so instead of the usual `signal
-//! hook` crates this module declares the one POSIX function it needs. The
-//! handler does the only async-signal-safe thing a handler may do here:
-//! one relaxed atomic store into a process-wide flag, which the serve
-//! loop polls to begin its graceful drain.
+//! hook` crates this module declares the few POSIX functions it needs. The
+//! handler does the only async-signal-safe things a handler may do here:
+//! one relaxed atomic store into a process-wide flag, plus one `write(2)`
+//! of a single byte into a self-pipe. [`wait_for_shutdown`] parks on the
+//! read end of that pipe, so the serve loop wakes the moment a signal
+//! arrives instead of polling the flag on a timer.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-/// Set by the signal handler; polled by [`crate::Server::run_until`].
+/// Set by the signal handler; waited on by [`crate::Server::run_until`].
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
 
 #[cfg(unix)]
 #[allow(unsafe_code)]
 mod imp {
     use super::SHUTDOWN;
-    use std::sync::atomic::Ordering;
+    use std::sync::atomic::{AtomicI32, Ordering};
 
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
+
+    /// Self-pipe ends, created once by [`install`]. `-1` until then (or if
+    /// `pipe(2)` failed), in which case waiters fall back to polling.
+    static PIPE_READ: AtomicI32 = AtomicI32::new(-1);
+    static PIPE_WRITE: AtomicI32 = AtomicI32::new(-1);
 
     type Handler = extern "C" fn(i32);
 
@@ -27,18 +34,60 @@ mod imp {
         /// function pointer we never need; `usize` keeps the declaration
         /// free of pointer types.
         fn signal(signum: i32, handler: Handler) -> usize;
+        /// POSIX `pipe(2)`: fills `fds[0]` (read end) and `fds[1]` (write
+        /// end).
+        fn pipe(fds: *mut i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
     }
 
     extern "C" fn on_signal(_signum: i32) {
         SHUTDOWN.store(true, Ordering::Relaxed);
+        // Wake any thread parked on the pipe. Both the load and the write
+        // are async-signal-safe; a full pipe (impossible here — one byte
+        // per signal against a multi-kilobyte kernel buffer) would only
+        // mean the wakeup already happened.
+        let fd = PIPE_WRITE.load(Ordering::Relaxed);
+        if fd >= 0 {
+            let byte = 1u8;
+            // SAFETY: plain write(2) on a pipe fd owned by this module.
+            unsafe {
+                let _ = write(fd, &byte, 1);
+            }
+        }
     }
 
     pub(super) fn install() {
-        // SAFETY: `signal` is the C library's own entry point; installing a
-        // handler that only performs an atomic store is async-signal-safe.
+        let mut fds = [-1i32; 2];
+        // SAFETY: `pipe` only writes the two fds into the provided array.
+        if unsafe { pipe(fds.as_mut_ptr()) } == 0 {
+            PIPE_READ.store(fds[0], Ordering::Relaxed);
+            PIPE_WRITE.store(fds[1], Ordering::Relaxed);
+        }
+        // SAFETY: `signal` is the C library's own entry point; the handler
+        // installed performs only async-signal-safe operations (see
+        // `on_signal`).
         unsafe {
             signal(SIGINT, on_signal);
             signal(SIGTERM, on_signal);
+        }
+    }
+
+    /// Parks until the handler writes its wake byte (or, with no pipe,
+    /// sleeps one poll interval). Returns on any wakeup — including
+    /// `EINTR` — so the caller re-checks its flag in a loop.
+    pub(super) fn wait() {
+        let fd = PIPE_READ.load(Ordering::Relaxed);
+        if fd < 0 {
+            super::poll_fallback();
+            return;
+        }
+        let mut byte = 0u8;
+        // SAFETY: plain read(2) on the pipe fd owned by this module; the
+        // buffer outlives the call. The byte itself is meaningless — the
+        // return (success or EINTR) is the wakeup.
+        unsafe {
+            let _ = read(fd, &mut byte, 1);
         }
     }
 }
@@ -48,6 +97,30 @@ mod imp {
     /// No signal wiring off Unix; the flag is still usable (e.g. tests can
     /// set it) but nothing flips it on ctrl-c.
     pub(super) fn install() {}
+
+    /// Without a self-pipe the only wake source is the flag itself.
+    pub(super) fn wait() {
+        super::poll_fallback();
+    }
+}
+
+/// One coarse poll interval, for configurations without a working
+/// self-pipe (non-Unix, or `pipe(2)` failure at install time).
+fn poll_fallback() {
+    std::thread::sleep(std::time::Duration::from_millis(50));
+}
+
+/// Blocks until `stop` may have become true, then returns so the caller
+/// can re-check it. When `stop` is the flag owned by this module (the
+/// documented [`install_shutdown_handler`] usage), this parks on the
+/// handler's self-pipe and wakes immediately on SIGINT/SIGTERM; a foreign
+/// flag has no wake channel, so the wait degrades to a 50 ms poll.
+pub(crate) fn wait_for_shutdown(stop: &AtomicBool) {
+    if std::ptr::eq(stop, &SHUTDOWN) {
+        imp::wait();
+    } else {
+        poll_fallback();
+    }
 }
 
 /// Installs handlers for SIGINT and SIGTERM (on Unix) and returns the flag

@@ -1,7 +1,7 @@
 //! Outcome determinism of the parallel branch-and-bound: for every thread
 //! count the solver must return the *same verdict* and, when feasible, the
 //! *same verifying certificate* as the sequential search (DESIGN.md,
-//! "Frontier-split parallel search").
+//! "Adaptive work-stealing parallel search").
 //!
 //! Bounds and heuristics are disabled so every decision below actually runs
 //! the search tree — with them on, most of these instances never reach the
@@ -34,11 +34,11 @@ fn decide(instance: &recopack::model::Instance, threads: usize) -> Option<Placem
     }
 }
 
-/// 60 seeded random instances, threads 1 / 2 / 8: identical verdicts and
-/// identical certificates. The seeds cover both feasible and infeasible
-/// instances (the generator's arc density plus tight horizons produces a
-/// mix), and the oversubscribed 8-thread run exercises frontier splits far
-/// wider than the host's single CPU.
+/// 60 seeded random instances, threads 1 / 2 / 4 / 8: identical verdicts
+/// and identical certificates. The seeds cover both feasible and
+/// infeasible instances (the generator's arc density plus tight horizons
+/// produces a mix), and the oversubscribed 8-thread runs exercise far more
+/// workers than the host's single CPU.
 #[test]
 fn verdicts_and_certificates_are_thread_count_invariant() {
     let mut feasible_seen = 0u32;
@@ -57,7 +57,7 @@ fn verdicts_and_certificates_are_thread_count_invariant() {
             Some(_) => feasible_seen += 1,
             None => infeasible_seen += 1,
         }
-        for threads in [2, 8] {
+        for threads in [2, 4, 8] {
             let parallel = decide(&instance, threads);
             assert_eq!(
                 parallel, sequential,
@@ -146,7 +146,7 @@ fn merged_stats_are_thread_count_invariant_on_exhausted_searches() {
             sequential.nodes,
             "instance {i}: histogram must partition the nodes"
         );
-        for threads in [2, 8] {
+        for threads in [2, 4, 8] {
             let parallel = stats_at(instance, threads);
             assert_eq!(
                 parallel, sequential,
@@ -210,6 +210,109 @@ fn profiling_changes_timings_but_not_counters() {
     }
 }
 
+/// A tree deep enough that the work-stealing scheduler *actually* splits
+/// (the mixed quad/unit family runs thousands of nodes, far past the
+/// default split threshold), checked at 1 / 2 / 4 / 8 threads and under
+/// forced-split knobs: identical verdicts, identical merged stats. With
+/// `split_after_nodes: 1` every node offers a split, so this exercises
+/// unit donation, cloning, and abandonment bookkeeping at maximum rate.
+#[test]
+fn stealing_scale_verdicts_and_stats_are_invariant() {
+    use recopack::model::{Chip, Instance, Task};
+
+    // ~5000 nodes, infeasible by volume: six 2x2x2 tasks plus four
+    // unit-duration 2x2x1 tasks on a 4x4 chip with horizon 2 (the bench
+    // suite's `mixed64` case).
+    let mut builder = Instance::builder().chip(Chip::square(4)).horizon(2);
+    for i in 0..6 {
+        builder = builder.task(Task::new(format!("t{i}"), 2, 2, 2));
+    }
+    for i in 0..4 {
+        builder = builder.task(Task::new(format!("u{i}"), 2, 2, 1));
+    }
+    let instance = builder.build().expect("valid").with_transitive_closure();
+
+    let stats_at = |threads: usize, split_after_nodes: u64, split_backlog: usize| {
+        let config = SolverConfig {
+            split_after_nodes,
+            split_backlog,
+            ..search_only(threads)
+        };
+        let (outcome, stats) = Opp::new(&instance).with_config(config).solve_with_stats();
+        assert!(
+            matches!(outcome, SolveOutcome::Infeasible(_)),
+            "{threads} threads (split_after_nodes {split_after_nodes}): expected exhaustion"
+        );
+        stats
+    };
+    let sequential = stats_at(1, 256, 0);
+    assert!(
+        sequential.nodes > 1000,
+        "the instance must be deep enough to split (got {} nodes)",
+        sequential.nodes
+    );
+    for threads in [2, 4, 8] {
+        assert_eq!(stats_at(threads, 256, 0), sequential, "{threads} threads");
+        assert_eq!(
+            stats_at(threads, 1, 2),
+            sequential,
+            "{threads} threads, forced splitting"
+        );
+    }
+}
+
+/// Resource limits are thread-count invariant on this infeasible deep
+/// instance: the node budget is a single global counter and an
+/// already-expired time limit is observed at the first node, so every
+/// thread count reports the same [`LimitKind`]
+/// (recopack::solver::LimitKind).
+#[test]
+fn budget_limited_runs_report_the_same_limit_at_every_thread_count() {
+    use recopack::model::{Chip, Instance, Task};
+    use recopack::solver::LimitKind;
+
+    let mut builder = Instance::builder().chip(Chip::square(4)).horizon(2);
+    for i in 0..6 {
+        builder = builder.task(Task::new(format!("t{i}"), 2, 2, 2));
+    }
+    for i in 0..4 {
+        builder = builder.task(Task::new(format!("u{i}"), 2, 2, 1));
+    }
+    let instance = builder.build().expect("valid").with_transitive_closure();
+
+    for threads in [1, 2, 4, 8] {
+        // Node budget well below the ~5000-node tree. Force splitting so
+        // the budget is also exercised across stolen units.
+        let config = SolverConfig {
+            node_limit: Some(500),
+            split_after_nodes: 1,
+            ..search_only(threads)
+        };
+        let (outcome, stats) = Opp::new(&instance).with_config(config).solve_with_stats();
+        assert!(
+            matches!(outcome, SolveOutcome::ResourceLimit(LimitKind::Nodes)),
+            "{threads} threads: expected the node limit, got {outcome:?}"
+        );
+        assert!(
+            stats.nodes <= 500 + 8,
+            "{threads} threads: budget is global, got {} nodes",
+            stats.nodes
+        );
+
+        // A pre-expired time limit stops before any work at every thread
+        // count.
+        let config = SolverConfig {
+            time_limit: Some(std::time::Duration::ZERO),
+            ..search_only(threads)
+        };
+        let (outcome, _) = Opp::new(&instance).with_config(config).solve_with_stats();
+        assert!(
+            matches!(outcome, SolveOutcome::ResourceLimit(LimitKind::Time)),
+            "{threads} threads: expected the time limit, got {outcome:?}"
+        );
+    }
+}
+
 /// The same invariance under the bare configuration (no propagation rules):
 /// much larger trees per instance, so fewer seeds.
 #[test]
@@ -238,7 +341,7 @@ fn bare_search_is_thread_count_invariant() {
             }
         };
         let sequential = decide_bare(1);
-        for threads in [2, 8] {
+        for threads in [2, 4, 8] {
             assert_eq!(
                 decide_bare(threads),
                 sequential,

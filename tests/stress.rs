@@ -71,6 +71,56 @@ fn oracle_agreement_layered_instances() {
     }
 }
 
+/// Work-stealing at stress scale: 6-task instances are deep enough that
+/// stolen units nest (units split from units), and `split_after_nodes: 1`
+/// maximizes the donation rate. Every thread count must reproduce the
+/// sequential verdict, certificate, and — on exhausted (infeasible)
+/// searches — the exact merged stats.
+#[test]
+#[ignore = "long-running stress sweep"]
+fn work_stealing_matches_sequential_at_scale() {
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    for _ in 0..30 {
+        let config = GeneratorConfig {
+            task_count: 6,
+            max_side: 3,
+            max_duration: 3,
+            arc_percent: 25,
+        };
+        let instance = random_instance(&config, &mut rng);
+        let run = |threads: usize, split_after_nodes: u64| {
+            let config = SolverConfig {
+                use_bounds: false,
+                use_heuristics: false,
+                threads,
+                split_after_nodes,
+                split_backlog: 2,
+                ..SolverConfig::default()
+            };
+            Opp::new(&instance).with_config(config).solve_with_stats()
+        };
+        let (sequential, seq_stats) = run(1, 256);
+        for threads in [2, 4, 8] {
+            for split_after_nodes in [1, 64] {
+                let (outcome, stats) = run(threads, split_after_nodes);
+                match (&outcome, &sequential) {
+                    (SolveOutcome::Feasible(p), SolveOutcome::Feasible(q)) => {
+                        assert_eq!(p.verify(&instance), Ok(()));
+                        assert_eq!(p, q, "certificate diverged on {instance:?}");
+                    }
+                    (SolveOutcome::Infeasible(_), SolveOutcome::Infeasible(_)) => {
+                        assert_eq!(stats, seq_stats, "merged stats diverged on {instance:?}");
+                    }
+                    _ => panic!(
+                        "verdict diverged at {threads} threads \
+                         (split_after_nodes {split_after_nodes}) on {instance:?}"
+                    ),
+                }
+            }
+        }
+    }
+}
+
 #[test]
 #[ignore = "long-running stress sweep"]
 fn bare_config_agreement_six_tasks() {
