@@ -125,6 +125,8 @@ SERVICE (for `recopack serve`):
                              binds an ephemeral port)
     --queue-depth <n>        bounded job-queue capacity; submissions beyond
                              it get 503 (default 16)
+    --max-connections <n>    concurrent client connection cap; further
+                             connects get an immediate 503 (default 64)
                              (`--threads` sets the solver worker count)
 
 TRACE EXPORT (for `recopack trace <events.ndjson>`):
@@ -158,6 +160,7 @@ struct Options {
     weight: trace::FoldedWeight,
     addr: Option<String>,
     queue_depth: usize,
+    max_connections: usize,
 }
 
 impl Default for Options {
@@ -180,6 +183,7 @@ impl Default for Options {
             weight: trace::FoldedWeight::default(),
             addr: None,
             queue_depth: 16,
+            max_connections: 64,
         }
     }
 }
@@ -303,6 +307,17 @@ fn split_args(args: &[String]) -> Result<(Vec<&str>, Options), CliError> {
                     Ok(0) | Err(_) => {
                         return Err(CliError::usage(format!(
                             "--queue-depth expects a positive number, got {value:?}"
+                        )));
+                    }
+                    Ok(n) => n,
+                };
+            }
+            "--max-connections" => {
+                let value = take_value(flag, inline, &mut iter)?;
+                options.max_connections = match value.parse() {
+                    Ok(0) | Err(_) => {
+                        return Err(CliError::usage(format!(
+                            "--max-connections expects a positive number, got {value:?}"
                         )));
                     }
                     Ok(n) => n,
@@ -719,6 +734,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     .unwrap_or_else(|| "127.0.0.1:7878".to_string()),
                 workers: options.threads,
                 queue_depth: options.queue_depth,
+                max_connections: options.max_connections,
+                ..recopack_serve::ServeConfig::default()
             };
             let server = recopack_serve::Server::bind(&config)
                 .map_err(|e| CliError::runtime(format!("cannot bind {}: {e}", config.addr)))?;

@@ -331,7 +331,7 @@ impl Scheduler {
     /// Records a feasible leaf; keeps the lexicographically least one.
     fn record_feasible(&self, path: Vec<u8>, placement: Placement) {
         let mut best = self.incumbent.lock().expect("no poisoned locks");
-        if best.as_ref().map_or(true, |(leaf, _)| path < *leaf) {
+        if best.as_ref().is_none_or(|(leaf, _)| path < *leaf) {
             *best = Some((path, placement));
             self.incumbent_epoch.fetch_add(1, Ordering::Relaxed);
         }
@@ -347,7 +347,7 @@ impl Scheduler {
             "subtrees are abandoned only on a stop or behind the incumbent"
         );
         let mut min = self.min_abandoned.lock().expect("no poisoned locks");
-        if min.as_ref().map_or(true, |m| path < *m) {
+        if min.as_ref().is_none_or(|m| path < *m) {
             *min = Some(path);
         }
     }
@@ -543,12 +543,12 @@ impl<'a> Search<'a> {
         // the scheduler shuts down with a non-empty queue.
         for unit in queue.units.drain(..) {
             debug_assert!(self.budget.stopped(), "drained units imply a stop");
-            if min_abandoned.as_ref().map_or(true, |m| unit.priority < *m) {
+            if min_abandoned.as_ref().is_none_or(|m| unit.priority < *m) {
                 min_abandoned = Some(unit.priority);
             }
         }
         match scheduler.incumbent.into_inner().expect("no poisoned locks") {
-            Some((leaf, placement)) if min_abandoned.map_or(true, |abandoned| abandoned > leaf) => {
+            Some((leaf, placement)) if min_abandoned.is_none_or(|abandoned| abandoned > leaf) => {
                 SearchResult::Feasible(placement)
             }
             _ => match self.budget.stop_kind() {

@@ -94,6 +94,90 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Serializes the value back to compact JSON text.
+    ///
+    /// Object members keep their source order, so a parse → edit →
+    /// serialize round trip (as done by `recopack-load` when merging its
+    /// latency section into an existing `BENCH_*.json`) preserves the
+    /// document layout. Whole numbers within `u64` range print without a
+    /// fractional part; other numbers use the shortest `f64` form.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Number(n) => {
+                if n.fract() == 0.0 && n.abs() <= u64::MAX as f64 {
+                    // Avoid "12.0" for counts: emit "-12" / "12".
+                    if *n < 0.0 {
+                        out.push('-');
+                    }
+                    out.push_str(&format!("{}", n.abs() as u64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Json::String(s) => write_json_string(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(out, key);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Replaces (or appends) a member of an object. No-op on other kinds.
+    pub fn set(&mut self, key: &str, value: Json) {
+        if let Json::Object(members) = self {
+            match members.iter_mut().find(|(k, _)| k == key) {
+                Some((_, slot)) => *slot = value,
+                None => members.push((key.to_string(), value)),
+            }
+        }
+    }
+}
+
+/// Appends `s` to `out` as a quoted, escaped JSON string.
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// A parse failure with a byte offset.
@@ -324,5 +408,46 @@ mod tests {
         for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "\"unterminated", "1 2"] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn serializer_round_trips_documents() {
+        for text in [
+            "null",
+            "true",
+            "-25",
+            "2.5",
+            "\"a\\n\\\"b\"",
+            "[1,2,[3,{}]]",
+            r#"{"cases":[{"name":"x","nodes":12}],"ok":true,"ratio":0.5,"note":null}"#,
+        ] {
+            let doc = Json::parse(text).expect("parses");
+            let emitted = doc.to_json_string();
+            assert_eq!(
+                Json::parse(&emitted).expect("re-parses"),
+                doc,
+                "round trip of {text:?} via {emitted:?}"
+            );
+        }
+        // Source order (and thus byte layout) is preserved exactly for the
+        // writer's own output shape.
+        let text = r#"{"b":1,"a":[true,null],"c":"x"}"#;
+        assert_eq!(Json::parse(text).expect("parses").to_json_string(), text);
+    }
+
+    #[test]
+    fn set_replaces_and_appends_members() {
+        let mut doc = Json::parse(r#"{"a":1}"#).expect("parses");
+        doc.set("a", Json::Number(2.0));
+        doc.set("b", Json::String("new".to_string()));
+        assert_eq!(doc.to_json_string(), r#"{"a":2,"b":"new"}"#);
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        let doc = Json::String("a\u{1}\tb".to_string());
+        let emitted = doc.to_json_string();
+        assert_eq!(emitted, "\"a\\u0001\\tb\"");
+        assert_eq!(Json::parse(&emitted).expect("re-parses"), doc);
     }
 }

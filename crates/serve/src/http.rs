@@ -1,21 +1,33 @@
-//! A deliberately minimal HTTP/1.1 server side: parse one request, write
-//! one response, close the connection.
+//! A deliberately minimal HTTP/1.1 server side with keep-alive and
+//! pipelining.
 //!
-//! The service speaks to curl, Prometheus scrapers, and the raw
-//! `std::net::TcpStream` clients of the integration tests — none of which
-//! need keep-alive, chunked transfer, or TLS. Every response carries
-//! `Connection: close` and an exact `Content-Length`, so clients can read
-//! to EOF.
+//! The service speaks to curl, Prometheus scrapers, the load generator,
+//! and the raw `std::net::TcpStream` clients of the integration tests.
+//! A [`Conn`] owns one connection: it reads requests in a loop, keeps the
+//! bytes that arrive past the current request body (pipelined requests),
+//! and negotiates persistence per request — HTTP/1.1 defaults to
+//! keep-alive, HTTP/1.0 to close, and a `Connection:` header overrides
+//! either way. Every response carries an exact `Content-Length` and a
+//! `Connection:` header that reflects the negotiated semantics.
+//!
+//! Error handling distinguishes *recoverable* protocol errors, where the
+//! request framing is still intact (malformed JSON, oversized-but-drained
+//! bodies → 400/413, connection stays up), from *fatal* ones where the
+//! byte stream can no longer be trusted (garbled request line, unsupported
+//! transfer encoding → respond and close).
 
-use std::io::{Read as _, Write as _};
-use std::net::TcpStream;
+use std::io::{ErrorKind, Read, Write};
 
 /// Upper bound on the request line plus headers.
 const MAX_HEADER_BYTES: usize = 64 * 1024;
 
 /// Upper bound on a request body (instance files are a few KB; a megabyte
 /// is already a thousand-task instance).
-const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+pub(crate) const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// Oversized bodies up to this declared length are read and discarded so
+/// the connection can survive a `413`; beyond it the connection closes.
+const MAX_DRAIN_BYTES: usize = 16 * 1024 * 1024;
 
 /// One parsed HTTP request.
 #[derive(Debug)]
@@ -23,85 +35,204 @@ pub(crate) struct Request {
     pub(crate) method: String,
     pub(crate) path: String,
     pub(crate) body: String,
+    /// Negotiated persistence: the response must carry the matching
+    /// `Connection:` header and the server loop continues only if `true`.
+    pub(crate) keep_alive: bool,
 }
 
-/// Reads and parses one request from `stream`.
-///
-/// Malformed input yields a human-readable message the caller turns into a
-/// `400 Bad Request`; transport errors are folded into the same path (the
-/// peer is gone either way).
-pub(crate) fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
-    let mut buf = Vec::new();
-    let mut chunk = [0u8; 4096];
-    let header_end = loop {
-        if let Some(pos) = find_blank_line(&buf) {
-            break pos;
+/// What [`Conn::read_next`] produced.
+pub(crate) enum Next {
+    /// A complete, well-framed request.
+    Request(Request),
+    /// The peer closed (or idled past the read timeout) between requests;
+    /// nothing to answer.
+    Closed,
+    /// A protocol error to report. `keep_alive` is `true` when the framing
+    /// survived (the connection may keep serving) and `false` when the
+    /// stream is unusable and must close after the error response.
+    Error {
+        status: u16,
+        message: String,
+        keep_alive: bool,
+    },
+}
+
+/// Server side of one connection: a stream plus the bytes read beyond the
+/// previous request (pipelining).
+pub(crate) struct Conn<S> {
+    stream: S,
+    buf: Vec<u8>,
+}
+
+impl<S: Read + Write> Conn<S> {
+    pub(crate) fn new(stream: S) -> Self {
+        Self {
+            stream,
+            buf: Vec::new(),
         }
-        if buf.len() > MAX_HEADER_BYTES {
-            return Err("request headers too large".to_string());
-        }
-        let n = stream
-            .read(&mut chunk)
-            .map_err(|e| format!("read failed: {e}"))?;
-        if n == 0 {
-            return Err("connection closed before the headers ended".to_string());
-        }
-        buf.extend_from_slice(&chunk[..n]);
-    };
-    let head = std::str::from_utf8(&buf[..header_end])
-        .map_err(|_| "request headers are not UTF-8".to_string())?;
-    let mut lines = head.split("\r\n");
-    let request_line = lines.next().unwrap_or("");
-    let mut parts = request_line.split(' ');
-    let method = parts.next().unwrap_or("").to_string();
-    let path = parts.next().unwrap_or("").to_string();
-    let version = parts.next().unwrap_or("");
-    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
-        return Err(format!("malformed request line {request_line:?}"));
     }
 
-    let mut content_length = 0usize;
-    let mut expects_continue = false;
-    for line in lines {
-        let Some((name, value)) = line.split_once(':') else {
-            continue;
+    /// Reads and parses the next request, consuming exactly its bytes from
+    /// the connection. Read timeouts set on the underlying stream surface
+    /// as [`Next::Closed`] — the idle-timeout mechanism of the server loop.
+    pub(crate) fn read_next(&mut self) -> Next {
+        let mut chunk = [0u8; 4096];
+        let header_end = loop {
+            if let Some(pos) = find_blank_line(&self.buf) {
+                break pos;
+            }
+            if self.buf.len() > MAX_HEADER_BYTES {
+                return fatal(400, "request headers too large");
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Next::Closed,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    // Idle timeout between requests, or a stalled sender
+                    // mid-request; either way the connection is done.
+                    return Next::Closed;
+                }
+                Err(_) => return Next::Closed,
+            }
         };
-        let value = value.trim();
-        if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .parse()
-                .map_err(|_| format!("bad Content-Length {value:?}"))?;
-        } else if name.eq_ignore_ascii_case("expect") && value.eq_ignore_ascii_case("100-continue")
-        {
-            expects_continue = true;
+        let Ok(head) = std::str::from_utf8(&self.buf[..header_end]) else {
+            return fatal(400, "request headers are not UTF-8");
+        };
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split(' ');
+        let method = parts.next().unwrap_or("").to_string();
+        let path = parts.next().unwrap_or("").to_string();
+        let version = parts.next().unwrap_or("");
+        if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+            return fatal(400, &format!("malformed request line {request_line:?}"));
         }
-    }
-    if content_length > MAX_BODY_BYTES {
-        return Err(format!("request body too large ({content_length} bytes)"));
-    }
-    // curl sends `Expect: 100-continue` for larger bodies and stalls until
-    // the server approves; acknowledge so instance uploads don't hang.
-    if expects_continue {
-        let _ = stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
+        // HTTP/1.1 persists by default; HTTP/1.0 closes by default; an
+        // explicit `Connection:` token overrides either.
+        let mut keep_alive = version != "HTTP/1.0";
+
+        let mut content_length = 0usize;
+        let mut expects_continue = false;
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                let Ok(length) = value.parse() else {
+                    return fatal(400, &format!("bad Content-Length {value:?}"));
+                };
+                content_length = length;
+            } else if name.eq_ignore_ascii_case("connection") {
+                for token in value.split(',') {
+                    let token = token.trim();
+                    if token.eq_ignore_ascii_case("close") {
+                        keep_alive = false;
+                    } else if token.eq_ignore_ascii_case("keep-alive") {
+                        keep_alive = true;
+                    }
+                }
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                // Chunked framing is not spoken here; without a length the
+                // stream cannot be re-synchronized, so close.
+                return fatal(
+                    400,
+                    "transfer encodings are not supported (send Content-Length)",
+                );
+            } else if name.eq_ignore_ascii_case("expect")
+                && value.eq_ignore_ascii_case("100-continue")
+            {
+                expects_continue = true;
+            }
+        }
+        // curl sends `Expect: 100-continue` for larger bodies and stalls
+        // until the server approves; acknowledge so uploads don't hang.
+        if expects_continue {
+            let _ = self.stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
+        }
+        let body_start = header_end + 4;
+        if content_length > MAX_BODY_BYTES {
+            // Over the limit but under the drain bound: swallow the body so
+            // the connection stays synchronized, then report 413 without
+            // closing. Hopelessly large declarations just close.
+            if content_length > MAX_DRAIN_BYTES
+                || !self.consume(body_start + content_length, &mut chunk)
+            {
+                return fatal(
+                    413,
+                    &format!("request body too large ({content_length} bytes)"),
+                );
+            }
+            self.buf.drain(..body_start + content_length);
+            return Next::Error {
+                status: 413,
+                message: format!("request body too large ({content_length} bytes)"),
+                keep_alive,
+            };
+        }
+        if !self.consume(body_start + content_length, &mut chunk) {
+            return Next::Closed;
+        }
+        let body_bytes = self.buf[body_start..body_start + content_length].to_vec();
+        // Anything past the body already read belongs to the next
+        // pipelined request; keep it buffered.
+        self.buf.drain(..body_start + content_length);
+        let Ok(body) = String::from_utf8(body_bytes) else {
+            return Next::Error {
+                status: 400,
+                message: "request body is not UTF-8".to_string(),
+                keep_alive,
+            };
+        };
+        Next::Request(Request {
+            method,
+            path,
+            body,
+            keep_alive,
+        })
     }
 
-    let mut body = buf[header_end + 4..].to_vec();
-    while body.len() < content_length {
-        let n = stream
-            .read(&mut chunk)
-            .map_err(|e| format!("read failed: {e}"))?;
-        if n == 0 {
-            return Err("connection closed mid-body".to_string());
+    /// Reads until the buffer holds at least `target` bytes; `false` on
+    /// EOF, timeout, or transport error.
+    fn consume(&mut self, target: usize, chunk: &mut [u8]) -> bool {
+        while self.buf.len() < target {
+            match self.stream.read(chunk) {
+                Ok(0) => return false,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(_) => return false,
+            }
         }
-        body.extend_from_slice(&chunk[..n]);
+        true
     }
-    body.truncate(content_length);
-    let body = String::from_utf8(body).map_err(|_| "request body is not UTF-8".to_string())?;
-    Ok(Request { method, path, body })
+
+    /// Writes a complete response with the negotiated `Connection` header.
+    pub(crate) fn respond(
+        &mut self,
+        status: u16,
+        content_type: &str,
+        body: &str,
+        keep_alive: bool,
+    ) {
+        respond(&mut self.stream, status, content_type, body, keep_alive);
+    }
+}
+
+fn fatal(status: u16, message: &str) -> Next {
+    Next::Error {
+        status,
+        message: message.to_string(),
+        keep_alive: false,
+    }
 }
 
 /// Writes a complete response and flushes it.
-pub(crate) fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
+pub(crate) fn respond(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) {
     let reason = match status {
         200 => "OK",
         202 => "Accepted",
@@ -109,12 +240,14 @@ pub(crate) fn respond(stream: &mut TcpStream, status: u16, content_type: &str, b
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
+        413 => "Payload Too Large",
         503 => "Service Unavailable",
         _ => "Unknown",
     };
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     let head = format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
+         Content-Length: {}\r\nConnection: {connection}\r\n\r\n",
         body.len()
     );
     // The peer may have gone away; nothing useful to do about it.
@@ -131,10 +264,136 @@ fn find_blank_line(buf: &[u8]) -> Option<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Cursor;
+
+    /// A fake duplex stream: reads from a script, discards writes.
+    struct Fake(Cursor<Vec<u8>>);
+
+    impl Read for Fake {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.0.read(buf)
+        }
+    }
+
+    impl Write for Fake {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn conn(script: &str) -> Conn<Fake> {
+        Conn::new(Fake(Cursor::new(script.as_bytes().to_vec())))
+    }
 
     #[test]
     fn blank_line_is_found() {
         assert_eq!(find_blank_line(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
         assert_eq!(find_blank_line(b"partial\r\n"), None);
+    }
+
+    #[test]
+    fn http11_defaults_to_keep_alive_and_close_header_overrides() {
+        let mut c = conn("GET /a HTTP/1.1\r\nHost: t\r\n\r\n");
+        match c.read_next() {
+            Next::Request(r) => {
+                assert_eq!((r.method.as_str(), r.path.as_str()), ("GET", "/a"));
+                assert!(r.keep_alive, "HTTP/1.1 persists by default");
+            }
+            _ => panic!("expected a request"),
+        }
+        let mut c = conn("GET /a HTTP/1.1\r\nConnection: close\r\n\r\n");
+        match c.read_next() {
+            Next::Request(r) => assert!(!r.keep_alive),
+            _ => panic!("expected a request"),
+        }
+    }
+
+    #[test]
+    fn http10_defaults_to_close_and_keep_alive_header_overrides() {
+        let mut c = conn("GET /a HTTP/1.0\r\n\r\n");
+        match c.read_next() {
+            Next::Request(r) => assert!(!r.keep_alive),
+            _ => panic!("expected a request"),
+        }
+        let mut c = conn("GET /a HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        match c.read_next() {
+            Next::Request(r) => assert!(r.keep_alive),
+            _ => panic!("expected a request"),
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_are_served_in_order() {
+        let mut c = conn(
+            "POST /jobs HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcdGET /metrics HTTP/1.1\r\n\r\n",
+        );
+        match c.read_next() {
+            Next::Request(r) => {
+                assert_eq!(r.body, "abcd");
+                assert_eq!(r.path, "/jobs");
+            }
+            _ => panic!("expected first request"),
+        }
+        match c.read_next() {
+            Next::Request(r) => {
+                assert_eq!(r.path, "/metrics");
+                assert!(r.body.is_empty());
+            }
+            _ => panic!("expected pipelined second request"),
+        }
+        assert!(matches!(c.read_next(), Next::Closed));
+    }
+
+    #[test]
+    fn oversized_body_is_drained_and_reported_without_closing() {
+        let body = "x".repeat(MAX_BODY_BYTES + 1);
+        let script = format!(
+            "POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}GET /healthz HTTP/1.1\r\n\r\n",
+            body.len()
+        );
+        let mut c = conn(&script);
+        match c.read_next() {
+            Next::Error {
+                status, keep_alive, ..
+            } => {
+                assert_eq!(status, 413);
+                assert!(keep_alive, "drained body keeps the connection usable");
+            }
+            _ => panic!("expected a 413"),
+        }
+        match c.read_next() {
+            Next::Request(r) => assert_eq!(r.path, "/healthz"),
+            _ => panic!("connection must survive the 413"),
+        }
+    }
+
+    #[test]
+    fn garbled_request_line_is_fatal() {
+        let mut c = conn("NONSENSE\r\n\r\n");
+        match c.read_next() {
+            Next::Error {
+                status, keep_alive, ..
+            } => {
+                assert_eq!(status, 400);
+                assert!(!keep_alive, "framing is unknown, must close");
+            }
+            _ => panic!("expected a fatal 400"),
+        }
+    }
+
+    #[test]
+    fn responses_carry_the_negotiated_connection_header() {
+        let mut out = Vec::new();
+        respond(&mut out, 200, "application/json", "{}", true);
+        let text = String::from_utf8(out).expect("ASCII response");
+        assert!(text.contains("Connection: keep-alive"), "{text}");
+        let mut out = Vec::new();
+        respond(&mut out, 503, "application/json", "{}", false);
+        let text = String::from_utf8(out).expect("ASCII response");
+        assert!(text.contains("Connection: close"), "{text}");
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
     }
 }

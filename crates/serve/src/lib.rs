@@ -9,6 +9,7 @@
 //! | Endpoint           | Method | Purpose                                      |
 //! |--------------------|--------|----------------------------------------------|
 //! | `/jobs`            | POST   | submit an Opp/Bmp/Spp/Pareto instance        |
+//! | `/jobs:batch`      | POST   | submit an array of instances in one request  |
 //! | `/jobs`            | GET    | list all known jobs                          |
 //! | `/jobs/{id}`       | GET    | job status + [`SolveReport`] on completion   |
 //! | `/jobs/{id}`       | DELETE | cancel (cooperative, via [`CancelToken`])    |
@@ -23,6 +24,18 @@
 //!  "node_limit": 1000000, "time_limit_ms": 5000, "threads": 2}
 //! ```
 //!
+//! Connections are persistent HTTP/1.1 with pipelining: a per-connection
+//! request loop honors `Connection:` headers, idles out after
+//! [`ServeConfig::idle_timeout`], and the acceptor bounds the number of
+//! simultaneously open connections (see [`ServeConfig::max_connections`]).
+//!
+//! Finished deterministic results are memoized in a canonicalized-instance
+//! solution cache (see [`cache`]): resubmitting a structurally identical
+//! instance — even with renamed or reordered tasks — answers from the
+//! cache with the byte-identical report, and identical submissions that
+//! are already *in flight* attach to the running solve instead of starting
+//! a second one.
+//!
 //! The server logs one NDJSON object per request and per job transition to
 //! stderr, and drains gracefully on SIGTERM/ctrl-c: in-flight and queued
 //! jobs finish, new submissions are refused with 503, and the final metric
@@ -31,6 +44,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 mod http;
 mod signal;
 mod sink;
@@ -50,6 +64,7 @@ use recopack_json::Json;
 use recopack_metrics::{Counter, Gauge, Histogram, Registry};
 use recopack_model::{format, Chip, Instance};
 
+use cache::{CachedSolution, SolutionCache};
 pub use signal::{install_shutdown_handler, shutdown_requested};
 pub use sink::MetricsSink;
 
@@ -65,6 +80,15 @@ pub struct ServeConfig {
     /// Capacity of the bounded job queue; submissions beyond it are
     /// rejected with `503` and counted in `recopack_jobs_rejected_total`.
     pub queue_depth: usize,
+    /// Maximum simultaneously open HTTP connections; further connects are
+    /// answered `503` and closed (counted in
+    /// `recopack_http_connections_rejected_total`).
+    pub max_connections: usize,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub idle_timeout: Duration,
+    /// Capacity of the canonicalized-instance solution cache (entries).
+    pub cache_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +97,9 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:7878".to_string(),
             workers: 2,
             queue_depth: 16,
+            max_connections: 64,
+            idle_timeout: Duration::from_secs(30),
+            cache_capacity: 256,
         }
     }
 }
@@ -146,18 +173,30 @@ enum JobState {
 struct Job {
     kind: JobKind,
     name: String,
-    cancel: CancelToken,
     state: JobState,
-    /// Taken by the worker when the job starts.
+    /// Taken by the worker when the job starts. Only the dedup group's
+    /// *driver* holds a spec; joined members share the driver's run.
     spec: Option<JobSpec>,
+    /// The canonicalized cache key — the identity of this job's dedup
+    /// group (see [`cache`]).
+    key: String,
 }
 
-/// Job table and queue, guarded by one mutex so queue membership and job
-/// state can never disagree.
+/// One deduplicated solver run: every job id subscribed to it, plus the
+/// cancellation token wired into the driver's [`SolverConfig`]. The token
+/// fires only when the *last* member unsubscribes.
+struct InFlight {
+    members: Vec<u64>,
+    cancel: CancelToken,
+}
+
+/// Job table, queue, and in-flight dedup groups, guarded by one mutex so
+/// queue membership, group membership, and job state can never disagree.
 #[derive(Default)]
 struct State {
     jobs: HashMap<u64, Job>,
     queue: VecDeque<u64>,
+    inflight: HashMap<String, InFlight>,
     draining: bool,
 }
 
@@ -174,6 +213,14 @@ struct ServerMetrics {
     in_flight: Gauge,
     latency: Histogram,
     nodes: Histogram,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    dedup_joins: Counter,
+    cache_entries: Gauge,
+    connections_open: Gauge,
+    connections_total: Counter,
+    connections_rejected: Counter,
+    request_seconds: Histogram,
 }
 
 impl ServerMetrics {
@@ -235,6 +282,39 @@ impl ServerMetrics {
                 ],
                 "Search nodes explored per job.",
             ),
+            cache_hits: registry.counter(
+                "recopack_cache_hits_total",
+                "Submissions answered from the canonicalized solution cache.",
+            ),
+            cache_misses: registry.counter(
+                "recopack_cache_misses_total",
+                "Submissions that started a fresh solver run.",
+            ),
+            dedup_joins: registry.counter(
+                "recopack_jobs_deduplicated_total",
+                "Submissions that attached to an identical in-flight run.",
+            ),
+            cache_entries: registry.gauge(
+                "recopack_cache_entries",
+                "Solutions currently held by the bounded LRU cache.",
+            ),
+            connections_open: registry.gauge(
+                "recopack_http_connections_open",
+                "HTTP connections currently being served.",
+            ),
+            connections_total: registry.counter(
+                "recopack_http_connections_total",
+                "HTTP connections accepted since startup.",
+            ),
+            connections_rejected: registry.counter(
+                "recopack_http_connections_rejected_total",
+                "Connections refused at the configured connection limit.",
+            ),
+            request_seconds: registry.histogram(
+                "recopack_http_request_duration_seconds",
+                &[0.0005, 0.002, 0.01, 0.05, 0.25, 1.0, 5.0],
+                "HTTP request handling latency in seconds.",
+            ),
             registry,
         }
     }
@@ -244,6 +324,9 @@ struct Inner {
     state: Mutex<State>,
     work_available: Condvar,
     queue_capacity: usize,
+    max_connections: usize,
+    idle_timeout: Duration,
+    cache: Mutex<SolutionCache>,
     metrics: ServerMetrics,
     sink: Arc<MetricsSink>,
     next_id: AtomicU64,
@@ -322,6 +405,9 @@ impl Server {
             state: Mutex::new(State::default()),
             work_available: Condvar::new(),
             queue_capacity: config.queue_depth.max(1),
+            max_connections: config.max_connections.max(1),
+            idle_timeout: config.idle_timeout.max(Duration::from_millis(10)),
+            cache: Mutex::new(SolutionCache::new(config.cache_capacity.max(1))),
             metrics,
             sink,
             next_id: AtomicU64::new(1),
@@ -412,7 +498,7 @@ impl Server {
     /// [`install_shutdown_handler`]), then drains and exits. With the
     /// signal flag this parks on the handler's self-pipe and wakes the
     /// instant a signal arrives; a foreign flag falls back to a coarse
-    /// poll (see [`signal::wait_for_shutdown`]).
+    /// poll (see `signal::wait_for_shutdown`).
     pub fn run_until(self, stop: &AtomicBool) {
         while !stop.load(Ordering::Relaxed) {
             signal::wait_for_shutdown(stop);
@@ -446,12 +532,25 @@ fn worker_loop(inner: &Inner) {
         let kind = job.kind;
         let name = job.name.clone();
         let spec = job.spec.take().expect("queued job has a spec");
+        let key = job.key.clone();
+        // Every member of the dedup group is now running this solve.
+        let members: Vec<u64> = st
+            .inflight
+            .get(&key)
+            .map(|group| group.members.clone())
+            .unwrap_or_default();
+        for &member in &members {
+            if let Some(job) = st.jobs.get_mut(&member) {
+                job.state = JobState::Running;
+            }
+        }
         drop(st);
 
         inner.metrics.in_flight.inc();
         LogLine::new("job_started")
             .num("job", id)
             .str("kind", kind.name())
+            .num("subscribers", members.len().max(1) as u64)
             .emit();
         let started = Instant::now();
         let finished = run_job(kind, &name, &spec);
@@ -459,11 +558,6 @@ fn worker_loop(inner: &Inner) {
         inner.metrics.in_flight.dec();
         inner.metrics.latency.observe(wall.as_secs_f64());
         inner.metrics.nodes.observe(finished.nodes as f64);
-        match finished.status {
-            "cancelled" => inner.metrics.cancelled[kind.index()].inc(),
-            "failed" => inner.metrics.failed[kind.index()].inc(),
-            _ => inner.metrics.completed[kind.index()].inc(),
-        }
         LogLine::new("job_finished")
             .num("job", id)
             .str("kind", kind.name())
@@ -473,14 +567,48 @@ fn worker_loop(inner: &Inner) {
             .num("nodes", finished.nodes)
             .emit();
 
+        // Fill the cache *before* publishing the finished state: any
+        // client that observes the job as done is then guaranteed that an
+        // identical resubmission hits.
+        if finished.cacheable {
+            let mut cache = inner.cache.lock().expect("cache lock");
+            cache.insert(
+                key.clone(),
+                CachedSolution {
+                    status: finished.status,
+                    outcome: finished.outcome.clone(),
+                    report: finished.report.clone(),
+                    placement: finished.placement.clone(),
+                },
+            );
+            inner.metrics.cache_entries.set(cache.len() as i64);
+        }
+
         let mut st = inner.state.lock().expect("state lock");
-        let job = st.jobs.get_mut(&id).expect("running job exists");
-        job.state = JobState::Finished {
-            status: finished.status,
-            outcome: finished.outcome,
-            report: finished.report,
-            placement: finished.placement,
-        };
+        let members = st
+            .inflight
+            .remove(&key)
+            .map(|group| group.members)
+            .unwrap_or_else(|| vec![id]);
+        for &member in &members {
+            let Some(job) = st.jobs.get_mut(&member) else {
+                continue;
+            };
+            if matches!(job.state, JobState::Finished { .. }) {
+                continue;
+            }
+            job.state = JobState::Finished {
+                status: finished.status,
+                outcome: finished.outcome.clone(),
+                report: finished.report.clone(),
+                placement: finished.placement.clone(),
+            };
+            match finished.status {
+                "cancelled" => inner.metrics.cancelled[kind.index()].inc(),
+                "failed" => inner.metrics.failed[kind.index()].inc(),
+                _ => inner.metrics.completed[kind.index()].inc(),
+            }
+        }
     }
 }
 
@@ -491,6 +619,10 @@ struct FinishedJob {
     report: Option<String>,
     placement: Option<String>,
     nodes: u64,
+    /// Whether the result is deterministic and complete — a real verdict,
+    /// not a budget exhaustion or cancellation — and thus safe to memoize
+    /// for identical future submissions.
+    cacheable: bool,
 }
 
 /// Runs one job to completion on the calling worker thread.
@@ -533,12 +665,17 @@ fn run_job(kind: JobKind, name: &str, spec: &JobSpec) -> FinishedJob {
             let placement = outcome
                 .placement()
                 .map(|p| format::format_placement(p, &spec.instance));
+            let cacheable = matches!(
+                outcome,
+                SolveOutcome::Feasible(_) | SolveOutcome::Infeasible(_)
+            );
             FinishedJob {
                 status,
                 report: Some(report_for(&label, 1, &stats)),
                 outcome: label,
                 placement,
                 nodes: stats.nodes,
+                cacheable,
             }
         }
         JobKind::Bmp => match Bmp::new(&spec.instance)
@@ -554,6 +691,7 @@ fn run_job(kind: JobKind, name: &str, spec: &JobSpec) -> FinishedJob {
                     outcome: label,
                     placement: Some(format::format_placement(&result.placement, &target)),
                     nodes: result.stats.nodes,
+                    cacheable: true,
                 }
             }
             None => unresolved(
@@ -574,6 +712,7 @@ fn run_job(kind: JobKind, name: &str, spec: &JobSpec) -> FinishedJob {
                     outcome: label,
                     placement: Some(format::format_placement(&result.placement, &target)),
                     nodes: result.stats.nodes,
+                    cacheable: true,
                 }
             }
             None => unresolved(
@@ -590,6 +729,7 @@ fn run_job(kind: JobKind, name: &str, spec: &JobSpec) -> FinishedJob {
                     outcome: label,
                     placement: None,
                     nodes: stats.nodes,
+                    cacheable: true,
                 }
             }
             None => unresolved(&spec.config.cancel, "a budget ran out during the sweep"),
@@ -607,6 +747,7 @@ fn unresolved(cancel: &CancelToken, message: &str) -> FinishedJob {
             report: None,
             placement: None,
             nodes: 0,
+            cacheable: false,
         }
     } else {
         FinishedJob {
@@ -615,6 +756,7 @@ fn unresolved(cancel: &CancelToken, message: &str) -> FinishedJob {
             report: None,
             placement: None,
             nodes: 0,
+            cacheable: false,
         }
     }
 }
@@ -631,13 +773,32 @@ fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
             return;
         }
         match listener.accept() {
-            Ok((stream, _peer)) => {
+            Ok((mut stream, _peer)) => {
                 if inner.accept_stop.load(Ordering::Relaxed) {
                     // The wake connection from `join`; drop it and exit.
                     return;
                 }
+                if inner.metrics.connections_open.get() >= inner.max_connections as i64 {
+                    // Over the connection budget: answer once and close,
+                    // briefly, on the acceptor thread itself.
+                    inner.metrics.connections_rejected.inc();
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                    http::respond(
+                        &mut stream,
+                        503,
+                        "application/json",
+                        &error_body("connection limit reached"),
+                        false,
+                    );
+                    continue;
+                }
+                inner.metrics.connections_total.inc();
+                inner.metrics.connections_open.inc();
                 let inner = inner.clone();
-                std::thread::spawn(move || handle_connection(&inner, stream));
+                std::thread::spawn(move || {
+                    handle_connection(&inner, stream);
+                    inner.metrics.connections_open.dec();
+                });
             }
             // Transient accept failures (connection reset in the backlog,
             // fd exhaustion): back off briefly instead of spinning.
@@ -646,23 +807,51 @@ fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
     }
 }
 
-fn handle_connection(inner: &Inner, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+/// Serves one connection: a keep-alive request loop that ends when the
+/// peer closes, the negotiated semantics say close, the idle timeout
+/// expires, or a protocol error leaves the stream unframed.
+fn handle_connection(inner: &Inner, stream: TcpStream) {
+    const JSON: &str = "application/json";
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(inner.idle_timeout));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let request = match http::read_request(&mut stream) {
-        Ok(request) => request,
-        Err(message) => {
-            http::respond(&mut stream, 400, "application/json", &error_body(&message));
-            return;
+    let mut conn = http::Conn::new(stream);
+    loop {
+        match conn.read_next() {
+            http::Next::Closed => return,
+            http::Next::Error {
+                status,
+                message,
+                keep_alive,
+            } => {
+                conn.respond(status, JSON, &error_body(&message), keep_alive);
+                LogLine::new("request_error")
+                    .num("status", u64::from(status))
+                    .str("error", &message)
+                    .emit();
+                if !keep_alive {
+                    return;
+                }
+            }
+            http::Next::Request(request) => {
+                let started = Instant::now();
+                let (status, content_type, body) = route(inner, &request);
+                conn.respond(status, content_type, &body, request.keep_alive);
+                inner
+                    .metrics
+                    .request_seconds
+                    .observe(started.elapsed().as_secs_f64());
+                LogLine::new("request")
+                    .str("method", &request.method)
+                    .str("path", &request.path)
+                    .num("status", u64::from(status))
+                    .emit();
+                if !request.keep_alive {
+                    return;
+                }
+            }
         }
-    };
-    let (status, content_type, body) = route(inner, &request);
-    http::respond(&mut stream, status, content_type, &body);
-    LogLine::new("request")
-        .str("method", &request.method)
-        .str("path", &request.path)
-        .num("status", u64::from(status))
-        .emit();
+    }
 }
 
 fn error_body(message: &str) -> String {
@@ -683,6 +872,10 @@ fn route(inner: &Inner, request: &http::Request) -> (u16, &'static str, String) 
         ("GET", "/metrics") => (200, PROMETHEUS, inner.metrics.registry.render()),
         ("POST", "/jobs") => {
             let (status, body) = submit(inner, &request.body);
+            (status, JSON, body)
+        }
+        ("POST", "/jobs:batch") => {
+            let (status, body) = submit_batch(inner, &request.body);
             (status, JSON, body)
         }
         ("GET", "/jobs") => (200, JSON, list_jobs(inner)),
@@ -726,32 +919,146 @@ fn healthz(inner: &Inner) -> (u16, String) {
     (code, body)
 }
 
+/// Records a refused submission in metrics and the log, and returns the
+/// HTTP status plus a plain reason for the caller to package.
+fn reject(inner: &Inner, kind_index: usize, status: u16, reason: &str) -> (u16, String) {
+    inner.metrics.rejected[kind_index].inc();
+    LogLine::new("job_rejected")
+        .str("kind", REJECT_KINDS[kind_index])
+        .str("reason", reason)
+        .emit();
+    (status, reason.to_string())
+}
+
 /// Handles `POST /jobs`: validate, admission-control, enqueue.
 fn submit(inner: &Inner, body: &str) -> (u16, String) {
-    let reject = |kind_index: usize, status: u16, reason: &str| {
-        inner.metrics.rejected[kind_index].inc();
-        LogLine::new("job_rejected")
-            .str("kind", REJECT_KINDS[kind_index])
-            .str("reason", reason)
-            .emit();
-        (status, error_body(reason))
-    };
     let doc = match Json::parse(body) {
         Ok(doc) => doc,
-        Err(e) => return reject(REJECT_UNKNOWN, 400, &format!("malformed JSON body: {e}")),
+        Err(e) => {
+            let (status, reason) = reject(
+                inner,
+                REJECT_UNKNOWN,
+                400,
+                &format!("malformed JSON body: {e}"),
+            );
+            return (status, error_body(&reason));
+        }
     };
+    match submit_doc(inner, &doc) {
+        Ok((id, status_word)) => (202, format!("{{\"id\":{id},\"status\":\"{status_word}\"}}")),
+        Err((status, reason)) => (status, error_body(&reason)),
+    }
+}
+
+/// Largest accepted `POST /jobs:batch` array.
+const MAX_BATCH_ITEMS: usize = 64;
+
+/// Handles `POST /jobs:batch`: an array of job objects (bare, or under a
+/// `jobs` key), admitted independently. The response carries one entry per
+/// item, in order — an `{"id":..,"status":..}` on admission or a
+/// `{"status":"rejected","code":..,"error":..}` on refusal — so one bad or
+/// over-quota item never poisons the rest of the batch.
+fn submit_batch(inner: &Inner, body: &str) -> (u16, String) {
+    let doc = match Json::parse(body) {
+        Ok(doc) => doc,
+        Err(e) => {
+            let (status, reason) = reject(
+                inner,
+                REJECT_UNKNOWN,
+                400,
+                &format!("malformed JSON body: {e}"),
+            );
+            return (status, error_body(&reason));
+        }
+    };
+    let items = match doc
+        .as_array()
+        .or_else(|| doc.get("jobs").and_then(Json::as_array))
+    {
+        Some(items) if !items.is_empty() => items,
+        _ => {
+            let (status, reason) = reject(
+                inner,
+                REJECT_UNKNOWN,
+                400,
+                "batch body must be a non-empty JSON array of job objects (or {\"jobs\":[...]})",
+            );
+            return (status, error_body(&reason));
+        }
+    };
+    if items.len() > MAX_BATCH_ITEMS {
+        let (status, reason) = reject(
+            inner,
+            REJECT_UNKNOWN,
+            400,
+            &format!(
+                "batch of {} exceeds the limit of {MAX_BATCH_ITEMS}",
+                items.len()
+            ),
+        );
+        return (status, error_body(&reason));
+    }
+    let mut body = String::from("{\"jobs\":[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        match submit_doc(inner, item) {
+            Ok((id, status_word)) => {
+                use std::fmt::Write as _;
+                let _ = write!(body, "{{\"id\":{id},\"status\":\"{status_word}\"}}");
+            }
+            Err((code, reason)) => {
+                use std::fmt::Write as _;
+                let _ = write!(body, "{{\"status\":\"rejected\",\"code\":{code},\"error\":");
+                push_json_str(&mut body, &reason);
+                body.push('}');
+            }
+        }
+    }
+    body.push_str("]}");
+    (200, body)
+}
+
+/// Admits one job document: validate, consult the solution cache, attach
+/// to an identical in-flight run, or enqueue a fresh solve. Returns the
+/// job id and its initial status word (`queued`, or `done` on a cache
+/// hit), or the refusal status and reason.
+fn submit_doc(inner: &Inner, doc: &Json) -> Result<(u64, &'static str), (u16, String)> {
     let Some(kind_name) = doc.get("kind").and_then(Json::as_str) else {
-        return reject(REJECT_UNKNOWN, 400, "missing \"kind\" (opp|bmp|spp|pareto)");
+        return Err(reject(
+            inner,
+            REJECT_UNKNOWN,
+            400,
+            "missing \"kind\" (opp|bmp|spp|pareto)",
+        ));
     };
     let Some(kind) = JobKind::parse(kind_name) else {
-        return reject(REJECT_UNKNOWN, 400, &format!("unknown kind {kind_name:?}"));
+        return Err(reject(
+            inner,
+            REJECT_UNKNOWN,
+            400,
+            &format!("unknown kind {kind_name:?}"),
+        ));
     };
     let Some(instance_text) = doc.get("instance").and_then(Json::as_str) else {
-        return reject(kind.index(), 400, "missing \"instance\" text");
+        return Err(reject(
+            inner,
+            kind.index(),
+            400,
+            "missing \"instance\" text",
+        ));
     };
     let instance = match format::parse_instance(instance_text) {
         Ok(instance) => instance,
-        Err(e) => return reject(kind.index(), 400, &format!("bad instance: {e}")),
+        Err(e) => {
+            return Err(reject(
+                inner,
+                kind.index(),
+                400,
+                &format!("bad instance: {e}"),
+            ));
+        }
     };
     let instance = if doc
         .get("no_precedence")
@@ -782,33 +1089,123 @@ fn submit(inner: &Inner, body: &str) -> (u16, String) {
         cancel: cancel.clone(),
         ..SolverConfig::default()
     };
+    let key = cache::cache_key(kind.name(), &instance, &config);
+    let name_for = |id: u64| {
+        doc.get("name")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("job-{id}"))
+    };
+
+    // 1. Replay a memoized solution: the job is born finished, carrying
+    //    the byte-identical report of the original run.
+    let hit = inner.cache.lock().expect("cache lock").get(&key);
+    if let Some(hit) = hit {
+        let mut st = inner.state.lock().expect("state lock");
+        if st.draining {
+            return Err(reject(inner, kind.index(), 503, "server is draining"));
+        }
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let name = name_for(id);
+        st.jobs.insert(
+            id,
+            Job {
+                kind,
+                name: name.clone(),
+                state: JobState::Finished {
+                    status: hit.status,
+                    outcome: hit.outcome,
+                    report: hit.report,
+                    placement: hit.placement,
+                },
+                spec: None,
+                key,
+            },
+        );
+        drop(st);
+        inner.metrics.cache_hits.inc();
+        inner.metrics.accepted[kind.index()].inc();
+        inner.metrics.completed[kind.index()].inc();
+        LogLine::new("job_cached")
+            .num("job", id)
+            .str("kind", kind.name())
+            .str("name", &name)
+            .emit();
+        return Ok((id, "done"));
+    }
 
     let mut st = inner.state.lock().expect("state lock");
     if st.draining {
-        return reject(kind.index(), 503, "server is draining");
+        return Err(reject(inner, kind.index(), 503, "server is draining"));
     }
+
+    // 2. Attach to an identical run already in flight: no queue slot, no
+    //    second solver run — the driver publishes to every subscriber.
+    if st.inflight.contains_key(&key) {
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let name = name_for(id);
+        let driver = st.inflight[&key].members[0];
+        let state = if matches!(
+            st.jobs.get(&driver).map(|j| &j.state),
+            Some(JobState::Running)
+        ) {
+            JobState::Running
+        } else {
+            JobState::Queued
+        };
+        st.inflight
+            .get_mut(&key)
+            .expect("group checked above")
+            .members
+            .push(id);
+        st.jobs.insert(
+            id,
+            Job {
+                kind,
+                name: name.clone(),
+                state,
+                spec: None,
+                key,
+            },
+        );
+        drop(st);
+        inner.metrics.dedup_joins.inc();
+        inner.metrics.accepted[kind.index()].inc();
+        LogLine::new("job_joined")
+            .num("job", id)
+            .str("kind", kind.name())
+            .str("name", &name)
+            .emit();
+        return Ok((id, "queued"));
+    }
+
+    // 3. Fresh work: admission-control against the bounded queue.
     if st.queue.len() >= inner.queue_capacity {
-        return reject(kind.index(), 503, "queue full");
+        return Err(reject(inner, kind.index(), 503, "queue full"));
     }
     let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
-    let name = doc
-        .get("name")
-        .and_then(Json::as_str)
-        .map(str::to_string)
-        .unwrap_or_else(|| format!("job-{id}"));
+    let name = name_for(id);
     st.jobs.insert(
         id,
         Job {
             kind,
             name: name.clone(),
-            cancel,
             state: JobState::Queued,
             spec: Some(JobSpec { instance, config }),
+            key: key.clone(),
+        },
+    );
+    st.inflight.insert(
+        key,
+        InFlight {
+            members: vec![id],
+            cancel,
         },
     );
     st.queue.push_back(id);
     drop(st);
     inner.metrics.queue_depth.inc();
+    inner.metrics.cache_misses.inc();
     inner.metrics.accepted[kind.index()].inc();
     inner.work_available.notify_one();
     LogLine::new("job_accepted")
@@ -816,7 +1213,7 @@ fn submit(inner: &Inner, body: &str) -> (u16, String) {
         .str("kind", kind.name())
         .str("name", &name)
         .emit();
-    (202, format!("{{\"id\":{id},\"status\":\"queued\"}}"))
+    Ok((id, "queued"))
 }
 
 fn job_json(id: u64, job: &Job) -> String {
@@ -880,7 +1277,7 @@ fn cancel_job(inner: &Inner, id: u64) -> (u16, String) {
     enum Snapshot {
         NotFound,
         Queued(JobKind),
-        Running,
+        Running(JobKind),
         Finished(&'static str),
     }
     let mut st = inner.state.lock().expect("state lock");
@@ -888,45 +1285,89 @@ fn cancel_job(inner: &Inner, id: u64) -> (u16, String) {
         None => Snapshot::NotFound,
         Some(job) => match &job.state {
             JobState::Queued => Snapshot::Queued(job.kind),
-            JobState::Running => Snapshot::Running,
+            JobState::Running => Snapshot::Running(job.kind),
             JobState::Finished { status, .. } => Snapshot::Finished(status),
         },
     };
-    match snapshot {
-        Snapshot::NotFound => (404, error_body("no such job")),
-        Snapshot::Queued(kind) => {
-            st.queue.retain(|&queued| queued != id);
-            let job = st.jobs.get_mut(&id).expect("job exists");
-            job.cancel.cancel();
-            job.state = JobState::Finished {
-                status: "cancelled",
-                outcome: "cancelled while queued".to_string(),
-                report: None,
-                placement: None,
-            };
-            drop(st);
-            inner.metrics.queue_depth.dec();
-            inner.metrics.cancelled[kind.index()].inc();
-            LogLine::new("job_cancelled")
-                .num("job", id)
-                .str("while", "queued")
-                .emit();
-            (200, format!("{{\"id\":{id},\"status\":\"cancelled\"}}"))
+    let (kind, was_queued) = match snapshot {
+        Snapshot::NotFound => return (404, error_body("no such job")),
+        Snapshot::Finished(status) => {
+            return (
+                409,
+                format!(
+                    "{{\"id\":{id},\"status\":\"{status}\",\"error\":\"job already finished\"}}"
+                ),
+            );
         }
-        Snapshot::Running => {
-            st.jobs.get(&id).expect("job exists").cancel.cancel();
-            drop(st);
-            LogLine::new("job_cancelled")
-                .num("job", id)
-                .str("while", "running")
-                .emit();
-            // The worker observes the token at its next budget checkpoint
-            // and records the terminal state.
-            (202, format!("{{\"id\":{id},\"status\":\"cancelling\"}}"))
+        Snapshot::Queued(kind) => (kind, true),
+        Snapshot::Running(kind) => (kind, false),
+    };
+
+    let key = st.jobs.get(&id).expect("job exists").key.clone();
+    let group = st
+        .inflight
+        .get_mut(&key)
+        .expect("live job belongs to an in-flight group");
+
+    if group.members.len() > 1 {
+        // Unsubscribe one member of a shared run: the solve itself keeps
+        // going for the remaining subscribers. If the departing job was
+        // the driver (holds the spec / the queue slot), promote an heir.
+        group.members.retain(|&member| member != id);
+        let heir = group.members[0];
+        if let Some(spec) = st.jobs.get_mut(&id).and_then(|job| job.spec.take()) {
+            st.jobs.get_mut(&heir).expect("heir exists").spec = Some(spec);
+            for slot in st.queue.iter_mut() {
+                if *slot == id {
+                    *slot = heir;
+                }
+            }
         }
-        Snapshot::Finished(status) => (
-            409,
-            format!("{{\"id\":{id},\"status\":\"{status}\",\"error\":\"job already finished\"}}"),
-        ),
+        let job = st.jobs.get_mut(&id).expect("job exists");
+        job.state = JobState::Finished {
+            status: "cancelled",
+            outcome: "unsubscribed from shared run".to_string(),
+            report: None,
+            placement: None,
+        };
+        drop(st);
+        inner.metrics.cancelled[kind.index()].inc();
+        LogLine::new("job_cancelled")
+            .num("job", id)
+            .str("while", "shared")
+            .emit();
+        return (200, format!("{{\"id\":{id},\"status\":\"cancelled\"}}"));
+    }
+
+    // Last subscriber: actually stop the solve.
+    if was_queued {
+        group.cancel.cancel();
+        st.inflight.remove(&key);
+        st.queue.retain(|&queued| queued != id);
+        let job = st.jobs.get_mut(&id).expect("job exists");
+        job.state = JobState::Finished {
+            status: "cancelled",
+            outcome: "cancelled while queued".to_string(),
+            report: None,
+            placement: None,
+        };
+        drop(st);
+        inner.metrics.queue_depth.dec();
+        inner.metrics.cancelled[kind.index()].inc();
+        LogLine::new("job_cancelled")
+            .num("job", id)
+            .str("while", "queued")
+            .emit();
+        (200, format!("{{\"id\":{id},\"status\":\"cancelled\"}}"))
+    } else {
+        // The worker observes the token at its next budget checkpoint,
+        // records the terminal state, and retires the in-flight entry.
+        group.cancel.cancel();
+        drop(st);
+        LogLine::new("job_cancelled")
+            .num("job", id)
+            .str("while", "running")
+            .emit();
+        (202, format!("{{\"id\":{id},\"status\":\"cancelling\"}}"))
     }
 }

@@ -1,0 +1,117 @@
+//! Property tests for the solution-cache canonicalization: the cache key
+//! must be invariant under task relabeling and reordering — the two ways
+//! structurally identical instances arrive looking different — and must
+//! separate instances that genuinely differ.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use recopack_model::generate::{random_instance, GeneratorConfig};
+use recopack_model::{Instance, Task};
+use recopack_serve::cache::canonical_instance_text;
+
+/// Rebuilds `instance` with its tasks shuffled into `order` and renamed by
+/// `rename`, remapping every precedence arc accordingly. The result is the
+/// same abstract instance under a different presentation.
+fn permuted_copy(
+    instance: &Instance,
+    order: &[usize],
+    rename: impl Fn(usize) -> String,
+) -> Instance {
+    let tasks = instance.tasks();
+    let mut builder = Instance::builder()
+        .chip(instance.chip())
+        .horizon(instance.horizon());
+    for &old in order {
+        let t = &tasks[old];
+        builder = builder.task(
+            Task::new(rename(old), t.width(), t.height(), t.compute_duration())
+                .with_reconfiguration(t.reconfiguration()),
+        );
+    }
+    for (u, v) in instance.precedence().arcs() {
+        builder = builder.precedence(rename(u), rename(v));
+    }
+    builder.build().expect("a permuted valid instance is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any relabeling + reordering of any random instance produces the
+    /// same canonical text (and therefore the same cache key).
+    #[test]
+    fn relabeling_and_reordering_preserve_the_key(
+        seed in 0u64..100_000,
+        permutation_seed in 0u64..100_000,
+        task_count in 2usize..9,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = GeneratorConfig {
+            task_count,
+            ..GeneratorConfig::default()
+        };
+        let instance = random_instance(&config, &mut rng);
+
+        let mut perm_rng = StdRng::seed_from_u64(permutation_seed);
+        let mut order: Vec<usize> = (0..task_count).collect();
+        order.shuffle(&mut perm_rng);
+        // Names unrelated to the originals, in shuffled positions; a
+        // random numeric salt keeps them from encoding the old index.
+        let salt: u64 = perm_rng.gen_range(0..1_000_000);
+        let permuted = permuted_copy(&instance, &order, |old| format!("z{salt}_{old}"));
+
+        prop_assert_eq!(
+            canonical_instance_text(&instance),
+            canonical_instance_text(&permuted),
+            "presentation must not leak into the key (seed {}, perm {})",
+            seed,
+            permutation_seed
+        );
+    }
+
+    /// Changing one task's geometry changes the key: canonicalization
+    /// must never merge genuinely different instances.
+    #[test]
+    fn distinct_geometry_separates_keys(
+        seed in 0u64..100_000,
+        task_count in 2usize..9,
+        victim in 0usize..9,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = GeneratorConfig {
+            task_count,
+            ..GeneratorConfig::default()
+        };
+        let instance = random_instance(&config, &mut rng);
+        let victim = victim % task_count;
+
+        let tasks = instance.tasks();
+        let mut builder = Instance::builder()
+            .chip(instance.chip())
+            .horizon(instance.horizon());
+        for (i, t) in tasks.iter().enumerate() {
+            let duration = if i == victim {
+                t.compute_duration() + 1
+            } else {
+                t.compute_duration()
+            };
+            builder = builder.task(
+                Task::new(t.name(), t.width(), t.height(), duration)
+                    .with_reconfiguration(t.reconfiguration()),
+            );
+        }
+        for (u, v) in instance.precedence().arcs() {
+            builder = builder.precedence(tasks[u].name(), tasks[v].name());
+        }
+        let grown = builder.build().expect("still a valid instance");
+
+        prop_assert_ne!(
+            canonical_instance_text(&instance),
+            canonical_instance_text(&grown),
+            "a changed duration must change the key (seed {})",
+            seed
+        );
+    }
+}

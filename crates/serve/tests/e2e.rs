@@ -18,19 +18,28 @@ const PAIR: &str = "chip 2 2\nhorizon 4\ntask a 2 2 2\ntask b 2 2 2\narc a b\n";
 /// Infeasible by one task too many, with bounds and heuristics disabled in
 /// the submission so the exhaustive refutation takes long enough to cancel.
 fn hard_instance() -> String {
+    hard_instance_with(12)
+}
+
+/// Variant of [`hard_instance`] with a chosen task count, for tests that
+/// need several distinct hard instances (identical submissions would
+/// otherwise dedup onto one in-flight solver run).
+fn hard_instance_with(tasks: usize) -> String {
     let mut text = String::from("chip 6 6\nhorizon 2\n");
-    for i in 0..12 {
+    for i in 0..tasks {
         text.push_str(&format!("task t{i} 2 2 2\n"));
     }
     text
 }
 
-/// Sends one HTTP/1.1 request and returns `(status, body)`.
+/// Sends one HTTP/1.1 request on a fresh connection and returns
+/// `(status, body)`. Asks the server to close afterwards, so reading to
+/// EOF terminates promptly despite keep-alive being the default.
 fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: e2e\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: e2e\r\nConnection: close\r\n\
+         Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(head.as_bytes()).expect("send request");
@@ -88,11 +97,91 @@ fn metric_value(exposition: &str, series: &str) -> Option<f64> {
     })
 }
 
+/// A persistent keep-alive connection for multi-request tests. Bytes
+/// over-read past the current response (pipelined replies arrive
+/// coalesced) are carried into the next [`TestConn::read_framed`] call.
+struct TestConn {
+    stream: TcpStream,
+    carry: Vec<u8>,
+}
+
+impl TestConn {
+    fn connect(addr: SocketAddr) -> Self {
+        TestConn {
+            stream: TcpStream::connect(addr).expect("connect"),
+            carry: Vec::new(),
+        }
+    }
+
+    /// Writes one request without asking the server to close
+    /// (HTTP/1.1 keep-alive default).
+    fn send(&mut self, method: &str, path: &str, body: &str) {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: e2e\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.send_raw(head.as_bytes());
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) {
+        self.stream.write_all(bytes).expect("send request");
+    }
+
+    /// Reads one `Content-Length`-framed response. Returns
+    /// `(status, headers, body)`.
+    fn read_framed(&mut self) -> (u16, String, String) {
+        let mut buf = std::mem::take(&mut self.carry);
+        let mut chunk = [0u8; 4096];
+        let header_end = loop {
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let n = self.stream.read(&mut chunk).expect("read headers");
+            assert!(n > 0, "server closed mid-response: {buf:?}");
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&buf[..header_end]).to_string();
+        let status: u16 = head
+            .split(' ')
+            .nth(1)
+            .and_then(|code| code.parse().ok())
+            .unwrap_or_else(|| panic!("malformed status line in {head:?}"));
+        let content_length: usize = head
+            .lines()
+            .find_map(|line| {
+                let (name, value) = line.split_once(':')?;
+                name.eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().expect("numeric Content-Length"))
+            })
+            .expect("responses always carry Content-Length");
+        let body_start = header_end + 4;
+        while buf.len() < body_start + content_length {
+            let n = self.stream.read(&mut chunk).expect("read body");
+            assert!(n > 0, "server closed mid-body");
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        let end = body_start + content_length;
+        let body = String::from_utf8_lossy(&buf[body_start..end]).to_string();
+        self.carry = buf.split_off(end);
+        (status, head, body)
+    }
+
+    /// Asserts the server sends nothing further and closes the stream.
+    fn assert_eof(&mut self) {
+        assert!(self.carry.is_empty(), "unread bytes: {:?}", self.carry);
+        let mut rest = Vec::new();
+        self.stream.read_to_end(&mut rest).expect("read EOF");
+        assert!(rest.is_empty(), "server must have closed: {rest:?}");
+    }
+}
+
 fn bind_test_server(workers: usize, queue_depth: usize) -> Server {
     Server::bind(&ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         workers,
         queue_depth,
+        ..ServeConfig::default()
     })
     .expect("bind ephemeral port")
 }
@@ -245,8 +334,9 @@ fn saturated_queue_rejects_submissions_and_reports_unhealthy() {
         request(addr, "POST", "/jobs", &body)
     };
 
-    let hard = hard_instance();
-    let (status, reply) = submit("occupant", &hard);
+    // Three *distinct* hard instances: identical ones would dedup onto a
+    // single in-flight run instead of filling the queue.
+    let (status, reply) = submit("occupant", &hard_instance_with(12));
     assert_eq!(status, 202);
     let occupant = Json::parse(&reply)
         .expect("reply is JSON")
@@ -256,7 +346,7 @@ fn saturated_queue_rejects_submissions_and_reports_unhealthy() {
     poll_job(addr, occupant, |s| s == "running");
 
     // The single queue slot fills; the server reports saturation.
-    let (status, reply) = submit("waiter", &hard);
+    let (status, reply) = submit("waiter", &hard_instance_with(13));
     assert_eq!(status, 202);
     let waiter = Json::parse(&reply)
         .expect("reply is JSON")
@@ -270,7 +360,7 @@ fn saturated_queue_rejects_submissions_and_reports_unhealthy() {
         Some("saturated")
     );
 
-    let (status, reply) = submit("overflow", &hard);
+    let (status, reply) = submit("overflow", &hard_instance_with(14));
     assert_eq!(status, 503, "full queue refuses work: {reply}");
 
     // Malformed submissions are counted under the closed `unknown` label.
@@ -307,6 +397,427 @@ fn saturated_queue_rejects_submissions_and_reports_unhealthy() {
         .and_then(Json::as_array)
         .expect("jobs array");
     assert_eq!(jobs.len(), 2, "occupant and waiter are both known");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn keep_alive_serves_sequential_and_pipelined_requests_on_one_stream() {
+    let server = bind_test_server(1, 4);
+    let addr = server.local_addr();
+
+    let mut conn = TestConn::connect(addr);
+
+    // Two sequential requests over the same connection.
+    conn.send("GET", "/healthz", "");
+    let (status, head, _) = conn.read_framed();
+    assert_eq!(status, 200);
+    assert!(
+        head.contains("Connection: keep-alive"),
+        "HTTP/1.1 persists by default: {head}"
+    );
+    conn.send("GET", "/healthz", "");
+    let (status, _, body) = conn.read_framed();
+    assert_eq!(status, 200, "second request on the same stream: {body}");
+
+    // Two pipelined requests written back to back, answered in order.
+    conn.send("GET", "/healthz", "");
+    conn.send("GET", "/metrics", "");
+    let (status, _, body) = conn.read_framed();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\""), "healthz answers first: {body}");
+    let (status, _, exposition) = conn.read_framed();
+    assert_eq!(status, 200);
+    assert!(
+        exposition.contains("recopack_http_connections_total"),
+        "metrics answers second"
+    );
+    // Everything above traveled over a single accepted connection.
+    assert_eq!(
+        metric_value(&exposition, "recopack_http_connections_total"),
+        Some(1.0)
+    );
+
+    // An explicit close is honored: response says so, then EOF.
+    conn.send_raw(
+        b"GET /healthz HTTP/1.1\r\nHost: e2e\r\nConnection: close\r\n\
+          Content-Length: 0\r\n\r\n",
+    );
+    let (status, head, _) = conn.read_framed();
+    assert_eq!(status, 200);
+    assert!(head.contains("Connection: close"), "{head}");
+    conn.assert_eof();
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn protocol_errors_are_reported_without_killing_the_connection() {
+    let server = bind_test_server(1, 4);
+    let addr = server.local_addr();
+    let mut conn = TestConn::connect(addr);
+
+    // Malformed JSON body: the framing is intact, so after the 400 the
+    // same connection keeps serving.
+    conn.send("POST", "/jobs", "{not json");
+    let (status, head, _) = conn.read_framed();
+    assert_eq!(status, 400);
+    assert!(head.contains("Connection: keep-alive"), "{head}");
+    conn.send("GET", "/healthz", "");
+    let (status, _, _) = conn.read_framed();
+    assert_eq!(status, 200, "connection survives the 400");
+
+    // Oversized body (above the 4 MiB limit, below the drain bound): the
+    // server swallows it, answers 413, and keeps the connection.
+    let oversized = "x".repeat(4 * 1024 * 1024 + 1);
+    conn.send("POST", "/jobs", &oversized);
+    let (status, _, body) = conn.read_framed();
+    assert_eq!(status, 413, "{body}");
+    conn.send("GET", "/healthz", "");
+    let (status, _, _) = conn.read_framed();
+    assert_eq!(status, 200, "connection survives the 413");
+
+    // A garbled request line leaves the stream unframeable: 400, close.
+    conn.send_raw(b"NONSENSE\r\n\r\n");
+    let (status, head, _) = conn.read_framed();
+    assert_eq!(status, 400);
+    assert!(head.contains("Connection: close"), "{head}");
+    conn.assert_eof();
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn cached_hit_returns_identical_report_without_new_solver_work() {
+    let server = bind_test_server(1, 4);
+    let addr = server.local_addr();
+
+    let mut body =
+        String::from("{\"kind\":\"opp\",\"name\":\"pair\",\"use_heuristics\":false,\"instance\":");
+    recopack_core::telemetry::push_json_str(&mut body, PAIR);
+    body.push('}');
+
+    // First submission: a miss that runs the solver.
+    let (status, reply) = request(addr, "POST", "/jobs", &body);
+    assert_eq!(status, 202, "{reply}");
+    let first = Json::parse(&reply)
+        .expect("reply is JSON")
+        .get("id")
+        .and_then(Json::as_u64)
+        .expect("id");
+    let first_job = poll_job(addr, first, |s| s != "queued" && s != "running");
+    assert_eq!(first_job.get("status").and_then(Json::as_str), Some("done"));
+
+    let (_, exposition) = request(addr, "GET", "/metrics", "");
+    assert_eq!(
+        metric_value(&exposition, "recopack_cache_misses_total"),
+        Some(1.0)
+    );
+    assert_eq!(
+        metric_value(&exposition, "recopack_cache_hits_total"),
+        Some(0.0)
+    );
+    assert_eq!(
+        metric_value(&exposition, "recopack_job_nodes_count"),
+        Some(1.0),
+        "one solver run so far"
+    );
+
+    // Second, identical submission: born finished, straight from cache.
+    let (status, reply) = request(addr, "POST", "/jobs", &body);
+    assert_eq!(status, 202, "{reply}");
+    let reply = Json::parse(&reply).expect("reply is JSON");
+    assert_eq!(
+        reply.get("status").and_then(Json::as_str),
+        Some("done"),
+        "a cache hit is done at submission time"
+    );
+    let second = reply.get("id").and_then(Json::as_u64).expect("id");
+    let second_job = poll_job(addr, second, |s| s != "queued" && s != "running");
+
+    // The replayed report and placement are identical to the original —
+    // same serialized bytes, stats and all.
+    assert_eq!(
+        first_job.get("report").expect("report").to_json_string(),
+        second_job.get("report").expect("report").to_json_string(),
+        "cached report must be identical to the original"
+    );
+    assert_eq!(
+        first_job.get("placement").and_then(Json::as_str),
+        second_job.get("placement").and_then(Json::as_str)
+    );
+
+    let (_, exposition) = request(addr, "GET", "/metrics", "");
+    assert_eq!(
+        metric_value(&exposition, "recopack_cache_hits_total"),
+        Some(1.0)
+    );
+    assert_eq!(
+        metric_value(&exposition, "recopack_cache_misses_total"),
+        Some(1.0)
+    );
+    assert_eq!(
+        metric_value(&exposition, "recopack_job_nodes_count"),
+        Some(1.0),
+        "the hit must not spend a second solver run"
+    );
+    assert_eq!(
+        metric_value(&exposition, "recopack_jobs_completed_total{kind=\"opp\"}"),
+        Some(2.0),
+        "both clients got their answer"
+    );
+    assert_eq!(
+        metric_value(&exposition, "recopack_cache_entries"),
+        Some(1.0)
+    );
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn inflight_dedup_shares_one_solver_run_between_identical_jobs() {
+    // One worker: the occupant holds it while two identical submissions
+    // pile up behind, forcing a deterministic dedup join.
+    let server = bind_test_server(1, 4);
+    let addr = server.local_addr();
+
+    let mut occupant_body = String::from(
+        "{\"kind\":\"opp\",\"name\":\"occupant\",\"use_bounds\":false,\
+         \"use_heuristics\":false,\"time_limit_ms\":60000,\"instance\":",
+    );
+    recopack_core::telemetry::push_json_str(&mut occupant_body, &hard_instance());
+    occupant_body.push('}');
+    let (status, reply) = request(addr, "POST", "/jobs", &occupant_body);
+    assert_eq!(status, 202, "{reply}");
+    let occupant = Json::parse(&reply)
+        .expect("reply is JSON")
+        .get("id")
+        .and_then(Json::as_u64)
+        .expect("id");
+    poll_job(addr, occupant, |s| s == "running");
+
+    // Two identical submissions while the worker is busy: the second
+    // joins the first's in-flight group instead of taking a queue slot.
+    let mut body =
+        String::from("{\"kind\":\"opp\",\"name\":\"first\",\"use_heuristics\":false,\"instance\":");
+    recopack_core::telemetry::push_json_str(&mut body, PAIR);
+    body.push('}');
+    let (status, reply) = request(addr, "POST", "/jobs", &body);
+    assert_eq!(status, 202, "{reply}");
+    let driver = Json::parse(&reply)
+        .expect("reply is JSON")
+        .get("id")
+        .and_then(Json::as_u64)
+        .expect("id");
+    let mut body = String::from(
+        "{\"kind\":\"opp\",\"name\":\"second\",\"use_heuristics\":false,\"instance\":",
+    );
+    recopack_core::telemetry::push_json_str(&mut body, PAIR);
+    body.push('}');
+    let (status, reply) = request(addr, "POST", "/jobs", &body);
+    assert_eq!(status, 202, "{reply}");
+    let follower = Json::parse(&reply)
+        .expect("reply is JSON")
+        .get("id")
+        .and_then(Json::as_u64)
+        .expect("id");
+
+    let (_, exposition) = request(addr, "GET", "/metrics", "");
+    assert_eq!(
+        metric_value(&exposition, "recopack_jobs_deduplicated_total"),
+        Some(1.0),
+        "the second identical submission joins in flight"
+    );
+
+    // Free the worker; the shared run executes once and publishes to
+    // both subscribers.
+    let (status, _) = request(addr, "DELETE", &format!("/jobs/{occupant}"), "");
+    assert_eq!(status, 202);
+    let driver_job = poll_job(addr, driver, |s| s != "queued" && s != "running");
+    let follower_job = poll_job(addr, follower, |s| s != "queued" && s != "running");
+    assert_eq!(
+        driver_job.get("status").and_then(Json::as_str),
+        Some("done")
+    );
+    assert_eq!(
+        follower_job.get("status").and_then(Json::as_str),
+        Some("done")
+    );
+    assert_eq!(
+        driver_job.get("report").expect("report").to_json_string(),
+        follower_job.get("report").expect("report").to_json_string(),
+        "both subscribers receive the same report"
+    );
+
+    // The shared stats agree with a direct in-process solve.
+    let instance = format::parse_instance(PAIR)
+        .expect("pair parses")
+        .with_transitive_closure();
+    let (_, direct_stats) = Opp::new(&instance)
+        .with_config(SolverConfig {
+            threads: 1,
+            use_heuristics: false,
+            ..SolverConfig::default()
+        })
+        .solve_with_stats();
+    let direct = Json::parse(&stats_to_json(&direct_stats)).expect("stats JSON parses");
+    assert_eq!(
+        driver_job.get("report").and_then(|r| r.get("stats")),
+        Some(&direct)
+    );
+
+    let (_, exposition) = request(addr, "GET", "/metrics", "");
+    assert_eq!(
+        metric_value(&exposition, "recopack_job_nodes_count"),
+        Some(2.0),
+        "exactly two solver runs: the occupant and ONE shared run"
+    );
+    assert_eq!(
+        metric_value(&exposition, "recopack_jobs_completed_total{kind=\"opp\"}"),
+        Some(2.0)
+    );
+    assert_eq!(
+        metric_value(&exposition, "recopack_jobs_cancelled_total{kind=\"opp\"}"),
+        Some(1.0)
+    );
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn unsubscribing_a_deduped_job_keeps_the_shared_run_alive() {
+    let server = bind_test_server(1, 4);
+    let addr = server.local_addr();
+
+    let mut occupant_body = String::from(
+        "{\"kind\":\"opp\",\"name\":\"occupant\",\"use_bounds\":false,\
+         \"use_heuristics\":false,\"time_limit_ms\":60000,\"instance\":",
+    );
+    recopack_core::telemetry::push_json_str(&mut occupant_body, &hard_instance());
+    occupant_body.push('}');
+    let (status, reply) = request(addr, "POST", "/jobs", &occupant_body);
+    assert_eq!(status, 202, "{reply}");
+    let occupant = Json::parse(&reply)
+        .expect("reply is JSON")
+        .get("id")
+        .and_then(Json::as_u64)
+        .expect("id");
+    poll_job(addr, occupant, |s| s == "running");
+
+    let submit_pair = |name: &str| -> u64 {
+        let mut body = format!(
+            "{{\"kind\":\"opp\",\"name\":\"{name}\",\"use_heuristics\":false,\"instance\":"
+        );
+        recopack_core::telemetry::push_json_str(&mut body, PAIR);
+        body.push('}');
+        let (status, reply) = request(addr, "POST", "/jobs", &body);
+        assert_eq!(status, 202, "{reply}");
+        Json::parse(&reply)
+            .expect("reply is JSON")
+            .get("id")
+            .and_then(Json::as_u64)
+            .expect("id")
+    };
+    let driver = submit_pair("driver");
+    let follower = submit_pair("follower");
+
+    // Unsubscribing the driver cancels only that job; the follower
+    // inherits the pending run.
+    let (status, reply) = request(addr, "DELETE", &format!("/jobs/{driver}"), "");
+    assert_eq!(status, 200, "unsubscribe completes immediately: {reply}");
+    let driver_job = poll_job(addr, driver, |s| s != "queued" && s != "running");
+    assert_eq!(
+        driver_job.get("status").and_then(Json::as_str),
+        Some("cancelled")
+    );
+    assert_eq!(
+        driver_job.get("outcome").and_then(Json::as_str),
+        Some("unsubscribed from shared run")
+    );
+
+    // Free the worker: the run still happens and the follower gets it.
+    let (status, _) = request(addr, "DELETE", &format!("/jobs/{occupant}"), "");
+    assert_eq!(status, 202);
+    let follower_job = poll_job(addr, follower, |s| s != "queued" && s != "running");
+    assert_eq!(
+        follower_job.get("status").and_then(Json::as_str),
+        Some("done"),
+        "the surviving subscriber still receives the result: {follower_job:?}"
+    );
+    assert_eq!(
+        follower_job.get("outcome").and_then(Json::as_str),
+        Some("feasible")
+    );
+
+    // Deleting the finished follower is refused like any finished job.
+    let (status, _) = request(addr, "DELETE", &format!("/jobs/{follower}"), "");
+    assert_eq!(status, 409);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn batch_submissions_round_trip_with_per_item_outcomes() {
+    let server = bind_test_server(1, 8);
+    let addr = server.local_addr();
+
+    // A good item and a bad one in a single batch: the bad item is
+    // rejected in place without poisoning the good one.
+    let mut batch = String::from(
+        "{\"jobs\":[{\"kind\":\"opp\",\"name\":\"batched\",\"use_heuristics\":false,\"instance\":",
+    );
+    recopack_core::telemetry::push_json_str(&mut batch, PAIR);
+    batch.push_str("},{\"kind\":\"sudoku\"}]}");
+    let (status, reply) = request(addr, "POST", "/jobs:batch", &batch);
+    assert_eq!(status, 200, "{reply}");
+    let doc = Json::parse(&reply).expect("batch reply is JSON");
+    let entries = doc
+        .get("jobs")
+        .and_then(Json::as_array)
+        .expect("jobs array");
+    assert_eq!(entries.len(), 2);
+    let id = entries[0].get("id").and_then(Json::as_u64).expect("id");
+    assert_eq!(
+        entries[1].get("status").and_then(Json::as_str),
+        Some("rejected")
+    );
+    assert_eq!(entries[1].get("code").and_then(Json::as_u64), Some(400));
+    assert!(entries[1].get("error").and_then(Json::as_str).is_some());
+
+    let job = poll_job(addr, id, |s| s != "queued" && s != "running");
+    assert_eq!(job.get("status").and_then(Json::as_str), Some("done"));
+    assert_eq!(job.get("outcome").and_then(Json::as_str), Some("feasible"));
+
+    // A bare top-level array works too.
+    let mut batch =
+        String::from("[{\"kind\":\"opp\",\"name\":\"bare\",\"use_heuristics\":false,\"instance\":");
+    recopack_core::telemetry::push_json_str(&mut batch, PAIR);
+    batch.push_str("}]");
+    let (status, reply) = request(addr, "POST", "/jobs:batch", &batch);
+    assert_eq!(status, 200, "{reply}");
+    let doc = Json::parse(&reply).expect("batch reply is JSON");
+    let entries = doc
+        .get("jobs")
+        .and_then(Json::as_array)
+        .expect("jobs array");
+    assert_eq!(entries.len(), 1);
+    assert_eq!(
+        entries[0].get("status").and_then(Json::as_str),
+        Some("done"),
+        "identical instance resolves straight from the cache: {reply}"
+    );
+
+    // Degenerate batches are refused as a whole.
+    let (status, _) = request(addr, "POST", "/jobs:batch", "[]");
+    assert_eq!(status, 400);
+    let (status, _) = request(addr, "POST", "/jobs:batch", "{\"jobs\":3}");
+    assert_eq!(status, 400);
 
     server.shutdown();
     server.join();
