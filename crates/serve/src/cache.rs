@@ -54,8 +54,12 @@ pub struct CachedSolution {
     /// The schema-2 `SolveReport` JSON, byte-identical to the run that
     /// produced it.
     pub report: Option<String>,
-    /// The placement text, when the solve produced one.
-    pub placement: Option<String>,
+    /// Box origins `[x, y, t]` indexed by *canonical position*, when the
+    /// solve produced a placement. Name-free on purpose: the cache key is
+    /// invariant under task relabeling, so a hit may come from a
+    /// submission with entirely different task names — each job renders
+    /// its own `place` lines from these via its canonical permutation.
+    pub placement: Option<Vec<[u64; 3]>>,
 }
 
 /// Builds the full cache key for a submission: the problem kind, the
@@ -67,8 +71,8 @@ pub struct CachedSolution {
 /// thread-count invariant, because reported statistics are not merged
 /// identically across counts and cached reports must be byte-identical to
 /// what the same submission would compute.
-pub fn cache_key(kind: &str, instance: &Instance, config: &SolverConfig) -> String {
-    let mut key = String::with_capacity(64);
+pub fn cache_key(kind: &str, canonical_text: &str, config: &SolverConfig) -> String {
+    let mut key = String::with_capacity(64 + canonical_text.len());
     key.push_str(kind);
     key.push('|');
     key.push_str(&format!(
@@ -83,25 +87,47 @@ pub fn cache_key(kind: &str, instance: &Instance, config: &SolverConfig) -> Stri
             .time_limit
             .map_or_else(|| "-".to_string(), |d| d.as_millis().to_string()),
     ));
-    key.push_str(&canonical_instance_text(instance));
+    key.push_str(canonical_text);
     key
 }
 
-/// Serializes `instance` into a name-free text that is invariant under task
-/// relabeling and reordering (up to the documented budget fallback).
-pub fn canonical_instance_text(instance: &Instance) -> String {
+/// The canonical serialization of an instance plus the permutation that
+/// produced it — everything a submission needs to share name-free cached
+/// placements with isomorphic submissions.
+pub struct CanonicalInstance {
+    /// The name-free serialization (see [`canonical_instance_text`]).
+    pub text: String,
+    /// `rank[v]` is the canonical position of task `v`: the index of its
+    /// attribute tuple in `text`, and the slot its box origin occupies in
+    /// [`CachedSolution::placement`].
+    pub rank: Vec<u32>,
+}
+
+/// Canonicalizes `instance`: the serialized text is invariant under task
+/// relabeling and reordering (up to the documented budget fallback), and
+/// the returned permutation always matches the returned text, so a
+/// placement stored in canonical positions can be rendered back with this
+/// submission's task names.
+pub fn canonical_form(instance: &Instance) -> CanonicalInstance {
     let mut canon = Canonicalizer::new(instance);
     let mut colors = canon.initial_colors();
     if canon.refine(&mut colors).is_ok() {
-        if let Ok(text) = canon.search(&colors) {
-            return text;
+        if let Ok((text, rank)) = canon.search(&colors) {
+            return CanonicalInstance { text, rank };
         }
     }
     // Budget exhausted: fall back to the input-order serialization. Still a
     // complete description of the instance, so never unsound — identical
     // resubmissions keep hitting, only *reordered* ones may miss.
-    let identity: Vec<u32> = (0..instance.task_count() as u32).collect();
-    canon.serialize(&identity)
+    let rank: Vec<u32> = (0..instance.task_count() as u32).collect();
+    let text = canon.serialize(&rank);
+    CanonicalInstance { text, rank }
+}
+
+/// Serializes `instance` into a name-free text that is invariant under task
+/// relabeling and reordering (up to the documented budget fallback).
+pub fn canonical_instance_text(instance: &Instance) -> String {
+    canonical_form(instance).text
 }
 
 /// Shared state of one canonicalization run.
@@ -175,11 +201,13 @@ impl<'a> Canonicalizer<'a> {
 
     /// Individualization-refinement over a stable coloring: if it is
     /// discrete, serialize; otherwise split the first ambiguous class and
-    /// keep the lexicographically smallest serialization over the branches.
-    fn search(&mut self, colors: &[u32]) -> Result<String, BudgetExhausted> {
+    /// keep the lexicographically smallest serialization over the
+    /// branches. Returns the winning text together with the permutation
+    /// (task index → canonical position) that produced it.
+    fn search(&mut self, colors: &[u32]) -> Result<(String, Vec<u32>), BudgetExhausted> {
         let n = colors.len();
         let Some(class_color) = first_ambiguous_class(colors) else {
-            return Ok(self.serialize(colors));
+            return Ok((self.serialize(colors), colors.to_vec()));
         };
         let members: Vec<usize> = (0..n).filter(|&v| colors[v] == class_color).collect();
         // Twin classes — identical attributes (same color), identical
@@ -189,7 +217,7 @@ impl<'a> Canonicalizer<'a> {
         // branch suffices. This keeps "n identical modules" linear instead
         // of factorial.
         let branch_once = self.is_twin_class(&members);
-        let mut best: Option<String> = None;
+        let mut best: Option<(String, Vec<u32>)> = None;
         for &pick in &members {
             let mut child: Vec<u32> = colors
                 .iter()
@@ -201,9 +229,9 @@ impl<'a> Canonicalizer<'a> {
                 }
             }
             self.refine(&mut child)?;
-            let text = self.search(&child)?;
-            if best.as_ref().is_none_or(|b| text < *b) {
-                best = Some(text);
+            let candidate = self.search(&child)?;
+            if best.as_ref().is_none_or(|(b, _)| candidate.0 < *b) {
+                best = Some(candidate);
             }
             if branch_once {
                 break;
@@ -435,19 +463,41 @@ mod tests {
     fn key_distinguishes_kind_and_solver_knobs() {
         let instance =
             format::parse_instance("chip 2 2\nhorizon 4\ntask a 2 2 2\n").expect("instance parses");
+        let canon = canonical_instance_text(&instance);
         let base = SolverConfig::default();
         let hard = SolverConfig {
             use_heuristics: false,
             ..SolverConfig::default()
         };
-        assert_ne!(
-            cache_key("opp", &instance, &base),
-            cache_key("bmp", &instance, &base)
-        );
-        assert_ne!(
-            cache_key("opp", &instance, &base),
-            cache_key("opp", &instance, &hard)
-        );
+        assert_ne!(cache_key("opp", &canon, &base), cache_key("bmp", &canon, &base));
+        assert_ne!(cache_key("opp", &canon, &base), cache_key("opp", &canon, &hard));
+    }
+
+    /// The returned permutation must describe the returned text: placing
+    /// task `v` at position `rank[v]` reserializes to exactly the
+    /// canonical text, whichever search branch (or the budget fallback)
+    /// produced it. Cached placements are stored by canonical position, so
+    /// any mismatch here would rename boxes onto the wrong tasks.
+    #[test]
+    fn canonical_rank_reproduces_the_canonical_text() {
+        for text in [
+            "chip 4 4\nhorizon 6\ntask a 1 2 3\ntask b 2 2 1\ntask c 3 1 2\narc a b\narc b c\n",
+            "chip 4 4\nhorizon 8\ntask a 1 1 1\ntask b 1 1 1\ntask c 2 2 2\ntask d 2 2 2\n\
+             arc a c\narc b d\n",
+            "chip 6 6\nhorizon 2\ntask a 2 2 2\ntask b 2 2 2\ntask c 2 2 2\n",
+        ] {
+            let instance = format::parse_instance(text).expect("instance parses");
+            let form = canonical_form(&instance);
+            let mut sorted: Vec<u32> = form.rank.clone();
+            sorted.sort_unstable();
+            let identity: Vec<u32> = (0..instance.task_count() as u32).collect();
+            assert_eq!(sorted, identity, "rank must be a permutation");
+            assert_eq!(
+                Canonicalizer::new(&instance).serialize(&form.rank),
+                form.text,
+                "rank and text must agree for {text:?}"
+            );
+        }
     }
 
     fn entry(tag: &str) -> CachedSolution {

@@ -152,18 +152,19 @@ impl<S: Read + Write> Conn<S> {
         }
         let body_start = header_end + 4;
         if content_length > MAX_BODY_BYTES {
-            // Over the limit but under the drain bound: swallow the body so
-            // the connection stays synchronized, then report 413 without
-            // closing. Hopelessly large declarations just close.
+            // Over the limit but under the drain bound: discard the body
+            // chunk-by-chunk — never accumulating it, so a peer cannot pin
+            // megabytes per connection — to keep the stream synchronized,
+            // then report 413 without closing. Hopelessly large
+            // declarations just close.
             if content_length > MAX_DRAIN_BYTES
-                || !self.consume(body_start + content_length, &mut chunk)
+                || !self.discard(body_start, content_length, &mut chunk)
             {
                 return fatal(
                     413,
                     &format!("request body too large ({content_length} bytes)"),
                 );
             }
-            self.buf.drain(..body_start + content_length);
             return Next::Error {
                 status: 413,
                 message: format!("request body too large ({content_length} bytes)"),
@@ -199,6 +200,34 @@ impl<S: Read + Write> Conn<S> {
             match self.stream.read(chunk) {
                 Ok(0) => return false,
                 Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
+    /// Discards the current request head plus `content_length` body bytes
+    /// without buffering them: already-read body bytes are dropped in
+    /// place, the rest is read into the scratch chunk and thrown away.
+    /// Bytes past the body (the next pipelined request) are kept. `false`
+    /// on EOF, timeout, or transport error.
+    fn discard(&mut self, body_start: usize, content_length: usize, chunk: &mut [u8]) -> bool {
+        let buffered = self.buf.len().saturating_sub(body_start);
+        if buffered >= content_length {
+            self.buf.drain(..body_start + content_length);
+            return true;
+        }
+        self.buf.clear();
+        let mut remaining = content_length - buffered;
+        while remaining > 0 {
+            match self.stream.read(chunk) {
+                Ok(0) => return false,
+                Ok(n) if n > remaining => {
+                    // The tail of this chunk is the next pipelined request.
+                    self.buf.extend_from_slice(&chunk[remaining..n]);
+                    remaining = 0;
+                }
+                Ok(n) => remaining -= n,
                 Err(_) => return false,
             }
         }
@@ -364,6 +393,31 @@ mod tests {
             }
             _ => panic!("expected a 413"),
         }
+        match c.read_next() {
+            Next::Request(r) => assert_eq!(r.path, "/healthz"),
+            _ => panic!("connection must survive the 413"),
+        }
+    }
+
+    #[test]
+    fn oversized_body_drain_does_not_accumulate_the_body() {
+        let body = "y".repeat(MAX_BODY_BYTES + 1);
+        let script = format!(
+            "POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}GET /healthz HTTP/1.1\r\n\r\n",
+            body.len()
+        );
+        let mut c = conn(&script);
+        match c.read_next() {
+            Next::Error { status, .. } => assert_eq!(status, 413),
+            _ => panic!("expected a 413"),
+        }
+        // Only the pipelined follow-up request may remain buffered — the
+        // drained body itself must never have been retained.
+        assert!(
+            c.buf.len() < 4096,
+            "drained body must not be buffered, {} bytes retained",
+            c.buf.len()
+        );
         match c.read_next() {
             Next::Request(r) => assert_eq!(r.path, "/healthz"),
             _ => panic!("connection must survive the 413"),

@@ -32,9 +32,12 @@
 //! Finished deterministic results are memoized in a canonicalized-instance
 //! solution cache (see [`cache`]): resubmitting a structurally identical
 //! instance — even with renamed or reordered tasks — answers from the
-//! cache with the byte-identical report, and identical submissions that
-//! are already *in flight* attach to the running solve instead of starting
-//! a second one.
+//! cache with the byte-identical report and a placement rendered with the
+//! *resubmission's* task names, and identical submissions that are
+//! already *in flight* attach to the running solve instead of starting a
+//! second one. Terminal jobs stay queryable until 4096 newer ones retire
+//! (older ids answer `404`), keeping the job table bounded under
+//! sustained traffic.
 //!
 //! The server logs one NDJSON object per request and per job transition to
 //! stderr, and drains gracefully on SIGTERM/ctrl-c: in-flight and queued
@@ -62,7 +65,7 @@ use recopack_core::{
 };
 use recopack_json::Json;
 use recopack_metrics::{Counter, Gauge, Histogram, Registry};
-use recopack_model::{format, Chip, Instance};
+use recopack_model::{format, Instance, Placement};
 
 use cache::{CachedSolution, SolutionCache};
 pub use signal::{install_shutdown_handler, shutdown_requested};
@@ -151,6 +154,11 @@ const REJECT_UNKNOWN: usize = 4;
 struct JobSpec {
     instance: Instance,
     config: SolverConfig,
+    /// Canonical permutation of `instance` — kept with the spec (not the
+    /// job) because an heir with a different task order can inherit it:
+    /// the produced placement is indexed by *this* instance's task order
+    /// and must be re-indexed with *this* permutation.
+    rank: Vec<u32>,
 }
 
 /// Lifecycle of a submitted job.
@@ -180,6 +188,13 @@ struct Job {
     /// The canonicalized cache key — the identity of this job's dedup
     /// group (see [`cache`]).
     key: String,
+    /// This submission's task names, in task-index order. Shared and
+    /// cached placements are stored name-free by canonical position; each
+    /// job renders its own `place` lines from them with these names.
+    task_names: Vec<String>,
+    /// `rank[v]` is the canonical position of this submission's task `v`
+    /// in the cache key (see [`cache::CanonicalInstance`]).
+    rank: Vec<u32>,
 }
 
 /// One deduplicated solver run: every job id subscribed to it, plus the
@@ -188,7 +203,19 @@ struct Job {
 struct InFlight {
     members: Vec<u64>,
     cancel: CancelToken,
+    /// Unique id of this group. When the last member of a *running* group
+    /// cancels, the entry is retired immediately so identical submissions
+    /// start fresh instead of joining a cancelled run; the finishing
+    /// worker compares this id and leaves any successor entry that has
+    /// since claimed the same key untouched.
+    group: u64,
 }
+
+/// Upper bound on terminal jobs kept queryable in the job table. Under
+/// sustained cache-hit traffic every submission finishes at line rate, so
+/// without eviction the table would grow without bound; evicted job ids
+/// answer `404` like unknown ones.
+const FINISHED_RETENTION: usize = 4096;
 
 /// Job table, queue, and in-flight dedup groups, guarded by one mutex so
 /// queue membership, group membership, and job state can never disagree.
@@ -197,7 +224,22 @@ struct State {
     jobs: HashMap<u64, Job>,
     queue: VecDeque<u64>,
     inflight: HashMap<String, InFlight>,
+    /// Terminal job ids in retirement order, oldest first; the tail of the
+    /// bounded retention window (see [`FINISHED_RETENTION`]).
+    finished: VecDeque<u64>,
     draining: bool,
+}
+
+/// Records that job `id` reached a terminal state and evicts the oldest
+/// finished jobs beyond [`FINISHED_RETENTION`]. Every transition into
+/// [`JobState::Finished`] must pass through here exactly once.
+fn retire_job(st: &mut State, id: u64) {
+    st.finished.push_back(id);
+    while st.finished.len() > FINISHED_RETENTION {
+        if let Some(old) = st.finished.pop_front() {
+            st.jobs.remove(&old);
+        }
+    }
 }
 
 /// Every metric family the service exposes. Names are fixed at startup;
@@ -330,6 +372,7 @@ struct Inner {
     metrics: ServerMetrics,
     sink: Arc<MetricsSink>,
     next_id: AtomicU64,
+    next_group: AtomicU64,
     accept_stop: AtomicBool,
 }
 
@@ -411,6 +454,7 @@ impl Server {
             metrics,
             sink,
             next_id: AtomicU64::new(1),
+            next_group: AtomicU64::new(1),
             accept_stop: AtomicBool::new(false),
         });
         let worker_count = match config.workers {
@@ -533,12 +577,15 @@ fn worker_loop(inner: &Inner) {
         let name = job.name.clone();
         let spec = job.spec.take().expect("queued job has a spec");
         let key = job.key.clone();
-        // Every member of the dedup group is now running this solve.
-        let members: Vec<u64> = st
+        // Every member of the dedup group is now running this solve. The
+        // group id identifies *this* group at publish time: if the run is
+        // cancelled mid-flight the entry is retired early and a fresh
+        // group may reuse the key.
+        let (members, group) = st
             .inflight
             .get(&key)
-            .map(|group| group.members.clone())
-            .unwrap_or_default();
+            .map(|group| (group.members.clone(), group.group))
+            .unwrap_or((vec![id], 0));
         for &member in &members {
             if let Some(job) = st.jobs.get_mut(&member) {
                 job.state = JobState::Running;
@@ -567,6 +614,17 @@ fn worker_loop(inner: &Inner) {
             .num("nodes", finished.nodes)
             .emit();
 
+        // Re-index the placement from the driver's task order into
+        // canonical positions: subscribers (and future cache hits) carry
+        // their own task names and render their own `place` lines.
+        let canon_placement = finished.placement.as_ref().map(|origins| {
+            let mut canon = vec![[0u64; 3]; origins.len()];
+            for (v, origin) in origins.iter().enumerate() {
+                canon[spec.rank[v] as usize] = *origin;
+            }
+            canon
+        });
+
         // Fill the cache *before* publishing the finished state: any
         // client that observes the job as done is then guaranteed that an
         // identical resubmission hits.
@@ -578,18 +636,22 @@ fn worker_loop(inner: &Inner) {
                     status: finished.status,
                     outcome: finished.outcome.clone(),
                     report: finished.report.clone(),
-                    placement: finished.placement.clone(),
+                    placement: canon_placement.clone(),
                 },
             );
             inner.metrics.cache_entries.set(cache.len() as i64);
         }
 
         let mut st = inner.state.lock().expect("state lock");
-        let members = st
-            .inflight
-            .remove(&key)
-            .map(|group| group.members)
-            .unwrap_or_else(|| vec![id]);
+        // Retire the in-flight entry only if it is still *our* group: a
+        // cancel of the last member mid-run removes it early, and an
+        // identical submission may have installed a successor group under
+        // the same key since — that one must keep running undisturbed.
+        let members = if st.inflight.get(&key).is_some_and(|g| g.group == group) {
+            st.inflight.remove(&key).expect("checked above").members
+        } else {
+            members
+        };
         for &member in &members {
             let Some(job) = st.jobs.get_mut(&member) else {
                 continue;
@@ -601,8 +663,11 @@ fn worker_loop(inner: &Inner) {
                 status: finished.status,
                 outcome: finished.outcome.clone(),
                 report: finished.report.clone(),
-                placement: finished.placement.clone(),
+                placement: canon_placement
+                    .as_ref()
+                    .map(|origins| render_placement(origins, &job.task_names, &job.rank)),
             };
+            retire_job(&mut st, member);
             match finished.status {
                 "cancelled" => inner.metrics.cancelled[kind.index()].inc(),
                 "failed" => inner.metrics.failed[kind.index()].inc(),
@@ -612,12 +677,29 @@ fn worker_loop(inner: &Inner) {
     }
 }
 
+/// Renders the `place` lines of a name-free canonical placement with one
+/// job's own task names: task `v` gets the box at canonical position
+/// `rank[v]`. Byte-identical to `format::format_placement` for the
+/// submission whose solve produced the placement.
+fn render_placement(origins: &[[u64; 3]], task_names: &[String], rank: &[u32]) -> String {
+    let mut out = String::new();
+    for (v, name) in task_names.iter().enumerate() {
+        let [x, y, t] = origins[rank[v] as usize];
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "place {name} {x} {y} {t}");
+    }
+    out
+}
+
 /// Terminal result of one executed job.
 struct FinishedJob {
     status: &'static str,
     outcome: String,
     report: Option<String>,
-    placement: Option<String>,
+    /// Box origins in the task-index order of the solved instance; the
+    /// worker re-indexes them into canonical positions before caching or
+    /// publishing, so every subscriber renders its own task names.
+    placement: Option<Vec<[u64; 3]>>,
     nodes: u64,
     /// Whether the result is deterministic and complete — a real verdict,
     /// not a budget exhaustion or cancellation — and thus safe to memoize
@@ -662,9 +744,7 @@ fn run_job(kind: JobKind, name: &str, spec: &JobSpec) -> FinishedJob {
                 SolveOutcome::ResourceLimit(LimitKind::Cancelled) => "cancelled",
                 _ => "done",
             };
-            let placement = outcome
-                .placement()
-                .map(|p| format::format_placement(p, &spec.instance));
+            let placement = outcome.placement().map(placement_origins);
             let cacheable = matches!(
                 outcome,
                 SolveOutcome::Feasible(_) | SolveOutcome::Infeasible(_)
@@ -684,12 +764,11 @@ fn run_job(kind: JobKind, name: &str, spec: &JobSpec) -> FinishedJob {
         {
             Some(result) => {
                 let label = format!("side {}", result.side);
-                let target = spec.instance.clone().with_chip(Chip::square(result.side));
                 FinishedJob {
                     status: "done",
                     report: Some(report_for(&label, result.decisions, &result.stats)),
                     outcome: label,
-                    placement: Some(format::format_placement(&result.placement, &target)),
+                    placement: Some(placement_origins(&result.placement)),
                     nodes: result.stats.nodes,
                     cacheable: true,
                 }
@@ -705,12 +784,11 @@ fn run_job(kind: JobKind, name: &str, spec: &JobSpec) -> FinishedJob {
         {
             Some(result) => {
                 let label = format!("makespan {}", result.makespan);
-                let target = spec.instance.clone().with_horizon(result.makespan);
                 FinishedJob {
                     status: "done",
                     report: Some(report_for(&label, result.decisions, &result.stats)),
                     outcome: label,
-                    placement: Some(format::format_placement(&result.placement, &target)),
+                    placement: Some(placement_origins(&result.placement)),
                     nodes: result.stats.nodes,
                     cacheable: true,
                 }
@@ -735,6 +813,12 @@ fn run_job(kind: JobKind, name: &str, spec: &JobSpec) -> FinishedJob {
             None => unresolved(&spec.config.cancel, "a budget ran out during the sweep"),
         },
     }
+}
+
+/// The box origins of a placement, in the task-index order of the solved
+/// instance.
+fn placement_origins(placement: &Placement) -> Vec<[u64; 3]> {
+    placement.boxes().iter().map(|b| b.origin).collect()
 }
 
 /// An optimization solver returned no result: either our cancellation hook
@@ -1089,7 +1173,13 @@ fn submit_doc(inner: &Inner, doc: &Json) -> Result<(u64, &'static str), (u16, St
         cancel: cancel.clone(),
         ..SolverConfig::default()
     };
-    let key = cache::cache_key(kind.name(), &instance, &config);
+    let canon = cache::canonical_form(&instance);
+    let key = cache::cache_key(kind.name(), &canon.text, &config);
+    let task_names: Vec<String> = instance
+        .tasks()
+        .iter()
+        .map(|t| t.name().to_string())
+        .collect();
     let name_for = |id: u64| {
         doc.get("name")
             .and_then(Json::as_str)
@@ -1098,7 +1188,9 @@ fn submit_doc(inner: &Inner, doc: &Json) -> Result<(u64, &'static str), (u16, St
     };
 
     // 1. Replay a memoized solution: the job is born finished, carrying
-    //    the byte-identical report of the original run.
+    //    the byte-identical report of the original run and the cached
+    //    placement rendered with *this* submission's task names (the key
+    //    is relabeling-invariant, so the original names may differ).
     let hit = inner.cache.lock().expect("cache lock").get(&key);
     if let Some(hit) = hit {
         let mut st = inner.state.lock().expect("state lock");
@@ -1107,6 +1199,10 @@ fn submit_doc(inner: &Inner, doc: &Json) -> Result<(u64, &'static str), (u16, St
         }
         let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
         let name = name_for(id);
+        let placement = hit
+            .placement
+            .as_ref()
+            .map(|origins| render_placement(origins, &task_names, &canon.rank));
         st.jobs.insert(
             id,
             Job {
@@ -1116,12 +1212,15 @@ fn submit_doc(inner: &Inner, doc: &Json) -> Result<(u64, &'static str), (u16, St
                     status: hit.status,
                     outcome: hit.outcome,
                     report: hit.report,
-                    placement: hit.placement,
+                    placement,
                 },
                 spec: None,
                 key,
+                task_names,
+                rank: canon.rank,
             },
         );
+        retire_job(&mut st, id);
         drop(st);
         inner.metrics.cache_hits.inc();
         inner.metrics.accepted[kind.index()].inc();
@@ -1166,6 +1265,8 @@ fn submit_doc(inner: &Inner, doc: &Json) -> Result<(u64, &'static str), (u16, St
                 state,
                 spec: None,
                 key,
+                task_names,
+                rank: canon.rank,
             },
         );
         drop(st);
@@ -1191,8 +1292,14 @@ fn submit_doc(inner: &Inner, doc: &Json) -> Result<(u64, &'static str), (u16, St
             kind,
             name: name.clone(),
             state: JobState::Queued,
-            spec: Some(JobSpec { instance, config }),
+            spec: Some(JobSpec {
+                instance,
+                config,
+                rank: canon.rank.clone(),
+            }),
             key: key.clone(),
+            task_names,
+            rank: canon.rank,
         },
     );
     st.inflight.insert(
@@ -1200,6 +1307,7 @@ fn submit_doc(inner: &Inner, doc: &Json) -> Result<(u64, &'static str), (u16, St
         InFlight {
             members: vec![id],
             cancel,
+            group: inner.next_group.fetch_add(1, Ordering::Relaxed),
         },
     );
     st.queue.push_back(id);
@@ -1304,10 +1412,20 @@ fn cancel_job(inner: &Inner, id: u64) -> (u16, String) {
     };
 
     let key = st.jobs.get(&id).expect("job exists").key.clone();
-    let group = st
+    // The membership check matters: after a running job's group is retired
+    // by a previous DELETE, an identical submission may install a
+    // *successor* group under the same key — that one must not be touched
+    // on behalf of this job.
+    let Some(group) = st
         .inflight
         .get_mut(&key)
-        .expect("live job belongs to an in-flight group");
+        .filter(|group| group.members.contains(&id))
+    else {
+        // Already detached: an earlier DELETE fired the token and retired
+        // the group; the worker publishes the terminal state shortly.
+        drop(st);
+        return (202, format!("{{\"id\":{id},\"status\":\"cancelling\"}}"));
+    };
 
     if group.members.len() > 1 {
         // Unsubscribe one member of a shared run: the solve itself keeps
@@ -1330,6 +1448,7 @@ fn cancel_job(inner: &Inner, id: u64) -> (u16, String) {
             report: None,
             placement: None,
         };
+        retire_job(&mut st, id);
         drop(st);
         inner.metrics.cancelled[kind.index()].inc();
         LogLine::new("job_cancelled")
@@ -1351,6 +1470,7 @@ fn cancel_job(inner: &Inner, id: u64) -> (u16, String) {
             report: None,
             placement: None,
         };
+        retire_job(&mut st, id);
         drop(st);
         inner.metrics.queue_depth.dec();
         inner.metrics.cancelled[kind.index()].inc();
@@ -1360,9 +1480,14 @@ fn cancel_job(inner: &Inner, id: u64) -> (u16, String) {
             .emit();
         (200, format!("{{\"id\":{id},\"status\":\"cancelled\"}}"))
     } else {
-        // The worker observes the token at its next budget checkpoint,
-        // records the terminal state, and retires the in-flight entry.
+        // The worker observes the token at its next budget checkpoint and
+        // records the terminal state. Retire the group *now*: an identical
+        // submission arriving while the solver unwinds must start a fresh
+        // run, not join (and inherit the fate of) a cancelled one. The
+        // worker matches on the group id, so a successor entry under this
+        // key is safe from the finishing run.
         group.cancel.cancel();
+        st.inflight.remove(&key);
         drop(st);
         LogLine::new("job_cancelled")
             .num("job", id)

@@ -762,6 +762,174 @@ fn unsubscribing_a_deduped_job_keeps_the_shared_run_alive() {
     server.join();
 }
 
+/// Id field of a submission reply.
+fn job_id(reply: &str) -> u64 {
+    Json::parse(reply)
+        .expect("reply is JSON")
+        .get("id")
+        .and_then(Json::as_u64)
+        .expect("id field")
+}
+
+/// The cache key is invariant under task relabeling and reordering, so a
+/// hit (or an in-flight join) may pair submissions whose task names
+/// differ or whose identical names are bound to different geometries.
+/// The served placement must always name *this* submission's tasks and
+/// be valid for *its* task bindings.
+#[test]
+fn shared_and_cached_placements_carry_each_submissions_own_task_names() {
+    // One abstract instance — a three-task chain with distinct
+    // geometries — under three presentations: the base, a renamed and
+    // reordered twin, and one that reuses the base's names bound to
+    // *different* tasks.
+    const BASE: &str =
+        "chip 4 4\nhorizon 6\ntask a 1 2 3\ntask b 2 2 1\ntask c 3 1 2\narc a b\narc b c\n";
+    const RENAMED: &str =
+        "chip 4 4\nhorizon 6\ntask z 3 1 2\ntask y 2 2 1\ntask x 1 2 3\narc x y\narc y z\n";
+    const SWAPPED: &str =
+        "chip 4 4\nhorizon 6\ntask a 3 1 2\ntask b 2 2 1\ntask c 1 2 3\narc c b\narc b a\n";
+
+    let server = bind_test_server(1, 4);
+    let addr = server.local_addr();
+
+    // Block the single worker so BASE and RENAMED form one dedup group.
+    let mut occupant_body = String::from(
+        "{\"kind\":\"opp\",\"name\":\"occupant\",\"use_bounds\":false,\
+         \"use_heuristics\":false,\"time_limit_ms\":60000,\"instance\":",
+    );
+    recopack_core::telemetry::push_json_str(&mut occupant_body, &hard_instance());
+    occupant_body.push('}');
+    let (status, reply) = request(addr, "POST", "/jobs", &occupant_body);
+    assert_eq!(status, 202, "{reply}");
+    let occupant = job_id(&reply);
+    poll_job(addr, occupant, |s| s == "running");
+
+    let submit = |name: &str, instance: &str| -> u64 {
+        let mut body = format!("{{\"kind\":\"opp\",\"name\":\"{name}\",\"instance\":");
+        recopack_core::telemetry::push_json_str(&mut body, instance);
+        body.push('}');
+        let (status, reply) = request(addr, "POST", "/jobs", &body);
+        assert_eq!(status, 202, "{reply}");
+        job_id(&reply)
+    };
+    let driver = submit("driver", BASE);
+    let joiner = submit("joiner", RENAMED);
+    let (_, exposition) = request(addr, "GET", "/metrics", "");
+    assert_eq!(
+        metric_value(&exposition, "recopack_jobs_deduplicated_total"),
+        Some(1.0),
+        "the relabeled twin joins the in-flight run"
+    );
+
+    // Free the worker; the shared run publishes to both subscribers.
+    let (status, _) = request(addr, "DELETE", &format!("/jobs/{occupant}"), "");
+    assert_eq!(status, 202);
+
+    // Each subscriber's placement must parse against its *own* instance
+    // (unknown task names fail the parse) and verify from first
+    // principles (a name bound to the wrong geometry or chain position
+    // fails bounds, collision, or precedence checks).
+    let placement_of = |id: u64, instance_text: &str| -> String {
+        let job = poll_job(addr, id, |s| s != "queued" && s != "running");
+        assert_eq!(
+            job.get("status").and_then(Json::as_str),
+            Some("done"),
+            "{job:?}"
+        );
+        let text = job
+            .get("placement")
+            .and_then(Json::as_str)
+            .expect("feasible job carries a placement")
+            .to_string();
+        let instance = format::parse_instance(instance_text)
+            .expect("instance parses")
+            .with_transitive_closure();
+        let placement = format::parse_placement(&text, &instance)
+            .expect("placement names this submission's tasks");
+        placement
+            .verify(&instance)
+            .expect("placement is valid for this submission's task bindings");
+        text
+    };
+    let base_text = placement_of(driver, BASE);
+    assert!(
+        base_text.contains("place a ") && !base_text.contains("place x "),
+        "{base_text}"
+    );
+    let renamed_text = placement_of(joiner, RENAMED);
+    assert!(
+        renamed_text.contains("place x ") && !renamed_text.contains("place a "),
+        "{renamed_text}"
+    );
+
+    // The third presentation resolves from the cache; its same-named
+    // tasks have different geometries, so only a correctly re-rendered
+    // placement verifies.
+    let third = submit("swapped", SWAPPED);
+    let (_, exposition) = request(addr, "GET", "/metrics", "");
+    assert_eq!(
+        metric_value(&exposition, "recopack_cache_hits_total"),
+        Some(1.0),
+        "the swapped presentation hits the cache"
+    );
+    placement_of(third, SWAPPED);
+
+    server.shutdown();
+    server.join();
+}
+
+/// Cancelling the sole subscriber of a *running* job retires its dedup
+/// group immediately: an identical submission arriving in the window
+/// before the solver unwinds must start a fresh run, not join the
+/// cancelled one and be published "cancelled".
+#[test]
+fn resubmitting_after_cancelling_a_running_job_starts_a_fresh_run() {
+    let server = bind_test_server(1, 4);
+    let addr = server.local_addr();
+
+    let mut body = String::from(
+        "{\"kind\":\"opp\",\"name\":\"victim\",\"use_bounds\":false,\
+         \"use_heuristics\":false,\"time_limit_ms\":60000,\"instance\":",
+    );
+    recopack_core::telemetry::push_json_str(&mut body, &hard_instance());
+    body.push('}');
+    let (status, reply) = request(addr, "POST", "/jobs", &body);
+    assert_eq!(status, 202, "{reply}");
+    let victim = job_id(&reply);
+    poll_job(addr, victim, |s| s == "running");
+
+    let (status, _) = request(addr, "DELETE", &format!("/jobs/{victim}"), "");
+    assert_eq!(status, 202);
+
+    // Identical bytes, resubmitted while the cancelled run unwinds.
+    let (status, reply) = request(addr, "POST", "/jobs", &body);
+    assert_eq!(status, 202, "{reply}");
+    let fresh = job_id(&reply);
+    assert_ne!(fresh, victim);
+
+    // The victim ends cancelled; the resubmission gets its own solver
+    // run (it would never reach "running" had it joined the old group).
+    let victim_job = poll_job(addr, victim, |s| s != "queued" && s != "running");
+    assert_eq!(
+        victim_job.get("status").and_then(Json::as_str),
+        Some("cancelled")
+    );
+    poll_job(addr, fresh, |s| s == "running");
+    let (_, exposition) = request(addr, "GET", "/metrics", "");
+    assert_eq!(
+        metric_value(&exposition, "recopack_jobs_deduplicated_total"),
+        Some(0.0),
+        "the resubmission must not join the cancelled run"
+    );
+
+    let (status, _) = request(addr, "DELETE", &format!("/jobs/{fresh}"), "");
+    assert_eq!(status, 202);
+    poll_job(addr, fresh, |s| s != "queued" && s != "running");
+
+    server.shutdown();
+    server.join();
+}
+
 #[test]
 fn batch_submissions_round_trip_with_per_item_outcomes() {
     let server = bind_test_server(1, 8);
