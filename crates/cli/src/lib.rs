@@ -128,6 +128,10 @@ SERVICE (for `recopack serve`):
     --max-connections <n>    concurrent client connection cap; further
                              connects get an immediate 503 (default 64)
                              (`--threads` sets the solver worker count)
+    --slow-job-ms <n>        flight-recorder slow-job threshold: jobs whose
+                             solve wall time exceeds it are pinned in
+                             GET /debug/jobs and logged as job_slow
+                             (default 1000; 0 disables the slow log)
 
 TRACE EXPORT (for `recopack trace <events.ndjson>`):
     --chrome <path>          write Chrome trace-event JSON (Perfetto,
@@ -136,6 +140,9 @@ TRACE EXPORT (for `recopack trace <events.ndjson>`):
     --weight <nodes|t_ns>    folded-stack weighting (default nodes)
     --summary                print totals, prune shares, depth profile
                              (default when no export flag is given)
+    --follow                 tail a journal that is still being written:
+                             poll for appended lines until its end record
+                             (or ~2s of silence), then export as usual
 ";
 
 /// Parsed command-line options.
@@ -157,10 +164,12 @@ struct Options {
     chrome: Option<String>,
     folded: Option<String>,
     summary: bool,
+    follow: bool,
     weight: trace::FoldedWeight,
     addr: Option<String>,
     queue_depth: usize,
     max_connections: usize,
+    slow_job_ms: u64,
 }
 
 impl Default for Options {
@@ -180,10 +189,12 @@ impl Default for Options {
             chrome: None,
             folded: None,
             summary: false,
+            follow: false,
             weight: trace::FoldedWeight::default(),
             addr: None,
             queue_depth: 16,
             max_connections: 64,
+            slow_job_ms: 1000,
         }
     }
 }
@@ -267,6 +278,10 @@ fn split_args(args: &[String]) -> Result<(Vec<&str>, Options), CliError> {
                 no_value(flag, inline)?;
                 options.summary = true;
             }
+            "--follow" => {
+                no_value(flag, inline)?;
+                options.follow = true;
+            }
             "--profile" => {
                 no_value(flag, inline)?;
                 options.profile = true;
@@ -322,6 +337,14 @@ fn split_args(args: &[String]) -> Result<(Vec<&str>, Options), CliError> {
                     }
                     Ok(n) => n,
                 };
+            }
+            "--slow-job-ms" => {
+                let value = take_value(flag, inline, &mut iter)?;
+                options.slow_job_ms = value.parse().map_err(|_| {
+                    CliError::usage(format!(
+                        "--slow-job-ms expects milliseconds (0 disables), got {value:?}"
+                    ))
+                })?;
             }
             "--weight" => {
                 options.weight = match take_value(flag, inline, &mut iter)? {
@@ -735,6 +758,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 workers: options.threads,
                 queue_depth: options.queue_depth,
                 max_connections: options.max_connections,
+                slow_job_ms: options.slow_job_ms,
                 ..recopack_serve::ServeConfig::default()
             };
             let server = recopack_serve::Server::bind(&config)
@@ -743,8 +767,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let _ = writeln!(out, "server drained and stopped");
         }
         ["trace", path] => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+            let text = if options.follow {
+                trace::follow(path)?
+            } else {
+                std::fs::read_to_string(path)
+                    .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?
+            };
             let (events, skipped) = trace::parse_ndjson(&text)?;
             if skipped > 0 {
                 let _ = writeln!(
@@ -1147,6 +1175,11 @@ mod tests {
         assert!(err.message.contains("positive number"), "{err:?}");
         let err = run(&args(&["serve", "--queue-depth", "soon"])).expect_err("bad depth");
         assert_eq!(err.exit_code, 2);
+        let err = run(&args(&["serve", "--slow-job-ms", "soon"])).expect_err("bad threshold");
+        assert_eq!(err.exit_code, 2);
+        assert!(err.message.contains("milliseconds"), "{err:?}");
+        let err = run(&args(&["serve", "--slow-job-ms", "-5"])).expect_err("negative threshold");
+        assert_eq!(err.exit_code, 2);
         let err = run(&args(&["serve", "--addr", "not an address"])).expect_err("bad bind");
         assert_eq!(err.exit_code, 1);
         assert!(err.message.contains("cannot bind"), "{err:?}");
@@ -1184,6 +1217,43 @@ mod tests {
         let err = run(&args(&["trace", bad.to_str().expect("utf8 path")])).expect_err("no events");
         assert_eq!(err.exit_code, 1);
         assert!(err.message.contains("no valid trace events"), "{err:?}");
+    }
+
+    #[test]
+    fn trace_follow_tails_a_growing_journal_until_its_end_record() {
+        use std::io::Write as _;
+        let path = temp_file("follow.ndjson", "");
+        let writer_path = path.clone();
+        // A writer thread grows the journal in split chunks — including a
+        // line broken across two appends — then lands the end record.
+        let writer = std::thread::spawn(move || {
+            let mut file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&writer_path)
+                .expect("journal opens for append");
+            let chunks: &[&str] = &[
+                "{\"subtree\":0,\"depth\":0,\"t_ns\":100,\"event\":\"branch\",\
+                 \"dim\":0,\"pair\":0,\"component\":true}\n{\"subtree\":0,",
+                "\"depth\":1,\"t_ns\":200,\"event\":\"backtrack\"}\n",
+                "{\"event\":\"end\",\"job\":1,\"status\":\"done\",\"dropped\":0}\n",
+            ];
+            for chunk in chunks {
+                file.write_all(chunk.as_bytes()).expect("append");
+                file.flush().expect("flush");
+                std::thread::sleep(std::time::Duration::from_millis(60));
+            }
+        });
+        let out = run(&args(&[
+            "trace",
+            path.to_str().expect("utf8 path"),
+            "--follow",
+        ]))
+        .expect("follow summarizes");
+        writer.join().expect("writer thread");
+        // Both real events arrived (the split line was reassembled) and the
+        // end record terminated the tail without being parsed as an event.
+        assert!(out.contains("2 events"), "{out}");
+        assert!(!out.contains("malformed"), "{out}");
     }
 
     #[test]

@@ -137,6 +137,81 @@ pub(crate) fn parse_ndjson(text: &str) -> Result<(Vec<TraceEvent>, u64), CliErro
     }
 }
 
+/// Reassembles NDJSON lines from arbitrarily-split read chunks.
+///
+/// A poll of a journal that is still being written can end mid-line; the
+/// trailing fragment is carried and completed by the next feed, so the
+/// parser only ever sees whole lines.
+pub(crate) struct LineCarry {
+    carry: String,
+}
+
+impl LineCarry {
+    pub(crate) fn new() -> Self {
+        Self {
+            carry: String::new(),
+        }
+    }
+
+    /// Feeds one read chunk; returns the lines it completed, newline
+    /// stripped. A chunk with no newline completes nothing.
+    pub(crate) fn feed(&mut self, chunk: &str) -> Vec<String> {
+        self.carry.push_str(chunk);
+        let mut lines = Vec::new();
+        while let Some(pos) = self.carry.find('\n') {
+            let line: String = self.carry.drain(..=pos).collect();
+            lines.push(line.trim_end_matches(['\r', '\n']).to_string());
+        }
+        lines
+    }
+}
+
+/// How long `--follow` tolerates a journal that has stopped growing before
+/// concluding the writer died without an explicit end record.
+const FOLLOW_IDLE: std::time::Duration = std::time::Duration::from_secs(2);
+
+/// Poll interval while tailing.
+const FOLLOW_POLL: std::time::Duration = std::time::Duration::from_millis(25);
+
+/// Tails a journal that may still be written: polls for appended bytes,
+/// carries partial lines across reads, and returns the accumulated text
+/// once an `"event":"end"` record arrives (excluded from the result) or
+/// the file has been silent for [`FOLLOW_IDLE`].
+pub(crate) fn follow(path: &str) -> Result<String, CliError> {
+    use std::io::Read as _;
+    let mut file = std::fs::File::open(path)
+        .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+    let mut carry = LineCarry::new();
+    let mut collected = String::new();
+    let mut idle = std::time::Duration::ZERO;
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        let read = file
+            .read_to_end(&mut buf)
+            .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+        if read == 0 {
+            idle += FOLLOW_POLL;
+            if idle >= FOLLOW_IDLE {
+                break;
+            }
+            std::thread::sleep(FOLLOW_POLL);
+            continue;
+        }
+        idle = std::time::Duration::ZERO;
+        // The journal is ASCII JSON, so a lossy conversion never splits a
+        // character across reads.
+        for line in carry.feed(&String::from_utf8_lossy(&buf)) {
+            if line.contains("\"event\":\"end\"") {
+                return Ok(collected);
+            }
+            collected.push_str(&line);
+            collected.push('\n');
+        }
+    }
+    Ok(collected)
+}
+
 /// The slice name of a branch decision: dimension, pair, and choice
 /// (`c` = component/overlap, `s` = comparability/separate).
 fn branch_name(dim: u64, pair: u64, component: bool) -> String {
@@ -435,6 +510,20 @@ pub(crate) fn summary(events: &[TraceEvent]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn line_carry_completes_fragments_across_feeds() {
+        let mut carry = LineCarry::new();
+        assert!(carry.feed("ab").is_empty(), "no newline completes nothing");
+        assert_eq!(carry.feed("c\nde"), vec!["abc".to_string()]);
+        assert_eq!(carry.feed("f\n"), vec!["def".to_string()]);
+        // Multiple lines in one chunk, CRLF stripped, empty lines preserved.
+        assert_eq!(
+            carry.feed("one\r\n\ntwo\npartial"),
+            vec!["one".to_string(), String::new(), "two".to_string()]
+        );
+        assert_eq!(carry.feed("\n"), vec!["partial".to_string()]);
+    }
 
     fn ev(subtree: u64, depth: u64, t_ns: u64, kind: TraceKind) -> TraceEvent {
         TraceEvent {

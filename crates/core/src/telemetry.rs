@@ -451,6 +451,11 @@ impl EventTotals {
     }
 }
 
+/// Depth slots tracked by [`ProgressCounters::depth_profile`]. Branches
+/// deeper than the last slot are clamped into it, so the profile stays a
+/// fixed-size set of relaxed atomics no matter how deep the search goes.
+const PROGRESS_DEPTH_SLOTS: usize = 32;
+
 /// A lock-free counting sink: per-kind atomic totals that can be read at
 /// any moment *during* a search, which is what the CLI's `--progress`
 /// sampler thread does.
@@ -470,6 +475,7 @@ pub struct ProgressCounters {
     leaves_rejected: AtomicU64,
     max_depth: AtomicU64,
     searches: AtomicU64,
+    depths: [AtomicU64; PROGRESS_DEPTH_SLOTS],
 }
 
 impl ProgressCounters {
@@ -495,22 +501,48 @@ impl ProgressCounters {
     pub fn searches_finished(&self) -> u64 {
         self.searches.load(Ordering::Relaxed)
     }
+
+    /// Branch decisions per depth, slot `d` counting branches taken at
+    /// depth `d`; depths beyond the last slot are clamped into it and
+    /// trailing all-zero slots are trimmed. A live, bounded stand-in for
+    /// [`SolverStats::depth_histogram`], readable mid-search.
+    pub fn depth_profile(&self) -> Vec<u64> {
+        let mut profile: Vec<u64> = self
+            .depths
+            .iter()
+            .map(|slot| slot.load(Ordering::Relaxed))
+            .collect();
+        while profile.last() == Some(&0) {
+            profile.pop();
+        }
+        profile
+    }
 }
 
 impl TelemetrySink for ProgressCounters {
     fn record(&self, event: &SearchEvent) {
         match event.kind {
-            EventKind::Branch { .. } => self.branches.fetch_add(1, Ordering::Relaxed),
-            EventKind::Propagate { .. } => self.propagates.fetch_add(1, Ordering::Relaxed),
-            EventKind::Prune { rule } => self.prunes[rule.index()].fetch_add(1, Ordering::Relaxed),
-            EventKind::Backtrack => self.backtracks.fetch_add(1, Ordering::Relaxed),
+            EventKind::Branch { .. } => {
+                self.branches.fetch_add(1, Ordering::Relaxed);
+                let slot = (event.depth as usize).min(PROGRESS_DEPTH_SLOTS - 1);
+                self.depths[slot].fetch_add(1, Ordering::Relaxed);
+            }
+            EventKind::Propagate { .. } => {
+                self.propagates.fetch_add(1, Ordering::Relaxed);
+            }
+            EventKind::Prune { rule } => {
+                self.prunes[rule.index()].fetch_add(1, Ordering::Relaxed);
+            }
+            EventKind::Backtrack => {
+                self.backtracks.fetch_add(1, Ordering::Relaxed);
+            }
             EventKind::Leaf { accepted: true } => {
-                self.leaves_accepted.fetch_add(1, Ordering::Relaxed)
+                self.leaves_accepted.fetch_add(1, Ordering::Relaxed);
             }
             EventKind::Leaf { accepted: false } => {
-                self.leaves_rejected.fetch_add(1, Ordering::Relaxed)
+                self.leaves_rejected.fetch_add(1, Ordering::Relaxed);
             }
-        };
+        }
         self.max_depth
             .fetch_max(u64::from(event.depth), Ordering::Relaxed);
     }
@@ -1132,6 +1164,38 @@ mod tests {
         assert_eq!(counters.searches_finished(), 1);
         let parsed = recopack_json::Json::parse(&totals.to_json()).expect("totals JSON parses");
         assert_eq!(parsed.get("backtrack").and_then(|v| v.as_u64()), Some(1));
+    }
+
+    #[test]
+    fn progress_counters_profile_branches_by_depth_with_clamping() {
+        let counters = ProgressCounters::new();
+        let branch = |depth| SearchEvent {
+            subtree: 0,
+            depth,
+            t_ns: 0,
+            kind: EventKind::Branch {
+                dim: 0,
+                pair: 0,
+                component: true,
+            },
+        };
+        assert!(counters.depth_profile().is_empty(), "no branches yet");
+        counters.record(&branch(0));
+        counters.record(&branch(2));
+        counters.record(&branch(2));
+        // Non-branch events never touch the profile.
+        counters.record(&SearchEvent {
+            subtree: 0,
+            depth: 5,
+            t_ns: 0,
+            kind: EventKind::Backtrack,
+        });
+        assert_eq!(counters.depth_profile(), vec![1, 0, 2]);
+        // Depths beyond the last slot are clamped into it.
+        counters.record(&branch(1_000));
+        let profile = counters.depth_profile();
+        assert_eq!(profile.len(), 32);
+        assert_eq!(*profile.last().expect("clamp slot"), 1);
     }
 
     #[test]

@@ -172,6 +172,15 @@ pub struct LoadReport {
     pub cache_misses: u64,
     /// Server-side `recopack_jobs_deduplicated_total` after the run.
     pub dedup_joins: u64,
+    /// Mean queue wait per solver run in milliseconds, from the server's
+    /// `recopack_job_queue_wait_seconds` histogram.
+    pub queue_wait_mean_ms: f64,
+    /// Mean solve wall time per solver run in milliseconds, from the
+    /// server's `recopack_job_solve_seconds` histogram.
+    pub solve_mean_ms: f64,
+    /// NDJSON lines received by the smoke run's `/jobs/{id}/events`
+    /// subscriber, terminal end record included (0 outside `--smoke`).
+    pub trace_lines: u64,
 }
 
 impl LoadReport {
@@ -223,6 +232,23 @@ impl LoadReport {
             (
                 "batch_items".to_string(),
                 Json::Number(self.batch_items as f64),
+            ),
+            (
+                "server_phases".to_string(),
+                Json::Object(vec![
+                    (
+                        "queue_wait_mean_ms".to_string(),
+                        Json::Number(round3(self.queue_wait_mean_ms)),
+                    ),
+                    (
+                        "solve_mean_ms".to_string(),
+                        Json::Number(round3(self.solve_mean_ms)),
+                    ),
+                ]),
+            ),
+            (
+                "trace_lines".to_string(),
+                Json::Number(self.trace_lines as f64),
             ),
             (
                 "cache".to_string(),
@@ -658,15 +684,146 @@ fn client_loop(addr: SocketAddr, options: &LoadOptions, index: usize) -> ClientT
     tally
 }
 
-/// Value of a counter in a Prometheus text exposition.
-fn scrape_counter(exposition: &str, name: &str) -> u64 {
+/// Value of one series in a Prometheus text exposition, as a float
+/// (histogram sums need the fraction a counter scrape would truncate).
+fn scrape_value(exposition: &str, name: &str) -> f64 {
     exposition
         .lines()
         .find_map(|line| {
             let (series, value) = line.rsplit_once(' ')?;
             (series == name).then(|| value.parse::<f64>().ok())?
         })
-        .unwrap_or(0.0) as u64
+        .unwrap_or(0.0)
+}
+
+/// Value of a counter in a Prometheus text exposition.
+fn scrape_counter(exposition: &str, name: &str) -> u64 {
+    scrape_value(exposition, name) as u64
+}
+
+/// Mean of a histogram family in milliseconds (`_sum / _count`); 0.0
+/// before any observation.
+fn scraped_mean_ms(exposition: &str, family: &str) -> f64 {
+    let sum = scrape_value(exposition, &format!("{family}_sum"));
+    let count = scrape_value(exposition, &format!("{family}_count"));
+    if count > 0.0 {
+        sum / count * 1000.0
+    } else {
+        0.0
+    }
+}
+
+/// Submits one traced job and consumes its `/jobs/{id}/events` NDJSON
+/// stream over a dedicated raw connection — [`HttpClient`] frames by
+/// `Content-Length` and cannot read a chunked response. Returns the
+/// number of stream lines, terminal end record included.
+fn smoke_event_stream(addr: SocketAddr, seed: u64) -> Result<u64, String> {
+    let mut client = HttpClient::new(addr);
+    let doc = Json::Object(vec![
+        ("kind".to_string(), Json::String("opp".to_string())),
+        ("name".to_string(), Json::String("smoke-trace".to_string())),
+        (
+            "instance".to_string(),
+            Json::String(fresh_instance(seed, 0xffff, 0)),
+        ),
+        ("trace".to_string(), Json::Bool(true)),
+        // Force a real search so the stream carries events, not just the
+        // end record.
+        ("use_heuristics".to_string(), Json::Bool(false)),
+    ])
+    .to_json_string();
+    let (status, reply) = client
+        .request("POST", "/jobs", &doc)
+        .map_err(|e| format!("traced submission failed: {e}"))?;
+    if status != 202 {
+        return Err(format!("traced submission returned {status}"));
+    }
+    let id = Json::parse(&reply)
+        .ok()
+        .and_then(|d| d.get("id").and_then(Json::as_u64))
+        .ok_or("traced submission reply lacks an id")?;
+
+    let mut stream = TcpStream::connect_timeout(&addr, SOCKET_TIMEOUT)
+        .map_err(|e| format!("event stream connect failed: {e}"))?;
+    stream
+        .set_read_timeout(Some(JOB_DEADLINE))
+        .map_err(|e| format!("event stream socket: {e}"))?;
+    stream
+        .write_all(format!("GET /jobs/{id}/events HTTP/1.1\r\nHost: load\r\n\r\n").as_bytes())
+        .map_err(|e| format!("event stream request failed: {e}"))?;
+
+    // Read headers.
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| format!("event stream read failed: {e}"))?;
+        if n == 0 {
+            return Err("server closed the event stream before headers".to_string());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).to_ascii_lowercase();
+    if !head.starts_with("http/1.1 200") {
+        return Err(format!(
+            "event stream returned {}",
+            head.lines().next().unwrap_or("<empty>")
+        ));
+    }
+    if !head.contains("transfer-encoding: chunked") {
+        return Err("event stream response is not chunked".to_string());
+    }
+    buf.drain(..header_end + 4);
+
+    // Decode chunked framing until the terminating zero-size chunk.
+    let mut body = String::new();
+    loop {
+        let line_end = loop {
+            if let Some(pos) = buf.windows(2).position(|w| w == b"\r\n") {
+                break pos;
+            }
+            let n = stream
+                .read(&mut chunk)
+                .map_err(|e| format!("event stream read failed: {e}"))?;
+            if n == 0 {
+                return Err("server closed mid-stream".to_string());
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let size = usize::from_str_radix(String::from_utf8_lossy(&buf[..line_end]).trim(), 16)
+            .map_err(|_| "malformed chunk size".to_string())?;
+        let frame_end = line_end + 2 + size + 2;
+        while buf.len() < frame_end {
+            let n = stream
+                .read(&mut chunk)
+                .map_err(|e| format!("event stream read failed: {e}"))?;
+            if n == 0 {
+                return Err("server closed mid-chunk".to_string());
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        if &buf[frame_end - 2..frame_end] != b"\r\n" {
+            return Err("chunk lacks its CRLF trailer".to_string());
+        }
+        if size == 0 {
+            break;
+        }
+        body.push_str(&String::from_utf8_lossy(
+            &buf[line_end + 2..line_end + 2 + size],
+        ));
+        buf.drain(..frame_end);
+    }
+
+    let lines: Vec<&str> = body.lines().filter(|l| !l.trim().is_empty()).collect();
+    match lines.last() {
+        Some(last) if last.contains("\"event\":\"end\"") => Ok(lines.len() as u64),
+        Some(last) => Err(format!("stream ended without an end record: {last}")),
+        None => Err("stream carried no lines at all".to_string()),
+    }
 }
 
 /// Runs the workload and produces a report.
@@ -707,6 +864,14 @@ pub fn run(options: &LoadOptions) -> Result<LoadReport, String> {
     });
     let wall_s = start.elapsed().as_secs_f64();
 
+    // The smoke preset additionally exercises one streamed `/events`
+    // subscriber end to end before the final scrape.
+    let trace_lines = if options.smoke {
+        smoke_event_stream(addr, options.seed)?
+    } else {
+        0
+    };
+
     // Final scrape for the server-side cache truth.
     let mut scraper = HttpClient::new(addr);
     let exposition = match scraper.request("GET", "/metrics", "") {
@@ -739,6 +904,9 @@ pub fn run(options: &LoadOptions) -> Result<LoadReport, String> {
         cache_hits: scrape_counter(&exposition, "recopack_cache_hits_total"),
         cache_misses: scrape_counter(&exposition, "recopack_cache_misses_total"),
         dedup_joins: scrape_counter(&exposition, "recopack_jobs_deduplicated_total"),
+        queue_wait_mean_ms: scraped_mean_ms(&exposition, "recopack_job_queue_wait_seconds"),
+        solve_mean_ms: scraped_mean_ms(&exposition, "recopack_job_solve_seconds"),
+        trace_lines,
     };
     for mut tally in tallies {
         request_ms.append(&mut tally.request_ms);
@@ -803,6 +971,9 @@ mod tests {
             cache_hits: 3,
             cache_misses: 1,
             dedup_joins: 0,
+            queue_wait_mean_ms: 0.4,
+            solve_mean_ms: 2.5,
+            trace_lines: 0,
         };
         let bench = r#"{"schema_version":2,"label":"PR7","totals":{"nodes":5}}"#;
         let merged = merge_into_bench(bench, &report).expect("merges");
@@ -843,6 +1014,9 @@ mod tests {
             cache_hits: 3,
             cache_misses: 1,
             dedup_joins: 0,
+            queue_wait_mean_ms: 0.4,
+            solve_mean_ms: 2.5,
+            trace_lines: 0,
         };
         let thresholds = Thresholds::default();
         let (_, ok) = check_report(&report, &thresholds);
@@ -880,11 +1054,25 @@ mod tests {
             "the repeated mix must produce shared work: {report:?}"
         );
         assert!(report.request_latency.p99_ms >= report.request_latency.p50_ms);
+        // Real jobs ran, so the server-side phase split has observations
+        // and the smoke preset's `/events` subscriber saw at least the
+        // terminal end record.
+        assert!(report.solve_mean_ms > 0.0, "{report:?}");
+        assert!(report.queue_wait_mean_ms >= 0.0, "{report:?}");
+        assert!(report.trace_lines >= 1, "{report:?}");
         // The report parses back as well-formed JSON.
         let doc = Json::parse(&report.to_json()).expect("report JSON parses");
         assert_eq!(
             doc.get("tool").and_then(Json::as_str),
             Some("recopack-load")
+        );
+        let phases = doc.get("server_phases").expect("server_phases section");
+        assert!(
+            phases
+                .get("solve_mean_ms")
+                .and_then(Json::as_f64)
+                .is_some_and(|v| v > 0.0),
+            "{doc:?}"
         );
     }
 }

@@ -154,6 +154,16 @@ fn main() -> ExitCode {
         report.job_latency.max_ms
     );
     println!(
+        "server phases    queue-wait mean {:>6.3} ms   solve mean {:>6.3} ms",
+        report.queue_wait_mean_ms, report.solve_mean_ms
+    );
+    if report.smoke {
+        println!(
+            "event stream     {} NDJSON lines from the traced smoke job (end record included)",
+            report.trace_lines
+        );
+    }
+    println!(
         "jobs {} submitted ({} via batch), {} completed; cache {} hits / {} misses \
          (rate {:.3}), {} dedup joins",
         report.jobs_submitted,

@@ -572,4 +572,73 @@ latency_seconds_count 2
         let r = Registry::new();
         let _ = r.counter("0bad", "Starts with a digit.");
     }
+
+    #[test]
+    fn zero_observation_histogram_renders_all_buckets_at_zero() {
+        let r = Registry::new();
+        let _ = r.histogram("idle_seconds", &[0.5, 2.0], "Never observed.");
+        let text = r.render();
+        let expected = "\
+# HELP idle_seconds Never observed.
+# TYPE idle_seconds histogram
+idle_seconds_bucket{le=\"0.5\"} 0
+idle_seconds_bucket{le=\"2\"} 0
+idle_seconds_bucket{le=\"+Inf\"} 0
+idle_seconds_sum 0
+idle_seconds_count 0
+";
+        assert_eq!(text, expected, "a scraper must see the empty family");
+    }
+
+    #[test]
+    fn observations_beyond_every_bound_land_only_in_the_inf_bucket() {
+        let h = Histogram::new(&[0.1, 1.0]);
+        h.observe(50.0);
+        h.observe(99.5);
+        assert_eq!(h.cumulative_buckets(), vec![0, 0, 2]);
+        assert_eq!(h.count(), 2);
+        assert!((h.sum() - 149.5).abs() < 1e-9, "sum was {}", h.sum());
+
+        let r = Registry::new();
+        let slow = r.histogram("slow_seconds", &[0.1, 1.0], "All overflow.");
+        slow.observe(50.0);
+        slow.observe(99.5);
+        let text = r.render();
+        assert!(text.contains("slow_seconds_bucket{le=\"0.1\"} 0"), "{text}");
+        assert!(text.contains("slow_seconds_bucket{le=\"1\"} 0"), "{text}");
+        assert!(
+            text.contains("slow_seconds_bucket{le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("slow_seconds_count 2"), "{text}");
+    }
+
+    #[test]
+    fn label_escaping_covers_each_special_character_alone_and_stacked() {
+        let r = Registry::new();
+        r.counter_with("esc_total", &[("v", "back\\slash")], "Escapes.")
+            .inc();
+        r.counter_with("esc_total", &[("v", "quo\"te")], "Escapes.")
+            .inc();
+        r.counter_with("esc_total", &[("v", "new\nline")], "Escapes.")
+            .inc();
+        // A value that is nothing but escapes, including the already-
+        // escaped-looking sequence `\\n` (backslash then n, not newline).
+        r.counter_with("esc_total", &[("v", "\\\n\"\\n")], "Escapes.")
+            .inc();
+        let text = r.render();
+        assert!(text.contains("esc_total{v=\"back\\\\slash\"} 1"), "{text}");
+        assert!(text.contains("esc_total{v=\"quo\\\"te\"} 1"), "{text}");
+        assert!(text.contains("esc_total{v=\"new\\nline\"} 1"), "{text}");
+        assert!(
+            text.contains("esc_total{v=\"\\\\\\n\\\"\\\\n\"} 1"),
+            "stacked escapes must round-trip: {text}"
+        );
+        // Exposition lines must stay one-per-sample: the newline in the
+        // label value is escaped, never literal.
+        assert!(
+            text.lines().all(|l| l.contains(' ')),
+            "every line is `name value`: {text}"
+        );
+    }
 }

@@ -469,8 +469,14 @@ mod tests {
             use_heuristics: false,
             ..SolverConfig::default()
         };
-        assert_ne!(cache_key("opp", &canon, &base), cache_key("bmp", &canon, &base));
-        assert_ne!(cache_key("opp", &canon, &base), cache_key("opp", &canon, &hard));
+        assert_ne!(
+            cache_key("opp", &canon, &base),
+            cache_key("bmp", &canon, &base)
+        );
+        assert_ne!(
+            cache_key("opp", &canon, &base),
+            cache_key("opp", &canon, &hard)
+        );
     }
 
     /// The returned permutation must describe the returned text: placing

@@ -38,6 +38,10 @@ pub(crate) struct Request {
     /// Negotiated persistence: the response must carry the matching
     /// `Connection:` header and the server loop continues only if `true`.
     pub(crate) keep_alive: bool,
+    /// The client-supplied `X-Request-Id` header, verbatim; the server
+    /// sanitizes it (or generates one) before it enters logs and job
+    /// records.
+    pub(crate) request_id: Option<String>,
 }
 
 /// What [`Conn::read_next`] produced.
@@ -113,6 +117,7 @@ impl<S: Read + Write> Conn<S> {
 
         let mut content_length = 0usize;
         let mut expects_continue = false;
+        let mut request_id = None;
         for line in lines {
             let Some((name, value)) = line.split_once(':') else {
                 continue;
@@ -143,6 +148,8 @@ impl<S: Read + Write> Conn<S> {
                 && value.eq_ignore_ascii_case("100-continue")
             {
                 expects_continue = true;
+            } else if name.eq_ignore_ascii_case("x-request-id") {
+                request_id = Some(value.to_string());
             }
         }
         // curl sends `Expect: 100-continue` for larger bodies and stalls
@@ -190,6 +197,7 @@ impl<S: Read + Write> Conn<S> {
             path,
             body,
             keep_alive,
+            request_id,
         })
     }
 
@@ -234,15 +242,65 @@ impl<S: Read + Write> Conn<S> {
         true
     }
 
-    /// Writes a complete response with the negotiated `Connection` header.
+    /// Writes a complete response with the negotiated `Connection` header,
+    /// echoing `request_id` as `X-Request-Id` when one is known.
     pub(crate) fn respond(
         &mut self,
         status: u16,
         content_type: &str,
         body: &str,
         keep_alive: bool,
+        request_id: Option<&str>,
     ) {
-        respond(&mut self.stream, status, content_type, body, keep_alive);
+        respond_with_id(
+            &mut self.stream,
+            status,
+            content_type,
+            body,
+            keep_alive,
+            request_id,
+        );
+    }
+
+    /// Starts a chunked (`Transfer-Encoding: chunked`) response. The body
+    /// is then written with [`Conn::write_chunk`] and terminated with
+    /// [`Conn::end_stream`]. Chunked framing is self-delimiting, so on a
+    /// clean termination the connection can keep serving requests.
+    /// Returns `false` when the peer is gone.
+    pub(crate) fn start_stream(
+        &mut self,
+        status: u16,
+        content_type: &str,
+        keep_alive: bool,
+        request_id: &str,
+    ) -> bool {
+        let reason = reason_phrase(status);
+        let connection = if keep_alive { "keep-alive" } else { "close" };
+        let head = format!(
+            "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+             Transfer-Encoding: chunked\r\nConnection: {connection}\r\n\
+             X-Request-Id: {request_id}\r\n\r\n"
+        );
+        self.stream.write_all(head.as_bytes()).is_ok() && self.stream.flush().is_ok()
+    }
+
+    /// Writes one chunk of a streaming response; `false` means the peer
+    /// went away. Empty data is skipped — a zero-length chunk would
+    /// terminate the stream (that is [`Conn::end_stream`]'s job).
+    pub(crate) fn write_chunk(&mut self, data: &str) -> bool {
+        if data.is_empty() {
+            return true;
+        }
+        let head = format!("{:x}\r\n", data.len());
+        self.stream.write_all(head.as_bytes()).is_ok()
+            && self.stream.write_all(data.as_bytes()).is_ok()
+            && self.stream.write_all(b"\r\n").is_ok()
+            && self.stream.flush().is_ok()
+    }
+
+    /// Terminates a streaming response with the final zero-length chunk.
+    pub(crate) fn end_stream(&mut self) -> bool {
+        self.stream.write_all(b"0\r\n\r\n").is_ok() && self.stream.flush().is_ok()
     }
 }
 
@@ -254,15 +312,8 @@ fn fatal(status: u16, message: &str) -> Next {
     }
 }
 
-/// Writes a complete response and flushes it.
-pub(crate) fn respond(
-    stream: &mut impl Write,
-    status: u16,
-    content_type: &str,
-    body: &str,
-    keep_alive: bool,
-) {
-    let reason = match status {
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
         200 => "OK",
         202 => "Accepted",
         400 => "Bad Request",
@@ -272,13 +323,41 @@ pub(crate) fn respond(
         413 => "Payload Too Large",
         503 => "Service Unavailable",
         _ => "Unknown",
-    };
+    }
+}
+
+/// Writes a complete response and flushes it.
+pub(crate) fn respond(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) {
+    respond_with_id(stream, status, content_type, body, keep_alive, None);
+}
+
+/// [`respond`], optionally echoing an `X-Request-Id` header.
+pub(crate) fn respond_with_id(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+    request_id: Option<&str>,
+) {
+    let reason = reason_phrase(status);
     let connection = if keep_alive { "keep-alive" } else { "close" };
-    let head = format!(
+    let mut head = format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: {connection}\r\n\r\n",
+         Content-Length: {}\r\nConnection: {connection}\r\n",
         body.len()
     );
+    if let Some(id) = request_id {
+        use std::fmt::Write as _;
+        let _ = write!(head, "X-Request-Id: {id}\r\n");
+    }
+    head.push_str("\r\n");
     // The peer may have gone away; nothing useful to do about it.
     let _ = stream.write_all(head.as_bytes());
     let _ = stream.write_all(body.as_bytes());
@@ -436,6 +515,77 @@ mod tests {
             }
             _ => panic!("expected a fatal 400"),
         }
+    }
+
+    /// A fake duplex stream that records what the server writes.
+    struct Duplex {
+        input: Cursor<Vec<u8>>,
+        output: Vec<u8>,
+    }
+
+    impl Read for Duplex {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.input.read(buf)
+        }
+    }
+
+    impl Write for Duplex {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.output.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn request_id_header_is_captured() {
+        let mut c = conn("GET /a HTTP/1.1\r\nX-Request-Id: abc-123\r\n\r\n");
+        match c.read_next() {
+            Next::Request(r) => assert_eq!(r.request_id.as_deref(), Some("abc-123")),
+            _ => panic!("expected a request"),
+        }
+        let mut c = conn("GET /a HTTP/1.1\r\nHost: t\r\n\r\n");
+        match c.read_next() {
+            Next::Request(r) => assert_eq!(r.request_id, None),
+            _ => panic!("expected a request"),
+        }
+    }
+
+    #[test]
+    fn responses_echo_the_request_id_when_known() {
+        let mut out = Vec::new();
+        respond_with_id(&mut out, 200, "application/json", "{}", true, Some("req-7"));
+        let text = String::from_utf8(out).expect("ASCII response");
+        assert!(text.contains("X-Request-Id: req-7\r\n"), "{text}");
+        let mut out = Vec::new();
+        respond(&mut out, 200, "application/json", "{}", true);
+        let text = String::from_utf8(out).expect("ASCII response");
+        assert!(!text.contains("X-Request-Id"), "{text}");
+    }
+
+    #[test]
+    fn chunked_stream_frames_each_chunk_and_terminates() {
+        let mut c = Conn::new(Duplex {
+            input: Cursor::new(Vec::new()),
+            output: Vec::new(),
+        });
+        assert!(c.start_stream(200, "application/x-ndjson", true, "req-1"));
+        assert!(c.write_chunk("hello\n"));
+        assert!(c.write_chunk(""), "empty chunks are skipped, not fatal");
+        assert!(c.write_chunk("{\"a\":1}\n"));
+        assert!(c.end_stream());
+        let text = String::from_utf8(c.stream.output).expect("ASCII response");
+        let (head, body) = text.split_once("\r\n\r\n").expect("header block");
+        assert!(head.contains("Transfer-Encoding: chunked"), "{head}");
+        assert!(head.contains("Connection: keep-alive"), "{head}");
+        assert!(head.contains("X-Request-Id: req-1"), "{head}");
+        assert!(
+            !head.contains("Content-Length"),
+            "chunked responses carry no length: {head}"
+        );
+        assert_eq!(body, "6\r\nhello\n\r\n8\r\n{\"a\":1}\n\r\n0\r\n\r\n");
     }
 
     #[test]

@@ -6,15 +6,18 @@
 //! them on a bounded worker pool, and exposes its internals through
 //! standard observability endpoints.
 //!
-//! | Endpoint           | Method | Purpose                                      |
-//! |--------------------|--------|----------------------------------------------|
-//! | `/jobs`            | POST   | submit an Opp/Bmp/Spp/Pareto instance        |
-//! | `/jobs:batch`      | POST   | submit an array of instances in one request  |
-//! | `/jobs`            | GET    | list all known jobs                          |
-//! | `/jobs/{id}`       | GET    | job status + [`SolveReport`] on completion   |
-//! | `/jobs/{id}`       | DELETE | cancel (cooperative, via [`CancelToken`])    |
-//! | `/healthz`         | GET    | liveness + readiness (queue not saturated)   |
-//! | `/metrics`         | GET    | Prometheus text exposition v0.0.4            |
+//! | Endpoint              | Method | Purpose                                      |
+//! |-----------------------|--------|----------------------------------------------|
+//! | `/jobs`               | POST   | submit an Opp/Bmp/Spp/Pareto instance        |
+//! | `/jobs:batch`         | POST   | submit an array of instances in one request  |
+//! | `/jobs`               | GET    | list all known jobs                          |
+//! | `/jobs/{id}`          | GET    | job status + [`SolveReport`] on completion   |
+//! | `/jobs/{id}`          | DELETE | cancel (cooperative, via [`CancelToken`])    |
+//! | `/jobs/{id}/progress` | GET    | live progress snapshot (nodes, phases, rate) |
+//! | `/jobs/{id}/events`   | GET    | chunked NDJSON search-event stream (opt-in)  |
+//! | `/debug/jobs`         | GET    | flight recorder: recent + slow job summaries |
+//! | `/healthz`            | GET    | liveness + readiness (queue not saturated)   |
+//! | `/metrics`            | GET    | Prometheus text exposition v0.0.4            |
 //!
 //! Jobs are submitted as JSON (bodies are parsed with `recopack-json`, the
 //! workspace's dependency-free reader):
@@ -49,6 +52,8 @@
 
 pub mod cache;
 mod http;
+mod progress;
+mod recorder;
 mod signal;
 mod sink;
 
@@ -60,14 +65,17 @@ use std::time::{Duration, Instant, SystemTime};
 
 use recopack_core::telemetry::push_json_str;
 use recopack_core::{
-    pareto_front_with_stats, per_second, Bmp, CancelToken, LimitKind, Opp, SolveOutcome,
-    SolveReport, SolverConfig, SolverStats, Spp, Telemetry,
+    pareto_front_with_stats, per_second, Bmp, CancelToken, Fanout, LimitKind, Opp,
+    ProgressCounters, SolveOutcome, SolveReport, SolverConfig, SolverStats, Spp, Telemetry,
+    TelemetrySink,
 };
 use recopack_json::Json;
 use recopack_metrics::{Counter, Gauge, Histogram, Registry};
 use recopack_model::{format, Instance, Placement};
 
 use cache::{CachedSolution, SolutionCache};
+use progress::{EventStream, JobProgress};
+use recorder::{FlightRecorder, JobSummary};
 pub use signal::{install_shutdown_handler, shutdown_requested};
 pub use sink::MetricsSink;
 
@@ -92,6 +100,10 @@ pub struct ServeConfig {
     pub idle_timeout: Duration,
     /// Capacity of the canonicalized-instance solution cache (entries).
     pub cache_capacity: usize,
+    /// Jobs whose solve wall time reaches this many milliseconds are kept
+    /// in the flight recorder's slow-job log and emit a `job_slow` log
+    /// line. `0` disables slow-job tracking.
+    pub slow_job_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -103,6 +115,7 @@ impl Default for ServeConfig {
             max_connections: 64,
             idle_timeout: Duration::from_secs(30),
             cache_capacity: 256,
+            slow_job_ms: 1000,
         }
     }
 }
@@ -195,6 +208,16 @@ struct Job {
     /// `rank[v]` is the canonical position of this submission's task `v`
     /// in the cache key (see [`cache::CanonicalInstance`]).
     rank: Vec<u32>,
+    /// Correlation id of the HTTP request that submitted this job; echoed
+    /// in the job document and every job-transition log line.
+    request_id: String,
+    /// Live progress of this job: the shared solver counters of its dedup
+    /// group plus this submission's own queue/solve phase timing.
+    progress: Arc<JobProgress>,
+    /// Search-event broadcast for `GET /jobs/{id}/events`; `Some` only for
+    /// jobs submitted with `"trace": true` (members of a traced dedup
+    /// group share the driver's stream).
+    trace: Option<Arc<EventStream>>,
 }
 
 /// One deduplicated solver run: every job id subscribed to it, plus the
@@ -253,7 +276,9 @@ struct ServerMetrics {
     rejected: [Counter; 5],
     queue_depth: Gauge,
     in_flight: Gauge,
-    latency: Histogram,
+    queue_wait: Histogram,
+    solve: Histogram,
+    canon_seconds: Histogram,
     nodes: Histogram,
     cache_hits: Counter,
     cache_misses: Counter,
@@ -306,10 +331,20 @@ impl ServerMetrics {
                 "recopack_jobs_in_flight",
                 "Jobs currently being solved by the worker pool.",
             ),
-            latency: registry.histogram(
-                "recopack_job_duration_seconds",
+            queue_wait: registry.histogram(
+                "recopack_job_queue_wait_seconds",
+                &[0.0005, 0.002, 0.01, 0.05, 0.25, 1.0, 5.0, 30.0],
+                "Time jobs waited in the queue before their solve started, in seconds.",
+            ),
+            solve: registry.histogram(
+                "recopack_job_solve_seconds",
                 &[0.001, 0.005, 0.025, 0.1, 0.5, 2.0, 10.0, 30.0, 120.0],
-                "Wall-clock duration of completed jobs in seconds.",
+                "Wall-clock solver duration of completed jobs in seconds.",
+            ),
+            canon_seconds: registry.histogram(
+                "recopack_cache_canonicalization_seconds",
+                &[0.00001, 0.0001, 0.001, 0.01, 0.1, 1.0],
+                "Time spent canonicalizing a submitted instance for its cache key, in seconds.",
             ),
             nodes: registry.histogram(
                 "recopack_job_nodes",
@@ -371,8 +406,12 @@ struct Inner {
     cache: Mutex<SolutionCache>,
     metrics: ServerMetrics,
     sink: Arc<MetricsSink>,
+    recorder: FlightRecorder,
     next_id: AtomicU64,
     next_group: AtomicU64,
+    /// Source of generated `X-Request-Id` values for requests that did
+    /// not supply a usable one.
+    next_request: AtomicU64,
     accept_stop: AtomicBool,
 }
 
@@ -453,8 +492,10 @@ impl Server {
             cache: Mutex::new(SolutionCache::new(config.cache_capacity.max(1))),
             metrics,
             sink,
+            recorder: FlightRecorder::new(Duration::from_millis(config.slow_job_ms)),
             next_id: AtomicU64::new(1),
             next_group: AtomicU64::new(1),
+            next_request: AtomicU64::new(1),
             accept_stop: AtomicBool::new(false),
         });
         let worker_count = match config.workers {
@@ -586,28 +627,46 @@ fn worker_loop(inner: &Inner) {
             .get(&key)
             .map(|group| (group.members.clone(), group.group))
             .unwrap_or((vec![id], 0));
+        let mut progresses = Vec::with_capacity(members.len());
         for &member in &members {
             if let Some(job) = st.jobs.get_mut(&member) {
                 job.state = JobState::Running;
+                progresses.push(job.progress.clone());
             }
         }
+        let trace = st.jobs.get(&id).and_then(|job| job.trace.clone());
+        let request_id = st
+            .jobs
+            .get(&id)
+            .map(|job| job.request_id.clone())
+            .unwrap_or_default();
         drop(st);
 
+        for progress in &progresses {
+            progress.mark_started();
+        }
+        // One queue-wait sample per solver run (the driver's); joined
+        // members waited on the same slot.
+        if let Some(driver) = progresses.first() {
+            inner.metrics.queue_wait.observe(driver.split().0);
+        }
         inner.metrics.in_flight.inc();
         LogLine::new("job_started")
             .num("job", id)
             .str("kind", kind.name())
+            .str("request_id", &request_id)
             .num("subscribers", members.len().max(1) as u64)
             .emit();
         let started = Instant::now();
         let finished = run_job(kind, &name, &spec);
         let wall = started.elapsed();
         inner.metrics.in_flight.dec();
-        inner.metrics.latency.observe(wall.as_secs_f64());
+        inner.metrics.solve.observe(wall.as_secs_f64());
         inner.metrics.nodes.observe(finished.nodes as f64);
         LogLine::new("job_finished")
             .num("job", id)
             .str("kind", kind.name())
+            .str("request_id", &request_id)
             .str("status", finished.status)
             .str("outcome", &finished.outcome)
             .ms("wall_ms", wall.as_secs_f64() * 1000.0)
@@ -652,6 +711,7 @@ fn worker_loop(inner: &Inner) {
         } else {
             members
         };
+        let mut published = Vec::with_capacity(members.len());
         for &member in &members {
             let Some(job) = st.jobs.get_mut(&member) else {
                 continue;
@@ -667,12 +727,51 @@ fn worker_loop(inner: &Inner) {
                     .as_ref()
                     .map(|origins| render_placement(origins, &job.task_names, &job.rank)),
             };
+            published.push((
+                member,
+                job.name.clone(),
+                job.request_id.clone(),
+                job.progress.clone(),
+            ));
             retire_job(&mut st, member);
             match finished.status {
                 "cancelled" => inner.metrics.cancelled[kind.index()].inc(),
                 "failed" => inner.metrics.failed[kind.index()].inc(),
                 _ => inner.metrics.completed[kind.index()].inc(),
             }
+        }
+        drop(st);
+
+        for (member, member_name, member_request, progress) in published {
+            progress.mark_finished();
+            let (queue_wait, solve) = progress.split();
+            let slow = inner.recorder.record(JobSummary {
+                id: member,
+                kind: kind.name(),
+                name: member_name,
+                status: finished.status,
+                outcome: finished.outcome.clone(),
+                via: if member == id { "run" } else { "shared" },
+                request_id: member_request.clone(),
+                queue_wait_ms: queue_wait * 1000.0,
+                solve_ms: solve * 1000.0,
+                nodes: finished.nodes,
+            });
+            if slow {
+                LogLine::new("job_slow")
+                    .num("job", member)
+                    .str("kind", kind.name())
+                    .str("request_id", &member_request)
+                    .ms("solve_ms", solve * 1000.0)
+                    .num("nodes", finished.nodes)
+                    .emit();
+            }
+        }
+        // Close the event stream only after the terminal state is
+        // published: subscriber loops drain once more after observing a
+        // terminal status, so every recorded event is delivered.
+        if let Some(trace) = trace {
+            trace.close();
         }
     }
 }
@@ -908,7 +1007,7 @@ fn handle_connection(inner: &Inner, stream: TcpStream) {
                 message,
                 keep_alive,
             } => {
-                conn.respond(status, JSON, &error_body(&message), keep_alive);
+                conn.respond(status, JSON, &error_body(&message), keep_alive, None);
                 LogLine::new("request_error")
                     .num("status", u64::from(status))
                     .str("error", &message)
@@ -919,8 +1018,35 @@ fn handle_connection(inner: &Inner, stream: TcpStream) {
             }
             http::Next::Request(request) => {
                 let started = Instant::now();
-                let (status, content_type, body) = route(inner, &request);
-                conn.respond(status, content_type, &body, request.keep_alive);
+                let request_id = request_id_for(inner, request.request_id.as_deref());
+                // `GET /jobs/{id}/events` streams a chunked response and
+                // owns the connection until the job is terminal; all other
+                // routes produce one framed body.
+                let events_target = (request.method == "GET")
+                    .then(|| {
+                        request
+                            .path
+                            .strip_prefix("/jobs/")
+                            .and_then(|rest| rest.strip_suffix("/events"))
+                            .and_then(|id| id.parse::<u64>().ok())
+                    })
+                    .flatten();
+                let status = match events_target {
+                    Some(job_id) => {
+                        stream_job_events(inner, &mut conn, job_id, request.keep_alive, &request_id)
+                    }
+                    None => {
+                        let (status, content_type, body) = route(inner, &request, &request_id);
+                        conn.respond(
+                            status,
+                            content_type,
+                            &body,
+                            request.keep_alive,
+                            Some(&request_id),
+                        );
+                        status
+                    }
+                };
                 inner
                     .metrics
                     .request_seconds
@@ -928,6 +1054,7 @@ fn handle_connection(inner: &Inner, stream: TcpStream) {
                 LogLine::new("request")
                     .str("method", &request.method)
                     .str("path", &request.path)
+                    .str("request_id", &request_id)
                     .num("status", u64::from(status))
                     .emit();
                 if !request.keep_alive {
@@ -938,6 +1065,109 @@ fn handle_connection(inner: &Inner, stream: TcpStream) {
     }
 }
 
+/// The correlation id for one request: the client's `X-Request-Id` when it
+/// is well-formed (1–64 characters from `[A-Za-z0-9._:-]`), otherwise a
+/// generated `req-{n}`. The id is echoed on the response, attached to the
+/// job record, and stamped on every related log line.
+fn request_id_for(inner: &Inner, supplied: Option<&str>) -> String {
+    match supplied {
+        Some(id)
+            if !id.is_empty()
+                && id.len() <= 64
+                && id.bytes().all(|b| {
+                    b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b':')
+                }) =>
+        {
+            id.to_string()
+        }
+        _ => format!("req-{}", inner.next_request.fetch_add(1, Ordering::Relaxed)),
+    }
+}
+
+/// Serves `GET /jobs/{id}/events`: subscribes to the job's event stream
+/// and writes NDJSON chunks until the job reaches a terminal state, then
+/// appends one `{"event":"end",...}` record (carrying the subscriber's
+/// `dropped` count) and terminates the chunked body — the keep-alive
+/// connection survives for the next request. Returns the response status
+/// for the access log.
+fn stream_job_events(
+    inner: &Inner,
+    conn: &mut http::Conn<TcpStream>,
+    id: u64,
+    keep_alive: bool,
+    request_id: &str,
+) -> u16 {
+    const JSON: &str = "application/json";
+    let stream = {
+        let st = inner.state.lock().expect("state lock");
+        match st.jobs.get(&id) {
+            None => Err((404, error_body("no such job"))),
+            Some(job) => match &job.trace {
+                Some(stream) => Ok(stream.clone()),
+                None => Err((
+                    409,
+                    error_body("job was not submitted with \"trace\": true"),
+                )),
+            },
+        }
+    };
+    let stream = match stream {
+        Ok(stream) => stream,
+        Err((status, body)) => {
+            conn.respond(status, JSON, &body, keep_alive, Some(request_id));
+            return status;
+        }
+    };
+    let subscriber = stream.subscribe();
+    if !conn.start_stream(200, "application/x-ndjson", keep_alive, request_id) {
+        stream.unsubscribe(&subscriber);
+        return 200;
+    }
+    loop {
+        let lines = subscriber.drain(Duration::from_millis(25));
+        if !lines.is_empty() {
+            let mut chunk = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+            for line in &lines {
+                chunk.push_str(line);
+                chunk.push('\n');
+            }
+            if !conn.write_chunk(&chunk) {
+                break;
+            }
+        }
+        let terminal = {
+            let st = inner.state.lock().expect("state lock");
+            match st.jobs.get(&id) {
+                None => Some("evicted"),
+                Some(job) => match &job.state {
+                    JobState::Finished { status, .. } => Some(*status),
+                    _ => None,
+                },
+            }
+        };
+        if let Some(status) = terminal {
+            // Events are recorded strictly before the terminal state is
+            // published, so one final drain delivers everything.
+            let mut tail = String::new();
+            for line in subscriber.drain(Duration::ZERO) {
+                tail.push_str(&line);
+                tail.push('\n');
+            }
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                tail,
+                "{{\"event\":\"end\",\"job\":{id},\"status\":\"{status}\",\"dropped\":{}}}",
+                subscriber.dropped()
+            );
+            let _ = conn.write_chunk(&tail);
+            let _ = conn.end_stream();
+            break;
+        }
+    }
+    stream.unsubscribe(&subscriber);
+    200
+}
+
 fn error_body(message: &str) -> String {
     let mut body = String::from("{\"error\":");
     push_json_str(&mut body, message);
@@ -945,7 +1175,7 @@ fn error_body(message: &str) -> String {
     body
 }
 
-fn route(inner: &Inner, request: &http::Request) -> (u16, &'static str, String) {
+fn route(inner: &Inner, request: &http::Request, request_id: &str) -> (u16, &'static str, String) {
     const JSON: &str = "application/json";
     const PROMETHEUS: &str = "text/plain; version=0.0.4; charset=utf-8";
     match (request.method.as_str(), request.path.as_str()) {
@@ -954,30 +1184,76 @@ fn route(inner: &Inner, request: &http::Request) -> (u16, &'static str, String) 
             (status, JSON, body)
         }
         ("GET", "/metrics") => (200, PROMETHEUS, inner.metrics.registry.render()),
+        ("GET", "/debug/jobs") => (200, JSON, inner.recorder.to_json()),
         ("POST", "/jobs") => {
-            let (status, body) = submit(inner, &request.body);
+            let (status, body) = submit(inner, &request.body, request_id);
             (status, JSON, body)
         }
         ("POST", "/jobs:batch") => {
-            let (status, body) = submit_batch(inner, &request.body);
+            let (status, body) = submit_batch(inner, &request.body, request_id);
             (status, JSON, body)
         }
         ("GET", "/jobs") => (200, JSON, list_jobs(inner)),
-        (method, path) => match path.strip_prefix("/jobs/").map(str::parse::<u64>) {
-            Some(Ok(id)) => match method {
-                "GET" => {
-                    let (status, body) = job_status(inner, id);
-                    (status, JSON, body)
+        (method, path) => match path.strip_prefix("/jobs/") {
+            Some(rest) => {
+                // Sub-resources first: `{id}/progress` here, `{id}/events`
+                // in `handle_connection` (it needs the raw connection).
+                if let Some(id_text) = rest.strip_suffix("/progress") {
+                    match id_text.parse::<u64>() {
+                        Ok(id) if method == "GET" => {
+                            let (status, body) = job_progress(inner, id);
+                            (status, JSON, body)
+                        }
+                        Ok(_) => (405, JSON, error_body("method not allowed")),
+                        Err(_) => (404, JSON, error_body("job ids are integers")),
+                    }
+                } else if rest
+                    .strip_suffix("/events")
+                    .is_some_and(|id| id.parse::<u64>().is_ok())
+                {
+                    // A non-GET on an events sub-resource (GETs never
+                    // reach the router).
+                    (405, JSON, error_body("method not allowed"))
+                } else {
+                    match rest.parse::<u64>() {
+                        Ok(id) => match method {
+                            "GET" => {
+                                let (status, body) = job_status(inner, id);
+                                (status, JSON, body)
+                            }
+                            "DELETE" => {
+                                let (status, body) = cancel_job(inner, id);
+                                (status, JSON, body)
+                            }
+                            _ => (405, JSON, error_body("method not allowed")),
+                        },
+                        Err(_) => (404, JSON, error_body("job ids are integers")),
+                    }
                 }
-                "DELETE" => {
-                    let (status, body) = cancel_job(inner, id);
-                    (status, JSON, body)
-                }
-                _ => (405, JSON, error_body("method not allowed")),
-            },
-            Some(Err(_)) => (404, JSON, error_body("job ids are integers")),
+            }
             None => (404, JSON, error_body("not found")),
         },
+    }
+}
+
+/// Serves `GET /jobs/{id}/progress`: the live snapshot of one job's
+/// solver counters and phase timings, at any lifecycle stage.
+fn job_progress(inner: &Inner, id: u64) -> (u16, String) {
+    let st = inner.state.lock().expect("state lock");
+    match st.jobs.get(&id) {
+        Some(job) => {
+            let status = match &job.state {
+                JobState::Queued => "queued",
+                JobState::Running => "running",
+                JobState::Finished { status, .. } => status,
+            };
+            (
+                200,
+                job.progress
+                    .to_json(id, status, &job.request_id, job.trace.as_deref()),
+            )
+        }
+        None => (404, error_body("no such job")),
     }
 }
 
@@ -1015,7 +1291,7 @@ fn reject(inner: &Inner, kind_index: usize, status: u16, reason: &str) -> (u16, 
 }
 
 /// Handles `POST /jobs`: validate, admission-control, enqueue.
-fn submit(inner: &Inner, body: &str) -> (u16, String) {
+fn submit(inner: &Inner, body: &str, request_id: &str) -> (u16, String) {
     let doc = match Json::parse(body) {
         Ok(doc) => doc,
         Err(e) => {
@@ -1028,7 +1304,7 @@ fn submit(inner: &Inner, body: &str) -> (u16, String) {
             return (status, error_body(&reason));
         }
     };
-    match submit_doc(inner, &doc) {
+    match submit_doc(inner, &doc, request_id) {
         Ok((id, status_word)) => (202, format!("{{\"id\":{id},\"status\":\"{status_word}\"}}")),
         Err((status, reason)) => (status, error_body(&reason)),
     }
@@ -1042,7 +1318,7 @@ const MAX_BATCH_ITEMS: usize = 64;
 /// item, in order — an `{"id":..,"status":..}` on admission or a
 /// `{"status":"rejected","code":..,"error":..}` on refusal — so one bad or
 /// over-quota item never poisons the rest of the batch.
-fn submit_batch(inner: &Inner, body: &str) -> (u16, String) {
+fn submit_batch(inner: &Inner, body: &str, request_id: &str) -> (u16, String) {
     let doc = match Json::parse(body) {
         Ok(doc) => doc,
         Err(e) => {
@@ -1087,7 +1363,7 @@ fn submit_batch(inner: &Inner, body: &str) -> (u16, String) {
         if i > 0 {
             body.push(',');
         }
-        match submit_doc(inner, item) {
+        match submit_doc(inner, item, request_id) {
             Ok((id, status_word)) => {
                 use std::fmt::Write as _;
                 let _ = write!(body, "{{\"id\":{id},\"status\":\"{status_word}\"}}");
@@ -1108,7 +1384,11 @@ fn submit_batch(inner: &Inner, body: &str) -> (u16, String) {
 /// to an identical in-flight run, or enqueue a fresh solve. Returns the
 /// job id and its initial status word (`queued`, or `done` on a cache
 /// hit), or the refusal status and reason.
-fn submit_doc(inner: &Inner, doc: &Json) -> Result<(u64, &'static str), (u16, String)> {
+fn submit_doc(
+    inner: &Inner,
+    doc: &Json,
+    request_id: &str,
+) -> Result<(u64, &'static str), (u16, String)> {
     let Some(kind_name) = doc.get("kind").and_then(Json::as_str) else {
         return Err(reject(
             inner,
@@ -1154,6 +1434,15 @@ fn submit_doc(inner: &Inner, doc: &Json) -> Result<(u64, &'static str), (u16, St
         instance.with_transitive_closure()
     };
     let cancel = CancelToken::new();
+    // Every run reports live progress; the raw event stream is opt-in so
+    // untraced jobs never serialize an event (pay-for-what-you-use).
+    let traced = doc.get("trace").and_then(Json::as_bool).unwrap_or(false);
+    let counters = Arc::new(ProgressCounters::new());
+    let stream = traced.then(|| Arc::new(EventStream::new()));
+    let mut sinks: Vec<Arc<dyn TelemetrySink>> = vec![inner.sink.clone(), counters.clone()];
+    if let Some(stream) = &stream {
+        sinks.push(stream.clone());
+    }
     let config = SolverConfig {
         threads: doc.get("threads").and_then(Json::as_u64).unwrap_or(1) as usize,
         use_bounds: doc
@@ -1169,12 +1458,23 @@ fn submit_doc(inner: &Inner, doc: &Json) -> Result<(u64, &'static str), (u16, St
             .get("time_limit_ms")
             .and_then(Json::as_u64)
             .map(Duration::from_millis),
-        telemetry: Telemetry::to(inner.sink.clone()),
+        telemetry: Telemetry::to(Arc::new(Fanout::new(sinks))),
         cancel: cancel.clone(),
         ..SolverConfig::default()
     };
+    let canon_started = Instant::now();
     let canon = cache::canonical_form(&instance);
-    let key = cache::cache_key(kind.name(), &canon.text, &config);
+    inner
+        .metrics
+        .canon_seconds
+        .observe(canon_started.elapsed().as_secs_f64());
+    let mut key = cache::cache_key(kind.name(), &canon.text, &config);
+    if traced {
+        // Traced and untraced runs must not share a cache/dedup identity:
+        // a traced submission joining an untraced run would have no stream
+        // to serve.
+        key.push_str("|traced");
+    }
     let task_names: Vec<String> = instance
         .tasks()
         .iter()
@@ -1203,6 +1503,13 @@ fn submit_doc(inner: &Inner, doc: &Json) -> Result<(u64, &'static str), (u16, St
             .placement
             .as_ref()
             .map(|origins| render_placement(origins, &task_names, &canon.rank));
+        let progress = Arc::new(JobProgress::new(counters));
+        progress.mark_finished();
+        if let Some(stream) = &stream {
+            // Born finished: a subscriber gets an immediate end record.
+            stream.close();
+        }
+        let outcome = hit.outcome.clone();
         st.jobs.insert(
             id,
             Job {
@@ -1218,10 +1525,26 @@ fn submit_doc(inner: &Inner, doc: &Json) -> Result<(u64, &'static str), (u16, St
                 key,
                 task_names,
                 rank: canon.rank,
+                request_id: request_id.to_string(),
+                progress: progress.clone(),
+                trace: stream,
             },
         );
         retire_job(&mut st, id);
         drop(st);
+        let (queue_wait, solve) = progress.split();
+        inner.recorder.record(JobSummary {
+            id,
+            kind: kind.name(),
+            name: name.clone(),
+            status: hit.status,
+            outcome,
+            via: "cache",
+            request_id: request_id.to_string(),
+            queue_wait_ms: queue_wait * 1000.0,
+            solve_ms: solve * 1000.0,
+            nodes: 0,
+        });
         inner.metrics.cache_hits.inc();
         inner.metrics.accepted[kind.index()].inc();
         inner.metrics.completed[kind.index()].inc();
@@ -1229,6 +1552,7 @@ fn submit_doc(inner: &Inner, doc: &Json) -> Result<(u64, &'static str), (u16, St
             .num("job", id)
             .str("kind", kind.name())
             .str("name", &name)
+            .str("request_id", request_id)
             .emit();
         return Ok((id, "done"));
     }
@@ -1240,18 +1564,45 @@ fn submit_doc(inner: &Inner, doc: &Json) -> Result<(u64, &'static str), (u16, St
 
     // 2. Attach to an identical run already in flight: no queue slot, no
     //    second solver run — the driver publishes to every subscriber.
+    //    Never join a group whose cancel token has already fired: the
+    //    joiner would inherit a `cancelled` verdict for a run it never
+    //    asked to cancel. Every cancel path retires the entry in the same
+    //    critical section that fires the token, so a stale entry here is a
+    //    defect — drop it and start fresh.
+    if st
+        .inflight
+        .get(&key)
+        .is_some_and(|group| group.cancel.is_cancelled())
+    {
+        st.inflight.remove(&key);
+    }
     if st.inflight.contains_key(&key) {
         let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
         let name = name_for(id);
         let driver = st.inflight[&key].members[0];
-        let state = if matches!(
-            st.jobs.get(&driver).map(|j| &j.state),
-            Some(JobState::Running)
-        ) {
-            JobState::Running
-        } else {
-            JobState::Queued
+        let (state, driver_progress, driver_trace) = match st.jobs.get(&driver) {
+            Some(job) => (
+                if matches!(job.state, JobState::Running) {
+                    JobState::Running
+                } else {
+                    JobState::Queued
+                },
+                Some(job.progress.clone()),
+                job.trace.clone(),
+            ),
+            None => (JobState::Queued, None, None),
         };
+        // A joiner reads the shared run's live counters but keeps its own
+        // lifecycle timing: it waited in no queue of its own, and a join
+        // onto a running group starts its solve phase immediately.
+        let progress = Arc::new(JobProgress::new(
+            driver_progress
+                .map(|p| p.counters().clone())
+                .unwrap_or_else(|| Arc::new(ProgressCounters::new())),
+        ));
+        if matches!(state, JobState::Running) {
+            progress.mark_started();
+        }
         st.inflight
             .get_mut(&key)
             .expect("group checked above")
@@ -1267,6 +1618,9 @@ fn submit_doc(inner: &Inner, doc: &Json) -> Result<(u64, &'static str), (u16, St
                 key,
                 task_names,
                 rank: canon.rank,
+                request_id: request_id.to_string(),
+                progress,
+                trace: driver_trace,
             },
         );
         drop(st);
@@ -1276,6 +1630,7 @@ fn submit_doc(inner: &Inner, doc: &Json) -> Result<(u64, &'static str), (u16, St
             .num("job", id)
             .str("kind", kind.name())
             .str("name", &name)
+            .str("request_id", request_id)
             .emit();
         return Ok((id, "queued"));
     }
@@ -1300,6 +1655,9 @@ fn submit_doc(inner: &Inner, doc: &Json) -> Result<(u64, &'static str), (u16, St
             key: key.clone(),
             task_names,
             rank: canon.rank,
+            request_id: request_id.to_string(),
+            progress: Arc::new(JobProgress::new(counters)),
+            trace: stream,
         },
     );
     st.inflight.insert(
@@ -1320,6 +1678,7 @@ fn submit_doc(inner: &Inner, doc: &Json) -> Result<(u64, &'static str), (u16, St
         .num("job", id)
         .str("kind", kind.name())
         .str("name", &name)
+        .str("request_id", request_id)
         .emit();
     Ok((id, "queued"))
 }
@@ -1329,6 +1688,8 @@ fn job_json(id: u64, job: &Job) -> String {
     push_json_str(&mut body, job.kind.name());
     body.push_str(",\"name\":");
     push_json_str(&mut body, &job.name);
+    body.push_str(",\"request_id\":");
+    push_json_str(&mut body, &job.request_id);
     body.push_str(",\"status\":");
     match &job.state {
         JobState::Queued => body.push_str("\"queued\"}"),
@@ -1411,7 +1772,15 @@ fn cancel_job(inner: &Inner, id: u64) -> (u16, String) {
         Snapshot::Running(kind) => (kind, false),
     };
 
-    let key = st.jobs.get(&id).expect("job exists").key.clone();
+    let (key, job_name, job_request, job_progress) = {
+        let job = st.jobs.get(&id).expect("job exists");
+        (
+            job.key.clone(),
+            job.name.clone(),
+            job.request_id.clone(),
+            job.progress.clone(),
+        )
+    };
     // The membership check matters: after a running job's group is retired
     // by a previous DELETE, an identical submission may install a
     // *successor* group under the same key — that one must not be touched
@@ -1450,10 +1819,27 @@ fn cancel_job(inner: &Inner, id: u64) -> (u16, String) {
         };
         retire_job(&mut st, id);
         drop(st);
+        // The shared run (and its event stream) lives on for the
+        // remaining members; only this job's own lifecycle closes.
+        job_progress.mark_finished();
+        let (queue_wait, solve) = job_progress.split();
+        inner.recorder.record(JobSummary {
+            id,
+            kind: kind.name(),
+            name: job_name,
+            status: "cancelled",
+            outcome: "unsubscribed from shared run".to_string(),
+            via: "shared",
+            request_id: job_request.clone(),
+            queue_wait_ms: queue_wait * 1000.0,
+            solve_ms: solve * 1000.0,
+            nodes: 0,
+        });
         inner.metrics.cancelled[kind.index()].inc();
         LogLine::new("job_cancelled")
             .num("job", id)
             .str("while", "shared")
+            .str("request_id", &job_request)
             .emit();
         return (200, format!("{{\"id\":{id},\"status\":\"cancelled\"}}"));
     }
@@ -1470,13 +1856,33 @@ fn cancel_job(inner: &Inner, id: u64) -> (u16, String) {
             report: None,
             placement: None,
         };
+        let trace = job.trace.clone();
         retire_job(&mut st, id);
         drop(st);
+        job_progress.mark_finished();
+        if let Some(trace) = trace {
+            // The run never starts; release any stream subscribers.
+            trace.close();
+        }
+        let (queue_wait, solve) = job_progress.split();
+        inner.recorder.record(JobSummary {
+            id,
+            kind: kind.name(),
+            name: job_name,
+            status: "cancelled",
+            outcome: "cancelled while queued".to_string(),
+            via: "run",
+            request_id: job_request.clone(),
+            queue_wait_ms: queue_wait * 1000.0,
+            solve_ms: solve * 1000.0,
+            nodes: 0,
+        });
         inner.metrics.queue_depth.dec();
         inner.metrics.cancelled[kind.index()].inc();
         LogLine::new("job_cancelled")
             .num("job", id)
             .str("while", "queued")
+            .str("request_id", &job_request)
             .emit();
         (200, format!("{{\"id\":{id},\"status\":\"cancelled\"}}"))
     } else {
@@ -1492,6 +1898,7 @@ fn cancel_job(inner: &Inner, id: u64) -> (u16, String) {
         LogLine::new("job_cancelled")
             .num("job", id)
             .str("while", "running")
+            .str("request_id", &job_request)
             .emit();
         (202, format!("{{\"id\":{id},\"status\":\"cancelling\"}}"))
     }

@@ -1,0 +1,398 @@
+//! Per-job observability: live progress snapshots behind
+//! `GET /jobs/{id}/progress` and the opt-in search event stream behind
+//! `GET /jobs/{id}/events`.
+//!
+//! Every job owns a [`JobProgress`]: a handle on the
+//! [`ProgressCounters`] of the solver run it subscribes to (members of a
+//! dedup group share one counter set, each with its own lifecycle
+//! timing). Jobs submitted with `"trace": true` additionally carry an
+//! [`EventStream`], a broadcast fan-out of raw [`SearchEvent`]s to any
+//! number of HTTP subscribers, each with a bounded buffer and an explicit
+//! dropped counter — the serve-side sibling of the CLI's `FileJournal`.
+//! Untraced jobs never allocate a stream and never serialize an event,
+//! per the pay-for-what-you-use telemetry rule.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use recopack_core::{per_second, ProgressCounters, SearchEvent, SolverStats, TelemetrySink};
+
+/// Milestones of one job's lifecycle, relative to its submission instant.
+#[derive(Default)]
+struct Timing {
+    started: Option<Instant>,
+    finished: Option<Instant>,
+}
+
+/// One job's live progress: shared solver counters plus this job's own
+/// queue/solve timing. Cheap to clone out of the job table (`Arc`).
+pub(crate) struct JobProgress {
+    /// Event totals of the solver run this job subscribes to; one set per
+    /// dedup group, shared by every member.
+    counters: Arc<ProgressCounters>,
+    submitted: Instant,
+    timing: Mutex<Timing>,
+}
+
+impl JobProgress {
+    pub(crate) fn new(counters: Arc<ProgressCounters>) -> Self {
+        Self {
+            counters,
+            submitted: Instant::now(),
+            timing: Mutex::new(Timing::default()),
+        }
+    }
+
+    /// The shared counter set, for joiners attaching to this job's run.
+    pub(crate) fn counters(&self) -> &Arc<ProgressCounters> {
+        &self.counters
+    }
+
+    /// Marks the solve as started; the first caller wins, so a worker
+    /// re-marking a member that joined an already-running group is a
+    /// no-op.
+    pub(crate) fn mark_started(&self) {
+        let mut timing = self.timing.lock().expect("timing lock");
+        if timing.started.is_none() {
+            timing.started = Some(Instant::now());
+        }
+    }
+
+    /// Marks the job terminal. Jobs that never ran (cancelled while
+    /// queued, cache hits) get a zero-length solve phase.
+    pub(crate) fn mark_finished(&self) {
+        let mut timing = self.timing.lock().expect("timing lock");
+        let now = Instant::now();
+        if timing.started.is_none() {
+            timing.started = Some(now);
+        }
+        if timing.finished.is_none() {
+            timing.finished = Some(now);
+        }
+    }
+
+    /// The `(queue_wait, solve)` phase split in seconds. Open phases are
+    /// measured up to now: a queued job accrues queue-wait, a running job
+    /// accrues solve time.
+    pub(crate) fn split(&self) -> (f64, f64) {
+        let timing = self.timing.lock().expect("timing lock");
+        match (timing.started, timing.finished) {
+            (None, _) => (self.submitted.elapsed().as_secs_f64(), 0.0),
+            (Some(started), None) => (
+                started
+                    .saturating_duration_since(self.submitted)
+                    .as_secs_f64(),
+                started.elapsed().as_secs_f64(),
+            ),
+            (Some(started), Some(finished)) => (
+                started
+                    .saturating_duration_since(self.submitted)
+                    .as_secs_f64(),
+                finished.saturating_duration_since(started).as_secs_f64(),
+            ),
+        }
+    }
+
+    /// Seconds since submission (up to the terminal instant once one is
+    /// recorded).
+    fn elapsed(&self) -> f64 {
+        let timing = self.timing.lock().expect("timing lock");
+        match timing.finished {
+            Some(finished) => finished
+                .saturating_duration_since(self.submitted)
+                .as_secs_f64(),
+            None => self.submitted.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// The `GET /jobs/{id}/progress` snapshot document.
+    pub(crate) fn to_json(
+        &self,
+        id: u64,
+        status: &str,
+        request_id: &str,
+        trace: Option<&EventStream>,
+    ) -> String {
+        use std::fmt::Write as _;
+        let totals = self.counters.snapshot();
+        let (queue_wait, solve) = self.split();
+        let solve_ms = solve * 1000.0;
+        let mut out =
+            format!("{{\"id\":{id},\"status\":\"{status}\",\"request_id\":\"{request_id}\"");
+        let _ = write!(
+            out,
+            ",\"elapsed_ms\":{:.3},\"queue_wait_ms\":{:.3},\"solve_ms\":{:.3}",
+            self.elapsed() * 1000.0,
+            queue_wait * 1000.0,
+            solve_ms
+        );
+        let _ = write!(
+            out,
+            ",\"nodes\":{},\"events_total\":{},\"events_per_sec\":",
+            totals.branches,
+            totals.total()
+        );
+        match per_second(totals.total(), solve_ms) {
+            Some(rate) => {
+                let _ = write!(out, "{rate:.1}");
+            }
+            None => out.push_str("null"),
+        }
+        let _ = write!(
+            out,
+            ",\"searches_finished\":{},\"max_depth\":{},\"depth_profile\":[",
+            self.counters.searches_finished(),
+            totals.max_depth
+        );
+        for (i, count) in self.counters.depth_profile().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{count}");
+        }
+        let _ = write!(out, "],\"events\":{}", totals.to_json());
+        match trace {
+            Some(stream) => {
+                let _ = write!(
+                    out,
+                    ",\"trace\":{{\"subscribers\":{},\"dropped\":{}}}",
+                    stream.subscriber_count(),
+                    stream.dropped()
+                );
+            }
+            None => out.push_str(",\"trace\":null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Unread lines a `/jobs/{id}/events` subscriber may buffer before the
+/// broadcaster starts dropping (and counting) events for it. Bounds the
+/// memory a slow or stalled consumer can pin per subscription.
+const SUBSCRIBER_BUFFER_LINES: usize = 8192;
+
+/// A broadcast fan-out of one solver run's search events to its HTTP
+/// stream subscribers. Installed (via `Fanout`) only for jobs submitted
+/// with `"trace": true`.
+#[derive(Default)]
+pub(crate) struct EventStream {
+    subscribers: Mutex<Vec<Arc<Subscriber>>>,
+    dropped: AtomicU64,
+    closed: AtomicBool,
+}
+
+impl EventStream {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a new subscriber; it receives events recorded from now
+    /// on.
+    pub(crate) fn subscribe(&self) -> Arc<Subscriber> {
+        let subscriber = Arc::new(Subscriber::default());
+        self.subscribers
+            .lock()
+            .expect("subscribers lock")
+            .push(subscriber.clone());
+        subscriber
+    }
+
+    /// Detaches `subscriber`; the broadcaster stops buffering for it.
+    pub(crate) fn unsubscribe(&self, subscriber: &Arc<Subscriber>) {
+        let mut subscribers = self.subscribers.lock().expect("subscribers lock");
+        subscribers.retain(|s| !Arc::ptr_eq(s, subscriber));
+    }
+
+    /// Stops accepting events and wakes every waiting subscriber, so
+    /// stream loops notice the terminal state promptly.
+    pub(crate) fn close(&self) {
+        self.closed.store(true, Ordering::Relaxed);
+        let subscribers = self.subscribers.lock().expect("subscribers lock");
+        for subscriber in subscribers.iter() {
+            let _lines = subscriber.lines.lock().expect("lines lock");
+            subscriber.available.notify_all();
+        }
+    }
+
+    /// Events dropped across all subscribers (bounded buffers overflowed).
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Currently attached subscribers.
+    pub(crate) fn subscriber_count(&self) -> usize {
+        self.subscribers.lock().expect("subscribers lock").len()
+    }
+}
+
+impl TelemetrySink for EventStream {
+    fn record(&self, event: &SearchEvent) {
+        if self.closed.load(Ordering::Relaxed) {
+            return;
+        }
+        let subscribers = self.subscribers.lock().expect("subscribers lock");
+        if subscribers.is_empty() {
+            // Traced but nobody watching yet: skip the serialization.
+            return;
+        }
+        let line = event.to_json();
+        for subscriber in subscribers.iter() {
+            let mut lines = subscriber.lines.lock().expect("lines lock");
+            if lines.len() >= SUBSCRIBER_BUFFER_LINES {
+                subscriber.dropped.fetch_add(1, Ordering::Relaxed);
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            } else {
+                lines.push_back(line.clone());
+                subscriber.available.notify_one();
+            }
+        }
+    }
+
+    fn search_finished(&self, _stats: &SolverStats) {}
+}
+
+/// One `/jobs/{id}/events` consumer: a bounded line buffer drained by the
+/// connection thread serving the chunked response.
+#[derive(Default)]
+pub(crate) struct Subscriber {
+    lines: Mutex<VecDeque<String>>,
+    available: Condvar,
+    dropped: AtomicU64,
+}
+
+impl Subscriber {
+    /// Takes every buffered line, waiting up to `wait` for the first one
+    /// to arrive when the buffer is empty.
+    pub(crate) fn drain(&self, wait: Duration) -> Vec<String> {
+        let mut lines = self.lines.lock().expect("lines lock");
+        if lines.is_empty() && !wait.is_zero() {
+            let (guard, _timeout) = self
+                .available
+                .wait_timeout(lines, wait)
+                .expect("lines lock");
+            lines = guard;
+        }
+        lines.drain(..).collect()
+    }
+
+    /// Events this subscriber lost to its buffer bound.
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recopack_core::EventKind;
+
+    fn event(depth: u32) -> SearchEvent {
+        SearchEvent {
+            subtree: 0,
+            depth,
+            t_ns: 0,
+            kind: EventKind::Backtrack,
+        }
+    }
+
+    #[test]
+    fn progress_snapshot_reports_phases_and_totals() {
+        let progress = JobProgress::new(Arc::new(ProgressCounters::new()));
+        let queued = progress.to_json(7, "queued", "req-9", None);
+        let doc = recopack_json::Json::parse(&queued).expect("snapshot parses");
+        assert_eq!(doc.get("id").and_then(|v| v.as_u64()), Some(7));
+        assert_eq!(doc.get("status").and_then(|v| v.as_str()), Some("queued"));
+        assert_eq!(
+            doc.get("request_id").and_then(|v| v.as_str()),
+            Some("req-9")
+        );
+        assert_eq!(doc.get("nodes").and_then(|v| v.as_u64()), Some(0));
+        assert_eq!(doc.get("events_per_sec"), Some(&recopack_json::Json::Null));
+        assert_eq!(doc.get("trace"), Some(&recopack_json::Json::Null));
+
+        progress.mark_started();
+        progress.counters().record(&SearchEvent {
+            subtree: 0,
+            depth: 1,
+            t_ns: 0,
+            kind: EventKind::Branch {
+                dim: 0,
+                pair: 0,
+                component: true,
+            },
+        });
+        std::thread::sleep(Duration::from_millis(2));
+        progress.mark_finished();
+        let (queue_wait, solve) = progress.split();
+        assert!(queue_wait >= 0.0);
+        assert!(solve > 0.0, "solve phase must have accrued");
+        let done = progress.to_json(7, "done", "req-9", None);
+        let doc = recopack_json::Json::parse(&done).expect("snapshot parses");
+        assert_eq!(doc.get("nodes").and_then(|v| v.as_u64()), Some(1));
+        assert!(doc
+            .get("events_per_sec")
+            .and_then(|v| v.as_f64())
+            .is_some_and(|rate| rate > 0.0));
+        let profile = doc
+            .get("depth_profile")
+            .and_then(|v| v.as_array())
+            .expect("profile array");
+        assert_eq!(profile.len(), 2, "branches at depth 1: [0, 1]");
+    }
+
+    #[test]
+    fn event_stream_buffers_per_subscriber_and_counts_drops() {
+        let stream = EventStream::new();
+        // No subscribers: recording is a no-op.
+        stream.record(&event(1));
+        let subscriber = stream.subscribe();
+        assert_eq!(stream.subscriber_count(), 1);
+        stream.record(&event(2));
+        stream.record(&event(3));
+        let lines = subscriber.drain(Duration::ZERO);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"depth\":2"), "{}", lines[0]);
+
+        // Overflow the bounded buffer: the excess is counted, not kept.
+        for depth in 0..(SUBSCRIBER_BUFFER_LINES + 5) {
+            stream.record(&event(depth as u32));
+        }
+        assert_eq!(subscriber.dropped(), 5);
+        assert_eq!(stream.dropped(), 5);
+        assert_eq!(
+            subscriber.drain(Duration::ZERO).len(),
+            SUBSCRIBER_BUFFER_LINES
+        );
+
+        // A closed stream stops recording entirely.
+        stream.close();
+        stream.record(&event(9));
+        assert!(subscriber.drain(Duration::ZERO).is_empty());
+        stream.unsubscribe(&subscriber);
+        assert_eq!(stream.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn drain_wakes_on_arrival_instead_of_sleeping_out_the_wait() {
+        let stream = Arc::new(EventStream::new());
+        let subscriber = stream.subscribe();
+        let writer = {
+            let stream = stream.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                stream.record(&event(4));
+            })
+        };
+        let started = Instant::now();
+        let lines = subscriber.drain(Duration::from_secs(10));
+        writer.join().expect("writer thread");
+        assert_eq!(lines.len(), 1);
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "drain must wake on notify, not sleep the full wait"
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Flight recorder: a bounded ring of recent job summaries behind
+//! `GET /debug/jobs`, plus a slow-job log retaining the full summary of
+//! any job whose solve wall time exceeded the configured threshold.
+//!
+//! The recorder answers "what just happened?" without log scraping: it
+//! survives job-table eviction (the `FINISHED_RETENTION` bound) and keeps
+//! slow outliers pinned even after thousands of fast jobs push them out
+//! of the main ring.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Recent-job ring capacity; the oldest summary is evicted first.
+const RING_CAPACITY: usize = 256;
+
+/// Slow-job log capacity, kept separately so a burst of fast jobs cannot
+/// evict the interesting outliers.
+const SLOW_CAPACITY: usize = 64;
+
+/// One finished job, condensed for the recorder.
+#[derive(Clone)]
+pub(crate) struct JobSummary {
+    pub id: u64,
+    pub kind: &'static str,
+    pub name: String,
+    pub status: &'static str,
+    pub outcome: String,
+    /// How the result was produced: `"run"` (own solver run), `"cache"`
+    /// (canonical cache hit), or `"shared"` (dedup-joined another run).
+    pub via: &'static str,
+    pub request_id: String,
+    pub queue_wait_ms: f64,
+    pub solve_ms: f64,
+    pub nodes: u64,
+}
+
+impl JobSummary {
+    fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"kind\":\"{}\",\"name\":",
+            self.id, self.kind
+        );
+        recopack_core::telemetry::push_json_str(&mut out, &self.name);
+        let _ = write!(out, ",\"status\":\"{}\",\"outcome\":", self.status);
+        recopack_core::telemetry::push_json_str(&mut out, &self.outcome);
+        let _ = write!(out, ",\"via\":\"{}\",\"request_id\":", self.via);
+        recopack_core::telemetry::push_json_str(&mut out, &self.request_id);
+        let _ = write!(
+            out,
+            ",\"queue_wait_ms\":{:.3},\"solve_ms\":{:.3},\"nodes\":{}}}",
+            self.queue_wait_ms, self.solve_ms, self.nodes
+        );
+        out
+    }
+}
+
+#[derive(Default)]
+struct Log {
+    ring: VecDeque<JobSummary>,
+    slow: VecDeque<JobSummary>,
+    /// Jobs ever recorded (the ring shows only the last `RING_CAPACITY`).
+    recorded: u64,
+    /// Jobs that ever exceeded the slow threshold.
+    slow_seen: u64,
+}
+
+/// Bounded in-memory record of recent and slow jobs.
+pub(crate) struct FlightRecorder {
+    slow_threshold: Duration,
+    inner: Mutex<Log>,
+}
+
+impl FlightRecorder {
+    pub(crate) fn new(slow_threshold: Duration) -> Self {
+        Self {
+            slow_threshold,
+            inner: Mutex::new(Log::default()),
+        }
+    }
+
+    /// Records a terminal job; returns `true` when its solve wall time
+    /// crossed the slow threshold so the caller can emit a `job_slow`
+    /// log line.
+    pub(crate) fn record(&self, summary: JobSummary) -> bool {
+        let slow = !self.slow_threshold.is_zero()
+            && summary.solve_ms >= self.slow_threshold.as_secs_f64() * 1000.0;
+        let mut log = self.inner.lock().expect("recorder lock");
+        log.recorded += 1;
+        if log.ring.len() >= RING_CAPACITY {
+            log.ring.pop_front();
+        }
+        log.ring.push_back(summary.clone());
+        if slow {
+            log.slow_seen += 1;
+            if log.slow.len() >= SLOW_CAPACITY {
+                log.slow.pop_front();
+            }
+            log.slow.push_back(summary);
+        }
+        slow
+    }
+
+    /// The `GET /debug/jobs` document: both logs, newest first.
+    pub(crate) fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let log = self.inner.lock().expect("recorder lock");
+        let mut out = format!(
+            "{{\"capacity\":{RING_CAPACITY},\"recorded\":{},\"jobs\":[",
+            log.recorded
+        );
+        for (i, summary) in log.ring.iter().rev().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&summary.to_json());
+        }
+        let _ = write!(
+            out,
+            "],\"slow\":{{\"threshold_ms\":{:.3},\"capacity\":{SLOW_CAPACITY},\"recorded\":{},\"jobs\":[",
+            self.slow_threshold.as_secs_f64() * 1000.0,
+            log.slow_seen
+        );
+        for (i, summary) in log.slow.iter().rev().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&summary.to_json());
+        }
+        out.push_str("]}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(id: u64, solve_ms: f64) -> JobSummary {
+        JobSummary {
+            id,
+            kind: "opp",
+            name: format!("job-{id}"),
+            status: "done",
+            outcome: "sat".to_string(),
+            via: "run",
+            request_id: format!("req-{id}"),
+            queue_wait_ms: 0.5,
+            solve_ms,
+            nodes: 42,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_and_slow_log_keeps_outliers() {
+        let recorder = FlightRecorder::new(Duration::from_millis(100));
+        assert!(!recorder.record(summary(0, 5.0)), "fast job is not slow");
+        assert!(recorder.record(summary(1, 250.0)), "slow job flagged");
+        for id in 2..(RING_CAPACITY as u64 + 10) {
+            recorder.record(summary(id, 1.0));
+        }
+        let doc = recopack_json::Json::parse(&recorder.to_json()).expect("recorder json parses");
+        assert_eq!(
+            doc.get("recorded").and_then(|v| v.as_u64()),
+            Some(RING_CAPACITY as u64 + 10)
+        );
+        let jobs = doc.get("jobs").and_then(|v| v.as_array()).expect("jobs");
+        assert_eq!(jobs.len(), RING_CAPACITY);
+        // Newest first: the last-recorded id leads, and the slow job 1 has
+        // been evicted from the ring...
+        assert_eq!(
+            jobs[0].get("id").and_then(|v| v.as_u64()),
+            Some(RING_CAPACITY as u64 + 9)
+        );
+        assert!(jobs
+            .iter()
+            .all(|j| j.get("id").and_then(|v| v.as_u64()) != Some(1)));
+        // ...but survives in the slow log with its full summary.
+        let slow = doc.get("slow").expect("slow section");
+        assert_eq!(slow.get("recorded").and_then(|v| v.as_u64()), Some(1));
+        let slow_jobs = slow
+            .get("jobs")
+            .and_then(|v| v.as_array())
+            .expect("slow jobs");
+        assert_eq!(slow_jobs.len(), 1);
+        assert_eq!(slow_jobs[0].get("id").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(
+            slow_jobs[0].get("request_id").and_then(|v| v.as_str()),
+            Some("req-1")
+        );
+        assert_eq!(
+            slow.get("threshold_ms").and_then(|v| v.as_f64()),
+            Some(100.0)
+        );
+    }
+
+    #[test]
+    fn zero_threshold_disables_the_slow_log() {
+        let recorder = FlightRecorder::new(Duration::ZERO);
+        assert!(!recorder.record(summary(1, 10_000.0)));
+        let doc = recopack_json::Json::parse(&recorder.to_json()).expect("recorder json parses");
+        let slow = doc.get("slow").expect("slow section");
+        assert_eq!(slow.get("recorded").and_then(|v| v.as_u64()), Some(0));
+    }
+}

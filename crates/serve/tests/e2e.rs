@@ -167,6 +167,69 @@ impl TestConn {
         (status, head, body)
     }
 
+    /// Reads one `Transfer-Encoding: chunked` response through its
+    /// terminating zero-size chunk, returning `(status, headers, decoded
+    /// body)`. Bytes past the terminator (the next pipelined response)
+    /// are carried over like in [`TestConn::read_framed`].
+    fn read_chunked(&mut self) -> (u16, String, String) {
+        let mut buf = std::mem::take(&mut self.carry);
+        let mut chunk = [0u8; 4096];
+        let header_end = loop {
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let n = self.stream.read(&mut chunk).expect("read headers");
+            assert!(n > 0, "server closed mid-response: {buf:?}");
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&buf[..header_end]).to_string();
+        let status: u16 = head
+            .split(' ')
+            .nth(1)
+            .and_then(|code| code.parse().ok())
+            .unwrap_or_else(|| panic!("malformed status line in {head:?}"));
+        assert!(
+            head.to_ascii_lowercase()
+                .contains("transfer-encoding: chunked"),
+            "streamed response must be chunked: {head}"
+        );
+        let mut rest = buf.split_off(header_end + 4);
+        let mut body = Vec::new();
+        loop {
+            let size_end = loop {
+                if let Some(pos) = rest.windows(2).position(|w| w == b"\r\n") {
+                    break pos;
+                }
+                let n = self.stream.read(&mut chunk).expect("read chunk size");
+                assert!(n > 0, "server closed mid-chunk");
+                rest.extend_from_slice(&chunk[..n]);
+            };
+            let size = usize::from_str_radix(
+                std::str::from_utf8(&rest[..size_end]).expect("chunk size is UTF-8"),
+                16,
+            )
+            .expect("hex chunk size");
+            let data_start = size_end + 2;
+            while rest.len() < data_start + size + 2 {
+                let n = self.stream.read(&mut chunk).expect("read chunk data");
+                assert!(n > 0, "server closed mid-chunk");
+                rest.extend_from_slice(&chunk[..n]);
+            }
+            body.extend_from_slice(&rest[data_start..data_start + size]);
+            assert_eq!(
+                &rest[data_start + size..data_start + size + 2],
+                b"\r\n",
+                "chunk data must end in CRLF"
+            );
+            rest = rest.split_off(data_start + size + 2);
+            if size == 0 {
+                break;
+            }
+        }
+        self.carry = rest;
+        (status, head, String::from_utf8_lossy(&body).to_string())
+    }
+
     /// Asserts the server sends nothing further and closes the stream.
     fn assert_eof(&mut self) {
         assert!(self.carry.is_empty(), "unread bytes: {:?}", self.carry);
@@ -256,7 +319,15 @@ fn served_opp_job_matches_direct_solve_and_shows_in_metrics() {
         Some(1.0)
     );
     assert_eq!(
-        metric_value(&exposition, "recopack_job_duration_seconds_count"),
+        metric_value(&exposition, "recopack_job_solve_seconds_count"),
+        Some(1.0)
+    );
+    assert_eq!(
+        metric_value(&exposition, "recopack_job_queue_wait_seconds_count"),
+        Some(1.0)
+    );
+    assert_eq!(
+        metric_value(&exposition, "recopack_cache_canonicalization_seconds_count"),
         Some(1.0)
     );
     assert_eq!(
@@ -987,6 +1058,311 @@ fn batch_submissions_round_trip_with_per_item_outcomes() {
     let (status, _) = request(addr, "POST", "/jobs:batch", "{\"jobs\":3}");
     assert_eq!(status, 400);
 
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn traced_job_streams_progress_and_events_and_untraced_runs_stay_pristine() {
+    let server = bind_test_server(1, 4);
+    let addr = server.local_addr();
+
+    // A long-running traced job: an exhaustive infeasibility refutation
+    // that only a cancel will stop within the test's lifetime.
+    let mut body = String::from(
+        "{\"kind\":\"opp\",\"name\":\"traced\",\"trace\":true,\"use_bounds\":false,\
+         \"use_heuristics\":false,\"time_limit_ms\":60000,\"instance\":",
+    );
+    recopack_core::telemetry::push_json_str(&mut body, &hard_instance());
+    body.push('}');
+    let (status, reply) = request(addr, "POST", "/jobs", &body);
+    assert_eq!(status, 202, "{reply}");
+    let id = job_id(&reply);
+
+    // Subscribe to the event stream on a keep-alive connection while the
+    // job runs; the response stays open until the job is terminal.
+    let mut events_conn = TestConn::connect(addr);
+    events_conn.send("GET", &format!("/jobs/{id}/events"), "");
+
+    // Progress while running: poll until the snapshot shows real search
+    // work and the stream subscriber.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let snapshot = loop {
+        let (status, doc) = get_json(addr, &format!("/jobs/{id}/progress"));
+        assert_eq!(status, 200);
+        let word = doc
+            .get("status")
+            .and_then(Json::as_str)
+            .expect("status field")
+            .to_string();
+        assert!(
+            word == "queued" || word == "running",
+            "the hard job must still be live, got {word:?}"
+        );
+        let nodes = doc.get("nodes").and_then(Json::as_u64).unwrap_or(0);
+        let subscribers = doc
+            .get("trace")
+            .and_then(|t| t.get("subscribers"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        if word == "running" && nodes > 0 && subscribers == 1 {
+            break doc;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no running snapshot with nodes > 0 and one subscriber: {nodes} nodes"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    assert!(
+        snapshot
+            .get("solve_ms")
+            .and_then(Json::as_f64)
+            .is_some_and(|ms| ms > 0.0),
+        "running job accrues solve time"
+    );
+    assert!(
+        snapshot
+            .get("depth_profile")
+            .and_then(Json::as_array)
+            .is_some_and(|p| !p.is_empty()),
+        "branching search populates the depth profile"
+    );
+    assert!(
+        snapshot
+            .get("events_per_sec")
+            .and_then(Json::as_f64)
+            .is_some_and(|rate| rate > 0.0),
+        "live event rate is reported"
+    );
+
+    // Let the subscriber observe a real window of the search before
+    // stopping it: the poll above can succeed within a millisecond of the
+    // subscription, and a window that small may carry only a single event.
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Stop the job; the worker publishes `cancelled` at its next budget
+    // checkpoint and the event stream closes behind it.
+    let (status, _) = request(addr, "DELETE", &format!("/jobs/{id}"), "");
+    assert_eq!(status, 202);
+    poll_job(addr, id, |s| s == "cancelled");
+
+    // The stream delivers NDJSON search events and a final end record,
+    // all on the same keep-alive connection.
+    let (status, _, ndjson) = events_conn.read_chunked();
+    assert_eq!(status, 200);
+    let lines: Vec<&str> = ndjson.lines().collect();
+    assert!(
+        lines.len() >= 2,
+        "at least one event plus the end record: {} lines",
+        lines.len()
+    );
+    for line in &lines {
+        Json::parse(line).unwrap_or_else(|e| panic!("bad NDJSON line {line:?}: {e}"));
+    }
+    assert!(
+        lines[..lines.len() - 1]
+            .iter()
+            .any(|l| l.contains("\"event\":\"branch\"")),
+        "stream carries real search events; got {} lines, first: {:?}",
+        lines.len(),
+        &lines[..lines.len().min(5)]
+    );
+    let end = Json::parse(lines.last().expect("end record")).expect("end record is JSON");
+    assert_eq!(end.get("event").and_then(Json::as_str), Some("end"));
+    assert_eq!(end.get("job").and_then(Json::as_u64), Some(id));
+    assert_eq!(end.get("status").and_then(Json::as_str), Some("cancelled"));
+    assert!(
+        end.get("dropped").and_then(Json::as_u64).is_some(),
+        "end record reports the subscriber's dropped count"
+    );
+
+    // The chunked framing was exact: the connection serves another
+    // request afterwards.
+    events_conn.send("GET", "/healthz", "");
+    let (status, _, _) = events_conn.read_framed();
+    assert_eq!(status, 200, "keep-alive connection survives the stream");
+
+    // An untraced job is byte-identical to a direct solve: no subscriber
+    // or journal overhead leaks into its statistics.
+    let mut body =
+        String::from("{\"kind\":\"opp\",\"name\":\"pair\",\"use_heuristics\":false,\"instance\":");
+    recopack_core::telemetry::push_json_str(&mut body, PAIR);
+    body.push('}');
+    let (status, reply) = request(addr, "POST", "/jobs", &body);
+    assert_eq!(status, 202, "{reply}");
+    let untraced = job_id(&reply);
+    let job = poll_job(addr, untraced, |s| s != "queued" && s != "running");
+    let instance = format::parse_instance(PAIR)
+        .expect("pair instance parses")
+        .with_transitive_closure();
+    let (_, direct_stats) = Opp::new(&instance)
+        .with_config(SolverConfig {
+            threads: 1,
+            use_heuristics: false,
+            ..SolverConfig::default()
+        })
+        .solve_with_stats();
+    let direct = Json::parse(&stats_to_json(&direct_stats)).expect("stats JSON parses");
+    assert_eq!(
+        job.get("report").and_then(|r| r.get("stats")),
+        Some(&direct),
+        "untraced served stats must match a direct solve byte-for-byte"
+    );
+
+    // Untraced jobs have no stream to serve (409), and their progress
+    // snapshot reports no trace; unknown jobs 404 on both endpoints.
+    let (status, doc) = get_json(addr, &format!("/jobs/{untraced}/progress"));
+    assert_eq!(status, 200);
+    assert_eq!(doc.get("trace"), Some(&Json::Null));
+    let (status, _) = request(addr, "GET", &format!("/jobs/{untraced}/events"), "");
+    assert_eq!(status, 409);
+    let (status, _) = request(addr, "GET", "/jobs/999999/progress", "");
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "GET", "/jobs/999999/events", "");
+    assert_eq!(status, 404);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn request_ids_correlate_submissions_and_land_in_the_flight_recorder() {
+    let server = bind_test_server(1, 4);
+    let addr = server.local_addr();
+
+    // A client-supplied X-Request-Id is echoed on the response and
+    // attached to the job it admitted.
+    let mut body = String::from(
+        "{\"kind\":\"opp\",\"name\":\"tagged\",\"use_heuristics\":false,\"instance\":",
+    );
+    recopack_core::telemetry::push_json_str(&mut body, PAIR);
+    body.push('}');
+    let mut conn = TestConn::connect(addr);
+    conn.send_raw(
+        format!(
+            "POST /jobs HTTP/1.1\r\nHost: e2e\r\nX-Request-Id: corr-e2e-1\r\n\
+             Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    );
+    let (status, head, reply) = conn.read_framed();
+    assert_eq!(status, 202, "{reply}");
+    assert!(
+        head.contains("X-Request-Id: corr-e2e-1"),
+        "response echoes the supplied id: {head}"
+    );
+    let id = job_id(&reply);
+    let job = poll_job(addr, id, |s| s != "queued" && s != "running");
+    assert_eq!(
+        job.get("request_id").and_then(Json::as_str),
+        Some("corr-e2e-1"),
+        "job record carries the submission's request id"
+    );
+
+    // A malformed id (spaces) is replaced with a generated one.
+    conn.send_raw(
+        format!(
+            "POST /jobs HTTP/1.1\r\nHost: e2e\r\nX-Request-Id: not a valid id\r\n\
+             Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    );
+    let (status, head, reply) = conn.read_framed();
+    assert_eq!(status, 202, "{reply}");
+    assert!(
+        head.contains("X-Request-Id: req-"),
+        "unusable ids are replaced, not echoed: {head}"
+    );
+
+    // The flight recorder saw both jobs, newest first, with the
+    // correlation id, verdict, and how each result was produced (the
+    // second submission hit the cache).
+    let (status, recorder) = get_json(addr, "/debug/jobs");
+    assert_eq!(status, 200);
+    let jobs = recorder
+        .get("jobs")
+        .and_then(Json::as_array)
+        .expect("recorder jobs array");
+    assert_eq!(jobs.len(), 2, "two recorded jobs");
+    assert_eq!(jobs[1].get("id").and_then(Json::as_u64), Some(id));
+    assert_eq!(
+        jobs[1].get("request_id").and_then(Json::as_str),
+        Some("corr-e2e-1")
+    );
+    assert_eq!(jobs[1].get("via").and_then(Json::as_str), Some("run"));
+    assert_eq!(jobs[1].get("status").and_then(Json::as_str), Some("done"));
+    assert!(
+        jobs[1]
+            .get("solve_ms")
+            .and_then(Json::as_f64)
+            .is_some_and(|ms| ms >= 0.0),
+        "recorded summaries carry the phase split"
+    );
+    assert_eq!(jobs[0].get("via").and_then(Json::as_str), Some("cache"));
+    assert!(recorder.get("slow").is_some(), "slow-job section present");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn late_submission_after_cancelling_a_shared_run_starts_fresh() {
+    let server = bind_test_server(1, 4);
+    let addr = server.local_addr();
+
+    let mut body = String::from(
+        "{\"kind\":\"opp\",\"use_bounds\":false,\"use_heuristics\":false,\
+         \"time_limit_ms\":60000,\"instance\":",
+    );
+    recopack_core::telemetry::push_json_str(&mut body, &hard_instance_with(11));
+    body.push('}');
+    let (status, reply) = request(addr, "POST", "/jobs", &body);
+    assert_eq!(status, 202, "{reply}");
+    let victim = job_id(&reply);
+    poll_job(addr, victim, |s| s == "running");
+
+    // A second identical submission joins the running group...
+    let (status, reply) = request(addr, "POST", "/jobs", &body);
+    assert_eq!(status, 202, "{reply}");
+    let joiner = job_id(&reply);
+    let (_, exposition) = request(addr, "GET", "/metrics", "");
+    assert_eq!(
+        metric_value(&exposition, "recopack_jobs_deduplicated_total"),
+        Some(1.0)
+    );
+
+    // ...then unsubscribes, and the last member cancels the run. The
+    // group's token is fired while the solver is still unwinding.
+    let (status, _) = request(addr, "DELETE", &format!("/jobs/{joiner}"), "");
+    assert_eq!(status, 200, "unsubscribe completes immediately");
+    let (status, _) = request(addr, "DELETE", &format!("/jobs/{victim}"), "");
+    assert_eq!(status, 202, "running cancel is asynchronous");
+
+    // An identical submission racing the unwinding worker must start a
+    // fresh run — never observe `cancelled` for a run it never cancelled.
+    let (status, reply) = request(addr, "POST", "/jobs", &body);
+    assert_eq!(status, 202, "{reply}");
+    let fresh = job_id(&reply);
+    let doc = poll_job(addr, fresh, |s| s != "queued");
+    assert_ne!(
+        doc.get("status").and_then(Json::as_str),
+        Some("cancelled"),
+        "late submission must not inherit the cancelled verdict: {doc:?}"
+    );
+    let (_, exposition) = request(addr, "GET", "/metrics", "");
+    assert_eq!(
+        metric_value(&exposition, "recopack_jobs_deduplicated_total"),
+        Some(1.0),
+        "the late submission started fresh instead of joining"
+    );
+
+    let (status, _) = request(addr, "DELETE", &format!("/jobs/{fresh}"), "");
+    assert!(status == 200 || status == 202, "cleanup cancel: {status}");
+    poll_job(addr, fresh, |s| s == "cancelled");
+    poll_job(addr, victim, |s| s == "cancelled");
     server.shutdown();
     server.join();
 }
