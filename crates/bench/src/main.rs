@@ -12,10 +12,10 @@
 //! * `--smoke` — run the CI smoke subset instead of the full suite;
 //! * `--only NAME` — run a single case by name;
 //! * `--profile` — collect per-phase wall times into each case's stats;
-//! * `--out PATH` — report path (default `BENCH_PR7.json`; committing the
+//! * `--out PATH` — report path (default `BENCH_PR9.json`; committing the
 //!   default-path report of a full run at the repo root is how the perf
 //!   trajectory is recorded, one snapshot per PR);
-//! * `--label NAME` — report label (default `PR7`);
+//! * `--label NAME` — report label (default `PR9`);
 //! * `--check BASELINE` — compare node counts against a previous report,
 //!   check two-thread wall-clock parity (t2 walls may sum to at most 1.5×
 //!   the t1 walls across the paired families), and exit nonzero on a
@@ -54,8 +54,8 @@ fn parse_args() -> Result<Args, String> {
         smoke: false,
         only: None,
         profile: false,
-        out: "BENCH_PR7.json".to_string(),
-        label: "PR7".to_string(),
+        out: "BENCH_PR9.json".to_string(),
+        label: "PR9".to_string(),
         check: None,
         tolerance: 0,
     };

@@ -624,14 +624,13 @@ struct Worker<'c> {
     /// [`Worker::next_unassigned`] resumes here instead of rescanning;
     /// callers save/restore it around rollbacks.
     cursor: usize,
-    /// Scratch candidate sets for the propagation scans (contents are
-    /// meaningless between calls).
+    /// Scratch candidate set for the propagation scans (contents are
+    /// meaningless between calls). The fused kernels build each candidate
+    /// expression in a single pass, so one set suffices.
     scan_a: BitSet,
-    scan_b: BitSet,
-    /// Scratch sets for the per-`w` inner candidate filter of
+    /// Scratch set for the per-`w` inner candidate filter of
     /// [`Worker::c4_scan`].
     c4_acc: BitSet,
-    c4_tmp: BitSet,
     /// Reusable seed set for the C2 clique rule.
     clique_seed: BitSet,
     /// Reusable branch-and-bound scratch for the C2 clique rule.
@@ -663,9 +662,7 @@ impl<'c> Worker<'c> {
             queue: Vec::new(),
             cursor: 0,
             scan_a: BitSet::new(n),
-            scan_b: BitSet::new(n),
             c4_acc: BitSet::new(n),
-            c4_tmp: BitSet::new(n),
             clique_seed: BitSet::new(n),
             clique_ws: cliques::CliqueWorkspace::new(),
         }
@@ -937,8 +934,7 @@ impl<'c> Worker<'c> {
             // pairs at the current w, so the snapshot cannot miss anyone
             // (and u, v are never comparability-neighbors of themselves).
             let cg = self.state.comparability_graph(d);
-            self.scan_a.copy_from(cg.neighbors(u));
-            self.scan_a.intersect_with(cg.neighbors(v));
+            self.scan_a.intersect_into(cg.neighbors(u), cg.neighbors(v));
             let mut from = 0;
             while let Some(w) = self.scan_a.next_at_or_after(from) {
                 from = w + 1;
@@ -1006,11 +1002,12 @@ impl<'c> Worker<'c> {
             // appear mid-scan and the snapshot is exact.
             let comp = self.state.component_graph(d);
             let compar = self.state.comparability_graph(d);
-            self.scan_a.copy_from(comp.neighbors(v));
-            self.scan_a.intersect_with(compar.neighbors(u));
-            self.scan_b.copy_from(comp.neighbors(u));
-            self.scan_b.intersect_with(compar.neighbors(v));
-            self.scan_a.union_with(&self.scan_b);
+            self.scan_a.intersect2_union_into(
+                comp.neighbors(v),
+                compar.neighbors(u),
+                comp.neighbors(u),
+                compar.neighbors(v),
+            );
             let mut from = 0;
             while let Some(w) = self.scan_a.next_at_or_after(from) {
                 from = w + 1;
@@ -1056,11 +1053,12 @@ impl<'c> Worker<'c> {
         // any of these rows, so the snapshot is exact.
         let comp = self.state.component_graph(d);
         let compar = self.state.comparability_graph(d);
-        self.scan_a.copy_from(compar.neighbors(a));
-        self.scan_a.intersect_with(comp.neighbors(b));
-        self.scan_b.copy_from(comp.neighbors(a));
-        self.scan_b.intersect_with(compar.neighbors(b));
-        self.scan_a.union_with(&self.scan_b);
+        self.scan_a.intersect2_union_into(
+            compar.neighbors(a),
+            comp.neighbors(b),
+            comp.neighbors(a),
+            compar.neighbors(b),
+        );
         self.scan_a.union_with(self.state.out_neighbors(d, b));
         self.scan_a.union_with(self.state.in_neighbors(d, a));
         let mut from = 0;
@@ -1172,14 +1170,10 @@ impl<'c> Worker<'c> {
                 // (v,x) component, (x,u) component, (w,x) comparability.
                 (comp.neighbors(v), comp.neighbors(u), compar.neighbors(w))
             };
-            self.c4_acc.copy_from(ra);
-            self.c4_acc.intersect_with(rb);
-            self.c4_tmp.copy_from(ra);
-            self.c4_tmp.intersect_with(rc);
-            self.c4_acc.union_with(&self.c4_tmp);
-            self.c4_tmp.copy_from(rb);
-            self.c4_tmp.intersect_with(rc);
-            self.c4_acc.union_with(&self.c4_tmp);
+            // A live pattern has one open slot, so x must lie in at least
+            // two of the three rows: one fused majority pass replaces the
+            // three intersections and two unions.
+            self.c4_acc.majority_into(ra, rb, rc);
             let mut from = if as_cycle_edge { 0 } else { w + 1 };
             while let Some(x) = self.c4_acc.next_at_or_after(from) {
                 from = x + 1;

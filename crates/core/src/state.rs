@@ -326,10 +326,18 @@ impl PackingState {
                 found = true;
                 break;
             }
-            for x in self.out[dim][w].iter() {
-                if self.scratch_visited.insert(x) {
-                    stack.push(x);
-                }
+            // Fused sweep of out[w] \ visited: the kernel skips
+            // already-visited vertices inside the word ops instead of
+            // yielding them for a per-element membership test — rows
+            // overlap heavily once the BFS frontier grows. Newly visited
+            // vertices land below the advancing cursor, so the difference
+            // never yields one twice.
+            let row = &self.out[dim][w];
+            let mut next = 0;
+            while let Some(x) = row.and_not_next(&self.scratch_visited, next) {
+                next = x + 1;
+                self.scratch_visited.insert(x);
+                stack.push(x);
             }
         }
         self.scratch_stack = stack;

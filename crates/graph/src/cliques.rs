@@ -70,6 +70,8 @@ pub struct CliqueWorkspace {
     current: BitSet,
     /// Vertices of the best clique found so far.
     best_vertices: BitSet,
+    /// `expand` calls made by the most recent query (search-tree size).
+    nodes: u64,
 }
 
 impl Default for CliqueWorkspace {
@@ -88,7 +90,15 @@ impl CliqueWorkspace {
             full: BitSet::new(0),
             current: BitSet::new(0),
             best_vertices: BitSet::new(0),
+            nodes: 0,
         }
+    }
+
+    /// Number of `expand` calls (search-tree nodes) in the most recent
+    /// query. Pinned by regression tests: bound bookkeeping rewrites must
+    /// not change what the search explores.
+    pub fn nodes_expanded(&self) -> u64 {
+        self.nodes
     }
 
     /// Ensures every buffer fits a graph of `n` vertices.
@@ -148,56 +158,76 @@ pub fn max_weight_clique_weight_containing(
     }
     ws.cands[0].difference_with(seed);
 
-    let seed_weight: u64 = seed.iter().map(|v| weights[v]).sum();
+    let seed_weight = seed.weight_sum(weights);
+    let root_remaining = ws.cands[0].weight_sum(weights);
     ws.current.copy_from(seed);
     ws.best_vertices.copy_from(seed);
+    ws.nodes = 0;
     let mut best_weight = seed_weight;
-    expand(g, weights, ws, 0, seed_weight, &mut best_weight);
+    let cx = SearchCx { g, weights };
+    expand(&cx, ws, 0, seed_weight, root_remaining, &mut best_weight);
     Some(best_weight)
 }
 
+/// Query-constant inputs of the clique search, bundled so `expand` passes
+/// one pointer down the recursion.
+struct SearchCx<'a> {
+    g: &'a DenseGraph,
+    weights: &'a [u64],
+}
+
 fn expand(
-    g: &DenseGraph,
-    weights: &[u64],
+    cx: &SearchCx<'_>,
     ws: &mut CliqueWorkspace,
     depth: usize,
     current_weight: u64,
+    mut remaining: u64,
     best_weight: &mut u64,
 ) {
+    ws.nodes += 1;
     if current_weight > *best_weight {
         *best_weight = current_weight;
         ws.best_vertices.copy_from(&ws.current);
     }
-    // Upper bound: everything remaining joins the clique.
-    let remaining: u64 = ws.cands[depth].iter().map(|v| weights[v]).sum();
+    // Upper bound: everything remaining joins the clique. `remaining` is
+    // the weight sum of `cands[depth]`, maintained incrementally — it only
+    // changes when this frame removes a branched candidate below (children
+    // touch `cands[depth + 1..]` only), so re-summing the set per candidate
+    // (the old O(n²)-per-node behavior) is never needed.
     if current_weight + remaining <= *best_weight {
         return;
     }
-    // Branch on candidates in decreasing weight order: good incumbents early.
+    // Branch on candidates in decreasing weight order (ties by vertex id,
+    // so exploration is deterministic): good incumbents early.
     let mut order = std::mem::take(&mut ws.orders[depth]);
     order.clear();
     order.extend(ws.cands[depth].iter());
-    order.sort_unstable_by_key(|&v| std::cmp::Reverse(weights[v]));
+    order.sort_unstable_by_key(|&v| (std::cmp::Reverse(cx.weights[v]), v));
     for &v in &order {
-        if !ws.cands[depth].contains(v) {
-            continue;
-        }
-        let remaining_now: u64 = ws.cands[depth].iter().map(|u| weights[u]).sum();
-        if current_weight + remaining_now <= *best_weight {
+        // The bound is checked while `v` still counts toward `remaining`,
+        // exactly as the old per-iteration re-sum did.
+        if current_weight + remaining <= *best_weight {
             break;
         }
-        ws.cands[depth].remove(v);
-        // Child candidates: survivors of this level that also see `v`.
+        // `remove` doubles as the membership test: earlier iterations of
+        // this loop have already consumed their candidates.
+        if !ws.cands[depth].remove(v) {
+            continue;
+        }
+        remaining -= cx.weights[v];
+        // Child candidates: survivors of this level that also see `v`; the
+        // fused kernel builds the set and its remaining-weight bound in one
+        // pass.
         let (head, tail) = ws.cands.split_at_mut(depth + 1);
-        tail[0].copy_from(&head[depth]);
-        tail[0].intersect_with(g.neighbors(v));
+        let child_remaining =
+            tail[0].intersect_into_weight_sum(&head[depth], cx.g.neighbors(v), cx.weights);
         ws.current.insert(v);
         expand(
-            g,
-            weights,
+            cx,
             ws,
             depth + 1,
-            current_weight + weights[v],
+            current_weight + cx.weights[v],
+            child_remaining,
             best_weight,
         );
         ws.current.remove(v);
@@ -320,6 +350,137 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The pre-incremental `expand`: recomputes the remaining-weight bound
+    /// by re-summing the candidate set on entry and per branched candidate.
+    /// Kept as the reference the incremental bookkeeping must match —
+    /// weight for weight, node for node.
+    #[allow(clippy::too_many_arguments)]
+    fn reference_expand(
+        g: &DenseGraph,
+        weights: &[u64],
+        cands: &mut Vec<BitSet>,
+        current: &mut BitSet,
+        depth: usize,
+        current_weight: u64,
+        best_weight: &mut u64,
+        nodes: &mut u64,
+    ) {
+        *nodes += 1;
+        if current_weight > *best_weight {
+            *best_weight = current_weight;
+        }
+        let remaining: u64 = cands[depth].iter().map(|v| weights[v]).sum();
+        if current_weight + remaining <= *best_weight {
+            return;
+        }
+        let mut order: Vec<usize> = cands[depth].iter().collect();
+        order.sort_unstable_by_key(|&v| (std::cmp::Reverse(weights[v]), v));
+        for &v in &order {
+            let remaining_now: u64 = cands[depth].iter().map(|u| weights[u]).sum();
+            if current_weight + remaining_now <= *best_weight {
+                break;
+            }
+            if !cands[depth].contains(v) {
+                continue;
+            }
+            cands[depth].remove(v);
+            let (head, tail) = cands.split_at_mut(depth + 1);
+            tail[0].copy_from(&head[depth]);
+            tail[0].intersect_with(g.neighbors(v));
+            current.insert(v);
+            reference_expand(
+                g,
+                weights,
+                cands,
+                current,
+                depth + 1,
+                current_weight + weights[v],
+                best_weight,
+                nodes,
+            );
+            current.remove(v);
+        }
+    }
+
+    fn reference_search(g: &DenseGraph, weights: &[u64]) -> (u64, u64) {
+        let n = g.vertex_count();
+        let mut cands: Vec<BitSet> = (0..=n).map(|_| BitSet::new(n)).collect();
+        cands[0] = BitSet::full(n);
+        let mut current = BitSet::new(n);
+        let mut best = 0;
+        let mut nodes = 0;
+        reference_expand(
+            g,
+            weights,
+            &mut cands,
+            &mut current,
+            0,
+            0,
+            &mut best,
+            &mut nodes,
+        );
+        (best, nodes)
+    }
+
+    #[test]
+    fn incremental_bound_is_search_neutral() {
+        // The incremental remaining-weight bookkeeping must explore exactly
+        // the tree the old per-candidate re-sum explored: same best weight
+        // AND same node count on every instance.
+        let mut ws = CliqueWorkspace::new();
+        let empty_seeds: Vec<BitSet> = (3..=12).map(BitSet::new).collect();
+        for n in 3usize..=12 {
+            for seed_id in 0..30u64 {
+                let g = random_graph(n, 0.55, seed_id);
+                let weights: Vec<u64> = (0..n as u64).map(|v| 1 + (v * 7 + seed_id) % 13).collect();
+                let (ref_best, ref_nodes) = reference_search(&g, &weights);
+                let got =
+                    max_weight_clique_weight_containing(&mut ws, &g, &weights, &empty_seeds[n - 3])
+                        .unwrap();
+                assert_eq!(got, ref_best, "weight n={n} seed={seed_id}");
+                assert_eq!(
+                    ws.nodes_expanded(),
+                    ref_nodes,
+                    "node count n={n} seed={seed_id}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_search_tree_sizes() {
+        // Exact node counts on fixed instances: any future change to the
+        // bound, the branch order, or the candidate bookkeeping that moves
+        // these numbers is changing what the search explores.
+        let mut ws = CliqueWorkspace::new();
+        let mut pinned = Vec::new();
+        for (n, seed_id) in [(8usize, 1u64), (10, 2), (12, 3), (14, 4)] {
+            let g = random_graph(n, 0.6, seed_id);
+            let weights: Vec<u64> = (0..n as u64).map(|v| 1 + (v * 7 + seed_id) % 13).collect();
+            let best = max_weight_clique_weight_containing(&mut ws, &g, &weights, &BitSet::new(n))
+                .unwrap();
+            pinned.push((best, ws.nodes_expanded()));
+        }
+        assert_eq!(pinned, PINNED);
+    }
+
+    /// `(best_weight, nodes_expanded)` per pinned instance, cross-checked
+    /// against `reference_search` in `pinned_stats_match_reference`.
+    const PINNED: [(u64, u64); 4] = [(32, 7), (28, 9), (40, 10), (42, 24)];
+
+    #[test]
+    fn pinned_stats_match_reference() {
+        let computed: Vec<(u64, u64)> = [(8usize, 1u64), (10, 2), (12, 3), (14, 4)]
+            .into_iter()
+            .map(|(n, seed_id)| {
+                let g = random_graph(n, 0.6, seed_id);
+                let weights: Vec<u64> = (0..n as u64).map(|v| 1 + (v * 7 + seed_id) % 13).collect();
+                reference_search(&g, &weights)
+            })
+            .collect();
+        assert_eq!(computed, PINNED);
     }
 
     #[test]

@@ -140,22 +140,16 @@ impl DenseGraph {
     }
 
     /// Whether `set` is a clique (pairwise adjacent). Allocation-free: the
-    /// solver asks this on every fixed comparability edge.
+    /// solver asks this on every fixed comparability edge. Each member `u`
+    /// is checked against its packed adjacency row with one masked-word
+    /// sweep over the elements below `u`, instead of a per-edge loop.
     pub fn is_clique(&self, set: &BitSet) -> bool {
-        set.iter().all(|u| {
-            set.iter()
-                .take_while(|&v| v < u)
-                .all(|v| self.has_edge(u, v))
-        })
+        set.iter().all(|u| set.is_subset_below(&self.adj[u], u))
     }
 
     /// Whether `set` is an independent set (pairwise non-adjacent).
     pub fn is_independent_set(&self, set: &BitSet) -> bool {
-        set.iter().all(|u| {
-            set.iter()
-                .take_while(|&v| v < u)
-                .all(|v| !self.has_edge(u, v))
-        })
+        set.iter().all(|u| set.is_disjoint_below(&self.adj[u], u))
     }
 
     /// Connected components, each as a sorted vertex list.

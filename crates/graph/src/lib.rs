@@ -4,8 +4,9 @@
 //! *component graphs* over the set of tasks — one vertex per task, at most a
 //! few dozen vertices in any realistic FPGA reconfiguration instance. This
 //! crate therefore optimizes for **small, dense** graphs: adjacency is a
-//! bitset matrix, vertex sets are single-word-per-64-vertices bitsets, and
-//! all algorithms are exact.
+//! bitset matrix with packed 256-bit-block rows, vertex sets are
+//! block-layout [`BitSet`]s (stored inline, allocation-free, up to 256
+//! vertices) with fused wide-word kernels, and all algorithms are exact.
 //!
 //! Provided machinery:
 //!
