@@ -13,6 +13,7 @@
 
 pub use recopack_json as json;
 pub mod suite;
+pub mod trend;
 
 use recopack_core::SolverConfig;
 

@@ -835,6 +835,34 @@ mod tests {
     }
 
     #[test]
+    fn sampling_profiler_leaves_node_counts_bit_exact() {
+        let case = cases(false)
+            .into_iter()
+            .find(|c| c.name == "quad5_t1")
+            .expect("pinned case");
+        let plain = run_case_with(&case, false);
+        // Beacons are always on; this adds the 97 Hz observer and demands
+        // the exact determinism the `--check` gate relies on.
+        let sampler = recopack_core::Sampler::start(97);
+        let sampled = run_case_with(&case, false);
+        let profile = sampler.stop();
+        assert!(plain.stats.nodes > 0);
+        assert_eq!(
+            plain.stats.nodes, sampled.stats.nodes,
+            "sampling must not perturb the search"
+        );
+        assert_eq!(plain.stats.conflicts(), sampled.stats.conflicts());
+        assert_eq!(plain.outcome, sampled.outcome);
+        assert_eq!(profile.hz, 97);
+        // Whether any tick landed inside this sub-second run is timing
+        // luck, but every captured stack must be well-formed.
+        for (stack, weight) in &profile.stacks {
+            assert!(stack.starts_with("worker:"), "{stack}");
+            assert!(*weight > 0);
+        }
+    }
+
+    #[test]
     fn suite_options_filter_to_a_single_case() {
         let report = run_suite_with(&SuiteOptions {
             smoke: false,

@@ -1,0 +1,299 @@
+//! Cross-PR perf trajectory: joins the committed `BENCH_PR<N>.json`
+//! snapshots on `(instance, threads)` and renders per-case node-count,
+//! wall-clock, and throughput trends as a markdown table (for
+//! EXPERIMENTS.md) plus a machine-readable JSON document.
+
+use recopack_json::Json;
+
+/// One report's observation of one case.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrendPoint {
+    /// Search nodes explored (deterministic per case).
+    pub nodes: u64,
+    /// Wall-clock time in milliseconds (noisy; informational).
+    pub wall_ms: f64,
+    /// Throughput in nodes per second, when the wall was measurable.
+    pub nodes_per_sec: Option<f64>,
+}
+
+/// One `(instance, threads)` case tracked across the report series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendRow {
+    /// Case name.
+    pub instance: String,
+    /// Pinned thread count.
+    pub threads: u64,
+    /// One slot per report, in argument order; `None` when the case is
+    /// absent from that snapshot (suites grow and shrink across PRs).
+    pub points: Vec<Option<TrendPoint>>,
+}
+
+/// The joined trajectory over a series of bench reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trend {
+    /// Report labels, in argument order.
+    pub labels: Vec<String>,
+    /// Rows in order of first appearance across the series.
+    pub rows: Vec<TrendRow>,
+}
+
+/// Joins parsed bench reports into a [`Trend`]. Each entry pairs a
+/// fallback label (typically the file path) with the parsed document; the
+/// document's own `label` field wins when present.
+pub fn build_trend(reports: &[(String, Json)]) -> Result<Trend, String> {
+    if reports.is_empty() {
+        return Err("trend needs at least one report".to_string());
+    }
+    let mut trend = Trend {
+        labels: Vec::with_capacity(reports.len()),
+        rows: Vec::new(),
+    };
+    for (index, (fallback, doc)) in reports.iter().enumerate() {
+        let label = doc
+            .get("label")
+            .and_then(Json::as_str)
+            .unwrap_or(fallback)
+            .to_string();
+        trend.labels.push(label);
+        let cases = doc
+            .get("cases")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("{fallback}: report has no cases array"))?;
+        for case in cases {
+            let instance = case
+                .get("instance")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{fallback}: case without an instance name"))?;
+            let threads = case.get("threads").and_then(Json::as_u64).unwrap_or(1);
+            let nodes = case
+                .get("stats")
+                .and_then(|s| s.get("nodes"))
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{fallback}: case {instance} lacks stats.nodes"))?;
+            let wall_ms = case.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0);
+            let nodes_per_sec = case
+                .get("nodes_per_sec")
+                .and_then(Json::as_f64)
+                .or_else(|| (wall_ms > 0.0).then(|| nodes as f64 / (wall_ms / 1000.0)));
+            let point = TrendPoint {
+                nodes,
+                wall_ms,
+                nodes_per_sec,
+            };
+            let row = match trend
+                .rows
+                .iter_mut()
+                .find(|r| r.instance == instance && r.threads == threads)
+            {
+                Some(row) => row,
+                None => {
+                    trend.rows.push(TrendRow {
+                        instance: instance.to_string(),
+                        threads,
+                        points: Vec::new(),
+                    });
+                    trend.rows.last_mut().expect("just pushed")
+                }
+            };
+            // Pad for reports this case skipped, then record this one.
+            row.points.resize(index, None);
+            row.points.push(Some(point));
+        }
+    }
+    for row in &mut trend.rows {
+        row.points.resize(reports.len(), None);
+    }
+    Ok(trend)
+}
+
+impl Trend {
+    /// Renders the trajectory as one markdown table: a row per case and
+    /// metric, a column per report, plus suite-total rows at the end.
+    pub fn to_markdown(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("| case | thr | metric |");
+        for label in &self.labels {
+            let _ = write!(out, " {label} |");
+        }
+        out.push_str("\n|---|---|---|");
+        for _ in &self.labels {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        let mut emit = |name: &str, threads: &str, metric: &str, cells: Vec<String>| {
+            let _ = write!(out, "| {name} | {threads} | {metric} |");
+            for cell in cells {
+                let _ = write!(out, " {cell} |");
+            }
+            out.push('\n');
+        };
+        let fmt_rate = |rate: Option<f64>| match rate {
+            Some(rate) => format!("{:.0}k", rate / 1000.0),
+            None => "—".to_string(),
+        };
+        for row in &self.rows {
+            let cell = |f: &dyn Fn(&TrendPoint) -> String| -> Vec<String> {
+                row.points
+                    .iter()
+                    .map(|p| p.as_ref().map_or_else(|| "—".to_string(), f))
+                    .collect()
+            };
+            let threads = row.threads.to_string();
+            emit(
+                &row.instance,
+                &threads,
+                "nodes",
+                cell(&|p| p.nodes.to_string()),
+            );
+            emit("", "", "wall_ms", cell(&|p| format!("{:.2}", p.wall_ms)));
+            emit("", "", "nodes/s", cell(&|p| fmt_rate(p.nodes_per_sec)));
+        }
+        // Suite totals per report, over the cases present in each.
+        let mut nodes_cells = Vec::new();
+        let mut wall_cells = Vec::new();
+        let mut rate_cells = Vec::new();
+        for index in 0..self.labels.len() {
+            let points = self.rows.iter().filter_map(|r| r.points[index].as_ref());
+            let (nodes, wall) =
+                points.fold((0u64, 0.0f64), |(n, w), p| (n + p.nodes, w + p.wall_ms));
+            nodes_cells.push(nodes.to_string());
+            wall_cells.push(format!("{wall:.2}"));
+            rate_cells.push(fmt_rate(
+                (wall > 0.0).then(|| nodes as f64 / (wall / 1000.0)),
+            ));
+        }
+        emit("**total**", "", "nodes", nodes_cells);
+        emit("", "", "wall_ms", wall_cells);
+        emit("", "", "nodes/s", rate_cells);
+        out
+    }
+
+    /// Serializes the trajectory as JSON (`labels` plus parallel per-metric
+    /// arrays per row, `null` where a case is absent from a snapshot).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"labels\":[");
+        for (i, label) in self.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            recopack_core::telemetry::push_json_str(&mut out, label);
+        }
+        out.push_str("],\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"instance\":");
+            recopack_core::telemetry::push_json_str(&mut out, &row.instance);
+            let _ = write!(out, ",\"threads\":{}", row.threads);
+            let mut field = |name: &str, value: &dyn Fn(&TrendPoint) -> String| {
+                let _ = write!(out, ",\"{name}\":[");
+                for (j, point) in row.points.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    match point {
+                        Some(p) => out.push_str(&value(p)),
+                        None => out.push_str("null"),
+                    }
+                }
+                out.push(']');
+            };
+            field("nodes", &|p| p.nodes.to_string());
+            field("wall_ms", &|p| format!("{:.3}", p.wall_ms));
+            field("nodes_per_sec", &|p| match p.nodes_per_sec {
+                Some(rate) => format!("{rate:.1}"),
+                None => "null".to_string(),
+            });
+            out.push('}');
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(label: &str, cases: &[(&str, u64, u64, f64)]) -> Json {
+        let mut text = format!("{{\"label\":\"{label}\",\"cases\":[");
+        for (i, (name, threads, nodes, wall)) in cases.iter().enumerate() {
+            if i > 0 {
+                text.push(',');
+            }
+            text.push_str(&format!(
+                "{{\"instance\":\"{name}\",\"threads\":{threads},\
+                 \"wall_ms\":{wall},\"stats\":{{\"nodes\":{nodes}}}}}"
+            ));
+        }
+        text.push_str("]}");
+        Json::parse(&text).expect("stub report parses")
+    }
+
+    #[test]
+    fn trend_joins_on_instance_and_threads_with_gaps() {
+        let trend = build_trend(&[
+            (
+                "a.json".into(),
+                report("PR5", &[("quad5_t1", 1, 100, 2.0), ("old_case", 1, 7, 0.5)]),
+            ),
+            (
+                "b.json".into(),
+                report(
+                    "PR9",
+                    &[("quad5_t1", 1, 100, 1.0), ("new_case", 2, 9, 0.25)],
+                ),
+            ),
+        ])
+        .expect("trend builds");
+        assert_eq!(trend.labels, vec!["PR5", "PR9"]);
+        assert_eq!(trend.rows.len(), 3, "union of cases across snapshots");
+        let quad = &trend.rows[0];
+        assert_eq!(quad.instance, "quad5_t1");
+        assert_eq!(quad.points[0].expect("present").nodes, 100);
+        assert_eq!(
+            quad.points[1].expect("present").nodes_per_sec,
+            Some(100_000.0),
+            "throughput derived from nodes and wall when absent"
+        );
+        let old = &trend.rows[1];
+        assert!(old.points[1].is_none(), "retired case leaves a gap");
+        let new = &trend.rows[2];
+        assert!(new.points[0].is_none(), "new case back-fills with a gap");
+        assert_eq!(new.threads, 2);
+    }
+
+    #[test]
+    fn markdown_and_json_render_every_report_column() {
+        let trend = build_trend(&[
+            ("a".into(), report("PR5", &[("quad5_t1", 1, 100, 2.0)])),
+            ("b".into(), report("PR9", &[("quad5_t1", 1, 100, 1.0)])),
+        ])
+        .expect("trend builds");
+        let markdown = trend.to_markdown();
+        assert!(markdown.starts_with("| case | thr | metric | PR5 | PR9 |"));
+        assert!(
+            markdown.contains("| quad5_t1 | 1 | nodes | 100 | 100 |"),
+            "{markdown}"
+        );
+        assert!(markdown.contains("| **total** |"), "{markdown}");
+        let doc = Json::parse(&trend.to_json()).expect("trend JSON parses");
+        let labels = doc.get("labels").and_then(Json::as_array).expect("labels");
+        assert_eq!(labels.len(), 2);
+        let rows = doc.get("rows").and_then(Json::as_array).expect("rows");
+        let nodes = rows[0]
+            .get("nodes")
+            .and_then(Json::as_array)
+            .expect("nodes");
+        assert_eq!(nodes.len(), 2, "one slot per report");
+    }
+
+    #[test]
+    fn empty_series_and_malformed_reports_are_rejected() {
+        assert!(build_trend(&[]).is_err());
+        let bad = Json::parse("{\"label\":\"x\"}").expect("parses");
+        assert!(build_trend(&[("x".into(), bad)]).is_err());
+    }
+}

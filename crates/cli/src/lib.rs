@@ -39,8 +39,8 @@ use std::time::{Duration, Instant};
 
 use recopack_core::{
     pareto_front_with_stats, per_second, Bmp, EventTotals, Fanout, FileJournal, Opp,
-    ProgressCounters, SolveOutcome, SolveReport, SolverConfig, SolverStats, Spp, Telemetry,
-    TelemetrySink,
+    ProgressCounters, Sampler, SolveOutcome, SolveReport, SolverConfig, SolverStats, Spp,
+    Telemetry, TelemetrySink, SAMPLER_DEFAULT_HZ,
 };
 use recopack_model::{benchmarks, format, render, Chip, Instance, Placement};
 
@@ -119,6 +119,14 @@ OPTIONS:
                              bounds, realization, per-rule refutations) into
                              the stats report; timings are informational and
                              vary with the thread count
+    --sample-profile[=<hz>]  attach the sampling profiler to the solve: a
+                             detached thread reads the always-on worker
+                             activity beacons at <hz> (default 97) and
+                             writes folded stacks plus a top-K summary;
+                             node counts are unaffected
+    --sample-out <path>      folded-stack output path for --sample-profile
+                             (default sample.folded; flamegraph-compatible,
+                             like `recopack trace --folded`)
 
 SERVICE (for `recopack serve`):
     --addr <host:port>       listen address (default 127.0.0.1:7878; port 0
@@ -142,7 +150,11 @@ TRACE EXPORT (for `recopack trace <events.ndjson>`):
                              (default when no export flag is given)
     --follow                 tail a journal that is still being written:
                              poll for appended lines until its end record
-                             (or ~2s of silence), then export as usual
+                             (or --idle-timeout-ms of silence), then export
+                             as usual
+    --idle-timeout-ms <n>    how long --follow tolerates a silent journal
+                             before giving up (default 2000; 0 = wait
+                             forever for the end record)
 ";
 
 /// Parsed command-line options.
@@ -161,10 +173,15 @@ struct Options {
     /// (TTY-gated); `Some(Some(ms))` = explicit interval, forces output.
     progress: Option<Option<u64>>,
     profile: bool,
+    /// `None` = no sampling; `Some(None)` = on at the default rate;
+    /// `Some(Some(hz))` = explicit sampling rate.
+    sample_profile: Option<Option<u64>>,
+    sample_out: String,
     chrome: Option<String>,
     folded: Option<String>,
     summary: bool,
     follow: bool,
+    idle_timeout_ms: u64,
     weight: trace::FoldedWeight,
     addr: Option<String>,
     queue_depth: usize,
@@ -186,10 +203,13 @@ impl Default for Options {
             trace: None,
             progress: None,
             profile: false,
+            sample_profile: None,
+            sample_out: "sample.folded".to_string(),
             chrome: None,
             folded: None,
             summary: false,
             follow: false,
+            idle_timeout_ms: trace::FOLLOW_IDLE.as_millis() as u64,
             weight: trace::FoldedWeight::default(),
             addr: None,
             queue_depth: 16,
@@ -357,6 +377,39 @@ fn split_args(args: &[String]) -> Result<(Vec<&str>, Options), CliError> {
                     }
                 };
             }
+            // Only the inline form takes a rate, so a following operand is
+            // never swallowed: `--sample-profile file.rpk` works.
+            "--sample-profile" => {
+                options.sample_profile = Some(match inline {
+                    None => None,
+                    Some(hz) => {
+                        let parsed: u64 = hz.parse().map_err(|_| {
+                            CliError::usage(format!(
+                                "--sample-profile expects a sampling rate in Hz, got {hz:?}"
+                            ))
+                        })?;
+                        if parsed == 0 {
+                            return Err(CliError::usage(
+                                "--sample-profile expects a positive Hz (omit the value \
+                                 for the default 97)",
+                            ));
+                        }
+                        Some(parsed)
+                    }
+                });
+            }
+            "--sample-out" => {
+                options.sample_out = take_value(flag, inline, &mut iter)?.to_string();
+            }
+            "--idle-timeout-ms" => {
+                let value = take_value(flag, inline, &mut iter)?;
+                options.idle_timeout_ms = value.parse().map_err(|_| {
+                    CliError::usage(format!(
+                        "--idle-timeout-ms expects milliseconds (0 = wait forever), \
+                         got {value:?}"
+                    ))
+                })?;
+            }
             // Only the inline form takes an interval, so a following
             // operand is never swallowed: `--progress file.rpk` works.
             "--progress" => {
@@ -519,6 +572,59 @@ impl TraceSession {
     }
 }
 
+/// The per-solve sampling-profiler session (`--sample-profile`): starts the
+/// detached beacon sampler before the solve; [`finish`](Self::finish) stops
+/// it, writes the folded stacks, and appends a top-K summary to the output.
+struct SampleSession {
+    sampler: Option<Sampler>,
+    out_path: String,
+}
+
+impl SampleSession {
+    fn start(options: &Options) -> Self {
+        let sampler = options
+            .sample_profile
+            .map(|hz| Sampler::start(hz.unwrap_or(SAMPLER_DEFAULT_HZ)));
+        Self {
+            sampler,
+            out_path: options.sample_out.clone(),
+        }
+    }
+
+    fn finish(self, out: &mut String) -> Result<(), CliError> {
+        let Some(sampler) = self.sampler else {
+            return Ok(());
+        };
+        let profile = sampler.stop();
+        std::fs::write(&self.out_path, profile.to_folded())
+            .map_err(|e| CliError::runtime(format!("cannot write {}: {e}", self.out_path)))?;
+        let _ = writeln!(
+            out,
+            "sampling profile: {} samples at {} Hz, {} stacks -> {}",
+            profile.samples,
+            profile.hz,
+            profile.stacks.len(),
+            self.out_path
+        );
+        for (stack, count) in profile.top(5) {
+            let percent = if profile.worker_samples > 0 {
+                count as f64 * 100.0 / profile.worker_samples as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(out, "  {percent:5.1}%  {stack}");
+        }
+        if !profile.stalled_workers.is_empty() {
+            let _ = writeln!(
+                out,
+                "  stalled workers at stop: {:?}",
+                profile.stalled_workers
+            );
+        }
+        Ok(())
+    }
+}
+
 fn describe_placement(
     out: &mut String,
     instance: &Instance,
@@ -555,11 +661,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         ["solve", path] => {
             let instance = load_instance(path, &options)?;
             let session = TraceSession::start(&options, &instance)?;
+            let sampling = SampleSession::start(&options);
             let started = Instant::now();
             let mut config = options.solver_config();
             config.telemetry = session.telemetry();
             let (outcome, stats) = Opp::new(&instance).with_config(config).solve_with_stats();
             let (events, journal_dropped) = session.finish()?;
+            sampling.finish(&mut out)?;
             let label = match &outcome {
                 SolveOutcome::Feasible(_) => "feasible".to_string(),
                 SolveOutcome::Infeasible(_) => "infeasible".to_string(),
@@ -601,11 +709,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         ["bmp", path] => {
             let instance = load_instance(path, &options)?;
             let session = TraceSession::start(&options, &instance)?;
+            let sampling = SampleSession::start(&options);
             let started = Instant::now();
             let mut config = options.solver_config();
             config.telemetry = session.telemetry();
             let result = Bmp::new(&instance).with_config(config).solve();
             let (events, journal_dropped) = session.finish()?;
+            sampling.finish(&mut out)?;
             let result = result.ok_or_else(|| {
                 CliError::runtime("no chip admits the deadline (critical path too long)")
             })?;
@@ -636,11 +746,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         ["spp", path] => {
             let instance = load_instance(path, &options)?;
             let session = TraceSession::start(&options, &instance)?;
+            let sampling = SampleSession::start(&options);
             let started = Instant::now();
             let mut config = options.solver_config();
             config.telemetry = session.telemetry();
             let result = Spp::new(&instance).with_config(config).solve();
             let (events, journal_dropped) = session.finish()?;
+            sampling.finish(&mut out)?;
             let result = result
                 .ok_or_else(|| CliError::runtime("some module does not fit the chip spatially"))?;
             write_report(
@@ -669,11 +781,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         ["pareto", path] => {
             let instance = load_instance(path, &options)?;
             let session = TraceSession::start(&options, &instance)?;
+            let sampling = SampleSession::start(&options);
             let started = Instant::now();
             let mut config = options.solver_config();
             config.telemetry = session.telemetry();
             let result = pareto_front_with_stats(&instance, &config);
             let (events, journal_dropped) = session.finish()?;
+            sampling.finish(&mut out)?;
             let (front, stats, decisions) =
                 result.ok_or_else(|| CliError::runtime("resource limit reached"))?;
             write_report(
@@ -768,7 +882,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         ["trace", path] => {
             let text = if options.follow {
-                trace::follow(path)?
+                trace::follow(path, Duration::from_millis(options.idle_timeout_ms))?
             } else {
                 std::fs::read_to_string(path)
                     .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?
@@ -973,6 +1087,48 @@ mod tests {
         assert_eq!(err.exit_code, 2);
         // Progress intervals must be numeric.
         let err = run(&args(&["solve", "x.rpk", "--progress=soon"])).expect_err("bad ms");
+        assert_eq!(err.exit_code, 2);
+        assert!(err.message.contains("milliseconds"), "{err:?}");
+    }
+
+    #[test]
+    fn sample_profile_flag_validates_and_writes_folded_stacks() {
+        let path = temp_file(
+            "sample.rpk",
+            "chip 4 4\nhorizon 2\ntask a 2 2 2\ntask b 2 2 2\ntask c 2 2 2\n\
+             task d 2 2 2\ntask e 2 2 2\n",
+        );
+        let p = path.to_str().expect("utf8 path");
+        let folded_path = temp_file("sample.folded", "");
+        let fp = folded_path.to_str().expect("utf8 path");
+        let out = run(&args(&[
+            "solve",
+            p,
+            "--no-bounds",
+            "--no-heuristics",
+            "--sample-profile=1000",
+            "--sample-out",
+            fp,
+        ]))
+        .expect("solves while sampling");
+        assert!(out.contains("sampling profile:"), "{out}");
+        assert!(out.contains(fp), "{out}");
+        // Sampling is statistical: the capture may be empty on a fast
+        // solve, but every captured line must be a folded stack.
+        let folded = std::fs::read_to_string(&folded_path).expect("folded written");
+        for line in folded.lines() {
+            let (stack, weight) = line.rsplit_once(' ').expect("stack and weight");
+            assert!(stack.starts_with("worker:"), "{line}");
+            weight.parse::<u64>().expect("numeric weight");
+        }
+        // Rate validation: zero and non-numeric rates are usage errors.
+        let err = run(&args(&["solve", p, "--sample-profile=0"])).expect_err("zero hz");
+        assert_eq!(err.exit_code, 2);
+        assert!(err.message.contains("positive Hz"), "{err:?}");
+        let err = run(&args(&["solve", p, "--sample-profile=fast"])).expect_err("bad hz");
+        assert_eq!(err.exit_code, 2);
+        // --idle-timeout-ms validates too.
+        let err = run(&args(&["trace", p, "--idle-timeout-ms", "soon"])).expect_err("bad ms");
         assert_eq!(err.exit_code, 2);
         assert!(err.message.contains("milliseconds"), "{err:?}");
     }

@@ -167,8 +167,9 @@ impl LineCarry {
 }
 
 /// How long `--follow` tolerates a journal that has stopped growing before
-/// concluding the writer died without an explicit end record.
-const FOLLOW_IDLE: std::time::Duration = std::time::Duration::from_secs(2);
+/// concluding the writer died without an explicit end record, unless
+/// overridden with `--idle-timeout-ms`.
+pub(crate) const FOLLOW_IDLE: std::time::Duration = std::time::Duration::from_secs(2);
 
 /// Poll interval while tailing.
 const FOLLOW_POLL: std::time::Duration = std::time::Duration::from_millis(25);
@@ -176,8 +177,9 @@ const FOLLOW_POLL: std::time::Duration = std::time::Duration::from_millis(25);
 /// Tails a journal that may still be written: polls for appended bytes,
 /// carries partial lines across reads, and returns the accumulated text
 /// once an `"event":"end"` record arrives (excluded from the result) or
-/// the file has been silent for [`FOLLOW_IDLE`].
-pub(crate) fn follow(path: &str) -> Result<String, CliError> {
+/// the file has been silent for `idle_timeout` (zero = wait forever for
+/// the end record).
+pub(crate) fn follow(path: &str, idle_timeout: std::time::Duration) -> Result<String, CliError> {
     use std::io::Read as _;
     let mut file = std::fs::File::open(path)
         .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
@@ -192,7 +194,7 @@ pub(crate) fn follow(path: &str) -> Result<String, CliError> {
             .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
         if read == 0 {
             idle += FOLLOW_POLL;
-            if idle >= FOLLOW_IDLE {
+            if !idle_timeout.is_zero() && idle >= idle_timeout {
                 break;
             }
             std::thread::sleep(FOLLOW_POLL);
@@ -510,6 +512,57 @@ pub(crate) fn summary(events: &[TraceEvent]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn follow_idle_timeout_bounds_the_silent_tail() {
+        // A journal with no end record: a finite idle timeout gives up
+        // after roughly that much silence instead of the 2 s default.
+        let path = std::env::temp_dir().join("recopack-trace-test-idle.ndjson");
+        std::fs::write(
+            &path,
+            "{\"subtree\":0,\"depth\":0,\"t_ns\":5,\"event\":\"backtrack\"}\n",
+        )
+        .expect("writable temp dir");
+        let started = std::time::Instant::now();
+        let text = follow(
+            path.to_str().expect("utf8 path"),
+            std::time::Duration::from_millis(50),
+        )
+        .expect("follow returns");
+        assert!(text.contains("backtrack"), "{text}");
+        assert!(
+            started.elapsed() < FOLLOW_IDLE,
+            "a 50 ms idle timeout must beat the 2 s default"
+        );
+    }
+
+    #[test]
+    fn follow_zero_idle_timeout_waits_for_the_end_record() {
+        use std::io::Write as _;
+        // Timeout 0 = wait forever: the writer stays silent for far longer
+        // than a short finite timeout would tolerate, then lands the end
+        // record — follow must still be there to see it.
+        let path = std::env::temp_dir().join("recopack-trace-test-forever.ndjson");
+        std::fs::write(&path, "").expect("writable temp dir");
+        let writer_path = path.clone();
+        let writer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(200));
+            let mut file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&writer_path)
+                .expect("journal opens");
+            file.write_all(
+                b"{\"subtree\":0,\"depth\":1,\"t_ns\":9,\"event\":\"backtrack\"}\n\
+                  {\"event\":\"end\",\"job\":1,\"status\":\"done\",\"dropped\":0}\n",
+            )
+            .expect("append");
+        });
+        let text = follow(path.to_str().expect("utf8 path"), std::time::Duration::ZERO)
+            .expect("follow returns at the end record");
+        writer.join().expect("writer thread");
+        assert!(text.contains("backtrack"), "{text}");
+        assert!(!text.contains("\"end\""), "end record is excluded: {text}");
+    }
 
     #[test]
     fn line_carry_completes_fragments_across_feeds() {

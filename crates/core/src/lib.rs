@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod beacon;
 mod bmp;
 mod config;
 mod fixeds;
@@ -59,6 +60,7 @@ mod spp;
 mod state;
 pub mod telemetry;
 
+pub use beacon::{Profile, Sampler, DEFAULT_HZ as SAMPLER_DEFAULT_HZ};
 pub use bmp::{Bmp, BmpResult};
 pub use config::{CancelToken, LimitKind, SolverConfig, SolverStats};
 pub use fixeds::FixedSchedule;

@@ -100,8 +100,13 @@ impl<'a> Opp<'a> {
     pub fn solve_with_stats(&self) -> (SolveOutcome, SolverStats) {
         let mut stats = SolverStats::default();
         if self.config.use_bounds {
+            // Publish a Bounds-phase beacon for the duration of the bound
+            // computation so samplers can attribute pre-search time.
+            let beacon = crate::beacon::global_registry().register();
+            beacon.publish(crate::beacon::pack(crate::beacon::Phase::Bounds, 0, 0, 1));
             let timer = self.config.profile.then(std::time::Instant::now);
             let refutation = recopack_bounds::refute(self.instance);
+            drop(beacon);
             if let Some(t) = timer {
                 stats.bounds_ns += t.elapsed().as_nanos() as u64;
             }

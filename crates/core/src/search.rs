@@ -19,7 +19,7 @@
 //! "Adaptive work-stealing parallel search").
 
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use recopack_graph::{cliques, BitSet};
@@ -27,6 +27,7 @@ use recopack_model::{Dim, Instance, Placement};
 use recopack_order::interval::realize_from_order;
 use recopack_order::orientation::transitively_orient_extending;
 
+use crate::beacon::{self, ActivityBeacon, Phase as BeaconPhase};
 use crate::config::{LimitKind, SolverConfig, SolverStats};
 use crate::state::{EdgeState, Orient, PackingState};
 use crate::telemetry::{EventKind, PruneRule, SearchEvent};
@@ -62,6 +63,17 @@ impl Conflict {
             Conflict::C4 => Some(PruneRule::C4),
             Conflict::Orientation => Some(PruneRule::Orientation),
             Conflict::Stopped => None,
+        }
+    }
+
+    /// Beacon rule code: the index into [`beacon::RULE_NAMES`].
+    fn beacon_rule(self) -> u8 {
+        match self {
+            Conflict::C2 => 1,
+            Conflict::C3 => 2,
+            Conflict::C4 => 3,
+            Conflict::Orientation => 4,
+            Conflict::Stopped => 5,
         }
     }
 }
@@ -635,6 +647,15 @@ struct Worker<'c> {
     clique_seed: BitSet,
     /// Reusable branch-and-bound scratch for the C2 clique rule.
     clique_ws: cliques::CliqueWorkspace,
+    /// This worker's always-on activity beacon — a slot in the process
+    /// global registry, released when the worker drops (see
+    /// [`crate::beacon`]).
+    beacon: Arc<ActivityBeacon>,
+    /// Shadow of the published phase/rule/depth bits, so heartbeat ticks
+    /// can republish without a read-modify-write.
+    beacon_bits: u64,
+    /// Wrapping activity epoch, bumped on every beacon store.
+    beacon_epoch: u64,
 }
 
 impl<'c> Worker<'c> {
@@ -665,7 +686,28 @@ impl<'c> Worker<'c> {
             c4_acc: BitSet::new(n),
             clique_seed: BitSet::new(n),
             clique_ws: cliques::CliqueWorkspace::new(),
+            beacon: beacon::global_registry().register(),
+            beacon_bits: 0,
+            beacon_epoch: 0,
         }
+    }
+
+    /// Publishes the activity beacon: one relaxed store, no clock reads,
+    /// no allocation. Always on — the search behaves identically whether
+    /// or not a sampler is attached.
+    #[inline]
+    fn beacon_mark(&mut self, phase: BeaconPhase, rule: u8, depth: u32) {
+        self.beacon_bits = beacon::state_bits(phase, rule, depth);
+        self.beacon_tick();
+    }
+
+    /// Republishes the current beacon state with a fresh epoch — the
+    /// "still alive" heartbeat that stall detection watches.
+    #[inline]
+    fn beacon_tick(&mut self) {
+        self.beacon_epoch = self.beacon_epoch.wrapping_add(1);
+        self.beacon
+            .publish(beacon::compose(self.beacon_bits, self.beacon_epoch));
     }
 
     /// Sends one telemetry event (no-op when no sink is configured). The
@@ -805,6 +847,7 @@ impl<'c> Worker<'c> {
     /// accounting and telemetry.
     fn propagate(&mut self, queue: &mut Vec<Event>) -> Result<(), Conflict> {
         self.propagation_ticks = 0;
+        self.beacon_mark(BeaconPhase::Propagate, 0, 0);
         let fixes_before = self.stats.propagated_fixes;
         let timer = self.timer();
         let result = self.propagate_inner(queue);
@@ -817,6 +860,7 @@ impl<'c> Worker<'c> {
                 },
             ),
             Err(kind) => {
+                self.beacon_mark(BeaconPhase::Propagate, kind.beacon_rule(), 0);
                 self.count_conflict(kind);
                 if let Some(rule) = kind.prune_rule() {
                     self.emit(0, EventKind::Prune { rule });
@@ -855,6 +899,7 @@ impl<'c> Worker<'c> {
     /// stop flag, the supersession of this unit, and — crucially — the
     /// wall-time limit, which otherwise would only be seen between nodes.
     fn propagation_checkpoint(&mut self) -> Result<(), Conflict> {
+        self.beacon_tick();
         if self.budget.stopped() || self.check_superseded() {
             return Err(Conflict::Stopped);
         }
@@ -1443,6 +1488,7 @@ impl<'c> Worker<'c> {
                 scheduler.work.notify_all();
                 return None;
             }
+            self.beacon_mark(BeaconPhase::Idle, 0, 0);
             scheduler.idle.fetch_add(1, Ordering::Relaxed);
             queue = scheduler.work.wait(queue).expect("no poisoned locks");
             scheduler.idle.fetch_sub(1, Ordering::Relaxed);
@@ -1521,6 +1567,7 @@ impl<'c> Worker<'c> {
             },
         );
         self.propagation_ticks = 0;
+        self.beacon_mark(BeaconPhase::Propagate, 0, depth);
         let fixes_before = self.stats.propagated_fixes;
         // Reuse the worker-owned queue (taken out for the borrow, returned
         // below): the steady-state per-node path allocates nothing.
@@ -1541,6 +1588,7 @@ impl<'c> Worker<'c> {
                 },
             ),
             Err(kind) => {
+                self.beacon_mark(BeaconPhase::Propagate, kind.beacon_rule(), depth);
                 self.count_conflict(kind);
                 if let Some(rule) = kind.prune_rule() {
                     self.emit(depth, EventKind::Prune { rule });
@@ -1569,6 +1617,7 @@ impl<'c> Worker<'c> {
             return Ok(self.check_leaf(depth));
         };
         self.stats.record_node(depth as usize);
+        self.beacon_mark(BeaconPhase::Expand, 0, depth);
         if self.out_of_budget() {
             return Err(());
         }
@@ -1603,6 +1652,7 @@ impl<'c> Worker<'c> {
             }
             self.state.rollback(mark);
             self.cursor = cursor;
+            self.beacon_mark(BeaconPhase::Backtrack, 0, depth);
             self.emit(depth, EventKind::Backtrack);
             next_choice = self.levels[level].open.take();
             if next_choice.is_some() {
@@ -1618,6 +1668,7 @@ impl<'c> Worker<'c> {
     /// accepted leaf is recorded as incumbent right here, while the level
     /// stack still spells out its full path.
     fn check_leaf(&mut self, depth: u32) -> Option<Placement> {
+        self.beacon_mark(BeaconPhase::Realize, 0, depth);
         let timer = self.timer();
         let placement = self.realize_leaf();
         if timer.is_some() {

@@ -1199,6 +1199,42 @@ mod tests {
     }
 
     #[test]
+    fn progress_counters_clamp_boundary_at_the_final_depth_slot() {
+        let counters = ProgressCounters::new();
+        let branch = |depth| SearchEvent {
+            subtree: 0,
+            depth,
+            t_ns: 0,
+            kind: EventKind::Branch {
+                dim: 1,
+                pair: 3,
+                component: false,
+            },
+        };
+        // The last in-range depth and everything beyond it share slot 31.
+        counters.record(&branch(PROGRESS_DEPTH_SLOTS as u32 - 1));
+        counters.record(&branch(PROGRESS_DEPTH_SLOTS as u32));
+        counters.record(&branch(PROGRESS_DEPTH_SLOTS as u32 + 1));
+        counters.record(&branch(u32::MAX));
+        let profile = counters.depth_profile();
+        assert_eq!(
+            profile.len(),
+            PROGRESS_DEPTH_SLOTS,
+            "profile never grows past the fixed slot count"
+        );
+        assert_eq!(*profile.last().expect("clamp slot"), 4);
+        assert!(
+            profile[..PROGRESS_DEPTH_SLOTS - 1].iter().all(|&n| n == 0),
+            "clamped branches must not leak into lower slots"
+        );
+        // One in-range branch leaves the clamp slot untouched.
+        counters.record(&branch(0));
+        let profile = counters.depth_profile();
+        assert_eq!(profile[0], 1);
+        assert_eq!(*profile.last().expect("clamp slot"), 4);
+    }
+
+    #[test]
     fn fanout_delivers_to_every_sink() {
         let a = Arc::new(ProgressCounters::new());
         let b = Arc::new(MemoryJournal::new(10));

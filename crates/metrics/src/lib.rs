@@ -254,6 +254,16 @@ impl Registry {
         g
     }
 
+    /// Registers and returns a gauge with fixed labels.
+    ///
+    /// Call once per member of a closed label enumeration; see the crate
+    /// docs for the cardinality policy.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Gauge {
+        let g = Gauge::new();
+        self.push(name, labels, help, Instrument::Gauge(g.clone()));
+        g
+    }
+
     /// Registers and returns an unlabelled histogram over `bounds`.
     pub fn histogram(&self, name: &str, bounds: &[f64], help: &str) -> Histogram {
         let h = Histogram::new(bounds);
@@ -533,6 +543,28 @@ latency_seconds_sum 5.25
 latency_seconds_count 2
 ";
         assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn labelled_gauges_render_and_share_one_header() {
+        let r = Registry::new();
+        let expand = r.gauge_with(
+            "phase_occupancy",
+            &[("phase", "expand")],
+            "Sampled phase occupancy.",
+        );
+        let idle = r.gauge_with(
+            "phase_occupancy",
+            &[("phase", "idle")],
+            "Sampled phase occupancy.",
+        );
+        expand.set(62);
+        idle.set(38);
+        let text = r.render();
+        assert_eq!(text.matches("# HELP phase_occupancy").count(), 1);
+        assert_eq!(text.matches("# TYPE phase_occupancy gauge").count(), 1);
+        assert!(text.contains("phase_occupancy{phase=\"expand\"} 62"));
+        assert!(text.contains("phase_occupancy{phase=\"idle\"} 38"));
     }
 
     #[test]

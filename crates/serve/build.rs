@@ -1,0 +1,17 @@
+//! Captures the compiler version at build time for the
+//! `recopack_build_info` metric (no build dependencies: just `rustc
+//! --version` via the toolchain cargo already resolved).
+
+fn main() {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string());
+    let version = std::process::Command::new(&rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=RECOPACK_RUSTC={version}");
+    println!("cargo:rerun-if-changed=build.rs");
+}

@@ -16,6 +16,7 @@
 //! | `/jobs/{id}/progress` | GET    | live progress snapshot (nodes, phases, rate) |
 //! | `/jobs/{id}/events`   | GET    | chunked NDJSON search-event stream (opt-in)  |
 //! | `/debug/jobs`         | GET    | flight recorder: recent + slow job summaries |
+//! | `/debug/profile`      | GET    | on-demand sampling profile of the worker pool |
 //! | `/healthz`            | GET    | liveness + readiness (queue not saturated)   |
 //! | `/metrics`            | GET    | Prometheus text exposition v0.0.4            |
 //!
@@ -52,6 +53,7 @@
 
 pub mod cache;
 mod http;
+mod profile;
 mod progress;
 mod recorder;
 mod signal;
@@ -63,6 +65,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant, SystemTime};
 
+use recopack_core::beacon::{self, Phase as BeaconPhase, ProfileBuilder};
 use recopack_core::telemetry::push_json_str;
 use recopack_core::{
     pareto_front_with_stats, per_second, Bmp, CancelToken, Fanout, LimitKind, Opp,
@@ -288,11 +291,33 @@ struct ServerMetrics {
     connections_total: Counter,
     connections_rejected: Counter,
     request_seconds: Histogram,
+    phase_occupancy: [Gauge; 6],
+    workers_stalled: Gauge,
+    uptime: Gauge,
 }
 
 impl ServerMetrics {
     fn new() -> Self {
         let registry = Registry::new();
+        // Info-style gauge: the value is always 1, the payload is the labels.
+        registry
+            .gauge_with(
+                "recopack_build_info",
+                &[
+                    ("version", env!("CARGO_PKG_VERSION")),
+                    ("rustc", env!("RECOPACK_RUSTC")),
+                    (
+                        "profile",
+                        if cfg!(debug_assertions) {
+                            "debug"
+                        } else {
+                            "release"
+                        },
+                    ),
+                ],
+                "Build metadata carried as labels; the value is always 1.",
+            )
+            .set(1);
         let per_kind = |name: &str, help: &str| {
             JobKind::ALL.map(|k| registry.counter_with(name, &[("kind", k.name())], help))
         };
@@ -392,6 +417,23 @@ impl ServerMetrics {
                 &[0.0005, 0.002, 0.01, 0.05, 0.25, 1.0, 5.0],
                 "HTTP request handling latency in seconds.",
             ),
+            phase_occupancy: BeaconPhase::ALL.map(|phase| {
+                registry.gauge_with(
+                    "recopack_worker_phase_occupancy",
+                    &[("phase", phase.name())],
+                    "Share of sampled worker time spent in each solver phase over \
+                     the last sampling window, in percent.",
+                )
+            }),
+            workers_stalled: registry.gauge(
+                "recopack_workers_stalled",
+                "Workers whose activity beacon did not change for the stall \
+                 threshold during the last sampling window.",
+            ),
+            uptime: registry.gauge(
+                "recopack_uptime_seconds",
+                "Seconds since the server process started.",
+            ),
             registry,
         }
     }
@@ -413,6 +455,10 @@ struct Inner {
     /// not supply a usable one.
     next_request: AtomicU64,
     accept_stop: AtomicBool,
+    /// When the server was bound; drives `recopack_uptime_seconds`.
+    started: Instant,
+    /// Single-flight gate for `GET /debug/profile` captures.
+    profiler: profile::ProfilerGate,
 }
 
 /// One NDJSON log line on stderr: `{"t_ms":...,"event":...,...}`.
@@ -497,6 +543,8 @@ impl Server {
             next_group: AtomicU64::new(1),
             next_request: AtomicU64::new(1),
             accept_stop: AtomicBool::new(false),
+            started: Instant::now(),
+            profiler: profile::ProfilerGate::default(),
         });
         let worker_count = match config.workers {
             0 => std::thread::available_parallelism()
@@ -514,6 +562,15 @@ impl Server {
             let inner = inner.clone();
             std::thread::spawn(move || accept_loop(&inner, listener))
         };
+        // Low-rate beacon sampler feeding the phase-occupancy and stall
+        // gauges. Holds only a Weak so it cannot outlive the drain; the
+        // thread is detached and exits within one window of the last drop.
+        {
+            let weak = Arc::downgrade(&inner);
+            let _ = std::thread::Builder::new()
+                .name("recopack-occupancy".to_string())
+                .spawn(move || occupancy_sampler_loop(&weak));
+        }
         LogLine::new("listening")
             .str("addr", &addr.to_string())
             .num("workers", worker_count as u64)
@@ -1035,6 +1092,19 @@ fn handle_connection(inner: &Inner, stream: TcpStream) {
                     Some(job_id) => {
                         stream_job_events(inner, &mut conn, job_id, request.keep_alive, &request_id)
                     }
+                    // `/debug/profile` also owns the connection (the capture
+                    // takes seconds; the result streams as chunks), and it
+                    // carries a query string, which the exact-match router
+                    // does not parse.
+                    None if request.method == "GET" && is_profile_path(&request.path) => {
+                        serve_profile(
+                            inner,
+                            &mut conn,
+                            &request.path,
+                            request.keep_alive,
+                            &request_id,
+                        )
+                    }
                     None => {
                         let (status, content_type, body) = route(inner, &request, &request_id);
                         conn.respond(
@@ -1175,6 +1245,127 @@ fn error_body(message: &str) -> String {
     body
 }
 
+/// Whether a raw request path (query string included) addresses the
+/// on-demand profiler endpoint.
+fn is_profile_path(path: &str) -> bool {
+    path == "/debug/profile" || path.starts_with("/debug/profile?")
+}
+
+/// Serves `GET /debug/profile[?seconds=N&hz=H&format=folded|json]`: runs —
+/// or joins — an on-demand sampling capture of every live solver worker's
+/// activity beacon, then streams folded stacks (default) or a JSON summary
+/// over the chunked machinery. The capture blocks this connection for
+/// `seconds` of wall clock (capped at [`profile::MAX_PROFILE_SECONDS`]);
+/// a concurrent request with different parameters receives `409`. Returns
+/// the response status for the access log.
+fn serve_profile(
+    inner: &Inner,
+    conn: &mut http::Conn<TcpStream>,
+    path: &str,
+    keep_alive: bool,
+    request_id: &str,
+) -> u16 {
+    const JSON: &str = "application/json";
+    let query = path.split_once('?').map(|(_, q)| q).unwrap_or("");
+    let params = match profile::ProfileParams::parse(query) {
+        Ok(params) => params,
+        Err(message) => {
+            conn.respond(
+                400,
+                JSON,
+                &error_body(&message),
+                keep_alive,
+                Some(request_id),
+            );
+            return 400;
+        }
+    };
+    let (joined, captured) = match inner.profiler.run(params) {
+        profile::ProfileOutcome::Captured(p) => (false, p),
+        profile::ProfileOutcome::Joined(p) => (true, p),
+        profile::ProfileOutcome::Busy { seconds, hz } => {
+            let message = format!(
+                "a profile capture with different parameters is in flight \
+                 (seconds={seconds}, hz={hz}); join it with matching \
+                 parameters or retry after it finishes"
+            );
+            conn.respond(
+                409,
+                JSON,
+                &error_body(&message),
+                keep_alive,
+                Some(request_id),
+            );
+            return 409;
+        }
+        profile::ProfileOutcome::TimedOut => {
+            let message = "joined capture never published a result";
+            conn.respond(
+                503,
+                JSON,
+                &error_body(message),
+                keep_alive,
+                Some(request_id),
+            );
+            return 503;
+        }
+    };
+    let (content_type, body) = if params.json {
+        (JSON, captured.to_json())
+    } else {
+        ("text/plain; charset=utf-8", captured.to_folded())
+    };
+    if conn.start_stream(200, content_type, keep_alive, request_id) {
+        let _ = conn.write_chunk(&body);
+        let _ = conn.end_stream();
+    }
+    LogLine::new("profile_captured")
+        .str("request_id", request_id)
+        .num("seconds", params.seconds)
+        .num("hz", params.hz)
+        .num("samples", captured.samples)
+        .num("stacks", captured.stacks.len() as u64)
+        .num("joined", u64::from(joined))
+        .emit();
+    200
+}
+
+/// The always-on low-rate sampler behind the phase-occupancy gauges: reads
+/// every worker beacon ~13 times a second (77 ms — deliberately off the
+/// 97 Hz on-demand profiler cadence), folds each ~2 s window into a
+/// [`Profile`](recopack_core::Profile), and refreshes
+/// `recopack_worker_phase_occupancy`, `recopack_workers_stalled`, and
+/// `recopack_uptime_seconds`. Holds only a `Weak<Inner>` and exits within
+/// one window of the server being dropped.
+fn occupancy_sampler_loop(inner: &std::sync::Weak<Inner>) {
+    const TICK: Duration = Duration::from_millis(77);
+    const WINDOW_TICKS: u32 = 26;
+    // ~1 s of unchanged beacon while non-idle counts as stalled.
+    const STALL_SAMPLES: u32 = 13;
+    let mut snapshot = Vec::new();
+    loop {
+        let mut builder = ProfileBuilder::new(13).with_stall_threshold(STALL_SAMPLES);
+        for _ in 0..WINDOW_TICKS {
+            std::thread::sleep(TICK);
+            beacon::global_registry().snapshot(&mut snapshot);
+            builder.observe(&snapshot);
+        }
+        let Some(inner) = inner.upgrade() else { return };
+        let window = builder.finish();
+        for (phase, gauge) in BeaconPhase::ALL.iter().zip(&inner.metrics.phase_occupancy) {
+            gauge.set((window.occupancy(*phase) * 100.0).round() as i64);
+        }
+        inner
+            .metrics
+            .workers_stalled
+            .set(window.stalled_workers.len() as i64);
+        inner
+            .metrics
+            .uptime
+            .set(inner.started.elapsed().as_secs() as i64);
+    }
+}
+
 fn route(inner: &Inner, request: &http::Request, request_id: &str) -> (u16, &'static str, String) {
     const JSON: &str = "application/json";
     const PROMETHEUS: &str = "text/plain; version=0.0.4; charset=utf-8";
@@ -1183,8 +1374,17 @@ fn route(inner: &Inner, request: &http::Request, request_id: &str) -> (u16, &'st
             let (status, body) = healthz(inner);
             (status, JSON, body)
         }
-        ("GET", "/metrics") => (200, PROMETHEUS, inner.metrics.registry.render()),
+        ("GET", "/metrics") => {
+            inner
+                .metrics
+                .uptime
+                .set(inner.started.elapsed().as_secs() as i64);
+            (200, PROMETHEUS, inner.metrics.registry.render())
+        }
         ("GET", "/debug/jobs") => (200, JSON, inner.recorder.to_json()),
+        // GETs on `/debug/profile` never reach the router (they stream from
+        // `handle_connection`); anything else on the path is a method error.
+        (_, path) if is_profile_path(path) => (405, JSON, error_body("method not allowed")),
         ("POST", "/jobs") => {
             let (status, body) = submit(inner, &request.body, request_id);
             (status, JSON, body)
@@ -1272,8 +1472,10 @@ fn healthz(inner: &Inner) -> (u16, String) {
         "ok"
     };
     let code = if status_word == "ok" { 200 } else { 503 };
+    let version = env!("CARGO_PKG_VERSION");
     let body = format!(
-        "{{\"status\":\"{status_word}\",\"queue_depth\":{depth},\
+        "{{\"status\":\"{status_word}\",\"version\":\"{version}\",\
+         \"queue_depth\":{depth},\
          \"queue_capacity\":{capacity},\"in_flight\":{in_flight}}}"
     );
     (code, body)

@@ -1,0 +1,245 @@
+//! On-demand sampling profiles for `GET /debug/profile`.
+//!
+//! Parameter parsing and the single-flight gate live here so they can be
+//! unit-tested without a socket; the chunked-response plumbing stays in
+//! the crate root next to the other handlers.
+//!
+//! Concurrency contract: at most one capture runs at a time. A second
+//! request arriving mid-capture with the *same* `seconds` and `hz` joins
+//! the in-flight run and receives the same profile; different parameters
+//! are refused with `409 Conflict` so a capture cannot be extended or
+//! restarted out from under its driver.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use recopack_core::{Profile, Sampler, SAMPLER_DEFAULT_HZ};
+
+/// Hard cap on a single profiling window, in seconds.
+pub(crate) const MAX_PROFILE_SECONDS: u64 = 30;
+/// Hard cap on the requested sampling rate, in Hz.
+pub(crate) const MAX_PROFILE_HZ: u64 = 1000;
+/// Default capture length when `seconds` is omitted.
+const DEFAULT_SECONDS: u64 = 2;
+
+/// Parsed and validated `/debug/profile` query parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ProfileParams {
+    /// Capture length, `1..=MAX_PROFILE_SECONDS`.
+    pub seconds: u64,
+    /// Sampling rate, `1..=MAX_PROFILE_HZ`.
+    pub hz: u64,
+    /// `format=json` requests the summary instead of folded stacks.
+    pub json: bool,
+}
+
+impl ProfileParams {
+    /// Parses a raw query string (the part after `?`, possibly empty).
+    pub fn parse(query: &str) -> Result<Self, String> {
+        let mut params = ProfileParams {
+            seconds: DEFAULT_SECONDS,
+            hz: SAMPLER_DEFAULT_HZ,
+            json: false,
+        };
+        for pair in query.split('&').filter(|p| !p.is_empty()) {
+            let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+            match key {
+                "seconds" => {
+                    params.seconds = value
+                        .parse()
+                        .map_err(|_| format!("seconds expects an integer, got {value:?}"))?;
+                }
+                "hz" => {
+                    params.hz = value
+                        .parse()
+                        .map_err(|_| format!("hz expects an integer, got {value:?}"))?;
+                }
+                "format" => match value {
+                    "folded" => params.json = false,
+                    "json" => params.json = true,
+                    other => return Err(format!("format expects folded or json, got {other:?}")),
+                },
+                other => {
+                    return Err(format!(
+                        "unknown parameter {other:?} (expected seconds, hz, format)"
+                    ))
+                }
+            }
+        }
+        if params.seconds == 0 || params.seconds > MAX_PROFILE_SECONDS {
+            return Err(format!(
+                "seconds must be between 1 and {MAX_PROFILE_SECONDS}"
+            ));
+        }
+        if params.hz == 0 || params.hz > MAX_PROFILE_HZ {
+            return Err(format!("hz must be between 1 and {MAX_PROFILE_HZ}"));
+        }
+        Ok(params)
+    }
+}
+
+/// How a `/debug/profile` request resolved.
+pub(crate) enum ProfileOutcome {
+    /// This request installed the gate and drove the capture.
+    Captured(Arc<Profile>),
+    /// This request joined a concurrent capture with identical parameters.
+    Joined(Arc<Profile>),
+    /// A capture with different parameters is already running.
+    Busy {
+        /// The in-flight capture's window length.
+        seconds: u64,
+        /// The in-flight capture's sampling rate.
+        hz: u64,
+    },
+    /// The joined capture's driver never published a result.
+    TimedOut,
+}
+
+/// The single-flight coordination gate for on-demand captures.
+#[derive(Debug, Default)]
+pub(crate) struct ProfilerGate {
+    active: Mutex<Option<Arc<ActiveRun>>>,
+}
+
+#[derive(Debug)]
+struct ActiveRun {
+    seconds: u64,
+    hz: u64,
+    result: Mutex<Option<Arc<Profile>>>,
+    done: Condvar,
+}
+
+impl ProfilerGate {
+    /// Runs (or joins) a capture with the given parameters, blocking for up
+    /// to `params.seconds` of wall clock (plus a small grace when joining).
+    pub fn run(&self, params: ProfileParams) -> ProfileOutcome {
+        let run = {
+            let mut active = self.active.lock().expect("profiler gate poisoned");
+            match &*active {
+                Some(run) if run.seconds == params.seconds && run.hz == params.hz => {
+                    let run = Arc::clone(run);
+                    drop(active);
+                    return Self::join(&run, params.seconds);
+                }
+                Some(run) => {
+                    return ProfileOutcome::Busy {
+                        seconds: run.seconds,
+                        hz: run.hz,
+                    }
+                }
+                None => {
+                    let run = Arc::new(ActiveRun {
+                        seconds: params.seconds,
+                        hz: params.hz,
+                        result: Mutex::new(None),
+                        done: Condvar::new(),
+                    });
+                    *active = Some(Arc::clone(&run));
+                    run
+                }
+            }
+        };
+        let sampler = Sampler::start(params.hz);
+        std::thread::sleep(Duration::from_secs(params.seconds));
+        let profile = Arc::new(sampler.stop());
+        *run.result.lock().expect("profiler result poisoned") = Some(Arc::clone(&profile));
+        run.done.notify_all();
+        // Clear the gate only after publishing so joiners never observe an
+        // empty slot for a run they were promised.
+        *self.active.lock().expect("profiler gate poisoned") = None;
+        ProfileOutcome::Captured(profile)
+    }
+
+    fn join(run: &ActiveRun, seconds: u64) -> ProfileOutcome {
+        // The driver sleeps `seconds`; give it headroom for sampler teardown
+        // before declaring the join dead.
+        let deadline = Duration::from_secs(seconds.saturating_add(5));
+        let guard = run.result.lock().expect("profiler result poisoned");
+        let (guard, _timeout) = run
+            .done
+            .wait_timeout_while(guard, deadline, |result| result.is_none())
+            .expect("profiler result poisoned");
+        match &*guard {
+            Some(profile) => ProfileOutcome::Joined(Arc::clone(profile)),
+            None => ProfileOutcome::TimedOut,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_default_and_parse_each_key() {
+        let p = ProfileParams::parse("").expect("empty query is valid");
+        assert_eq!(p.seconds, DEFAULT_SECONDS);
+        assert_eq!(p.hz, SAMPLER_DEFAULT_HZ);
+        assert!(!p.json);
+
+        let p = ProfileParams::parse("seconds=5&hz=200&format=json").expect("valid");
+        assert_eq!(p.seconds, 5);
+        assert_eq!(p.hz, 200);
+        assert!(p.json);
+
+        let p = ProfileParams::parse("format=folded").expect("valid");
+        assert!(!p.json);
+    }
+
+    #[test]
+    fn params_reject_out_of_range_and_unknown() {
+        assert!(ProfileParams::parse("seconds=0").is_err());
+        assert!(ProfileParams::parse("seconds=31").is_err());
+        assert!(ProfileParams::parse("seconds=soon").is_err());
+        assert!(ProfileParams::parse("hz=0").is_err());
+        assert!(ProfileParams::parse("hz=100000").is_err());
+        assert!(ProfileParams::parse("format=flame").is_err());
+        assert!(ProfileParams::parse("depth=3").is_err());
+    }
+
+    #[test]
+    fn gate_joins_identical_params_and_rejects_different() {
+        let gate = Arc::new(ProfilerGate::default());
+        let params = ProfileParams {
+            seconds: 1,
+            hz: 50,
+            json: false,
+        };
+        let driver = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || gate.run(params))
+        };
+        // Wait until the driver has installed the gate.
+        loop {
+            if gate.active.lock().expect("gate").is_some() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let other = ProfileParams {
+            seconds: 2,
+            hz: 50,
+            json: false,
+        };
+        match gate.run(other) {
+            ProfileOutcome::Busy { seconds, hz } => {
+                assert_eq!((seconds, hz), (1, 50));
+            }
+            _ => panic!("mismatched params must be refused"),
+        }
+        let joined = match gate.run(params) {
+            ProfileOutcome::Joined(profile) => profile,
+            _ => panic!("identical params must join the in-flight run"),
+        };
+        let captured = match driver.join().expect("driver thread") {
+            ProfileOutcome::Captured(profile) => profile,
+            _ => panic!("driver must capture"),
+        };
+        assert!(Arc::ptr_eq(&joined, &captured), "joiner shares the result");
+        assert_eq!(joined.hz, 50);
+        assert!(
+            gate.active.lock().expect("gate").is_none(),
+            "gate clears after the run"
+        );
+    }
+}

@@ -376,6 +376,33 @@ mod tests {
     }
 
     #[test]
+    fn dropped_counts_isolate_a_slow_subscriber_from_a_draining_one() {
+        let stream = EventStream::new();
+        let slow = stream.subscribe();
+        let fast = stream.subscribe();
+        // Two full buffers of events; the fast subscriber drains halfway
+        // through, the slow one never does.
+        let total = 2 * SUBSCRIBER_BUFFER_LINES;
+        let mut fast_received = 0;
+        for depth in 0..total {
+            stream.record(&event(depth as u32));
+            if depth == SUBSCRIBER_BUFFER_LINES - 1 {
+                fast_received += fast.drain(Duration::ZERO).len();
+            }
+        }
+        fast_received += fast.drain(Duration::ZERO).len();
+        assert_eq!(fast_received, total, "a draining subscriber loses nothing");
+        assert_eq!(fast.dropped(), 0);
+        // The slow subscriber kept the first buffer-full and dropped the
+        // exact remainder.
+        assert_eq!(slow.drain(Duration::ZERO).len(), SUBSCRIBER_BUFFER_LINES);
+        assert_eq!(slow.dropped(), (total - SUBSCRIBER_BUFFER_LINES) as u64);
+        // The stream-wide counter aggregates only real losses, so it
+        // matches the slow subscriber alone.
+        assert_eq!(stream.dropped(), slow.dropped());
+    }
+
+    #[test]
     fn drain_wakes_on_arrival_instead_of_sleeping_out_the_wait() {
         let stream = Arc::new(EventStream::new());
         let subscriber = stream.subscribe();

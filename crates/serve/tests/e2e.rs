@@ -1366,3 +1366,125 @@ fn late_submission_after_cancelling_a_shared_run_starts_fresh() {
     server.shutdown();
     server.join();
 }
+
+#[test]
+fn debug_profile_captures_folded_stacks_of_a_running_job() {
+    let server = bind_test_server(1, 4);
+    let addr = server.local_addr();
+
+    // Parameter validation and method handling answer without capturing.
+    let (status, body) = request(addr, "GET", "/debug/profile?seconds=0", "");
+    assert_eq!(status, 400, "{body}");
+    let (status, body) = request(addr, "GET", "/debug/profile?seconds=99", "");
+    assert_eq!(status, 400, "duration cap: {body}");
+    let (status, body) = request(addr, "GET", "/debug/profile?hz=5000", "");
+    assert_eq!(status, 400, "rate cap: {body}");
+    let (status, body) = request(addr, "GET", "/debug/profile?depth=1", "");
+    assert_eq!(status, 400, "unknown parameter: {body}");
+    let (status, _) = request(addr, "POST", "/debug/profile?seconds=1", "");
+    assert_eq!(status, 405);
+
+    // Keep a worker busy so the capture has a live beacon to sample.
+    let mut body = String::from(
+        "{\"kind\":\"opp\",\"name\":\"profiled\",\"use_bounds\":false,\
+         \"use_heuristics\":false,\"time_limit_ms\":60000,\"instance\":",
+    );
+    recopack_core::telemetry::push_json_str(&mut body, &hard_instance());
+    body.push('}');
+    let (status, reply) = request(addr, "POST", "/jobs", &body);
+    assert_eq!(status, 202, "{reply}");
+    let id = job_id(&reply);
+    poll_job(addr, id, |s| s == "running");
+
+    let mut conn = TestConn::connect(addr);
+    conn.send("GET", "/debug/profile?seconds=1&hz=200", "");
+    let (status, head, folded) = conn.read_chunked();
+    assert_eq!(status, 200, "{head}");
+    assert!(
+        head.to_ascii_lowercase()
+            .contains("content-type: text/plain"),
+        "folded stacks are plain text: {head}"
+    );
+    assert!(
+        !folded.trim().is_empty(),
+        "a 1s capture of a busy worker must sample something"
+    );
+    for line in folded.lines() {
+        let (stack, weight) = line.rsplit_once(' ').expect("folded line has a weight");
+        assert!(stack.starts_with("worker:"), "stack frame root: {line}");
+        assert!(stack.contains(';'), "stack has phase frames: {line}");
+        weight.parse::<u64>().expect("weight is a count");
+    }
+
+    // The JSON summary rides the same machinery and reports the capture.
+    conn.send("GET", "/debug/profile?seconds=1&format=json", "");
+    let (status, _, summary) = conn.read_chunked();
+    assert_eq!(status, 200);
+    let doc = Json::parse(&summary).unwrap_or_else(|e| panic!("summary JSON: {e}: {summary}"));
+    assert!(
+        doc.get("samples").and_then(Json::as_u64).expect("samples") > 0,
+        "{summary}"
+    );
+    assert_eq!(doc.get("hz").and_then(Json::as_u64), Some(97));
+
+    let (status, _) = request(addr, "DELETE", &format!("/jobs/{id}"), "");
+    assert_eq!(status, 202);
+    poll_job(addr, id, |s| s == "cancelled");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn build_info_uptime_and_version_are_exposed() {
+    let server = bind_test_server(1, 2);
+    let addr = server.local_addr();
+
+    let (status, health) = get_json(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(
+        health.get("version").and_then(Json::as_str),
+        Some(env!("CARGO_PKG_VERSION")),
+        "healthz echoes the crate version"
+    );
+
+    let (_, exposition) = request(addr, "GET", "/metrics", "");
+    let build_info = exposition
+        .lines()
+        .find(|line| line.starts_with("recopack_build_info{"))
+        .expect("build info series present");
+    assert!(
+        build_info.contains(&format!("version=\"{}\"", env!("CARGO_PKG_VERSION"))),
+        "{build_info}"
+    );
+    assert!(build_info.contains("rustc=\""), "{build_info}");
+    assert!(
+        build_info.contains("profile=\"debug\"") || build_info.contains("profile=\"release\""),
+        "{build_info}"
+    );
+    assert!(build_info.ends_with(" 1"), "info gauge is always 1");
+    assert!(
+        metric_value(&exposition, "recopack_uptime_seconds").is_some(),
+        "uptime gauge present"
+    );
+    for phase in [
+        "idle",
+        "expand",
+        "propagate",
+        "bounds",
+        "realize",
+        "backtrack",
+    ] {
+        let series = format!("recopack_worker_phase_occupancy{{phase=\"{phase}\"}}");
+        assert!(
+            metric_value(&exposition, &series).is_some(),
+            "missing {series}"
+        );
+    }
+    assert!(
+        metric_value(&exposition, "recopack_workers_stalled").is_some(),
+        "stall gauge present"
+    );
+
+    server.shutdown();
+    server.join();
+}
